@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's artifacts (figure,
+experiment, or a DESIGN.md ablation) and records its rows/series under
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can quote them; the
+pytest-benchmark fixture times the analyzer operation under study.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> Path:
+    """Write an experiment's rows to the results directory (and stdout)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text if text.endswith("\n") else text + "\n")
+    print(f"\n===== {name} =====\n{text}")
+    return path
+
+
+def table(headers: list[str], rows: list[list], widths: list[int] | None = None) -> str:
+    """Fixed-width text table."""
+    widths = widths or [max(len(str(h)), 12) for h in headers]
+    fmt = " ".join(f"{{:>{w}}}" for w in widths)
+    lines = [fmt.format(*headers)]
+    for row in rows:
+        lines.append(fmt.format(*[_fmt(v) for v in row]))
+    return "\n".join(lines)
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000:
+            return f"{v:,.0f}"
+        return f"{v:.3g}"
+    return str(v)

@@ -1,0 +1,97 @@
+"""FIG4 — the AllReduce hub subgraph and the Reduce simplification.
+
+Regenerates Fig. 4's structure for p ∈ {4, 8, 16}: per-rank l_δ fan-in
+values (ceil(log2 p) samples of δ_os + δ_λ [+ δ_t]), the propagated
+l_δmax, and the slowest-rank-dominates behaviour the paper highlights.
+"""
+
+import pytest
+
+from benchmarks._common import emit, table
+from repro.core import PerturbationSpec, build_graph, propagate
+from repro.core.graph import Phase
+from repro.mpisim import Allreduce, Compute, Reduce, run
+from repro.noise import Constant, MachineSignature
+from repro._util import ilog2_ceil
+
+OS, LAT = 200.0, 75.0
+
+
+def allreduce_prog(me):
+    yield Compute(1_000.0 * (me.rank + 1))
+    yield Allreduce(nbytes=64)
+
+
+def reduce_prog(me):
+    yield Compute(1_000.0)
+    yield Reduce(root=0, nbytes=64)
+
+
+def test_fig4_allreduce_hub(benchmark):
+    spec = PerturbationSpec(
+        MachineSignature(os_noise=Constant(OS), latency=Constant(LAT)), seed=0
+    )
+    rows = []
+    builds = {}
+    for p in (4, 8, 16):
+        trace = run(allreduce_prog, nprocs=p, seed=0).trace
+        build = build_graph(trace)
+        builds[p] = build
+        res = propagate(build, spec)
+        rounds = ilog2_ceil(p)
+        l_delta = rounds * (OS + LAT)
+        # every rank's allreduce END carries δ_os(gap) + l_δmax
+        coll_seq = next(e.seq for e in build.events[0] if e.kind.is_collective)
+        d_end = res.node_delay[build.graph.node_of(0, coll_seq, Phase.END)]
+        assert d_end == pytest.approx(OS + l_delta)
+        rows.append([p, rounds, l_delta, d_end])
+    out = table(
+        ["p", "rounds=ceil(log2 p)", "l_delta model", "measured END delay"],
+        rows,
+        widths=[4, 20, 14, 20],
+    )
+
+    benchmark(propagate, builds[16], spec)
+
+    # --- slowest-node domination -------------------------------------------
+    sig = MachineSignature(os_noise_by_rank={3: Constant(10_000.0)})
+    res = propagate(builds[8], PerturbationSpec(sig, seed=0))
+    dom_rows = [[r, f"{d:.0f}"] for r, d in enumerate(res.final_delay)]
+    assert min(res.final_delay) >= 3 * 10_000.0  # rank 3's l_δ reaches all
+    out += "\n\nslowest-node domination (only rank 3 noisy, p=8):\n"
+    out += table(["rank", "final delay"], dom_rows, widths=[4, 12])
+    emit("fig4_allreduce", out)
+
+
+def test_fig4_reduce_simplification(benchmark):
+    """The three Reduce modifications: latency-only fan-in, local δ_os
+    edge per rank, unlabelled fan-out carrying the root's delay."""
+    spec = PerturbationSpec(
+        MachineSignature(os_noise=Constant(OS), latency=Constant(LAT)), seed=0
+    )
+    trace = run(reduce_prog, nprocs=8, seed=0).trace
+
+    def build_and_propagate():
+        build = build_graph(trace)
+        return build, propagate(build, spec)
+
+    build, res = benchmark(build_and_propagate)
+    g = build.graph
+    coll_seq = next(e.seq for e in build.events[0] if e.kind.is_collective)
+    d_root = res.node_delay[g.node_of(0, coll_seq, Phase.END)]
+    # Root END = max(own δ_os path, fan-in latency paths): gap OS + max(OS, LAT).
+    assert d_root == pytest.approx(OS + max(OS, LAT))
+    for r in range(1, 8):
+        d_r = res.node_delay[g.node_of(r, coll_seq, Phase.END)]
+        assert d_r == pytest.approx(max(OS + OS, d_root))
+    emit(
+        "fig4_reduce",
+        table(
+            ["node", "delay", "model"],
+            [
+                ["root END", f"{d_root:.0f}", "gap_os + max(os_local, lat_fanin)"],
+                ["others END", f"{OS + OS:.0f}", "max(own os path, root delay)"],
+            ],
+            widths=[10, 8, 36],
+        ),
+    )

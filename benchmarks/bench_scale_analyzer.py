@@ -1,0 +1,93 @@
+"""SCALE — analyzer throughput vs process count and trace size.
+
+Backs the paper's scalability positioning ("windowed graph generation
+... makes it fully scalable", §7): build/propagate/stream times as p
+and events-per-rank grow, with the streaming engine's events/second as
+the headline number.
+"""
+
+import time
+
+import pytest
+
+from benchmarks._common import emit, table
+from repro.apps import TokenRingParams, token_ring
+from repro.core import PerturbationSpec, StreamingTraversal, build_graph, propagate
+from repro.mpisim import run
+from repro.noise import Exponential, MachineSignature
+
+
+def test_scale_with_processes(benchmark):
+    spec = PerturbationSpec(
+        MachineSignature(os_noise=Exponential(100.0), latency=Exponential(40.0)), seed=0
+    )
+    rows = []
+    biggest = None
+    for p in (8, 32, 128):
+        trace = run(token_ring(TokenRingParams(traversals=8)), nprocs=p, seed=0).trace
+        events = sum(len(evs) for evs in trace.load_all())
+
+        t0 = time.perf_counter()
+        build = build_graph(trace)
+        t_build = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        propagate(build, spec)
+        t_prop = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        StreamingTraversal(spec).run(trace)
+        t_stream = time.perf_counter() - t0
+
+        rows.append(
+            [
+                p,
+                events,
+                f"{t_build * 1e3:.0f}",
+                f"{t_prop * 1e3:.0f}",
+                f"{t_stream * 1e3:.0f}",
+                f"{events / t_stream:,.0f}",
+            ]
+        )
+        biggest = trace
+
+    emit(
+        "scale_analyzer",
+        table(
+            ["p", "events", "build ms", "propagate ms", "stream ms", "stream ev/s"],
+            rows,
+            widths=[5, 9, 9, 13, 10, 13],
+        ),
+    )
+
+    benchmark(lambda: StreamingTraversal(spec).run(biggest))
+
+
+def test_scale_with_trace_length(benchmark):
+    """Per-event cost must stay ~constant as the trace grows (linear
+    scaling — the property that makes arbitrarily long traces feasible)."""
+    spec = PerturbationSpec(MachineSignature(os_noise=Exponential(100.0)), seed=0)
+    p = 8
+    costs = []
+    rows = []
+    for traversals in (10, 40, 160):
+        trace = run(token_ring(TokenRingParams(traversals=traversals)), nprocs=p, seed=0).trace
+        events = sum(len(evs) for evs in trace.load_all())
+        t0 = time.perf_counter()
+        StreamingTraversal(spec).run(trace)
+        dt = time.perf_counter() - t0
+        costs.append(dt / events)
+        rows.append([traversals, events, f"{dt * 1e3:.0f}", f"{dt / events * 1e6:.1f}"])
+    emit(
+        "scale_trace_length",
+        table(
+            ["traversals", "events", "total ms", "us/event"],
+            rows,
+            widths=[10, 9, 9, 9],
+        ),
+    )
+    # Linear scaling: per-event cost within 3x across a 16x trace growth.
+    assert max(costs) / min(costs) < 3.0
+
+    trace = run(token_ring(TokenRingParams(traversals=40)), nprocs=p, seed=0).trace
+    benchmark(lambda: StreamingTraversal(spec).run(trace))

@@ -1,0 +1,106 @@
+"""SEC61 — the paper's quantitative experiment (§6.1).
+
+"We performed a traced run on 128 processors of a ring-based program,
+and varied the degree of perturbations from none to a mean of 700
+cycles worth of perturbation at 100 cycle increments.  The resulting
+change in running times increases for each processor that matches the
+100 cycle increments multiplied by the number of traversals of the
+ring.  For example, if the ring was traversed 10 times with each
+processor injecting 100 cycles of noise for each message, the runtime
+of each processor increased by approximately 10*100*128 cycles."
+
+We reproduce exactly that: p=128 ranks, 10 traversals, per-message
+noise (δ_λ = constant mean) swept 0→700 in steps of 100, expecting the
+measured runtime increase to track traversals × noise × p.
+"""
+
+import pytest
+
+from benchmarks._common import emit, table
+from repro.apps import TokenRingParams, token_ring
+from repro.core import PerturbationSpec, build_graph, propagate
+from repro.mpisim import run
+from repro.noise import Constant, MachineSignature
+
+P = 128
+TRAVERSALS = 10
+
+
+@pytest.fixture(scope="module")
+def ring_build():
+    res = run(
+        token_ring(TokenRingParams(traversals=TRAVERSALS, token_bytes=1024)),
+        nprocs=P,
+        seed=0,
+    )
+    return build_graph(res.trace)
+
+
+def test_sec61_per_message_noise_sweep(ring_build, benchmark):
+    """Per-message noise (the paper's wording): runtime increase must be
+    ≈ traversals × noise × p at every sweep point."""
+    rows = []
+    for mean in range(0, 800, 100):
+        sig = MachineSignature(latency=Constant(float(mean)), name=f"msg-noise-{mean}")
+        res = propagate(ring_build, PerturbationSpec(sig, seed=0))
+        model = TRAVERSALS * P * mean
+        ratio = res.max_delay / model if model else 1.0
+        rows.append([mean, res.max_delay, model, f"{ratio:.4f}"])
+        if mean:
+            assert 0.95 < ratio < 1.10, f"noise {mean}: measured {res.max_delay} vs {model}"
+        else:
+            assert res.max_delay == 0.0
+    out = table(
+        ["mean noise (cy/msg)", "measured max delay", "model T*p*mean", "ratio"],
+        rows,
+        widths=[20, 20, 18, 8],
+    )
+    emit("sec61_token_ring", out)
+
+    # Time one traversal of the perturbation engine at the 400-cycle point.
+    sig = MachineSignature(latency=Constant(400.0))
+    spec = PerturbationSpec(sig, seed=0)
+    benchmark(propagate, ring_build, spec)
+
+
+def test_sec61_slope_is_linear(ring_build, benchmark):
+    """Linearity claim: delay(noise) is a straight line through zero."""
+    from repro.core import fit_slope
+
+    means = [0.0, 100.0, 300.0, 700.0]
+
+    def sweep():
+        ys = []
+        for mean in means:
+            sig = MachineSignature(latency=Constant(mean))
+            ys.append(propagate(ring_build, PerturbationSpec(sig, seed=0)).max_delay)
+        return ys
+
+    ys = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    slope = fit_slope(means, ys)
+    assert slope == pytest.approx(TRAVERSALS * P, rel=0.01)
+    # intercept ~ 0
+    assert ys[0] == 0.0
+
+
+def test_sec61_os_noise_variant(ring_build, benchmark):
+    """OS-noise variant: one δ_os sample per local edge gives the same
+    linear shape with slope 2 × T × p (two local attachment points per
+    hop: the compute gap and the receive processing)."""
+    def sweep():
+        rows = []
+        for mean in range(0, 800, 200):
+            sig = MachineSignature(os_noise=Constant(float(mean)), name=f"os-{mean}")
+            res = propagate(ring_build, PerturbationSpec(sig, seed=0))
+            rows.append([mean, res.max_delay, 2 * TRAVERSALS * P * mean])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    out = table(
+        ["mean os noise (cy)", "measured max delay", "model 2*T*p*mean"],
+        rows,
+        widths=[20, 20, 18],
+    )
+    emit("sec61_os_variant", out)
+    for mean, measured, model in rows[1:]:
+        assert measured == pytest.approx(model, rel=0.05)

@@ -1,0 +1,102 @@
+"""VAL1 — graph-model prediction vs simulator ground truth.
+
+Our reproduction can do what the paper could not cheaply do: check the
+perturbation model against a machine.  Protocol per app: trace on a
+quiet machine, predict the noisy runtime increase via graph
+perturbation, re-run on the actually-noisy machine, compare.  The
+deliverable is the *shape*: same direction, same ordering of apps, and
+agreement within small factors (the delta model samples one δ_os per
+local edge while the machine perturbs every processing segment).
+"""
+
+import pytest
+
+from benchmarks._common import emit, table
+from repro.apps import (
+    AllreduceIterParams,
+    StencilParams,
+    TokenRingParams,
+    allreduce_iter,
+    stencil1d,
+    token_ring,
+)
+from repro.core import (
+    BuildConfig,
+    PerturbationSpec,
+    build_graph,
+    propagate,
+    propagate_absolute,
+)
+from repro.mpisim import Machine, NetworkModel, run
+from repro.noise import Constant, DistributionNoise, MachineSignature
+
+NET = NetworkModel(latency=800.0, bandwidth=4.0, send_overhead=100.0, recv_overhead=100.0)
+NOISE_MEAN = 500.0
+P = 16
+
+APPS = [
+    ("token_ring", token_ring(TokenRingParams(traversals=4))),
+    ("stencil1d", stencil1d(StencilParams(iterations=5))),
+    ("allreduce_iter", allreduce_iter(AllreduceIterParams(iterations=6))),
+]
+
+
+def test_val_ground_truth(benchmark):
+    quiet = Machine(nprocs=P, network=NET, name="quiet")
+    noisy = Machine(
+        nprocs=P, network=NET, noise=DistributionNoise(Constant(NOISE_MEAN)), name="noisy"
+    )
+    sig = MachineSignature(os_noise=Constant(NOISE_MEAN))
+    spec = PerturbationSpec(sig, seed=0)
+
+    rows = []
+    ratios = {}
+    last_build = None
+    for name, prog in APPS:
+        base = run(prog, machine=quiet, seed=0)
+        actual = run(prog, machine=noisy, seed=0).makespan - base.makespan
+        build = build_graph(base.trace)
+        last_build = build
+        predicted = propagate(build, spec).max_delay
+        # Absolute-mode recomputation (global simulator clocks + known
+        # causal transfer times): the slack-absorbing upper validation.
+        abs_build = build_graph(base.trace, BuildConfig(absolute_weights=True))
+        estimate = lambda src, dst, nbytes: (
+            NET.send_overhead + NET.latency + nbytes / NET.bandwidth + NET.recv_overhead
+        )
+        predicted_abs = propagate_absolute(
+            abs_build, spec, transfer_estimate=estimate
+        ).max_delay
+        ratio = predicted / actual
+        ratio_abs = predicted_abs / actual
+        ratios[name] = (predicted, actual, ratio)
+        rows.append(
+            [
+                name,
+                f"{predicted:,.0f}",
+                f"{predicted_abs:,.0f}",
+                f"{actual:,.0f}",
+                f"{ratio:.2f}",
+                f"{ratio_abs:.2f}",
+            ]
+        )
+        assert 0.2 < ratio < 6.0, f"{name}: off by more than small factors"
+        # Slack absorption only removes over-prediction; it must not push
+        # the estimate above the delta model's.
+        assert predicted_abs <= predicted + 1e-6
+
+    emit(
+        "val_ground_truth",
+        table(
+            ["app", "delta pred", "absolute pred", "actual", "delta/act", "abs/act"],
+            rows,
+            widths=[16, 12, 14, 12, 10, 8],
+        ),
+    )
+
+    # Ordering preserved: model ranks sensitivity like the machine does.
+    pred_order = sorted(ratios, key=lambda k: ratios[k][0])
+    act_order = sorted(ratios, key=lambda k: ratios[k][1])
+    assert pred_order == act_order
+
+    benchmark(propagate, last_build, spec)

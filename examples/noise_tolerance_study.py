@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Noise-tolerance study: how much OS interference can each application
+absorb before significant performance degradation?
+
+The question posed in §5: "one can execute a parallel program on a
+system with a minimal, lightweight kernel ... and then explore what
+amount of operating system overhead the application can tolerate before
+significant performance degradation occurs."
+
+We sweep a noise-scale ladder over several messaging patterns, fit the
+sensitivity slope, and report each app's tolerance threshold (the noise
+scale at which its runtime grows by more than the chosen budget).
+"""
+
+from repro.apps import (
+    MasterWorkerParams,
+    PipelineParams,
+    StencilParams,
+    TokenRingParams,
+    master_worker,
+    pipeline,
+    stencil1d,
+    token_ring,
+)
+from repro.core import PerturbationSpec, build_graph, sweep_scales
+from repro.mpisim import run
+from repro.noise import Exponential, MachineSignature
+from repro.viz import render_ascii
+
+P = 8
+SCALES = [0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0]
+BUDGET_FRACTION = 0.10  # "significant" = >10% runtime growth
+
+APPS = {
+    "token_ring": token_ring(TokenRingParams(traversals=5, compute_cycles=30_000.0)),
+    "pipeline": pipeline(PipelineParams(items=16, stage_cycles=30_000.0)),
+    "stencil1d": stencil1d(StencilParams(iterations=8, interior_cycles=30_000.0)),
+    "master_worker": master_worker(MasterWorkerParams(tasks=40, base_cycles=30_000.0)),
+}
+
+
+def main() -> None:
+    base_sig = MachineSignature(
+        os_noise=Exponential(300.0), latency=Exponential(100.0), name="unit noise"
+    )
+
+    print(f"noise ladder: scales {SCALES} of (os~Exp(300), latency~Exp(100)) cycles")
+    print(f"budget: {BUDGET_FRACTION:.0%} runtime growth\n")
+
+    results = []
+    for name, prog in APPS.items():
+        res = run(prog, machine=None, nprocs=P, seed=2)
+        runtime = res.makespan
+        sweep = sweep_scales(res.trace, PerturbationSpec(base_sig, seed=0), SCALES)
+        slope = sweep.slope()
+        threshold = sweep.tolerance_threshold(BUDGET_FRACTION * runtime)
+        results.append((name, runtime, slope, threshold, sweep))
+
+    print(f"{'app':>14} {'runtime (cy)':>14} {'slope (cy/scale)':>17} {'tolerance':>10}")
+    for name, runtime, slope, threshold, _ in results:
+        tol = f"x{threshold:g}" if threshold is not None else ">max"
+        print(f"{name:>14} {runtime:>14,.0f} {slope:>17,.0f} {tol:>10}")
+
+    most_tolerant = max(results, key=lambda r: (r[3] is None, r[3] or 0))
+    most_sensitive = min(results, key=lambda r: (r[3] is None, r[3] or 0))
+    print(
+        f"\nmost tolerant: {most_tolerant[0]}; most sensitive: {most_sensitive[0]}\n"
+        "(tolerance is relative to runtime: an app with lots of slack per unit\n"
+        "of communication — e.g. a serialized ring where most ranks idle —\n"
+        "absorbs noise that a tightly-coupled pattern turns into delay)"
+    )
+
+    print("\nsensitivity detail for the most sensitive app:")
+    print(most_sensitive[4].table())
+
+    print("\nFig. 1-style timeline of the most sensitive app (first 4 ranks):")
+    res = run(APPS[most_sensitive[0]], nprocs=P, seed=2)
+    print(render_ascii(res.trace, ranks=range(4), width=90))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Platform comparison: "which machine should we buy for this app?"
+
+The paper's closing motivation (§7): "guide users and system
+procurements to determine the best platform for applications of
+interest."  Workflow:
+
+1. trace the applications once, on the quiet reference cluster;
+2. measure each *candidate* platform's signature with the
+   microbenchmark suite (§5) — FTQ, ping-pong, bandwidth, Mraz;
+3. replay every application trace against every candidate signature and
+   compare the predicted runtime increases.
+
+No application is ever run on the candidate machines — only the
+microbenchmarks are.
+"""
+
+from repro.apps import (
+    AllreduceIterParams,
+    StencilParams,
+    TokenRingParams,
+    allreduce_iter,
+    stencil1d,
+    token_ring,
+)
+from repro.core import PerturbationSpec, build_graph, propagate, runtime_impact
+from repro.machines import asciq_like, noisy_cluster, quiet_cluster, wan_grid
+from repro.microbench import measure_machine
+from repro.mpisim import run
+
+P = 16
+
+APPS = {
+    "token_ring": token_ring(TokenRingParams(traversals=5)),
+    "stencil1d": stencil1d(StencilParams(iterations=8)),
+    "allreduce_iter": allreduce_iter(AllreduceIterParams(iterations=10)),
+}
+
+CANDIDATES = {
+    "noisy-commodity": noisy_cluster(2, skewed_clocks=False),
+    "asciq-like": asciq_like(2, skewed_clocks=False),
+    "wan-grid": wan_grid(2, skewed_clocks=False),
+}
+
+
+def main() -> None:
+    print(f"1. tracing {len(APPS)} applications on the quiet reference cluster (p={P})")
+    builds = {}
+    for name, prog in APPS.items():
+        trace = run(prog, machine=quiet_cluster(P, seed=0), seed=1).trace
+        builds[name] = build_graph(trace)
+        print(f"   {name:>15}: {builds[name].graph}")
+
+    print("\n2. measuring candidate platforms (microbenchmarks only):")
+    signatures = {}
+    for name, machine in CANDIDATES.items():
+        report = measure_machine(machine, seed=0)
+        signatures[name] = report.to_signature()
+        print(f"   {name:>15}: {report.summary()}")
+
+    print("\n3. predicted mean slowdown of each app on each platform:")
+    header = f"{'app':>15} " + " ".join(f"{c:>16}" for c in CANDIDATES)
+    print(header)
+    best = {}
+    for app, build in builds.items():
+        cells = []
+        for cand, sig in signatures.items():
+            res = propagate(build, PerturbationSpec(sig, seed=0))
+            impact = runtime_impact(build, res)
+            slowdown = impact.max_slowdown
+            cells.append(f"{slowdown:>15.2%} ")
+            best.setdefault(app, []).append((slowdown, cand))
+        print(f"{app:>15} " + " ".join(cells))
+
+    print("\nrecommendation (lowest predicted slowdown per app):")
+    for app, options in best.items():
+        slowdown, cand = min(options)
+        print(f"   {app:>15}: {cand} ({slowdown:.2%})")
+
+
+if __name__ == "__main__":
+    main()

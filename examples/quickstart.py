@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Quickstart: trace a parallel program, perturb its message-passing
+graph, and read off the noise sensitivity.
+
+This is the paper's whole workflow in ~40 lines:
+
+1. run an MPI-like program on the simulated machine (the tracing step
+   a real deployment does with the PMPI wrapper);
+2. build the message-passing graph from the per-rank traces;
+3. attach perturbation distributions (a machine signature) to the
+   edges and propagate the deltas;
+4. inspect how much longer each rank would have run, where the delay
+   came from, and where it was absorbed.
+"""
+
+from repro.apps import TokenRingParams, token_ring
+from repro.core import (
+    PerturbationSpec,
+    absorption_map,
+    build_graph,
+    check_correctness,
+    critical_path,
+    propagate,
+    runtime_impact,
+)
+from repro.mpisim import run
+from repro.noise import Exponential, MachineSignature
+
+# 1. Trace a 16-rank token ring (10k-cycle work units, 4 KiB tokens).
+result = run(token_ring(TokenRingParams(traversals=5)), nprocs=16, seed=1)
+print(f"traced run: {result.nprocs} ranks, makespan {result.makespan:,.0f} cycles")
+
+# 2. Build the message-passing graph (order-based matching, no clocks).
+build = build_graph(result.trace)
+print(f"graph: {build.graph}")
+
+# 3. Perturb: exponential OS noise (mean 200 cy per local edge) and
+#    exponential message-latency noise (mean 80 cy per message edge).
+signature = MachineSignature(
+    os_noise=Exponential(200.0),
+    latency=Exponential(80.0),
+    name="hypothetical noisy platform",
+)
+res = propagate(build, PerturbationSpec(signature, seed=7))
+
+# 4. Analyze.
+print()
+print(runtime_impact(build, res).table())
+report = check_correctness(build, res)
+print(f"\ncorrectness: {report.summary()}")
+
+cp = critical_path(build, res)
+print(
+    f"critical path of rank {cp.rank}: {cp.total_delay:,.0f} cycles, "
+    f"dominated by {cp.dominant_class()}"
+)
+for kind, amount in sorted(cp.by_delta_kind.items(), key=lambda kv: -kv[1]):
+    print(f"  {kind:>12}: {amount:,.0f} cy")
+
+am = absorption_map(build, res)
+print(
+    f"\nabsorption: {am.overall_ratio():.1%} of message-receiving events "
+    f"absorbed their incoming delay (tolerant regions, §4.2)"
+)

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Probabilistic analysis: delay distributions and rank-to-rank influence.
+
+Since §5 treats every perturbation parameter as a random variable, one
+propagation is a single *sample* of the perturbed-runtime distribution.
+This example
+
+1. runs a Monte-Carlo study over a measured-style signature, reporting
+   the makespan-delay distribution and the probability of blowing a
+   runtime budget;
+2. computes the rank-influence matrix — whose noise hurts whom — for
+   two contrasting messaging patterns;
+3. records everything in an experiment history (§7) and replays one
+   stored experiment to demonstrate exact reproducibility.
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.apps import MasterWorkerParams, TokenRingParams, master_worker, token_ring
+from repro.core import (
+    ExperimentHistory,
+    PerturbationSpec,
+    build_graph,
+    monte_carlo,
+    propagate,
+    rank_influence,
+)
+from repro.mpisim import run
+from repro.noise import Constant, Exponential, MachineSignature
+
+P = 6
+
+
+def main() -> None:
+    sig = MachineSignature(
+        os_noise=Exponential(250.0), latency=Exponential(100.0), name="mc-study"
+    )
+    spec = PerturbationSpec(sig, seed=0)
+
+    # ---- 1. Monte-Carlo delay distribution --------------------------------
+    print("1. Monte-Carlo delay distribution (token ring, 200 replicates)")
+    res = run(token_ring(TokenRingParams(traversals=4)), nprocs=P, seed=1)
+    build = build_graph(res.trace)
+    dist = monte_carlo(build, spec, replicates=200)
+    print(f"   {dist.summary()}")
+    budget = 0.02 * res.makespan
+    print(
+        f"   P(delay > 2% of runtime = {budget:,.0f} cy) = "
+        f"{dist.exceedance_probability(budget):.1%}"
+    )
+
+    # ---- 2. Influence matrices ---------------------------------------------
+    print("\n2. rank-influence matrices (constant 10k cy noise on one rank)")
+    noise = Constant(10_000.0)
+    for name, prog in (
+        ("token_ring", token_ring(TokenRingParams(traversals=3))),
+        ("master_worker", master_worker(MasterWorkerParams(tasks=24))),
+    ):
+        trace = run(prog, nprocs=P, seed=1).trace
+        matrix = rank_influence(build_graph(trace), noise, seed=0)
+        spreads = [matrix.spread(r) for r in range(P)]
+        totals = matrix.total_influence()
+        worst = int(totals.argmax())
+        print(
+            f"   {name:>14}: blast radii per source rank {spreads}; "
+            f"most dangerous rank: {worst} "
+            f"(inflicts {totals[worst]:,.0f} cy total)"
+        )
+
+    # ---- 3. History + exact replay ------------------------------------------
+    print("\n3. experiment history and exact replay")
+    with tempfile.TemporaryDirectory() as tmp:
+        history = ExperimentHistory(Path(tmp) / "history.jsonl")
+        first = propagate(build, spec)
+        rec = history.record("ring-study", spec, first, build.config)
+        print(f"   recorded {rec.name!r}: max delay {rec.max_delay:,.0f} cy")
+        # Cold start: reload and replay from the stored parameterization.
+        stored = ExperimentHistory(history.path).latest("ring-study")
+        replayed = propagate(build, history.replay_spec(stored))
+        identical = list(replayed.final_delay) == list(stored.delays)
+        print(f"   replayed from history: identical delays = {identical}")
+
+
+if __name__ == "__main__":
+    main()

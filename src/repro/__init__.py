@@ -1,0 +1,20 @@
+"""repro — message-passing graph traversal performance analysis.
+
+Reproduction of Sottile, Chandu & Bader, *Performance analysis of
+parallel programs via message-passing graph traversal* (IPPS 2006).
+
+Layers (bottom-up):
+
+* :mod:`repro.noise` — perturbation distributions, fitting, machine signatures (§5)
+* :mod:`repro.trace` — event model, trace files, streaming readers (§4)
+* :mod:`repro.mpisim` — simulated MPI runtime producing traces (DESIGN.md §2)
+* :mod:`repro.microbench` — FTQ / ping-pong / bandwidth / Mraz probes (§5)
+* :mod:`repro.core` — the paper's contribution: message-passing graph
+  construction, perturbation propagation, analysis (§2–§4, §6)
+* :mod:`repro.apps` — traceable workloads (token ring of §6.1 and others)
+* :mod:`repro.machines` — preset platforms
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,52 @@
+"""Traceable workloads written against the :mod:`repro.mpisim` API.
+
+``token_ring`` is the paper's §6.1 evaluation program; the others cover
+the messaging patterns the methodology must handle (nonblocking halo
+exchange, wildcard task farm, collective-heavy iteration, explicit
+butterfly, pipeline, irregular sparse exchange).
+"""
+
+from repro.apps.allreduce_iter import AllreduceIterParams, allreduce_iter
+from repro.apps.butterfly_allreduce import ButterflyParams, butterfly_allreduce
+from repro.apps.fft_transpose import FFTTransposeParams, fft_transpose
+from repro.apps.master_worker import MasterWorkerParams, master_worker
+from repro.apps.pipeline import PipelineParams, pipeline
+from repro.apps.random_sparse import RandomSparseParams, neighbor_sets, random_sparse
+from repro.apps.stencil1d import StencilParams, stencil1d
+from repro.apps.stencil2d import Stencil2DParams, grid_shape, stencil2d
+from repro.apps.token_ring import TokenRingParams, token_ring
+
+__all__ = [
+    "AllreduceIterParams",
+    "allreduce_iter",
+    "ButterflyParams",
+    "butterfly_allreduce",
+    "FFTTransposeParams",
+    "fft_transpose",
+    "MasterWorkerParams",
+    "master_worker",
+    "PipelineParams",
+    "pipeline",
+    "RandomSparseParams",
+    "neighbor_sets",
+    "random_sparse",
+    "StencilParams",
+    "stencil1d",
+    "Stencil2DParams",
+    "grid_shape",
+    "stencil2d",
+    "TokenRingParams",
+    "token_ring",
+]
+
+ALL_APPS = {
+    "token_ring": (token_ring, TokenRingParams),
+    "stencil1d": (stencil1d, StencilParams),
+    "stencil2d": (stencil2d, Stencil2DParams),
+    "master_worker": (master_worker, MasterWorkerParams),
+    "allreduce_iter": (allreduce_iter, AllreduceIterParams),
+    "fft_transpose": (fft_transpose, FFTTransposeParams),
+    "butterfly_allreduce": (butterfly_allreduce, ButterflyParams),
+    "pipeline": (pipeline, PipelineParams),
+    "random_sparse": (random_sparse, RandomSparseParams),
+}

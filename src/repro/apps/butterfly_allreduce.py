@@ -1,0 +1,68 @@
+"""Hand-rolled butterfly (recursive-doubling) allreduce over point-to-point.
+
+The explicit O(log p) pairwise realization of a global reduction the
+paper describes in §3.2 ("a butterfly messaging topology can be used to
+require each processor to send and receive O(log(p)) messages").
+Implemented over Sendrecv so the traced graph contains the *actual*
+butterfly — the exact structure the Fig. 4 hub model approximates.
+Requires a power-of-two process count; the factory validates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.mpisim.api import Compute, Op, RankInfo, Sendrecv
+
+__all__ = ["ButterflyParams", "butterfly_allreduce"]
+
+
+@dataclass(frozen=True)
+class ButterflyParams:
+    """Configuration of the hand-rolled butterfly reduction.
+
+    iterations:
+        Repeated reductions (with local compute between them).
+    payload_bytes:
+        Bytes exchanged per butterfly stage.
+    compute_cycles:
+        Work between reductions.
+    op_cycles:
+        Local combine cost per received partial result.
+    """
+
+    iterations: int = 5
+    payload_bytes: int = 64
+    compute_cycles: float = 20_000.0
+    op_cycles: float = 200.0
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if self.compute_cycles < 0 or self.op_cycles < 0:
+            raise ValueError("cycle counts must be >= 0")
+
+
+def butterfly_allreduce(params: ButterflyParams = ButterflyParams()):
+    """Rank program factory; ``me.size`` must be a power of two."""
+
+    def program(me: RankInfo) -> Iterator[Op]:
+        p = me.size
+        if p & (p - 1):
+            raise ValueError(f"butterfly_allreduce requires a power-of-two size, got {p}")
+        stages = p.bit_length() - 1
+        for it in range(params.iterations):
+            yield Compute(params.compute_cycles)
+            for k in range(stages):
+                partner = me.rank ^ (1 << k)
+                yield Sendrecv(
+                    dest=partner,
+                    send_nbytes=params.payload_bytes,
+                    source=partner,
+                    send_tag=k,
+                    recv_tag=k,
+                )
+                yield Compute(params.op_cycles)
+
+    return program

@@ -1,0 +1,53 @@
+"""Distributed-FFT surrogate: compute + global transpose each stage.
+
+Multidimensional FFTs alternate local 1-D transforms with global data
+transposes (MPI_Alltoall) — the canonical *bisection-bandwidth-bound*
+pattern, complementary to the latency-bound token ring and the
+collective-latency-bound CG iteration.  Each rank holds n/p rows; a
+transpose moves n/p² rows to every other rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.mpisim.api import Alltoall, Compute, Op, RankInfo
+
+__all__ = ["FFTTransposeParams", "fft_transpose"]
+
+
+@dataclass(frozen=True)
+class FFTTransposeParams:
+    """Configuration of the FFT-transpose surrogate.
+
+    stages:
+        Transform/transpose rounds (a 2-D FFT needs 2, 3-D needs 3;
+        iterative solvers repeat).
+    block_bytes:
+        Bytes each rank sends to each other rank per transpose
+        (n/p² rows worth of data).
+    transform_cycles:
+        Local 1-D transform work per stage.
+    """
+
+    stages: int = 4
+    block_bytes: int = 4096
+    transform_cycles: float = 60_000.0
+
+    def __post_init__(self) -> None:
+        if self.stages < 1:
+            raise ValueError("stages must be >= 1")
+        if self.block_bytes < 0 or self.transform_cycles < 0:
+            raise ValueError("block_bytes and transform_cycles must be >= 0")
+
+
+def fft_transpose(params: FFTTransposeParams = FFTTransposeParams()):
+    """Rank program factory for the transpose-heavy FFT surrogate."""
+
+    def program(me: RankInfo) -> Iterator[Op]:
+        for _ in range(params.stages):
+            yield Compute(params.transform_cycles)
+            yield Alltoall(nbytes=params.block_bytes)
+
+    return program

@@ -1,0 +1,93 @@
+"""Master/worker task farm with wildcard receives.
+
+Rank 0 hands out work units to whichever worker reports back first
+(MPI_ANY_SOURCE), the load-imbalanced pattern that *absorbs* noise:
+a slow worker simply gets fewer tasks, so the absorption analysis
+(§4.2) should classify most of its message joins as tolerant — the
+counterpoint to the fully synchronous token ring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.mpisim.api import ANY_SOURCE, Compute, Op, RankInfo, Recv, Send
+
+__all__ = ["MasterWorkerParams", "master_worker"]
+
+_TASK_TAG = 1
+_RESULT_TAG = 2
+_STOP_TAG = 3
+
+
+@dataclass(frozen=True)
+class MasterWorkerParams:
+    """Configuration of the task farm.
+
+    tasks:
+        Total work units to distribute.
+    task_bytes / result_bytes:
+        Payload sizes for task descriptors and results.
+    base_cycles:
+        Work per task on a worker.
+    skew:
+        Per-rank work multiplier spread: worker r's tasks cost
+        ``base_cycles * (1 + skew * r / p)`` — deterministic imbalance.
+    """
+
+    tasks: int = 32
+    task_bytes: int = 256
+    result_bytes: int = 64
+    base_cycles: float = 20_000.0
+    skew: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.tasks < 1:
+            raise ValueError("tasks must be >= 1")
+        if self.base_cycles < 0 or self.skew < 0:
+            raise ValueError("base_cycles and skew must be >= 0")
+
+
+def master_worker(params: MasterWorkerParams = MasterWorkerParams()):
+    """Rank program factory: rank 0 is the master, all others workers."""
+
+    def program(me: RankInfo) -> Iterator[Op]:
+        p = me.size
+        if p < 2:
+            for _ in range(params.tasks):
+                yield Compute(params.base_cycles)
+            return
+        workers = p - 1
+        if me.rank == 0:
+            remaining = params.tasks
+            # Seed one task per worker (or fewer if tasks < workers).
+            seeded = min(workers, remaining)
+            for w in range(1, seeded + 1):
+                yield Send(dest=w, nbytes=params.task_bytes, tag=_TASK_TAG)
+            remaining -= seeded
+            outstanding = seeded
+            while outstanding:
+                status = yield Recv(source=ANY_SOURCE, tag=_RESULT_TAG)
+                outstanding -= 1
+                if remaining:
+                    yield Send(dest=status.source, nbytes=params.task_bytes, tag=_TASK_TAG)
+                    remaining -= 1
+                    outstanding += 1
+            for w in range(1, workers + 1):
+                yield Send(dest=w, nbytes=0, tag=_STOP_TAG)
+        else:
+            cost = params.base_cycles * (1.0 + params.skew * me.rank / p)
+            if me.rank > min(workers, params.tasks):
+                # Never seeded: only the stop message arrives.
+                yield Recv(source=0, tag=_STOP_TAG)
+                return
+            while True:
+                # Task or stop, whichever the master sends next to us.
+                status = yield Recv(source=0)
+                if status.tag == _STOP_TAG:
+                    return
+                yield Compute(cost)
+                yield Send(dest=0, nbytes=params.result_bytes, tag=_RESULT_TAG)
+
+    return program

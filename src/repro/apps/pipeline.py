@@ -1,0 +1,62 @@
+"""Wavefront pipeline: stage r receives from r-1, computes, forwards to r+1.
+
+A software pipeline (LU-style wavefront or streaming filter chain).
+Its steady state overlaps all stages, so a noise pulse on one stage
+propagates downstream with a delay but is partially absorbed by pipeline
+slack upstream — a middle ground between the token ring (fully
+sensitive) and master/worker (mostly tolerant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.mpisim.api import Compute, Op, RankInfo, Recv, Send
+
+__all__ = ["PipelineParams", "pipeline"]
+
+
+@dataclass(frozen=True)
+class PipelineParams:
+    """Configuration of the wavefront pipeline.
+
+    items:
+        Work items streamed through the pipeline.
+    item_bytes:
+        Payload forwarded between stages.
+    stage_cycles:
+        Per-item work at each stage.
+    tag:
+        Message tag for inter-stage transfers.
+    """
+
+    items: int = 16
+    item_bytes: int = 1024
+    stage_cycles: float = 15_000.0
+    tag: int = 5
+
+    def __post_init__(self) -> None:
+        if self.items < 1:
+            raise ValueError("items must be >= 1")
+        if self.stage_cycles < 0:
+            raise ValueError("stage_cycles must be >= 0")
+
+
+def pipeline(params: PipelineParams = PipelineParams()):
+    """Rank program factory: rank 0 produces, rank p-1 consumes."""
+
+    def program(me: RankInfo) -> Iterator[Op]:
+        p = me.size
+        if p == 1:
+            for _ in range(params.items):
+                yield Compute(params.stage_cycles)
+            return
+        for _ in range(params.items):
+            if me.rank > 0:
+                yield Recv(source=me.rank - 1, tag=params.tag)
+            yield Compute(params.stage_cycles)
+            if me.rank < p - 1:
+                yield Send(dest=me.rank + 1, nbytes=params.item_bytes, tag=params.tag)
+
+    return program

@@ -1,0 +1,91 @@
+"""Irregular sparse neighbor exchange.
+
+Models unstructured-mesh communication: each rank has a deterministic
+pseudo-random neighbor set (seeded, so every rank derives the same
+global topology independently — the usual SPMD trick) and per-step
+exchanges with all neighbors via nonblocking operations.  Stresses the
+matcher with asymmetric channels, many tags, and variable payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.mpisim.api import Compute, Irecv, Isend, Op, RankInfo, Waitall
+
+__all__ = ["RandomSparseParams", "random_sparse", "neighbor_sets"]
+
+
+@dataclass(frozen=True)
+class RandomSparseParams:
+    """Configuration of the sparse exchange.
+
+    iterations:
+        Exchange rounds.
+    degree:
+        Outgoing neighbors per rank (directed; in-degree varies).
+    min_bytes / max_bytes:
+        Payload range (deterministic per edge from the topology seed).
+    compute_cycles:
+        Per-round local work.
+    topology_seed:
+        Seed shared by all ranks to derive the same topology.
+    """
+
+    iterations: int = 5
+    degree: int = 3
+    min_bytes: int = 64
+    max_bytes: int = 4096
+    compute_cycles: float = 25_000.0
+    topology_seed: int = 12345
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1 or self.degree < 1:
+            raise ValueError("iterations and degree must be >= 1")
+        if not 0 <= self.min_bytes <= self.max_bytes:
+            raise ValueError("need 0 <= min_bytes <= max_bytes")
+
+
+def neighbor_sets(p: int, params: RandomSparseParams) -> list[list[tuple[int, int]]]:
+    """Directed neighbor lists: ``out[r]`` is ``[(dst, nbytes), ...]``.
+
+    Deterministic in (p, params): every rank computes the same topology.
+    """
+    rng = np.random.default_rng(params.topology_seed)
+    out: list[list[tuple[int, int]]] = []
+    for r in range(p):
+        others = [d for d in range(p) if d != r]
+        deg = min(params.degree, len(others))
+        dests = rng.choice(others, size=deg, replace=False) if others else []
+        row = []
+        for d in sorted(int(x) for x in dests):
+            nbytes = int(rng.integers(params.min_bytes, params.max_bytes + 1))
+            row.append((d, nbytes))
+        out.append(row)
+    return out
+
+
+def random_sparse(params: RandomSparseParams = RandomSparseParams()):
+    """Rank program factory for the irregular exchange."""
+
+    def program(me: RankInfo) -> Iterator[Op]:
+        p = me.size
+        topo = neighbor_sets(p, params)
+        my_out = topo[me.rank]
+        # Incoming edges: every (src -> me); tag = src so channels stay
+        # distinct even with multiple rounds in flight.
+        my_in = [src for src in range(p) for (dst, _) in topo[src] if dst == me.rank]
+        for _ in range(params.iterations):
+            requests = []
+            for src in my_in:
+                requests.append((yield Irecv(source=src, tag=src)))
+            for dst, nbytes in my_out:
+                requests.append((yield Isend(dest=dst, nbytes=nbytes, tag=me.rank)))
+            yield Compute(params.compute_cycles)
+            if requests:
+                yield Waitall(requests)
+
+    return program

@@ -1,0 +1,84 @@
+"""Token ring (§6.1): the paper's evaluation workload.
+
+"A token ring is one of the simplest messaging topologies found in
+realistic parallel programs."  Each rank owns n/p particles of an
+n-body problem; it packages its particle set into a token, passes it to
+rank (i+1) mod p, computes interactions against each arriving token,
+and after p hops has seen every particle.  The paper traced a 128-
+processor ring and verified that injecting noise per message grows the
+runtime by (traversals × noise × p).
+
+``token_ring(...)`` builds the rank program; ``TokenRingParams``
+captures the workload knobs (the compute_cycles default approximates
+the n²/p² pairwise-interaction cost of a token against local
+particles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.mpisim.api import Compute, Op, RankInfo, Recv, Send
+
+__all__ = ["TokenRingParams", "token_ring"]
+
+
+@dataclass(frozen=True)
+class TokenRingParams:
+    """Configuration of the token-ring n-body surrogate.
+
+    traversals:
+        Full trips of each token around the ring (the paper's run used
+        around 10).
+    token_bytes:
+        Size of the particle-set token.
+    compute_cycles:
+        Local interaction work per received token.
+    tag:
+        Message tag for the token messages.
+    """
+
+    traversals: int = 10
+    token_bytes: int = 4096
+    compute_cycles: float = 50_000.0
+    tag: int = 0
+
+    def __post_init__(self) -> None:
+        if self.traversals < 1:
+            raise ValueError("traversals must be >= 1")
+        if self.token_bytes < 0:
+            raise ValueError("token_bytes must be >= 0")
+        if self.compute_cycles < 0:
+            raise ValueError("compute_cycles must be >= 0")
+
+
+def token_ring(params: TokenRingParams = TokenRingParams()):
+    """Rank program factory for the §6.1 token ring.
+
+    The token circulates sequentially: rank 0 starts each traversal by
+    sending its token to rank 1, then every rank forwards after
+    computing against the received set.  A single token travels the
+    ring (the fully synchronous case whose noise response the paper
+    verifies to be ``traversals × noise × p``).
+    """
+
+    def program(me: RankInfo) -> Iterator[Op]:
+        p = me.size
+        nxt = (me.rank + 1) % p
+        prv = (me.rank - 1) % p
+        if p == 1:
+            for _ in range(params.traversals):
+                yield Compute(params.compute_cycles)
+            return
+        for _ in range(params.traversals):
+            if me.rank == 0:
+                yield Compute(params.compute_cycles)
+                yield Send(dest=nxt, nbytes=params.token_bytes, tag=params.tag)
+                yield Recv(source=prv, tag=params.tag)
+            else:
+                yield Recv(source=prv, tag=params.tag)
+                yield Compute(params.compute_cycles)
+                yield Send(dest=nxt, nbytes=params.token_bytes, tag=params.tag)
+
+    return program

@@ -1,0 +1,5 @@
+"""Baseline trace-analysis systems the paper compares against (§1.1)."""
+
+from repro.baselines.dimemas import ReplayParams, ReplayResult, replay
+
+__all__ = ["ReplayParams", "ReplayResult", "replay"]

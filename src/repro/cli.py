@@ -1,0 +1,337 @@
+"""Command-line tools.
+
+Five entry points mirroring the paper's workflow:
+
+``repro-trace``
+    Run a bundled application on a preset simulated machine, writing
+    per-rank trace files (the PMPI-tracing step, §4).
+``repro-microbench``
+    Run the microbenchmark suite against a preset machine and save the
+    resulting machine signature (§5).
+``repro-analyze``
+    Build the message-passing graph from traces and propagate sampled
+    perturbations from a signature, reporting runtime impact, critical
+    path attribution, absorption, and correctness warnings (§4.2, §6).
+``repro-sweep``
+    Noise-scale ladder over one trace set (§6's "varying degrees").
+``repro-dot``
+    Export the graph as Graphviz DOT (Fig. 5).
+``repro-replay``
+    Dimemas-style deterministic replay under target machine parameters
+    (the §1.1 baseline) — what-if for base network / CPU changes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.apps import ALL_APPS
+from repro.core import (
+    BuildConfig,
+    ExperimentHistory,
+    PerturbationSpec,
+    StreamingTraversal,
+    absorption_map,
+    build_graph,
+    check_correctness,
+    critical_path,
+    propagate,
+    runtime_impact,
+    sweep_scales,
+    to_dot,
+)
+from repro.machines import PRESETS
+from repro.microbench import measure_machine
+from repro.mpisim import run_to_files
+from repro.noise import MachineSignature
+from repro.trace import TraceSet, validate_traces
+from repro.trace.stats import trace_stats
+
+__all__ = [
+    "main_trace",
+    "main_analyze",
+    "main_dot",
+    "main_sweep",
+    "main_microbench",
+    "main_replay",
+]
+
+
+def _parse_params(pairs: list[str]) -> dict:
+    """``k=v`` strings -> kwargs dict with int/float/bool coercion."""
+    out = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--param expects k=v, got {pair!r}")
+        key, value = pair.split("=", 1)
+        if value.lower() in ("true", "false"):
+            out[key] = value.lower() == "true"
+        else:
+            try:
+                out[key] = int(value)
+            except ValueError:
+                try:
+                    out[key] = float(value)
+                except ValueError:
+                    out[key] = value
+    return out
+
+
+def _machine(name: str, nprocs: int, seed: int):
+    if name not in PRESETS:
+        raise SystemExit(f"unknown machine preset {name!r}; choose from {sorted(PRESETS)}")
+    return PRESETS[name](nprocs, seed=seed)
+
+
+def _load_signature(args) -> MachineSignature:
+    if args.signature:
+        return MachineSignature.load(args.signature)
+    if args.measure:
+        machine = _machine(args.measure, max(args.measure_nprocs, 2), args.seed)
+        report = measure_machine(machine, seed=args.seed)
+        print(f"# {report.summary()}", file=sys.stderr)
+        return report.to_signature()
+    raise SystemExit("provide --signature FILE or --measure PRESET")
+
+
+def _build_config(args) -> BuildConfig:
+    return BuildConfig(
+        collective_mode=args.collective_mode,
+        eager_threshold=args.eager_threshold,
+    )
+
+
+def _add_analysis_args(ap: argparse.ArgumentParser) -> None:
+    ap.add_argument("--traces", required=True, help="directory containing trace files")
+    ap.add_argument("--stem", required=True, help="trace file stem")
+    ap.add_argument("--signature", help="machine signature JSON (from repro-microbench)")
+    ap.add_argument("--measure", help="measure a preset machine instead of loading a signature")
+    ap.add_argument("--measure-nprocs", type=int, default=2)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--scale", type=float, default=1.0)
+    ap.add_argument("--mode", choices=("additive", "threshold"), default="additive")
+    ap.add_argument("--collective-mode", choices=("hub", "butterfly"), default="hub")
+    ap.add_argument("--eager-threshold", type=int, default=None)
+
+
+def main_trace(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro-trace", description="Run a bundled app on a simulated machine and trace it."
+    )
+    ap.add_argument("--app", required=True, choices=sorted(ALL_APPS))
+    ap.add_argument("--nprocs", type=int, required=True)
+    ap.add_argument("--machine", default="quiet", choices=sorted(PRESETS))
+    ap.add_argument("--out", required=True, help="output directory for trace files")
+    ap.add_argument("--stem", default=None, help="trace file stem (default: app name)")
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--binary", action="store_true", help="write binary traces")
+    ap.add_argument("--buffer-events", type=int, default=4096)
+    ap.add_argument(
+        "--param", action="append", default=[], help="app parameter override, k=v (repeatable)"
+    )
+    args = ap.parse_args(argv)
+
+    factory, params_cls = ALL_APPS[args.app]
+    params = params_cls(**_parse_params(args.param))
+    machine = _machine(args.machine, args.nprocs, args.seed)
+    stem = args.stem or args.app
+    result = run_to_files(
+        factory(params),
+        args.out,
+        stem,
+        machine=machine,
+        seed=args.seed,
+        program_name=args.app,
+        binary=args.binary,
+        buffer_events=args.buffer_events,
+    )
+    print(
+        f"traced {args.app} on {machine.name} p={args.nprocs}: "
+        f"makespan {result.makespan:.0f} cy, {result.events_processed} engine events"
+    )
+    print(f"trace files: {args.out}/{stem}.rank*.trace.{'bin' if args.binary else 'jsonl'}")
+    return 0
+
+
+def main_microbench(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro-microbench",
+        description="Measure a preset machine's signature via microbenchmarks.",
+    )
+    ap.add_argument("--machine", required=True, choices=sorted(PRESETS))
+    ap.add_argument("--nprocs", type=int, default=2)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--method", choices=("empirical", "fit"), default="empirical")
+    ap.add_argument("--out", required=True, help="signature JSON output path")
+    args = ap.parse_args(argv)
+
+    machine = _machine(args.machine, max(args.nprocs, 2), args.seed)
+    report = measure_machine(machine, seed=args.seed)
+    print(report.summary())
+    sig = report.to_signature(method=args.method)
+    sig.save(args.out)
+    print(f"signature written to {args.out}")
+    return 0
+
+
+def main_analyze(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="Build the message-passing graph and propagate perturbations.",
+    )
+    _add_analysis_args(ap)
+    ap.add_argument("--engine", choices=("incore", "streaming"), default="incore")
+    ap.add_argument("--window", type=int, default=4096)
+    ap.add_argument("--history", help="append the experiment to this history JSONL")
+    ap.add_argument("--name", default="analysis", help="experiment name for the history")
+    ap.add_argument(
+        "--show-path",
+        action="store_true",
+        help="print the critical path's top contributing edges (in-core engine only)",
+    )
+    args = ap.parse_args(argv)
+
+    traces = TraceSet.open(args.traces, args.stem)
+    report = validate_traces(traces)
+    if not report.ok:
+        report.raise_if_invalid()
+    sig = _load_signature(args)
+    spec = PerturbationSpec(sig, seed=args.seed, scale=args.scale)
+    config = _build_config(args)
+
+    stats = trace_stats(traces)
+    print(f"trace: {stats.summary()}")
+    if args.engine == "streaming":
+        result = StreamingTraversal(spec, config=config, mode=args.mode, window=args.window).run(
+            traces
+        )
+        print(f"streaming traversal ({args.mode}):")
+        for r, d in enumerate(result.final_delay):
+            print(f"  rank {r}: +{d:.1f} cy")
+        print(f"  max delay: {result.max_delay:.1f} cy")
+        for w in result.warnings:
+            print(f"  warning: {w}")
+    else:
+        build = build_graph(traces, config)
+        result = propagate(build, spec, mode=args.mode)
+        correctness = check_correctness(build, result)
+        impact = runtime_impact(build, result)
+        print(f"graph: {build.graph}")
+        print(impact.table())
+        cp = critical_path(build, result)
+        print(
+            f"critical path (rank {cp.rank}): {cp.total_delay:.1f} cy total; "
+            f"dominant class {cp.dominant_class()}; per-class {cp.by_delta_kind}"
+        )
+        if args.show_path:
+            print(cp.describe(build))
+        am = absorption_map(build, result)
+        print(f"absorption ratio (overall): {am.overall_ratio():.2%}")
+        print(f"correctness: {correctness.summary()}")
+        for w in correctness.warnings:
+            print(f"  warning: {w}")
+    if args.history:
+        rec = ExperimentHistory(args.history).record(args.name, spec, result, config)
+        print(f"recorded experiment {rec.name!r} in {args.history}")
+    return 0
+
+
+def main_sweep(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro-sweep", description="Noise-scale ladder over one trace set."
+    )
+    _add_analysis_args(ap)
+    ap.add_argument("--scales", default="0,0.25,0.5,1,2,4", help="comma-separated scale factors")
+    ap.add_argument("--engine", choices=("incore", "streaming"), default="incore")
+    args = ap.parse_args(argv)
+
+    traces = TraceSet.open(args.traces, args.stem)
+    sig = _load_signature(args)
+    spec = PerturbationSpec(sig, seed=args.seed, scale=args.scale)
+    scales = [float(s) for s in args.scales.split(",") if s.strip()]
+    result = sweep_scales(
+        traces, spec, scales, mode=args.mode, engine=args.engine, config=_build_config(args)
+    )
+    print(result.table())
+    try:
+        print(f"slope (max delay per unit scale): {result.slope():.1f} cy")
+    except ValueError:
+        pass
+    return 0
+
+
+def main_dot(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro-dot", description="Export the message-passing graph as Graphviz DOT."
+    )
+    ap.add_argument("--traces", required=True)
+    ap.add_argument("--stem", required=True)
+    ap.add_argument("--out", help="output .dot path (default: stdout)")
+    ap.add_argument("--max-nodes", type=int, default=4000)
+    ap.add_argument(
+        "--seq-range",
+        help="export only events with LO:HI sequence numbers (window view)",
+    )
+    ap.add_argument("--collective-mode", choices=("hub", "butterfly"), default="hub")
+    ap.add_argument("--eager-threshold", type=int, default=None)
+    args = ap.parse_args(argv)
+
+    traces = TraceSet.open(args.traces, args.stem)
+    build = build_graph(traces, _build_config(args))
+    graph = build.graph
+    if args.seq_range:
+        from repro.core import extract_window
+
+        lo, hi = (int(x) for x in args.seq_range.split(":", 1))
+        graph = extract_window(build, lo, hi).graph
+    dot = to_dot(graph, name=args.stem, max_nodes=args.max_nodes)
+    if args.out:
+        Path(args.out).write_text(dot)
+        print(f"wrote {args.out} ({len(dot.splitlines())} lines)", file=sys.stderr)
+    else:
+        print(dot)
+    return 0
+
+
+def main_replay(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro-replay",
+        description="Dimemas-style deterministic replay under target machine parameters.",
+    )
+    ap.add_argument("--traces", required=True)
+    ap.add_argument("--stem", required=True)
+    ap.add_argument("--latency", type=float, default=1000.0)
+    ap.add_argument("--bandwidth", type=float, default=1.0)
+    ap.add_argument("--send-overhead", type=float, default=200.0)
+    ap.add_argument("--recv-overhead", type=float, default=200.0)
+    ap.add_argument("--eager-threshold", type=int, default=8192)
+    ap.add_argument("--cpu-factor", type=float, default=1.0)
+    args = ap.parse_args(argv)
+
+    from repro.baselines import ReplayParams, replay
+
+    traces = TraceSet.open(args.traces, args.stem)
+    params = ReplayParams(
+        latency=args.latency,
+        bandwidth=args.bandwidth,
+        send_overhead=args.send_overhead,
+        recv_overhead=args.recv_overhead,
+        eager_threshold=args.eager_threshold,
+        cpu_factor=args.cpu_factor,
+    )
+    result = replay(traces, params)
+    print(
+        f"target machine: latency {params.latency:g} cy, bandwidth {params.bandwidth:g} B/cy, "
+        f"cpu factor {params.cpu_factor:g}"
+    )
+    print(f"{'rank':>5} {'original (cy)':>16} {'replayed (cy)':>16}")
+    for r, (a, b) in enumerate(zip(result.original_finish_times, result.finish_times)):
+        print(f"{r:>5} {a:>16,.0f} {b:>16,.0f}")
+    print(
+        f"makespan: {result.original_makespan:,.0f} -> {result.makespan:,.0f} cy "
+        f"(speedup {result.speedup:.2f}x)"
+    )
+    return 0

@@ -1,0 +1,89 @@
+"""The paper's contribution: message-passing graph construction,
+perturbation propagation, and sensitivity analysis (§2–§4, §6)."""
+
+from repro.core.analysis import (
+    AbsorptionMap,
+    CriticalPath,
+    DelayPoint,
+    RuntimeImpact,
+    absorption_map,
+    critical_path,
+    delay_timeline,
+    runtime_impact,
+)
+from repro.core.builder import BuildResult, build_graph
+from repro.core.correctness import CorrectnessReport, check_correctness
+from repro.core.dot import to_dot
+from repro.core.graph import (
+    DeltaKind,
+    DeltaSpec,
+    Edge,
+    EdgeKind,
+    MessagePassingGraph,
+    Node,
+    Phase,
+)
+from repro.core.history import ExperimentHistory, ExperimentRecord
+from repro.core.influence import InfluenceMatrix, rank_influence
+from repro.core.montecarlo import DelayDistribution, monte_carlo
+from repro.core.matching import CollectiveGroup, MatchError, MatchResult, match_events
+from repro.core.perturb import PerturbationSpec
+from repro.core.primitives import BuildConfig
+from repro.core.sweep import SweepPoint, SweepResult, fit_slope, sweep_scales, sweep_signatures
+from repro.core.traversal import (
+    StreamingTraversal,
+    TraversalResult,
+    propagate,
+    propagate_absolute,
+    propagate_presampled,
+    sample_edge_deltas,
+)
+from repro.core.window import WindowedGraph, extract_window
+
+__all__ = [
+    "AbsorptionMap",
+    "CriticalPath",
+    "RuntimeImpact",
+    "absorption_map",
+    "critical_path",
+    "delay_timeline",
+    "DelayPoint",
+    "runtime_impact",
+    "InfluenceMatrix",
+    "rank_influence",
+    "DelayDistribution",
+    "monte_carlo",
+    "BuildResult",
+    "build_graph",
+    "CorrectnessReport",
+    "check_correctness",
+    "to_dot",
+    "DeltaKind",
+    "DeltaSpec",
+    "Edge",
+    "EdgeKind",
+    "MessagePassingGraph",
+    "Node",
+    "Phase",
+    "ExperimentHistory",
+    "ExperimentRecord",
+    "CollectiveGroup",
+    "MatchError",
+    "MatchResult",
+    "match_events",
+    "PerturbationSpec",
+    "BuildConfig",
+    "SweepPoint",
+    "SweepResult",
+    "fit_slope",
+    "sweep_scales",
+    "sweep_signatures",
+    "WindowedGraph",
+    "extract_window",
+    "StreamingTraversal",
+    "TraversalResult",
+    "propagate",
+    "propagate_absolute",
+    "propagate_presampled",
+    "sample_edge_deltas",
+]

@@ -1,0 +1,135 @@
+"""Correctness guarantees of the perturbed graph (§4.3).
+
+The paper's key invariant: modifying event timings must never cause an
+event to occur *prematurely* relative to its counterparts — message
+order must stay true to the trace-generating run.  With nonnegative
+deltas this holds by construction (delays only push forward); this
+module provides the machine checks:
+
+* :func:`check_order_preserved` — verifies every rank's perturbed
+  subevent times are monotone and every matched transfer still
+  completes no earlier than its send started (the premature-event test);
+* :func:`async_warnings` — detects the "worst case" of §4.3: a sender
+  issuing nonblocking sends it never completes (and receivers that
+  never complete their receives), for which the tool "cannot guarantee
+  that an arbitrarily perturbed graph is correct and produces a
+  warning";
+* :func:`clamp_warnings` — reports negative-delta clamping (the §7
+  reduced-noise exploration can push an edge's effective weight to its
+  zero floor, at which point speedups stop propagating).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.builder import BuildResult
+from repro.core.graph import EdgeKind, Phase
+from repro.core.traversal import TraversalResult
+from repro.trace.events import EventKind
+
+__all__ = ["CorrectnessReport", "check_correctness", "check_order_preserved", "async_warnings"]
+
+_TIME_EPS = 1e-6
+
+
+@dataclass
+class CorrectnessReport:
+    """Outcome of all §4.3 checks for one perturbed traversal."""
+
+    order_violations: list = field(default_factory=list)
+    async_warnings: list = field(default_factory=list)
+    clamp_warnings: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.order_violations
+
+    @property
+    def warnings(self) -> list:
+        return self.async_warnings + self.clamp_warnings
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.order_violations)} order violation(s), "
+            f"{len(self.async_warnings)} async warning(s), "
+            f"{len(self.clamp_warnings)} clamp warning(s)"
+        )
+
+
+def check_order_preserved(build: BuildResult, result: TraversalResult) -> list[str]:
+    """Verify the perturbed schedule preserves the run's event order.
+
+    Requires an in-core traversal result (``node_delay``).  Checks per
+    rank that perturbed subevent times ``t_local + D`` are monotone in
+    trace order, and per edge that the delay actually propagated
+    (``D(dst) >= D(src) + δ_eff`` up to rounding) — violations indicate
+    a builder or traversal bug, not a property of the input.
+    """
+    if result.node_delay is None:
+        raise ValueError("order check requires an in-core traversal result")
+    g = build.graph
+    D = result.node_delay
+    violations: list[str] = []
+    for rank in range(g.nprocs):
+        chain = g.rank_chain(rank)
+        prev_t = float("-inf")
+        prev_node = None
+        for nid in chain:
+            node = g.nodes[nid]
+            t = node.t_local + D[nid]
+            if t < prev_t - _TIME_EPS:
+                violations.append(
+                    f"rank {rank}: subevent #{node.seq}.{Phase(node.phase).name} at "
+                    f"perturbed time {t:.3f} precedes predecessor "
+                    f"({prev_node}) at {prev_t:.3f}"
+                )
+            prev_t = max(prev_t, t)
+            prev_node = f"#{node.seq}.{Phase(node.phase).name}"
+    if result.edge_delta is not None:
+        for ei, edge in enumerate(g.edges):
+            if D[edge.dst] < D[edge.src] + result.edge_delta[ei] - _TIME_EPS:
+                violations.append(
+                    f"edge {edge.src}->{edge.dst} ({edge.label or edge.kind.name}): "
+                    f"delay not propagated"
+                )
+    return violations
+
+
+def async_warnings(build: BuildResult) -> list[str]:
+    """§4.3 warnings: nonblocking operations whose completion was never
+    checked, so perturbations through them cannot be anchored."""
+    warnings: list[str] = []
+    for rank, seq in build.match.uncompleted:
+        ev = build.events[rank][seq]
+        if ev.kind == EventKind.ISEND:
+            warnings.append(
+                f"rank {rank} event #{seq}: ISEND to {ev.peer} (tag {ev.tag}) never "
+                f"completed — sender-side delays from this transfer are not modeled; "
+                f"correctness of arbitrary perturbations cannot be guaranteed (§4.3)"
+            )
+        else:
+            warnings.append(
+                f"rank {rank} event #{seq}: IRECV from {ev.peer} (tag {ev.tag}) never "
+                f"completed — incoming delays from this transfer are dropped (§4.3)"
+            )
+    return warnings
+
+
+def clamp_warnings(result: TraversalResult) -> list[str]:
+    if result.clamped_edges:
+        return [
+            f"{result.clamped_edges} edge delta(s) clamped at the zero-weight floor "
+            f"(negative perturbations cannot shrink an interval below zero)"
+        ]
+    return []
+
+
+def check_correctness(build: BuildResult, result: TraversalResult) -> CorrectnessReport:
+    """Run every §4.3 check applicable to ``result``."""
+    report = CorrectnessReport()
+    report.async_warnings = async_warnings(build)
+    report.clamp_warnings = clamp_warnings(result)
+    if result.node_delay is not None:
+        report.order_violations = check_order_preserved(build, result)
+    return report

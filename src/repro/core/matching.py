@@ -1,0 +1,201 @@
+"""Order-based cross-rank event matching (§4.1).
+
+"Each message event is guaranteed to have a counterpart, and this
+counterpart can be found simply by processing each event in order on
+each processor" — no clock synchronization, only per-rank execution
+order.  For every channel ``(src, dst, tag)`` the n-th send matches the
+n-th receive (MPI non-overtaking); collectives match by per-rank
+ordinal; nonblocking operations link to the completion event that
+retired their request ("status flags", Fig. 3).
+
+The result is a :class:`MatchResult` of pure key-to-key links, consumed
+by the graph builder and by the streaming traversal.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.trace.events import (
+    COLLECTIVE_KINDS,
+    EventKind,
+    EventRecord,
+    ROOTED_COLLECTIVES,
+)
+
+__all__ = ["MatchResult", "MatchError", "CollectiveGroup", "match_events"]
+
+Key = tuple  # (rank, seq)
+
+
+class MatchError(ValueError):
+    """Traces cannot be paired into a consistent message graph."""
+
+
+@dataclass(frozen=True)
+class CollectiveGroup:
+    """One matched collective instance across all ranks."""
+
+    ordinal: int
+    kind: EventKind
+    root: int
+    nbytes: int
+    members: tuple  # Key per rank, indexed by rank
+
+
+@dataclass
+class MatchResult:
+    """All cross-event links recovered from the traces.
+
+    Attributes
+    ----------
+    transfer_of:
+        send-side key -> receive-side key, one entry per message.  The
+        send side is a SEND/ISEND (or SENDRECV acting as its send half);
+        the receive side a RECV/IRECV (or SENDRECV receive half).
+    reverse_transfer_of:
+        the inverse mapping.
+    completion_of:
+        ISEND/IRECV key -> key of the WAIT/WAITALL/WAITSOME/TEST event
+        that completed its request.
+    transfer_index:
+        send-side key -> ordinal of the transfer on its channel
+        ``(src, dst, tag)``.  This is the canonical per-message identity
+        both the in-core builder and the streaming traversal can compute
+        independently, so edge uids (deterministic delta sampling) are
+        keyed on it.
+    collectives:
+        matched :class:`CollectiveGroup` list, by ordinal.
+    uncompleted:
+        ISEND/IRECV keys whose request no completion event retired
+        (§4.3's problematic fully-asynchronous case).
+    """
+
+    transfer_of: dict = field(default_factory=dict)
+    reverse_transfer_of: dict = field(default_factory=dict)
+    completion_of: dict = field(default_factory=dict)
+    transfer_index: dict = field(default_factory=dict)
+    collectives: list = field(default_factory=list)
+    uncompleted: list = field(default_factory=list)
+
+    def link_count(self) -> int:
+        return len(self.transfer_of)
+
+
+def _channels_of(ev: EventRecord) -> list[tuple[str, tuple]]:
+    """(role, channel) contributions of one event to pairwise matching."""
+    out = []
+    if ev.kind in (EventKind.SEND, EventKind.ISEND):
+        out.append(("send", (ev.rank, ev.peer, ev.tag)))
+    elif ev.kind in (EventKind.RECV, EventKind.IRECV):
+        out.append(("recv", (ev.peer, ev.rank, ev.tag)))
+    elif ev.kind == EventKind.SENDRECV:
+        out.append(("send", (ev.rank, ev.peer, ev.tag)))
+        out.append(("recv", (ev.recv_peer, ev.rank, ev.recv_tag)))
+    return out
+
+
+def match_events(per_rank: Sequence[Sequence[EventRecord]]) -> MatchResult:
+    """Match a complete run's events (in-core variant).
+
+    Walks every rank's events in order exactly once (§4.1): FIFO
+    channel queues pair sends with receives; request-id maps link
+    nonblocking operations to their completions; collective ordinals
+    group collective calls.
+    """
+    result = MatchResult()
+    pending_sends: dict[tuple, deque] = defaultdict(deque)
+    pending_recvs: dict[tuple, deque] = defaultdict(deque)
+    send_counts: dict[tuple, int] = defaultdict(int)
+    collectives: dict[int, dict] = {}
+
+    for rank, events in enumerate(per_rank):
+        open_reqs: dict[int, Key] = {}
+        coll_counter = 0
+        for ev in events:
+            key = (ev.rank, ev.seq)
+            for role, channel in _channels_of(ev):
+                if role == "send":
+                    result.transfer_index[key] = send_counts[channel]
+                    send_counts[channel] += 1
+                    q = pending_recvs[channel]
+                    if q:
+                        rkey = q.popleft()
+                        result.transfer_of[key] = rkey
+                        result.reverse_transfer_of[rkey] = key
+                    else:
+                        pending_sends[channel].append(key)
+                else:
+                    q = pending_sends[channel]
+                    if q:
+                        skey = q.popleft()
+                        result.transfer_of[skey] = key
+                        result.reverse_transfer_of[key] = skey
+                    else:
+                        pending_recvs[channel].append(key)
+
+            if ev.kind in (EventKind.ISEND, EventKind.IRECV):
+                open_reqs[ev.req] = key
+            elif ev.kind.is_completion:
+                for rid in ev.completed:
+                    src_key = open_reqs.pop(rid, None)
+                    if src_key is None:
+                        raise MatchError(
+                            f"rank {rank} event #{ev.seq} completes unknown/duplicate "
+                            f"request {rid}"
+                        )
+                    result.completion_of[src_key] = key
+            elif ev.kind in COLLECTIVE_KINDS:
+                ordinal = ev.coll_seq if ev.coll_seq >= 0 else coll_counter
+                coll_counter += 1
+                inst = collectives.setdefault(
+                    ordinal,
+                    {"kind": ev.kind, "root": ev.root, "nbytes": ev.nbytes, "members": {}},
+                )
+                if inst["kind"] != ev.kind:
+                    raise MatchError(
+                        f"collective #{ordinal}: rank {rank} called {ev.kind.name}, "
+                        f"others called {inst['kind'].name}"
+                    )
+                if ev.kind in ROOTED_COLLECTIVES and inst["root"] != ev.root:
+                    raise MatchError(
+                        f"collective #{ordinal} ({ev.kind.name}): root mismatch "
+                        f"({ev.root} vs {inst['root']})"
+                    )
+                if rank in inst["members"]:
+                    raise MatchError(f"rank {rank} appears twice in collective #{ordinal}")
+                inst["members"][rank] = key
+                inst["nbytes"] = max(inst["nbytes"], ev.nbytes)
+        result.uncompleted.extend(open_reqs.values())
+
+    # Unpaired pairwise events are a hard error: the run completed, so every
+    # message had a counterpart (§4.1).
+    leftovers = []
+    for channel, q in pending_sends.items():
+        leftovers += [f"send {k} on channel {channel}" for k in q]
+    for channel, q in pending_recvs.items():
+        leftovers += [f"recv {k} on channel {channel}" for k in q]
+    if leftovers:
+        shown = "; ".join(leftovers[:8])
+        raise MatchError(f"{len(leftovers)} unpaired pairwise event(s): {shown}")
+
+    nprocs = len(per_rank)
+    for ordinal in sorted(collectives):
+        inst = collectives[ordinal]
+        if len(inst["members"]) != nprocs:
+            missing = sorted(set(range(nprocs)) - set(inst["members"]))
+            raise MatchError(
+                f"collective #{ordinal} ({inst['kind'].name}) missing ranks {missing}"
+            )
+        result.collectives.append(
+            CollectiveGroup(
+                ordinal=ordinal,
+                kind=inst["kind"],
+                root=inst["root"],
+                nbytes=inst["nbytes"],
+                members=tuple(inst["members"][r] for r in range(nprocs)),
+            )
+        )
+    return result

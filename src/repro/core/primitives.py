@@ -1,0 +1,496 @@
+"""Per-primitive subgraph templates (§3, Figs. 2–4).
+
+The paper embeds the blocking semantics of every message-passing
+primitive in the graph itself.  Each template below returns *edge
+specifications* between *endpoint descriptors*; the in-core builder
+materializes them as graph nodes/edges, and the streaming traversal
+consumes them directly — both therefore encode identical semantics and,
+through the deterministic ``uid`` scheme, sample identical deltas.
+
+Endpoint descriptors (plain tuples, hashable):
+
+* ``("sub", rank, seq, phase)`` — a real subevent;
+* ``("hub", ordinal)`` — the virtual hub of collective #ordinal (Fig. 4);
+* ``("bfly", ordinal, rank, k)`` — round-``k`` virtual node of the
+  explicit-butterfly expansion for that rank.
+
+Template catalogue:
+
+``intra_event_edge``
+    S→E of one event.  Blocking SEND carries δ_os1 (Eq. 1 second term);
+    rooted collectives carry the per-rank local-noise edge the paper's
+    Reduce description requires; everything else is pure precedence.
+``gap_edge``
+    E(prev)→S(next) compute-phase edge; carries one δ_os sample — the
+    paper's primary noise-attachment point (§4.2, §5.1).
+``transfer_edges``
+    Fig. 2 (blocking) and Fig. 3 (nonblocking + waits): a data-path edge
+    carrying δ_λ1 + δ_t(d) + δ_os2 into the receive-completion subevent,
+    and an acknowledgement edge carrying δ_λ2 back into the
+    send-completion subevent (modeling the synchronous blocking send of
+    Eq. 1; suppressed for messages at or below an eager threshold when
+    one is configured).
+``collective_edges``
+    Fig. 4 hub approximation (fan-in edges labelled l_δ with
+    ceil(log2 p) samples, unlabelled fan-out carrying the max), the
+    paper's simplified Reduce variant, our mirrored Bcast variant, and
+    the explicit O(p log p) butterfly expansion the paper mentions as
+    exact-but-wasteful (ABL1 ablates hub vs butterfly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro._util import ilog2_ceil
+from repro.core.graph import DeltaKind, DeltaSpec, EdgeKind, NO_DELTA, Phase
+from repro.core.matching import CollectiveGroup
+from repro.trace.events import EventKind, EventRecord, ROOTED_COLLECTIVES
+
+__all__ = [
+    "EdgeT",
+    "BuildConfig",
+    "sub",
+    "hub",
+    "bfly",
+    "intra_event_edge",
+    "gap_edge",
+    "transfer_edges",
+    "collective_edges",
+    "UNROOTED_HUB_KINDS",
+    "BCAST_STYLE",
+    "REDUCE_STYLE",
+    "PREFIX_STYLE",
+]
+
+# Collective families (see module docstring).
+UNROOTED_HUB_KINDS = frozenset(
+    {
+        EventKind.ALLREDUCE,
+        EventKind.BARRIER,
+        EventKind.ALLGATHER,
+        EventKind.ALLTOALL,
+        EventKind.REDUCE_SCATTER,
+    }
+)
+BCAST_STYLE = frozenset({EventKind.BCAST, EventKind.SCATTER})
+REDUCE_STYLE = frozenset({EventKind.REDUCE, EventKind.GATHER})
+PREFIX_STYLE = frozenset({EventKind.SCAN})
+
+# uid namespaces (first element) — keep distinct per template so two edges
+# never share a sampling stream.
+_UID_INTRA = 1
+_UID_GAP = 2
+_UID_DATA = 3
+_UID_ACK = 4
+_UID_FANIN = 5
+_UID_BCASTOUT = 6
+_UID_BFLY_LOCAL = 7
+_UID_BFLY_MSG = 8
+
+
+def sub(rank: int, seq: int, phase: Phase) -> tuple:
+    return ("sub", rank, seq, int(phase))
+
+
+def hub(ordinal: int) -> tuple:
+    return ("hub", ordinal)
+
+
+def bfly(ordinal: int, rank: int, k: int) -> tuple:
+    return ("bfly", ordinal, rank, k)
+
+
+@dataclass(frozen=True)
+class EdgeT:
+    """One edge specification produced by a template."""
+
+    src: tuple
+    dst: tuple
+    kind: EdgeKind
+    weight: float
+    delta: DeltaSpec
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class BuildConfig:
+    """Knobs shared by the builder and the streaming traversal.
+
+    collective_mode:
+        ``"hub"`` — Fig. 4 approximation (default); ``"butterfly"`` —
+        explicit O(p log p) expansion for the unrooted collectives.
+    eager_threshold:
+        When set, sends of at most this many bytes are modeled as
+        buffered (no acknowledgement edge back to the sender — their
+        blocking send completes locally).  ``None`` models every send
+        synchronously, which is the paper's Fig. 2 / Eq. 1 semantics.
+    absolute_weights:
+        Store message-edge weights as cross-rank timestamp differences
+        instead of the paper's zero weight.  ONLY valid for traces with
+        a trusted global clock (our simulator's validation runs); the
+        default keeps the paper's clock-free model.
+    reduce_transfer_deltas:
+        When True, REDUCE/GATHER fan-in edges carry δ_t(d) in addition
+        to the single δ_λ sample the paper specifies (extension for
+        data-heavy gathers; default False = paper-faithful).
+    """
+
+    collective_mode: str = "hub"
+    eager_threshold: int | None = None
+    absolute_weights: bool = False
+    reduce_transfer_deltas: bool = False
+
+    def __post_init__(self) -> None:
+        if self.collective_mode not in ("hub", "butterfly"):
+            raise ValueError(f"collective_mode must be 'hub' or 'butterfly', got {self.collective_mode!r}")
+        if self.eager_threshold is not None and self.eager_threshold < 0:
+            raise ValueError("eager_threshold must be >= 0 or None")
+
+    def models_ack(self, nbytes: int) -> bool:
+        """Whether a send of ``nbytes`` gets the synchronous ack edge."""
+        return self.eager_threshold is None or nbytes > self.eager_threshold
+
+
+def intra_event_edge(ev: EventRecord) -> EdgeT:
+    """S→E edge of one event, weighted with the observed duration."""
+    if ev.kind == EventKind.SEND:
+        delta = DeltaSpec(
+            DeltaKind.OS, rank=ev.rank, uid=(_UID_INTRA, ev.rank, ev.seq)
+        )  # δ_os1 of Eq. 1
+    elif ev.kind in ROOTED_COLLECTIVES or ev.kind in PREFIX_STYLE:
+        delta = DeltaSpec(DeltaKind.OS, rank=ev.rank, uid=(_UID_INTRA, ev.rank, ev.seq))
+    else:
+        delta = NO_DELTA
+    return EdgeT(
+        sub(ev.rank, ev.seq, Phase.START),
+        sub(ev.rank, ev.seq, Phase.END),
+        EdgeKind.LOCAL,
+        ev.duration,
+        delta,
+        label="op",
+    )
+
+
+def gap_edge(prev: EventRecord, ev: EventRecord) -> EdgeT:
+    """E(prev)→S(ev): the compute phase between two events (Fig. 1)."""
+    if ev.rank != prev.rank or ev.seq != prev.seq + 1:
+        raise ValueError(f"gap edge needs consecutive events, got {prev.key} -> {ev.key}")
+    gap = ev.t_start - prev.t_end
+    if gap < 0:
+        raise ValueError(f"negative compute gap at r{ev.rank}#{ev.seq}: {gap}")
+    return EdgeT(
+        sub(prev.rank, prev.seq, Phase.END),
+        sub(ev.rank, ev.seq, Phase.START),
+        EdgeKind.LOCAL,
+        gap,
+        DeltaSpec(DeltaKind.OS, rank=ev.rank, uid=(_UID_GAP, ev.rank, ev.seq)),
+        label="compute",
+    )
+
+
+def transfer_edges(
+    send_ev: EventRecord,
+    recv_ev: EventRecord,
+    send_completion: tuple | None,
+    recv_completion: tuple | None,
+    config: BuildConfig,
+    chan_index: int = 0,
+) -> list[EdgeT]:
+    """Message-edge pair for one matched transfer (Figs. 2 and 3).
+
+    ``send_completion``/``recv_completion`` are the (rank, seq) keys of
+    the WAIT-family events that retired the respective nonblocking
+    halves (None when not applicable or missing — the §4.3 async case).
+    ``chan_index`` is the transfer's ordinal on its ``(src, dst, tag)``
+    channel — the canonical identity used in edge uids so the streaming
+    traversal (which never sees the remote event's seq) samples the same
+    deltas.
+    """
+    s_rank, s_seq = send_ev.rank, send_ev.seq
+    r_rank, r_seq = recv_ev.rank, recv_ev.seq
+    tag = send_ev.tag
+    nbytes = send_ev.nbytes
+    data_uid = (_UID_DATA, s_rank, r_rank, tag, chan_index)
+    ack_uid = (_UID_ACK, s_rank, r_rank, tag, chan_index)
+    edges: list[EdgeT] = []
+
+    # --- where delays *land* on the receiver -------------------------------
+    recv_is_nonblocking = recv_ev.kind == EventKind.IRECV
+    if recv_is_nonblocking and recv_completion is None:
+        # The receiver never observed this transfer completing (§4.3's
+        # fully-asynchronous case): there is no subevent whose time the
+        # data could delay, so no data edge is emitted.  The correctness
+        # checker reports the warning.
+        data_dst = None
+    elif recv_is_nonblocking:
+        data_dst = sub(recv_completion[0], recv_completion[1], Phase.END)
+    else:
+        data_dst = sub(r_rank, r_seq, Phase.END)
+
+    # Fig. 2 data path: send START → receive completion END, carrying
+    # δ_λ1 + δ_t(d) + δ_os2 (Eq. 1 second line).
+    if data_dst is not None:
+        edges.append(
+            EdgeT(
+                sub(s_rank, s_seq, Phase.START),
+                data_dst,
+                EdgeKind.MESSAGE,
+                0.0,
+                DeltaSpec(
+                    DeltaKind.TRANSFER_OS,
+                    rank=r_rank,
+                    src=s_rank,
+                    dst=r_rank,
+                    nbytes=nbytes,
+                    uid=data_uid,
+                ),
+                label=f"d={nbytes}",
+            )
+        )
+
+    # --- acknowledgement path back to the sender's completion ---------------
+    if not config.models_ack(nbytes):
+        return edges
+    send_is_nonblocking = send_ev.kind == EventKind.ISEND
+    if send_is_nonblocking:
+        if send_completion is None:
+            # Truly asynchronous sender (§4.3) — nothing to delay; the
+            # correctness checker reports the warning.
+            return edges
+        ack_dst = sub(send_completion[0], send_completion[1], Phase.END)
+    else:
+        ack_dst = sub(s_rank, s_seq, Phase.END)
+
+    if recv_is_nonblocking or recv_ev.kind == EventKind.SENDRECV:
+        # Rendezvous against a *posted* receive: the ack chain restarts at
+        # the receive's posting subevent (IRECV END, or SENDRECV START for
+        # the combined call), not at the receiver's completion — sourcing
+        # it there can manufacture END↔END cycles that the real run (and
+        # MPI semantics) do not have, e.g. two ranks sendrecv-ing each
+        # other.  The full λ→ + δ_t + δ_os + λ← round trip is sampled
+        # fresh on this edge.
+        ack_src_phase = Phase.END if recv_is_nonblocking else Phase.START
+        edges.append(
+            EdgeT(
+                sub(r_rank, r_seq, ack_src_phase),
+                ack_dst,
+                EdgeKind.MESSAGE,
+                0.0,
+                DeltaSpec(
+                    DeltaKind.ROUNDTRIP,
+                    rank=r_rank,
+                    src=s_rank,
+                    dst=r_rank,
+                    nbytes=nbytes,
+                    uid=ack_uid,
+                ),
+                label="rdv",
+            )
+        )
+    else:
+        # Fig. 2 ack: receive END → send END carrying δ_λ2.  Combined with
+        # the data path this reproduces Eq. 1's third term with *shared*
+        # δ_λ1/δ_t/δ_os2 samples, exactly as the paper's subgraph does.
+        edges.append(
+            EdgeT(
+                sub(r_rank, r_seq, Phase.END),
+                ack_dst,
+                EdgeKind.MESSAGE,
+                0.0,
+                DeltaSpec(
+                    DeltaKind.LATENCY,
+                    src=r_rank,
+                    dst=s_rank,
+                    uid=ack_uid,
+                ),
+                label="ack",
+            )
+        )
+    return edges
+
+
+def collective_edges(
+    group: CollectiveGroup,
+    nprocs: int,
+    config: BuildConfig,
+) -> list[EdgeT]:
+    """Subgraph of one collective instance (Fig. 4 and variants)."""
+    p = nprocs
+    rounds = ilog2_ceil(p) if p > 1 else 0
+    kind = group.kind
+    ordinal = group.ordinal
+    nbytes = group.nbytes
+    root = group.root if group.root >= 0 else 0
+    edges: list[EdgeT] = []
+
+    starts = [sub(r, group.members[r][1], Phase.START) for r in range(p)]
+    ends = [sub(r, group.members[r][1], Phase.END) for r in range(p)]
+
+    if kind in UNROOTED_HUB_KINDS and config.collective_mode == "butterfly":
+        # Explicit dissemination butterfly: exact structure, O(p log p) edges.
+        for r in range(p):
+            edges.append(
+                EdgeT(
+                    starts[r],
+                    bfly(ordinal, r, 0),
+                    EdgeKind.LOCAL,
+                    0.0,
+                    NO_DELTA,
+                    label="bfly-in",
+                )
+            )
+        for k in range(rounds):
+            step = 1 << k
+            for r in range(p):
+                edges.append(
+                    EdgeT(
+                        bfly(ordinal, r, k),
+                        bfly(ordinal, r, k + 1),
+                        EdgeKind.LOCAL,
+                        0.0,
+                        DeltaSpec(
+                            DeltaKind.OS, rank=r, uid=(_UID_BFLY_LOCAL, ordinal, r, k)
+                        ),
+                        label=f"os r{k}",
+                    )
+                )
+                src = (r - step) % p
+                edges.append(
+                    EdgeT(
+                        bfly(ordinal, src, k),
+                        bfly(ordinal, r, k + 1),
+                        EdgeKind.MESSAGE,
+                        0.0,
+                        DeltaSpec(
+                            DeltaKind.TRANSFER,
+                            src=src,
+                            dst=r,
+                            nbytes=nbytes,
+                            uid=(_UID_BFLY_MSG, ordinal, r, k),
+                        ),
+                        label=f"x r{k}",
+                    )
+                )
+        for r in range(p):
+            edges.append(
+                EdgeT(
+                    bfly(ordinal, r, rounds),
+                    ends[r],
+                    EdgeKind.LOCAL,
+                    0.0,
+                    NO_DELTA,
+                    label="bfly-out",
+                )
+            )
+        return edges
+
+    if kind in UNROOTED_HUB_KINDS:
+        # Fig. 4: fan-in edges labelled l_δ (rounds × (δ_os + δ_λ [+ δ_t]))
+        # into the hub; unlabelled fan-out carries max(l_δ) to every END.
+        h = hub(ordinal)
+        for r in range(p):
+            edges.append(
+                EdgeT(
+                    starts[r],
+                    h,
+                    EdgeKind.MESSAGE,
+                    0.0,
+                    DeltaSpec(
+                        DeltaKind.COLL_FANIN,
+                        rank=r,
+                        src=r,
+                        dst=root,
+                        nbytes=nbytes,
+                        rounds=rounds,
+                        uid=(_UID_FANIN, ordinal, r),
+                    ),
+                    label="l_d",
+                )
+            )
+            edges.append(EdgeT(h, ends[r], EdgeKind.MESSAGE, 0.0, NO_DELTA, label="l_d_max"))
+        return edges
+
+    if kind in REDUCE_STYLE:
+        # Paper's simplified Reduce: fan-in samples latency once; each rank
+        # has a local δ_os edge (added by intra_event_edge); fan-out is
+        # unlabelled, carrying the root's contribution back out.
+        fanin_kind = (
+            DeltaKind.TRANSFER if (config.reduce_transfer_deltas and nbytes) else DeltaKind.LATENCY
+        )
+        for r in range(p):
+            if r == root:
+                continue
+            edges.append(
+                EdgeT(
+                    starts[r],
+                    ends[root],
+                    EdgeKind.MESSAGE,
+                    0.0,
+                    DeltaSpec(
+                        fanin_kind,
+                        rank=r,
+                        src=r,
+                        dst=root,
+                        nbytes=nbytes,
+                        uid=(_UID_FANIN, ordinal, r),
+                    ),
+                    label="l_d",
+                )
+            )
+            edges.append(EdgeT(ends[root], ends[r], EdgeKind.MESSAGE, 0.0, NO_DELTA, label=""))
+        return edges
+
+    if kind in PREFIX_STYLE:
+        # MPI_Scan: rank i's result depends on ranks 0..i.  Modeled as the
+        # prefix chain E(0) -> E(1) -> ... -> E(p-1), each hop carrying one
+        # transfer's perturbation — matching the pipeline algorithm the
+        # simulator times.
+        for r in range(1, p):
+            edges.append(
+                EdgeT(
+                    ends[r - 1],
+                    ends[r],
+                    EdgeKind.MESSAGE,
+                    0.0,
+                    DeltaSpec(
+                        DeltaKind.TRANSFER,
+                        src=r - 1,
+                        dst=r,
+                        nbytes=nbytes,
+                        uid=(_UID_FANIN, ordinal, r),
+                    ),
+                    label="prefix",
+                )
+            )
+        return edges
+
+    if kind in BCAST_STYLE:
+        # Mirror of the Reduce simplification: data flows root → all; each
+        # receiving rank's fan-out edge carries a tree-depth's worth of
+        # (δ_os + δ_λ [+ δ_t]) samples.
+        for r in range(p):
+            if r == root:
+                continue
+            edges.append(
+                EdgeT(
+                    starts[root],
+                    ends[r],
+                    EdgeKind.MESSAGE,
+                    0.0,
+                    DeltaSpec(
+                        DeltaKind.COLL_FANIN,
+                        rank=r,
+                        src=root,
+                        dst=r,
+                        nbytes=nbytes,
+                        rounds=rounds,
+                        uid=(_UID_BCASTOUT, ordinal, r),
+                    ),
+                    label="l_d",
+                )
+            )
+        return edges
+
+    raise ValueError(f"{kind.name} is not a collective kind")

@@ -1,0 +1,170 @@
+"""Parameter sweeps and sensitivity curves (§6).
+
+"From this new completion time, we can observe how running times for
+the overall program and individual processors increase in the presence
+of varying degrees of noise."  A sweep runs the traversal once per
+perturbation setting over the *same* trace/build and collects the
+resulting delays; helpers fit the response slope and find tolerance
+thresholds ("what amount of operating system overhead the application
+can tolerate before significant performance degradation occurs", §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.builder import BuildResult, build_graph
+from repro.core.perturb import PerturbationSpec
+from repro.core.primitives import BuildConfig
+from repro.core.traversal import (
+    StreamingTraversal,
+    TraversalResult,
+    propagate,
+    propagate_presampled,
+    sample_edge_deltas,
+)
+from repro.noise.signature import MachineSignature
+
+__all__ = ["SweepPoint", "SweepResult", "sweep_scales", "sweep_signatures", "fit_slope"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One setting of the sweep and its measured response."""
+
+    label: str
+    x: float
+    delays: tuple
+    mode: str
+
+    @property
+    def max_delay(self) -> float:
+        return max(self.delays)
+
+    @property
+    def mean_delay(self) -> float:
+        return sum(self.delays) / len(self.delays)
+
+
+@dataclass
+class SweepResult:
+    """Ordered sweep points plus fitted response."""
+
+    points: list = field(default_factory=list)
+
+    def xs(self) -> np.ndarray:
+        return np.array([p.x for p in self.points])
+
+    def max_delays(self) -> np.ndarray:
+        return np.array([p.max_delay for p in self.points])
+
+    def mean_delays(self) -> np.ndarray:
+        return np.array([p.mean_delay for p in self.points])
+
+    def slope(self, per_rank_mean: bool = False) -> float:
+        """Least-squares slope of (x, delay)."""
+        ys = self.mean_delays() if per_rank_mean else self.max_delays()
+        return fit_slope(self.xs(), ys)
+
+    def tolerance_threshold(self, budget: float) -> float | None:
+        """Smallest swept x whose max delay exceeds ``budget`` (None if
+        the application tolerates every setting)."""
+        for p in self.points:
+            if p.max_delay > budget:
+                return p.x
+        return None
+
+    def table(self) -> str:
+        lines = [f"{'x':>12} {'max delay':>14} {'mean delay':>14}  label"]
+        for p in self.points:
+            lines.append(f"{p.x:>12.4g} {p.max_delay:>14.1f} {p.mean_delay:>14.1f}  {p.label}")
+        return "\n".join(lines)
+
+
+def fit_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of ys against xs."""
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if xs.size < 2:
+        raise ValueError("slope fit needs at least two points")
+    if np.allclose(xs, xs[0]):
+        raise ValueError("slope fit needs varying x")
+    return float(np.polyfit(xs, ys, 1)[0])
+
+
+def _run_one(
+    trace_set,
+    build: BuildResult | None,
+    spec: PerturbationSpec,
+    mode: str,
+    engine: str,
+    config: BuildConfig,
+) -> TraversalResult:
+    if engine == "incore":
+        assert build is not None
+        return propagate(build, spec, mode=mode)
+    if engine == "streaming":
+        return StreamingTraversal(spec, config=config, mode=mode).run(trace_set)
+    raise ValueError(f"engine must be 'incore' or 'streaming', got {engine!r}")
+
+
+def sweep_scales(
+    trace_set,
+    spec: PerturbationSpec,
+    scales: Sequence[float],
+    mode: str = "additive",
+    engine: str = "incore",
+    config: BuildConfig | None = None,
+) -> SweepResult:
+    """Run the traversal once per global scale factor.
+
+    The graph is built (or matched) once; only delta sampling changes
+    between points, so the sweep isolates the noise response.
+    """
+    config = config or BuildConfig()
+    build = build_graph(trace_set, config) if engine == "incore" else None
+    result = SweepResult()
+    raw = sample_edge_deltas(build, spec) if engine == "incore" else None
+    for s in scales:
+        if engine == "incore":
+            # Sample once, re-propagate per scale (identical results to a
+            # fresh propagate — deterministic sampling — but much faster).
+            tr = propagate_presampled(build, raw, scale=spec.scale * s, mode=mode)
+        else:
+            tr = _run_one(trace_set, build, spec.scaled(s), mode, engine, config)
+        result.points.append(
+            SweepPoint(label=f"scale={s:g}", x=float(s), delays=tuple(tr.final_delay), mode=mode)
+        )
+    return result
+
+
+def sweep_signatures(
+    trace_set,
+    signatures: Sequence[MachineSignature],
+    xs: Sequence[float] | None = None,
+    seed: int = 0,
+    mode: str = "additive",
+    engine: str = "incore",
+    config: BuildConfig | None = None,
+) -> SweepResult:
+    """Run the traversal once per machine signature (platform ladder).
+
+    ``xs`` supplies the numeric sweep coordinate per signature (e.g.
+    mean noise in cycles); defaults to the signature index.
+    """
+    config = config or BuildConfig()
+    if xs is not None and len(xs) != len(signatures):
+        raise ValueError("xs must align with signatures")
+    build = build_graph(trace_set, config) if engine == "incore" else None
+    result = SweepResult()
+    for i, sig in enumerate(signatures):
+        spec = PerturbationSpec(sig, seed=seed)
+        tr = _run_one(trace_set, build, spec, mode, engine, config)
+        x = float(xs[i]) if xs is not None else float(i)
+        result.points.append(
+            SweepPoint(label=sig.name, x=x, delays=tuple(tr.final_delay), mode=mode)
+        )
+    return result

@@ -1,0 +1,770 @@
+"""Delta propagation over the message-passing graph (§4.2, §6).
+
+Two engines with **bit-identical results** (deterministic per-edge
+sampling, see :mod:`repro.core.perturb`):
+
+:func:`propagate`
+    In-core: one topological pass over a built
+    :class:`~repro.core.graph.MessagePassingGraph`, recording the delay
+    of every node and the sampled delta of every edge (what the
+    critical-path and absorption analyses consume).
+
+:class:`StreamingTraversal`
+    Windowed: streams the per-rank traces through the same subgraph
+    templates without ever materializing the graph — the paper's answer
+    to "arbitrarily large trace files" (§1 difference (3), §6).  Memory
+    is bounded by the lookahead window and by in-flight (unconsumed)
+    message contributions, not by trace length.
+
+Delay semantics: every node carries ``D(v) = t'(v) − t(v)`` on its own
+rank's local clock; ``D(v) = max over in-edges (D(u) + δ_eff)`` where
+``δ_eff`` is the edge's sampled perturbation.  Two application modes:
+
+``additive`` (default, §4.2 "the change is additively propagated")
+    ``δ_eff = max(δ, −w)`` — deltas add on top of the observed edge
+    weight ``w``; negative deltas (the §7 reduced-noise exploration) are
+    clamped so no interval goes negative, preserving event order (§4.3).
+``threshold`` (Eq. 1 literal)
+    ``δ_eff = max(0, δ − w)`` — the perturbed interval is
+    ``max(observed, δ)``, matching the ``t_ss + δ_os1`` form of Eq. (1).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.core.builder import BuildResult
+from repro.core.graph import DeltaKind, EdgeKind, MessagePassingGraph, Phase
+from repro.core.matching import CollectiveGroup, MatchError
+from repro.core.perturb import PerturbationSpec
+from repro.core.primitives import (
+    BuildConfig,
+    EdgeT,
+    collective_edges,
+    gap_edge,
+    intra_event_edge,
+    sub,
+)
+from repro.core import primitives as _prim
+from repro.core.graph import DeltaSpec
+from repro.trace.events import COLLECTIVE_KINDS, EventKind, EventRecord
+
+__all__ = [
+    "TraversalResult",
+    "propagate",
+    "propagate_absolute",
+    "propagate_presampled",
+    "sample_edge_deltas",
+    "StreamingTraversal",
+    "MODES",
+]
+
+MODES = ("additive", "threshold")
+
+
+@dataclass
+class TraversalResult:
+    """Outcome of one perturbation propagation.
+
+    ``final_delay[r]`` is rank r's runtime increase (its FINALIZE END
+    delay); delays are cross-rank comparable even though timestamps are
+    not, because they are *differences* on each rank's own clock.
+    """
+
+    final_delay: list
+    final_local_times: list
+    mode: str
+    clamped_edges: int = 0
+    warnings: list = field(default_factory=list)
+    # In-core extras (None for streaming):
+    node_delay: list | None = None
+    edge_delta: list | None = None
+
+    @property
+    def max_delay(self) -> float:
+        return max(self.final_delay)
+
+    @property
+    def mean_delay(self) -> float:
+        return sum(self.final_delay) / len(self.final_delay)
+
+
+class _DeltaApplier:
+    """Shared δ_eff arithmetic (sampling + mode + clamping)."""
+
+    def __init__(self, spec: PerturbationSpec, mode: str):
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        self.spec = spec
+        self.mode = mode
+        self.clamped = 0
+
+    def effective(self, delta: DeltaSpec, weight: float) -> float:
+        raw = self.spec.sample(delta, weight)
+        if self.mode == "threshold":
+            return max(0.0, raw - weight)
+        if raw < -weight:
+            self.clamped += 1
+            return -weight
+        return raw
+
+
+# ---------------------------------------------------------------------------
+# In-core propagation
+# ---------------------------------------------------------------------------
+
+def propagate(
+    build: BuildResult, spec: PerturbationSpec, mode: str = "additive"
+) -> TraversalResult:
+    """Propagate sampled perturbations over a built graph (in-core)."""
+    g = build.graph
+    applier = _DeltaApplier(spec, mode)
+    edge_delta = [applier.effective(e.delta, e.weight) for e in g.edges]
+    edges = g.edges
+    D = [0.0] * len(g.nodes)
+    for v in g.topological_order():
+        ins = g.in_edge_ids(v)
+        if ins:
+            D[v] = max(D[edges[ei].src] + edge_delta[ei] for ei in ins)
+    final_delay, final_times = _finals_from_graph(g, D)
+    return TraversalResult(
+        final_delay=final_delay,
+        final_local_times=final_times,
+        mode=mode,
+        clamped_edges=applier.clamped,
+        node_delay=D,
+        edge_delta=edge_delta,
+    )
+
+
+def propagate_absolute(
+    build: BuildResult,
+    spec: PerturbationSpec,
+    mode: str = "additive",
+    transfer_estimate=None,
+) -> TraversalResult:
+    """Absolute-timestamp recomputation with slack absorption (extension).
+
+    Requires a build with ``absolute_weights=True`` — i.e. traces whose
+    clocks are globally trusted (our simulator's validation runs; real
+    clusters cannot provide this, which is why the paper's model works
+    in deltas, §4.1).  Nodes are re-timed as
+
+        t'(v) = max(over in-edges) t'(u) + w(u→v) + δ_eff(u→v)
+
+    with message-edge weights taken from the observed cross-rank lags.
+    Unlike the delta model, a perturbation smaller than a receiver's
+    original waiting slack is *absorbed*: the receive completes when it
+    originally did.  With zero deltas the original timestamps are
+    reproduced exactly.
+
+    Data-edge weights need care: the observed lag of a transfer whose
+    receive was posted *late* includes the receiver's lateness, not just
+    the causal transfer time, and using it verbatim forfeits exactly the
+    slack absorption this mode exists for.  ``transfer_estimate`` — a
+    callable ``(src, dst, nbytes) -> cycles`` returning the causal
+    send-START→receive-END time (injection + latency + payload + receive
+    overhead) — tightens those weights; without it a per-channel
+    minimum-observed-lag heuristic is used (exact whenever at least one
+    transfer on the channel found its receiver waiting).
+    """
+    if not build.config.absolute_weights:
+        raise ValueError(
+            "propagate_absolute requires a build with absolute_weights=True "
+            "(globally trusted clocks)"
+        )
+    if mode != "additive":
+        raise ValueError("propagate_absolute supports additive mode only")
+    g = build.graph
+
+    data_kinds = (DeltaKind.TRANSFER_OS, DeltaKind.TRANSFER)
+    channel_min: dict[tuple, float] = {}
+    if transfer_estimate is None:
+        for e in g.edges:
+            if e.kind == EdgeKind.MESSAGE and e.delta.kind in data_kinds:
+                key = (e.delta.src, e.delta.dst)
+                channel_min[key] = min(channel_min.get(key, math.inf), e.weight)
+
+    def causal_weight(e) -> float:
+        if e.kind == EdgeKind.LOCAL or e.delta.kind not in data_kinds:
+            return e.weight
+        if transfer_estimate is not None:
+            return min(e.weight, transfer_estimate(e.delta.src, e.delta.dst, e.delta.nbytes))
+        return min(e.weight, channel_min.get((e.delta.src, e.delta.dst), e.weight))
+
+    weights = [causal_weight(e) for e in g.edges]
+
+    # Delta application differs from the clock-free model: message edges
+    # carry *signed* observed lags as weights, so the zero-floor clamp
+    # must compare against local-edge weights only (a negative-lag ack
+    # edge is a slack constraint, not a shrinkable interval).
+    clamped = 0
+    edge_delta = []
+    for e in g.edges:
+        raw = spec.sample(e.delta, e.weight if e.kind == EdgeKind.LOCAL else 0.0)
+        if e.kind == EdgeKind.LOCAL and raw < -e.weight:
+            clamped += 1
+            edge_delta.append(-e.weight)
+        else:
+            edge_delta.append(raw)
+    edges = g.edges
+    t_new = [0.0] * len(g.nodes)
+    for v in g.topological_order():
+        node = g.nodes[v]
+        base = node.t_local if not node.is_virtual else -math.inf
+        ins = g.in_edge_ids(v)
+        if ins:
+            incoming = max(t_new[edges[ei].src] + weights[ei] + edge_delta[ei] for ei in ins)
+            t_new[v] = max(base, incoming) if not node.is_virtual else incoming
+        else:
+            t_new[v] = base if not node.is_virtual else 0.0
+    # Report per-rank delays relative to the original finalize times.
+    final_delay: list[float] = []
+    final_times: list[float] = []
+    node_delay = [
+        (t_new[n.node_id] - n.t_local) if not n.is_virtual else 0.0 for n in g.nodes
+    ]
+    for rank in range(g.nprocs):
+        nid = g.final_nodes[rank]
+        if nid is None:
+            chain = g.rank_chain(rank)
+            nid = chain[-1] if chain else None
+        if nid is None:
+            final_delay.append(0.0)
+            final_times.append(0.0)
+            continue
+        final_delay.append(t_new[nid] - g.nodes[nid].t_local)
+        final_times.append(t_new[nid])
+    return TraversalResult(
+        final_delay=final_delay,
+        final_local_times=final_times,
+        mode=f"absolute-{mode}",
+        clamped_edges=clamped,
+        node_delay=node_delay,
+        edge_delta=edge_delta,
+    )
+
+
+def sample_edge_deltas(build: BuildResult, spec: PerturbationSpec) -> list:
+    """Raw (unscaled, unclamped) per-edge delta samples for a build.
+
+    Because deterministic sampling makes every scale of the same
+    ``(signature, seed)`` draw the *same* base values, a noise-scale
+    ladder can sample once and re-propagate cheaply with
+    :func:`propagate_presampled` — the §6 sweep fast path.
+    """
+    base = spec.scaled(1.0)
+    return [base.sample(e.delta, e.weight) for e in build.graph.edges]
+
+
+def propagate_presampled(
+    build: BuildResult,
+    raw_deltas: Sequence[float],
+    scale: float = 1.0,
+    mode: str = "additive",
+) -> TraversalResult:
+    """Propagate pre-sampled raw deltas at the given scale.
+
+    Exactly equivalent to ``propagate(build, spec.scaled(scale), mode)``
+    when ``raw_deltas`` came from :func:`sample_edge_deltas` with the
+    same spec — verified by tests — but skips the per-edge RNG work.
+    """
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+    g = build.graph
+    if len(raw_deltas) != len(g.edges):
+        raise ValueError("raw_deltas length does not match edge count")
+    clamped = 0
+    edge_delta = []
+    for raw, e in zip(raw_deltas, g.edges):
+        value = raw * scale
+        if mode == "threshold":
+            edge_delta.append(max(0.0, value - e.weight))
+        elif value < -e.weight:
+            clamped += 1
+            edge_delta.append(-e.weight)
+        else:
+            edge_delta.append(value)
+    edges = g.edges
+    D = [0.0] * len(g.nodes)
+    for v in g.topological_order():
+        ins = g.in_edge_ids(v)
+        if ins:
+            D[v] = max(D[edges[ei].src] + edge_delta[ei] for ei in ins)
+    final_delay, final_times = _finals_from_graph(g, D)
+    return TraversalResult(
+        final_delay=final_delay,
+        final_local_times=final_times,
+        mode=mode,
+        clamped_edges=clamped,
+        node_delay=D,
+        edge_delta=edge_delta,
+    )
+
+
+def _finals_from_graph(g: MessagePassingGraph, D: Sequence[float]) -> tuple[list, list]:
+    final_delay: list[float] = []
+    final_times: list[float] = []
+    for rank in range(g.nprocs):
+        nid = g.final_nodes[rank]
+        if nid is None:
+            chain = g.rank_chain(rank)
+            if not chain:
+                final_delay.append(0.0)
+                final_times.append(0.0)
+                continue
+            nid = chain[-1]
+        final_delay.append(D[nid])
+        final_times.append(g.nodes[nid].t_local + D[nid])
+    return final_delay, final_times
+
+
+# ---------------------------------------------------------------------------
+# Streaming (windowed) traversal
+# ---------------------------------------------------------------------------
+
+
+class _Mailboxes:
+    """Cross-rank delay contributions in flight.
+
+    ``data[(src, dst, tag)]`` — FIFO-indexed (value, sender_seq) pairs
+    published by send starts; ``ack[...]`` — finished contributions
+    published by receive completions.  Entries are deleted on
+    consumption so memory tracks only unmatched traffic.
+    """
+
+    def __init__(self) -> None:
+        self.data: dict[tuple, tuple] = {}
+        self.ack: dict[tuple, float] = {}
+
+    def size(self) -> int:
+        return len(self.data) + len(self.ack)
+
+
+class _CollState:
+    """One collective instance being assembled across ranks."""
+
+    def __init__(self, nprocs: int):
+        self.entries: dict[int, tuple] = {}  # rank -> (D_start, key, ev)
+        self.exits: list | None = None
+        self.consumed = 0
+        self.nprocs = nprocs
+
+    def full(self) -> bool:
+        return len(self.entries) == self.nprocs
+
+
+def _eval_collective(
+    group: CollectiveGroup,
+    d_start: Sequence[float],
+    events: Sequence[EventRecord],
+    nprocs: int,
+    config: BuildConfig,
+    applier: _DeltaApplier,
+) -> list[float]:
+    """Per-rank END-subevent delay of one collective instance.
+
+    Evaluates the *same* edge templates the in-core builder materializes
+    (identical DeltaSpecs, identical uids) over a scratch endpoint→delay
+    map, so streaming and in-core agree bit-for-bit.  END values are
+    seeded with each rank's intra-event path (S→E local edge) before the
+    template edges run, because reduce-style fan-out edges re-read the
+    root's END and must see its *full* delay, intra path included.
+    """
+    edges = collective_edges(group, nprocs, config)
+    starts = [sub(r, group.members[r][1], Phase.START) for r in range(nprocs)]
+    ends = [sub(r, group.members[r][1], Phase.END) for r in range(nprocs)]
+
+    # Kahn evaluation over the template's endpoint micro-graph: an edge may
+    # fire only once its source value is FINAL (all of the source's own
+    # in-edges fired), otherwise a fan-out edge could read a partially
+    # accumulated hub.  END values are seeded with the rank's intra-event
+    # path (S→E local edge) because reduce-style fan-out re-reads the
+    # root's END and must see its full delay.
+    values: dict[tuple, float] = {}
+    indegree: dict[tuple, int] = {}
+    out_by_src: dict[tuple, list] = {}
+    for et in edges:
+        indegree[et.dst] = indegree.get(et.dst, 0) + 1
+        indegree.setdefault(et.src, indegree.get(et.src, 0))
+        out_by_src.setdefault(et.src, []).append(et)
+    for r in range(nprocs):
+        values[starts[r]] = d_start[r]
+        intra = intra_event_edge(events[r])
+        values[ends[r]] = d_start[r] + applier.effective(intra.delta, intra.weight)
+        indegree.setdefault(starts[r], 0)
+        indegree.setdefault(ends[r], 0)
+
+    ready = [ep for ep, deg in indegree.items() if deg == 0]
+    fired = 0
+    while ready:
+        ep = ready.pop()
+        for et in out_by_src.get(ep, ()):
+            contrib = values[ep] + applier.effective(et.delta, et.weight)
+            prev = values.get(et.dst, -math.inf)
+            values[et.dst] = max(prev, contrib)
+            indegree[et.dst] -= 1
+            fired += 1
+            if indegree[et.dst] == 0:
+                ready.append(et.dst)
+    if fired != len(edges):
+        raise MatchError("collective template has a cycle (internal error)")
+    return [values[ends[r]] for r in range(nprocs)]
+
+
+class StreamingTraversal:
+    """Windowed, never-in-core perturbation traversal (§6).
+
+    Parameters
+    ----------
+    spec:
+        Perturbation sampling policy.
+    config:
+        Graph-semantics knobs (must match any in-core build being
+        compared against).
+    mode:
+        ``"additive"`` or ``"threshold"`` (see module docstring).
+    window:
+        Maximum number of events any rank may run ahead of the
+        least-advanced unfinished rank.  Corresponds to the tunable
+        trace buffer of §4; automatically doubled (with a warning) if a
+        run's matching distance exceeds it.
+    """
+
+    def __init__(
+        self,
+        spec: PerturbationSpec,
+        config: BuildConfig | None = None,
+        mode: str = "additive",
+        window: int = 4096,
+    ):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.spec = spec
+        self.config = config or BuildConfig()
+        self.mode = mode
+        self.window = window
+        self.max_mailbox = 0  # high-water mark, reported for ABL2
+
+    # -- public API -------------------------------------------------------------
+    def run(self, trace_set) -> TraversalResult:
+        nprocs = trace_set.nprocs
+        applier = _DeltaApplier(self.spec, self.mode)
+        mail = _Mailboxes()
+        colls: dict[int, _CollState] = {}
+        warnings: list[str] = []
+        window = self.window
+
+        final_delay = [0.0] * nprocs
+        final_time = [0.0] * nprocs
+        consumed = [0] * nprocs
+        done = [False] * nprocs
+
+        procs = [
+            self._rank_proc(rank, trace_set.events_of(rank), nprocs, applier, mail, colls, warnings)
+            for rank in range(nprocs)
+        ]
+        needs: list = [None] * nprocs
+        # Prime every generator to its first need (or completion).
+        for rank, proc in enumerate(procs):
+            needs[rank] = self._advance(proc, _PRIME, rank, final_delay, final_time, done, consumed)
+
+        while not all(done):
+            progressed = False
+            capped = False
+            floor = min(consumed[r] for r in range(nprocs) if not done[r])
+            for rank in range(nprocs):
+                if done[rank]:
+                    continue
+                if consumed[rank] - floor > window:
+                    capped = True
+                    continue
+                value = self._satisfy(needs[rank], rank, mail, colls, nprocs, applier)
+                if value is _UNMET:
+                    continue
+                needs[rank] = self._advance(
+                    procs[rank], value, rank, final_delay, final_time, done, consumed
+                )
+                progressed = True
+            self.max_mailbox = max(self.max_mailbox, mail.size())
+            if not progressed:
+                if capped:
+                    warnings.append(
+                        f"window {window} too small for matching distance; doubling"
+                    )
+                    window *= 2
+                    continue
+                blocked = [f"rank {r}: waiting on {needs[r]!r}" for r in range(nprocs) if not done[r]]
+                raise MatchError("streaming traversal stalled:\n" + "\n".join(blocked))
+
+        return TraversalResult(
+            final_delay=final_delay,
+            final_local_times=final_time,
+            mode=self.mode,
+            clamped_edges=applier.clamped,
+            warnings=warnings,
+        )
+
+    # -- scheduler helpers --------------------------------------------------------
+    def _advance(self, proc, value, rank, final_delay, final_time, done, consumed):
+        try:
+            need = next(proc) if value is _PRIME else proc.send(value)
+        except StopIteration as stop:
+            d, t, n = stop.value
+            final_delay[rank] = d
+            final_time[rank] = t
+            consumed[rank] = n
+            done[rank] = True
+            return None
+        consumed[rank] = need[-1]  # every need carries the rank's event count
+        return need
+
+    def _satisfy(self, need, rank, mail, colls, nprocs, applier):
+        kind = need[0]
+        if kind == "data":
+            key = need[1]
+            if key in mail.data:
+                return mail.data.pop(key)
+            return _UNMET
+        if kind == "ack":
+            key = need[1]
+            if key in mail.ack:
+                return mail.ack.pop(key)
+            return _UNMET
+        if kind == "coll":
+            ordinal, group_builder = need[1], need[2]
+            st = colls.get(ordinal)
+            if st is None or not st.full():
+                return _UNMET
+            if st.exits is None:
+                group, d_start, events = group_builder(st)
+                st.exits = _eval_collective(group, d_start, events, nprocs, self.config, applier)
+            value = st.exits[rank]
+            st.consumed += 1
+            if st.consumed == nprocs:
+                del colls[ordinal]
+            return value
+        raise AssertionError(f"unknown need {need!r}")  # pragma: no cover
+
+    # -- per-rank event processor ---------------------------------------------------
+    def _rank_proc(
+        self,
+        rank: int,
+        events: Iterator[EventRecord],
+        nprocs: int,
+        applier: _DeltaApplier,
+        mail: _Mailboxes,
+        colls: dict,
+        warnings: list,
+    ):
+        """Generator: walks one rank's events computing START/END delays.
+
+        Yields *needs* — ("data", key, n), ("ack", key, n), ("coll",
+        ordinal, group_builder, n) — and receives the satisfied value.
+        Returns (final_delay, final_local_time, events_consumed).
+        """
+        cfg = self.config
+        send_idx: dict[tuple, int] = defaultdict(int)
+        recv_idx: dict[tuple, int] = defaultdict(int)
+        req_state: dict[int, tuple] = {}
+        coll_counter = 0
+        prev: EventRecord | None = None
+        d_prev_end = 0.0
+        n = 0
+        last_t_end = 0.0
+
+        for ev in events:
+            n += 1
+            last_t_end = ev.t_end
+            if prev is not None:
+                et = gap_edge(prev, ev)
+                d_start = d_prev_end + applier.effective(et.delta, et.weight)
+            else:
+                d_start = 0.0
+            intra = intra_event_edge(ev)
+            local_end = d_start + applier.effective(intra.delta, intra.weight)
+            kind = ev.kind
+            d_end = local_end
+
+            if kind == EventKind.SEND:
+                ch = (rank, ev.peer, ev.tag)
+                k = send_idx[ch]
+                send_idx[ch] += 1
+                mail.data[("d",) + ch + (k,)] = d_start
+                if cfg.models_ack(ev.nbytes):
+                    ack = yield ("ack", ("a",) + ch + (k,), n)
+                    d_end = max(local_end, ack)
+
+            elif kind == EventKind.RECV:
+                ch = (ev.peer, rank, ev.tag)
+                k = recv_idx[ch]
+                recv_idx[ch] += 1
+                d_src = yield ("data", ("d",) + ch + (k,), n)
+                data_delta = DeltaSpec(
+                    DeltaKind.TRANSFER_OS,
+                    rank=rank,
+                    src=ev.peer,
+                    dst=rank,
+                    nbytes=ev.nbytes,
+                    uid=(_prim._UID_DATA, ev.peer, rank, ev.tag, k),
+                )
+                d_end = max(local_end, d_src + applier.effective(data_delta, 0.0))
+                if cfg.models_ack(ev.nbytes):
+                    ack_delta = DeltaSpec(
+                        DeltaKind.LATENCY,
+                        src=rank,
+                        dst=ev.peer,
+                        uid=(_prim._UID_ACK, ev.peer, rank, ev.tag, k),
+                    )
+                    mail.ack[("a",) + ch + (k,)] = d_end + applier.effective(ack_delta, 0.0)
+
+            elif kind == EventKind.ISEND:
+                ch = (rank, ev.peer, ev.tag)
+                k = send_idx[ch]
+                send_idx[ch] += 1
+                mail.data[("d",) + ch + (k,)] = d_start
+                if cfg.models_ack(ev.nbytes):
+                    req_state[ev.req] = ("ack", ("a",) + ch + (k,))
+                else:
+                    req_state[ev.req] = ("done",)
+
+            elif kind == EventKind.IRECV:
+                # The data contribution lands at the *completing wait*
+                # (Fig. 3), so only a claim is recorded here; consuming the
+                # mailbox at the wait keeps receivers from blocking at the
+                # posting call (which would deadlock irecv-before-isend
+                # exchange patterns).  Channel-FIFO pairing is preserved
+                # because the claim captures the channel ordinal now.
+                ch = (ev.peer, rank, ev.tag)
+                k = recv_idx[ch]
+                recv_idx[ch] += 1
+                data_delta = DeltaSpec(
+                    DeltaKind.TRANSFER_OS,
+                    rank=rank,
+                    src=ev.peer,
+                    dst=rank,
+                    nbytes=ev.nbytes,
+                    uid=(_prim._UID_DATA, ev.peer, rank, ev.tag, k),
+                )
+                req_state[ev.req] = ("claim", ("d",) + ch + (k,), data_delta)
+                if cfg.models_ack(ev.nbytes):
+                    # Rendezvous ack restarts at the posting subevent
+                    # (IRECV END) — publish eagerly so the sender's wait
+                    # never depends on this rank's own completion order.
+                    rdv_delta = DeltaSpec(
+                        DeltaKind.ROUNDTRIP,
+                        rank=rank,
+                        src=ev.peer,
+                        dst=rank,
+                        nbytes=ev.nbytes,
+                        uid=(_prim._UID_ACK, ev.peer, rank, ev.tag, k),
+                    )
+                    mail.ack[("a",) + ch + (k,)] = local_end + applier.effective(rdv_delta, 0.0)
+
+            elif kind.is_completion:
+                for rid in ev.completed:
+                    state = req_state.pop(rid, None)
+                    if state is None:
+                        raise MatchError(
+                            f"rank {rank} event #{ev.seq} completes unknown request {rid}"
+                        )
+                    if state[0] == "claim":
+                        d_src = yield ("data", state[1], n)
+                        d_end = max(d_end, d_src + applier.effective(state[2], 0.0))
+                    elif state[0] == "ack":
+                        ack = yield ("ack", state[1], n)
+                        d_end = max(d_end, ack)
+                    # ("done",): eager isend — nothing lands here.
+
+            elif kind == EventKind.SENDRECV:
+                ch_s = (rank, ev.peer, ev.tag)
+                ks = send_idx[ch_s]
+                send_idx[ch_s] += 1
+                mail.data[("d",) + ch_s + (ks,)] = d_start
+                ch_r = (ev.recv_peer, rank, ev.recv_tag)
+                kr = recv_idx[ch_r]
+                recv_idx[ch_r] += 1
+                if cfg.models_ack(ev.recv_nbytes):
+                    # Publish the recv-half rendezvous ack BEFORE blocking on
+                    # the data need: its source is this event's START (see
+                    # transfer_edges), so it only requires d_start — and
+                    # publishing first keeps mutual sendrecv deadlock-free.
+                    rdv_delta = DeltaSpec(
+                        DeltaKind.ROUNDTRIP,
+                        rank=rank,
+                        src=ev.recv_peer,
+                        dst=rank,
+                        nbytes=ev.recv_nbytes,
+                        uid=(_prim._UID_ACK, ev.recv_peer, rank, ev.recv_tag, kr),
+                    )
+                    mail.ack[("a",) + ch_r + (kr,)] = d_start + applier.effective(rdv_delta, 0.0)
+                d_src = yield ("data", ("d",) + ch_r + (kr,), n)
+                data_delta = DeltaSpec(
+                    DeltaKind.TRANSFER_OS,
+                    rank=rank,
+                    src=ev.recv_peer,
+                    dst=rank,
+                    nbytes=ev.recv_nbytes,
+                    uid=(_prim._UID_DATA, ev.recv_peer, rank, ev.recv_tag, kr),
+                )
+                d_end = max(local_end, d_src + applier.effective(data_delta, 0.0))
+                if cfg.models_ack(ev.nbytes):
+                    ack = yield ("ack", ("a",) + ch_s + (ks,), n)
+                    d_end = max(d_end, ack)
+
+            elif kind in COLLECTIVE_KINDS:
+                ordinal = ev.coll_seq if ev.coll_seq >= 0 else coll_counter
+                coll_counter += 1
+                st = colls.setdefault(ordinal, _CollState(nprocs))
+                st.entries[rank] = (d_start, (rank, ev.seq), ev)
+
+                def build_group(state: _CollState, _ordinal=ordinal):
+                    members = []
+                    d_start_all = []
+                    evs = []
+                    kinds = set()
+                    roots = set()
+                    nbytes = 0
+                    for r in range(nprocs):
+                        d, key, e = state.entries[r]
+                        members.append(key)
+                        d_start_all.append(d)
+                        evs.append(e)
+                        kinds.add(e.kind)
+                        roots.add(e.root)
+                        nbytes = max(nbytes, e.nbytes)
+                    if len(kinds) != 1 or len(roots) != 1:
+                        raise MatchError(
+                            f"collective #{_ordinal}: inconsistent kind/root across ranks"
+                        )
+                    group = CollectiveGroup(
+                        ordinal=_ordinal,
+                        kind=next(iter(kinds)),
+                        root=next(iter(roots)),
+                        nbytes=nbytes,
+                        members=tuple(members),
+                    )
+                    return group, d_start_all, evs
+
+                cross = yield ("coll", ordinal, build_group, n)
+                d_end = max(local_end, cross)
+
+            # INIT / FINALIZE and non-completing TEST: purely local.
+
+            prev = ev
+            d_prev_end = d_end
+
+        leftovers = [rid for rid, st in req_state.items() if st[0] != "done"]
+        if leftovers:
+            warnings.append(
+                f"rank {rank}: {len(leftovers)} request(s) never completed; their "
+                f"transfer delays were dropped (§4.3 asynchronous case)"
+            )
+        return (d_prev_end, last_t_end + d_prev_end, n)
+
+
+_UNMET = object()
+_PRIME = object()

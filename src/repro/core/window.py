@@ -1,0 +1,79 @@
+"""Event-window extraction from message-passing graphs.
+
+Fig. 5-style visualization is only readable for small graphs; for a
+long run you cut out a window of events (the same windowing idea the
+streaming analyzer uses for memory, §6, applied to inspection).
+:func:`extract_window` returns a standalone sub-graph containing every
+rank's subevents with ``seq_lo <= seq < seq_hi``, the edges among them,
+and any virtual nodes (collective hubs, butterfly rounds) touching the
+window.  Delay annotations can be carried over for perturbed views.
+"""
+
+from __future__ import annotations
+
+from repro.core.builder import BuildResult
+from repro.core.graph import MessagePassingGraph
+
+__all__ = ["extract_window", "WindowedGraph"]
+
+
+class WindowedGraph:
+    """A window's sub-graph plus the id mapping back to the original."""
+
+    def __init__(self, graph: MessagePassingGraph, original_ids: list):
+        self.graph = graph
+        self.original_ids = original_ids  # window node id -> original node id
+
+    def map_delays(self, node_delay) -> list:
+        """Project an original traversal's per-node delays onto the window
+        (for ``to_dot(window.graph, node_delay=...)``)."""
+        return [node_delay[orig] for orig in self.original_ids]
+
+
+def extract_window(
+    build: BuildResult, seq_lo: int, seq_hi: int, ranks=None
+) -> WindowedGraph:
+    """Cut the subevent window ``[seq_lo, seq_hi)`` out of a built graph.
+
+    ``ranks`` restricts the window to a subset of ranks (default: all).
+    Virtual nodes are included when connected to at least one included
+    real node; edges are kept when both endpoints are included.
+    """
+    if seq_hi <= seq_lo:
+        raise ValueError(f"empty window [{seq_lo}, {seq_hi})")
+    g = build.graph
+    rank_set = set(ranks) if ranks is not None else set(range(g.nprocs))
+
+    def real_included(node) -> bool:
+        return node.rank in rank_set and seq_lo <= node.seq < seq_hi
+
+    included = {n.node_id for n in g.nodes if not n.is_virtual and real_included(n)}
+    if not included:
+        raise ValueError(f"window [{seq_lo}, {seq_hi}) selects no subevents")
+    # Virtual nodes with at least one included neighbour come along.
+    for n in g.nodes:
+        if not n.is_virtual:
+            continue
+        neighbours = [g.edges[ei].src for ei in g.in_edge_ids(n.node_id)] + [
+            g.edges[ei].dst for ei in g.out_edge_ids(n.node_id)
+        ]
+        if any(v in included for v in neighbours):
+            included.add(n.node_id)
+
+    window = MessagePassingGraph(g.nprocs)
+    mapping: dict[int, int] = {}
+    original_ids: list[int] = []
+    for n in g.nodes:
+        if n.node_id not in included:
+            continue
+        new_id = window.add_node(n.rank, n.seq, n.phase, n.kind, n.t_local, n.label)
+        mapping[n.node_id] = new_id
+        original_ids.append(n.node_id)
+        # Preserve finalize anchors when they fall inside the window.
+        if g.final_nodes[n.rank] == n.node_id if n.rank >= 0 else False:
+            window.final_nodes[n.rank] = new_id
+
+    for e in g.edges:
+        if e.src in mapping and e.dst in mapping:
+            window.add_edge(mapping[e.src], mapping[e.dst], e.kind, e.weight, e.delta, e.label)
+    return WindowedGraph(window, original_ids)

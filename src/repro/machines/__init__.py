@@ -1,0 +1,5 @@
+"""Preset simulated platforms (quiet / noisy / ASCI-Q-like / WAN grid)."""
+
+from repro.machines.presets import PRESETS, asciq_like, noisy_cluster, quiet_cluster, wan_grid
+
+__all__ = ["PRESETS", "asciq_like", "noisy_cluster", "quiet_cluster", "wan_grid"]

@@ -1,0 +1,107 @@
+"""Preset simulated platforms.
+
+Named machine configurations standing in for the cluster classes the
+paper discusses: a quiet lightweight-kernel cluster (the bproc systems
+of Sottile & Minnich 2004), a commodity full-OS cluster with daemons,
+and an ASCI-Q-like machine whose heavyweight periodic daemons caused
+the famous missing performance (Petrini et al. 2003).  All units are
+virtual cycles and bytes/cycle.
+"""
+
+from __future__ import annotations
+
+from repro.mpisim.clock import random_clocks
+from repro.mpisim.network import NetworkModel
+from repro.mpisim.runtime import Machine
+from repro.noise.distributions import Exponential, LogNormal, Pareto, Uniform
+from repro.noise.models import CompositeNoise, NO_NOISE, PeriodicDaemon, RandomPreemption
+
+__all__ = ["quiet_cluster", "noisy_cluster", "asciq_like", "wan_grid", "PRESETS"]
+
+
+def _network(latency: float, bandwidth: float, jitter=None) -> NetworkModel:
+    return NetworkModel(
+        latency=latency,
+        bandwidth=bandwidth,
+        send_overhead=200.0,
+        recv_overhead=200.0,
+        eager_threshold=8192,
+        jitter=jitter if jitter is not None else Uniform(0.0, 0.0),
+    )
+
+
+def quiet_cluster(nprocs: int, skewed_clocks: bool = True, seed: int = 0) -> Machine:
+    """Lightweight-kernel cluster: near-zero OS noise, tight network."""
+    m = Machine(
+        nprocs=nprocs,
+        network=_network(latency=800.0, bandwidth=4.0),
+        noise=NO_NOISE,
+        name="quiet-bproc",
+    )
+    return m.with_skewed_clocks(seed) if skewed_clocks else m
+
+
+def noisy_cluster(nprocs: int, skewed_clocks: bool = True, seed: int = 0) -> Machine:
+    """Commodity full-OS cluster: random preemptions + cron-ish daemon."""
+    noise = CompositeNoise(
+        [
+            RandomPreemption(rate=2e-5, cost=Exponential(400.0)),
+            PeriodicDaemon(period=1_000_000.0, cost=LogNormal(7.0, 0.5)),
+        ]
+    )
+    m = Machine(
+        nprocs=nprocs,
+        network=_network(latency=1500.0, bandwidth=2.0, jitter=Exponential(60.0)),
+        noise=noise,
+        name="noisy-commodity",
+    )
+    return m.with_skewed_clocks(seed) if skewed_clocks else m
+
+
+def asciq_like(nprocs: int, skewed_clocks: bool = True, seed: int = 0) -> Machine:
+    """Heavy periodic daemons with heavy-tailed costs, per-rank phases.
+
+    The per-rank phase offsets matter: unsynchronized daemons guarantee
+    that *some* rank is always being hit, which is exactly why
+    collectives suffered on ASCI Q.
+    """
+    per_rank = tuple(
+        CompositeNoise(
+            [
+                PeriodicDaemon(
+                    period=500_000.0,
+                    cost=Pareto(alpha=1.8, minimum=2_000.0),
+                    phase=(r * 500_000.0 / max(nprocs, 1)) % 500_000.0,
+                ),
+                RandomPreemption(rate=5e-5, cost=Exponential(800.0)),
+            ]
+        )
+        for r in range(nprocs)
+    )
+    m = Machine(
+        nprocs=nprocs,
+        network=_network(latency=1200.0, bandwidth=3.0, jitter=Exponential(100.0)),
+        noise=per_rank,
+        name="asciq-like",
+    )
+    return m.with_skewed_clocks(seed) if skewed_clocks else m
+
+
+def wan_grid(nprocs: int, skewed_clocks: bool = True, seed: int = 0) -> Machine:
+    """Grid-style machine: quiet nodes, slow jittery wide-area links —
+    the Dimemas-for-grids scenario (Badia et al. 2003)."""
+    m = Machine(
+        nprocs=nprocs,
+        network=_network(latency=50_000.0, bandwidth=0.25, jitter=LogNormal(8.0, 1.0)),
+        noise=RandomPreemption(rate=1e-6, cost=Exponential(200.0)),
+        name="wan-grid",
+    )
+    return m.with_skewed_clocks(seed) if skewed_clocks else m
+
+
+PRESETS = {
+    "quiet": quiet_cluster,
+    "noisy": noisy_cluster,
+    "asciq": asciq_like,
+    "wan": wan_grid,
+}

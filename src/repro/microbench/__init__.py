@@ -1,0 +1,20 @@
+"""Microbenchmarks that turn a machine into a signature (§5)."""
+
+from repro.microbench.bandwidth import BandwidthResult, run_bandwidth
+from repro.microbench.ftq import FTQResult, run_ftq
+from repro.microbench.harness import MicrobenchReport, measure_machine
+from repro.microbench.mraz import MrazResult, run_mraz
+from repro.microbench.pingpong import PingPongResult, run_pingpong
+
+__all__ = [
+    "BandwidthResult",
+    "run_bandwidth",
+    "FTQResult",
+    "run_ftq",
+    "MicrobenchReport",
+    "measure_machine",
+    "MrazResult",
+    "run_mraz",
+    "PingPongResult",
+    "run_pingpong",
+]

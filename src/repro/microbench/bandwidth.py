@@ -1,0 +1,98 @@
+"""Bandwidth microbenchmark (§5.2).
+
+"A bandwidth benchmark is similar [to the latency benchmark], except
+with messages of a significant size in one direction, with an
+acknowledgment returned to the sender.  The size of the large message
+must be sufficiently large so as to make the latency component
+negligible."  Per-iteration transfer times yield bandwidth estimates
+and, after subtracting the best case, per-byte perturbation samples
+(the δ_t(d) rate distribution of the machine signature).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mpisim.api import Compute, RankInfo, Recv, Send
+from repro.mpisim.runtime import Machine, run
+from repro.noise.empirical import Empirical
+from repro.trace.events import EventKind
+
+__all__ = ["BandwidthResult", "run_bandwidth"]
+
+_DATA_TAG = 81
+_ACK_TAG = 82
+
+
+@dataclass(frozen=True)
+class BandwidthResult:
+    """Per-iteration transfer measurements."""
+
+    transfer_times: tuple  # send-start to ack-received, sender's clock
+    nbytes: int
+
+    def bandwidth_estimate(self) -> float:
+        """Best observed bytes/cycle (one-way payload over best time)."""
+        return self.nbytes / float(np.min(self.transfer_times))
+
+    def per_byte_samples(self) -> np.ndarray:
+        """Per-byte perturbation rate samples: (time - best) / nbytes."""
+        t = np.asarray(self.transfer_times)
+        return (t - t.min()) / self.nbytes
+
+    def per_byte_distribution(self, interpolate: bool = False) -> Empirical:
+        return Empirical(self.per_byte_samples(), interpolate=interpolate)
+
+
+def _bandwidth_program(iterations: int, nbytes: int, gap_cycles: float):
+    def program(me: RankInfo):
+        if me.rank == 0:
+            for _ in range(iterations):
+                yield Compute(gap_cycles)
+                yield Send(dest=1, nbytes=nbytes, tag=_DATA_TAG)
+                yield Recv(source=1, tag=_ACK_TAG)
+        elif me.rank == 1:
+            for _ in range(iterations):
+                yield Recv(source=0, tag=_DATA_TAG)
+                yield Send(dest=0, nbytes=0, tag=_ACK_TAG)
+
+    return program
+
+
+def run_bandwidth(
+    machine: Machine,
+    iterations: int = 64,
+    nbytes: int = 1_048_576,
+    gap_cycles: float = 1_000.0,
+    seed: int = 0,
+    ranks: tuple[int, int] = (0, 1),
+) -> BandwidthResult:
+    """Stream large messages between two ranks; times from the trace."""
+    if machine.nprocs < 2:
+        raise ValueError("bandwidth benchmark needs a machine with >= 2 ranks")
+    if nbytes < 1:
+        raise ValueError("nbytes must be >= 1")
+    noise = machine.noise
+    if isinstance(noise, tuple):
+        noise = (noise[ranks[0]], noise[ranks[1]])
+    bench_machine = Machine(nprocs=2, network=machine.network, noise=noise, name="bandwidth")
+    result = run(
+        _bandwidth_program(iterations, nbytes, gap_cycles),
+        machine=bench_machine,
+        seed=seed,
+        program_name="bandwidth",
+    )
+    events = list(result.trace.events_of(0))
+    times = []
+    send_start = None
+    for ev in events:
+        if ev.kind == EventKind.SEND and ev.tag == _DATA_TAG:
+            send_start = ev.t_start
+        elif ev.kind == EventKind.RECV and ev.tag == _ACK_TAG and send_start is not None:
+            times.append(ev.t_end - send_start)
+            send_start = None
+    if len(times) != iterations:
+        raise RuntimeError(f"expected {iterations} samples, extracted {len(times)}")
+    return BandwidthResult(transfer_times=tuple(times), nbytes=nbytes)

@@ -1,0 +1,111 @@
+"""Ping-pong latency microbenchmark (§5.2).
+
+"Given the lack of an accurate, high-precision global clock across
+communicating processors, the latency benchmark uses a traditional
+ping-style message exchange between two processors" — round-trip time
+on the pinger's own clock, halved.  Run on the simulated machine; the
+RTT samples come out of the *trace* (local timestamps of the ping
+rank), exactly as a real benchmark would measure them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mpisim.api import Compute, RankInfo, Recv, Send
+from repro.mpisim.runtime import Machine, run
+from repro.noise.empirical import Empirical
+from repro.trace.events import EventKind
+
+__all__ = ["PingPongResult", "run_pingpong"]
+
+_PING_TAG = 71
+_PONG_TAG = 72
+
+
+@dataclass(frozen=True)
+class PingPongResult:
+    """One-way latency estimates from a ping-pong run."""
+
+    rtt: tuple  # per-iteration round trip, pinger's clock
+    nbytes: int
+
+    @property
+    def half_rtt(self) -> np.ndarray:
+        return np.asarray(self.rtt) / 2.0
+
+    def latency_estimate(self) -> float:
+        """Best (minimum) one-way latency — the machine's base latency."""
+        return float(np.min(self.half_rtt))
+
+    def jitter_samples(self) -> np.ndarray:
+        """Per-message latency *variation*: half-RTT minus the minimum.
+
+        This is the δ_λ perturbation the signature wants: deviations
+        from the best case, not the base latency itself (which the trace
+        timings already embed, §6).
+        """
+        h = self.half_rtt
+        return h - h.min()
+
+    def jitter_distribution(self, interpolate: bool = False) -> Empirical:
+        return Empirical(self.jitter_samples(), interpolate=interpolate)
+
+
+def _pingpong_program(iterations: int, nbytes: int, gap_cycles: float):
+    def program(me: RankInfo):
+        if me.rank == 0:
+            for _ in range(iterations):
+                yield Compute(gap_cycles)
+                yield Send(dest=1, nbytes=nbytes, tag=_PING_TAG)
+                yield Recv(source=1, tag=_PONG_TAG)
+        elif me.rank == 1:
+            for _ in range(iterations):
+                yield Recv(source=0, tag=_PING_TAG)
+                yield Send(dest=0, nbytes=nbytes, tag=_PONG_TAG)
+
+    return program
+
+
+def run_pingpong(
+    machine: Machine,
+    iterations: int = 256,
+    nbytes: int = 8,
+    gap_cycles: float = 1_000.0,
+    seed: int = 0,
+    ranks: tuple[int, int] = (0, 1),
+) -> PingPongResult:
+    """Ping between two ranks of ``machine``; RTTs read from the trace.
+
+    ``machine`` must have at least 2 ranks; the benchmark itself runs a
+    dedicated 2-rank machine with the same network/noise configuration
+    (per-rank noise overrides are mapped through ``ranks``).
+    """
+    if machine.nprocs < 2:
+        raise ValueError("ping-pong needs a machine with >= 2 ranks")
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    noise = machine.noise
+    if isinstance(noise, tuple):
+        noise = (noise[ranks[0]], noise[ranks[1]])
+    bench_machine = Machine(nprocs=2, network=machine.network, noise=noise, name="pingpong")
+    result = run(
+        _pingpong_program(iterations, nbytes, gap_cycles),
+        machine=bench_machine,
+        seed=seed,
+        program_name="pingpong",
+    )
+    events = list(result.trace.events_of(0))
+    rtts = []
+    send_start = None
+    for ev in events:
+        if ev.kind == EventKind.SEND and ev.tag == _PING_TAG:
+            send_start = ev.t_start
+        elif ev.kind == EventKind.RECV and ev.tag == _PONG_TAG and send_start is not None:
+            rtts.append(ev.t_end - send_start)
+            send_start = None
+    if len(rtts) != iterations:
+        raise RuntimeError(f"expected {iterations} RTT samples, extracted {len(rtts)}")
+    return PingPongResult(rtt=tuple(rtts), nbytes=nbytes)

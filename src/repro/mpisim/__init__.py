@@ -1,0 +1,81 @@
+"""Simulated MPI runtime: the substrate replacing real MPI + PMPI tracing.
+
+See DESIGN.md §2 for the substitution rationale.  Programs are
+generators yielding :mod:`repro.mpisim.api` ops; :func:`run` executes
+them on a :class:`Machine` and returns finish times plus a trace.
+"""
+
+from repro.mpisim.api import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Allgather,
+    Allreduce,
+    Alltoall,
+    Barrier,
+    Bcast,
+    Compute,
+    Gather,
+    Irecv,
+    Isend,
+    Op,
+    RankInfo,
+    Recv,
+    Reduce,
+    ReduceScatter,
+    Scan,
+    Scatter,
+    Send,
+    Sendrecv,
+    Test,
+    Wait,
+    Waitall,
+    Waitsome,
+)
+from repro.mpisim.clock import LocalClock, perfect_clocks, random_clocks
+from repro.mpisim.engine import Engine, SimDeadlock, SimError
+from repro.mpisim.network import NetworkModel
+from repro.mpisim.request import Request, Status
+from repro.mpisim.runtime import Machine, RunResult, run, run_to_files
+from repro.mpisim.tracing import FileCollector, MemoryCollector
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Allgather",
+    "Allreduce",
+    "Alltoall",
+    "Barrier",
+    "Bcast",
+    "Compute",
+    "Gather",
+    "Irecv",
+    "Isend",
+    "Op",
+    "RankInfo",
+    "Recv",
+    "Reduce",
+    "ReduceScatter",
+    "Scan",
+    "Scatter",
+    "Send",
+    "Sendrecv",
+    "Test",
+    "Wait",
+    "Waitall",
+    "Waitsome",
+    "LocalClock",
+    "perfect_clocks",
+    "random_clocks",
+    "Engine",
+    "SimDeadlock",
+    "SimError",
+    "NetworkModel",
+    "Request",
+    "Status",
+    "Machine",
+    "RunResult",
+    "run",
+    "run_to_files",
+    "FileCollector",
+    "MemoryCollector",
+]

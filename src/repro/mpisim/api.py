@@ -1,0 +1,326 @@
+"""Operation descriptors for simulated rank programs.
+
+A rank program is a Python generator taking a :class:`RankInfo` and
+yielding op descriptors; the engine executes each op in virtual time and
+sends the op's result back into the generator::
+
+    def ring(me: RankInfo):
+        yield Compute(50_000)
+        if me.rank == 0:
+            yield Send(dest=1, nbytes=1024)
+            status = yield Recv(source=me.size - 1)
+        ...
+
+This is the mpi4py-shaped blocking/nonblocking/collective subset of
+MPI-1 that §3 of the paper models; ops map one-to-one onto
+:class:`repro.trace.events.EventKind` entries in the emitted trace.
+
+``ANY_SOURCE``/``ANY_TAG`` follow MPI wildcard semantics; the trace
+records the *resolved* peer and tag (the analyzer never sees wildcards,
+because a completed run has none — §4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "RankInfo",
+    "Op",
+    "Compute",
+    "Send",
+    "Recv",
+    "Isend",
+    "Irecv",
+    "Wait",
+    "Waitall",
+    "Waitsome",
+    "Test",
+    "Sendrecv",
+    "Barrier",
+    "Bcast",
+    "Reduce",
+    "Allreduce",
+    "Gather",
+    "Scatter",
+    "Allgather",
+    "Alltoall",
+    "Scan",
+    "ReduceScatter",
+    "COLLECTIVE_OPS",
+    "SEND_MODES",
+]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+@dataclass(frozen=True)
+class RankInfo:
+    """What a rank program knows about itself (à la ``COMM_WORLD``)."""
+
+    rank: int
+    size: int
+
+
+class Op:
+    """Marker base class for all yieldable operations."""
+
+    __slots__ = ()
+
+
+def _check_nbytes(nbytes: int) -> None:
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+
+
+def _check_tag(tag: int) -> None:
+    if tag < 0 and tag != ANY_TAG:
+        raise ValueError(f"tag must be >= 0 (or ANY_TAG), got {tag}")
+
+
+@dataclass(frozen=True)
+class Compute(Op):
+    """Local computation of ``cycles`` virtual cycles (a c_i phase, Fig. 1)."""
+
+    cycles: float
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ValueError(f"compute cycles must be >= 0, got {self.cycles}")
+
+
+SEND_MODES = ("standard", "synchronous", "buffered", "ready")
+
+
+@dataclass(frozen=True)
+class Send(Op):
+    """Blocking send (MPI_Send family; §3.1.1's three forms plus standard).
+
+    ``mode``:
+
+    * ``"standard"`` — MPI_Send: synchronous above the runtime's eager
+      threshold, buffered (completes locally) at or below it;
+    * ``"synchronous"`` — MPI_Ssend: always waits for the matching
+      receive (rendezvous regardless of size);
+    * ``"buffered"`` — MPI_Bsend: always completes after local copy;
+    * ``"ready"`` — MPI_Rsend: requires the receive to be already
+      posted (erroneous otherwise, which the engine reports).
+    """
+
+    dest: int
+    nbytes: int = 0
+    tag: int = 0
+    mode: str = "standard"
+
+    def __post_init__(self) -> None:
+        _check_nbytes(self.nbytes)
+        _check_tag(self.tag)
+        if self.mode not in SEND_MODES:
+            raise ValueError(f"send mode must be one of {SEND_MODES}, got {self.mode!r}")
+
+
+@dataclass(frozen=True)
+class Recv(Op):
+    """Blocking receive (MPI_Recv).  Result: a :class:`~repro.mpisim.request.Status`."""
+
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+
+    def __post_init__(self) -> None:
+        _check_tag(self.tag)
+
+
+@dataclass(frozen=True)
+class Isend(Op):
+    """Nonblocking send (MPI_Isend).  Result: a Request."""
+
+    dest: int
+    nbytes: int = 0
+    tag: int = 0
+
+    def __post_init__(self) -> None:
+        _check_nbytes(self.nbytes)
+        _check_tag(self.tag)
+
+
+@dataclass(frozen=True)
+class Irecv(Op):
+    """Nonblocking receive (MPI_Irecv).  Result: a Request."""
+
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+
+    def __post_init__(self) -> None:
+        _check_tag(self.tag)
+
+
+@dataclass(frozen=True)
+class Wait(Op):
+    """Block until ``request`` completes (MPI_Wait).  Result: Status."""
+
+    request: object
+
+
+@dataclass(frozen=True)
+class Waitall(Op):
+    """Block until every request completes (MPI_Waitall).  Result: list[Status]."""
+
+    requests: tuple
+
+    def __init__(self, requests: Sequence):
+        object.__setattr__(self, "requests", tuple(requests))
+
+
+@dataclass(frozen=True)
+class Waitsome(Op):
+    """Block until at least one request completes (MPI_Waitsome).
+    Result: list of completed Requests."""
+
+    requests: tuple
+
+    def __init__(self, requests: Sequence):
+        reqs = tuple(requests)
+        if not reqs:
+            raise ValueError("Waitsome requires at least one request")
+        object.__setattr__(self, "requests", reqs)
+
+
+@dataclass(frozen=True)
+class Test(Op):
+    """Nonblocking completion probe (MPI_Test).
+    Result: ``(done: bool, status or None)``."""
+
+    request: object
+
+
+@dataclass(frozen=True)
+class Sendrecv(Op):
+    """Combined send+receive (MPI_Sendrecv); deadlock-free exchange."""
+
+    dest: int
+    send_nbytes: int = 0
+    send_tag: int = 0
+    source: int = ANY_SOURCE
+    recv_tag: int = ANY_TAG
+
+    def __post_init__(self) -> None:
+        _check_nbytes(self.send_nbytes)
+        _check_tag(self.send_tag)
+        _check_tag(self.recv_tag)
+
+
+@dataclass(frozen=True)
+class Barrier(Op):
+    """MPI_Barrier."""
+
+
+@dataclass(frozen=True)
+class Bcast(Op):
+    """MPI_Bcast of ``nbytes`` from ``root``."""
+
+    root: int = 0
+    nbytes: int = 0
+
+    def __post_init__(self) -> None:
+        _check_nbytes(self.nbytes)
+
+
+@dataclass(frozen=True)
+class Reduce(Op):
+    """MPI_Reduce of ``nbytes`` to ``root``."""
+
+    root: int = 0
+    nbytes: int = 0
+
+    def __post_init__(self) -> None:
+        _check_nbytes(self.nbytes)
+
+
+@dataclass(frozen=True)
+class Allreduce(Op):
+    """MPI_Allreduce of ``nbytes``."""
+
+    nbytes: int = 0
+
+    def __post_init__(self) -> None:
+        _check_nbytes(self.nbytes)
+
+
+@dataclass(frozen=True)
+class Gather(Op):
+    """MPI_Gather of ``nbytes`` per rank to ``root``."""
+
+    root: int = 0
+    nbytes: int = 0
+
+    def __post_init__(self) -> None:
+        _check_nbytes(self.nbytes)
+
+
+@dataclass(frozen=True)
+class Scatter(Op):
+    """MPI_Scatter of ``nbytes`` per rank from ``root``."""
+
+    root: int = 0
+    nbytes: int = 0
+
+    def __post_init__(self) -> None:
+        _check_nbytes(self.nbytes)
+
+
+@dataclass(frozen=True)
+class Allgather(Op):
+    """MPI_Allgather of ``nbytes`` per rank."""
+
+    nbytes: int = 0
+
+    def __post_init__(self) -> None:
+        _check_nbytes(self.nbytes)
+
+
+@dataclass(frozen=True)
+class Alltoall(Op):
+    """MPI_Alltoall of ``nbytes`` per rank pair."""
+
+    nbytes: int = 0
+
+    def __post_init__(self) -> None:
+        _check_nbytes(self.nbytes)
+
+
+@dataclass(frozen=True)
+class Scan(Op):
+    """MPI_Scan: inclusive prefix reduction of ``nbytes``."""
+
+    nbytes: int = 0
+
+    def __post_init__(self) -> None:
+        _check_nbytes(self.nbytes)
+
+
+@dataclass(frozen=True)
+class ReduceScatter(Op):
+    """MPI_Reduce_scatter: reduce + scatter of ``nbytes`` per rank."""
+
+    nbytes: int = 0
+
+    def __post_init__(self) -> None:
+        _check_nbytes(self.nbytes)
+
+
+COLLECTIVE_OPS = (
+    Barrier,
+    Bcast,
+    Reduce,
+    Allreduce,
+    Gather,
+    Scatter,
+    Allgather,
+    Alltoall,
+    Scan,
+    ReduceScatter,
+)

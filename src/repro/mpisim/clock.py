@@ -1,0 +1,68 @@
+"""Per-rank local clocks with offset skew and linear drift.
+
+Section 4.1 of the paper is adamant that the analyzer must not compare
+timestamps across processors, because real clusters have unsynchronized
+clocks with unknown offsets and drifts.  To make our reproduction honest
+the simulator *deliberately* writes trace timestamps through a per-rank
+:class:`LocalClock`::
+
+    local = global * (1 + drift) + offset
+
+so any analyzer code that illegally compared cross-rank timestamps would
+produce wrong answers and fail the tests.  Drift must exceed -1 so local
+time remains strictly increasing in global time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import as_rng
+
+__all__ = ["LocalClock", "random_clocks", "perfect_clocks"]
+
+
+@dataclass(frozen=True)
+class LocalClock:
+    """Affine mapping from global virtual time to a rank's local time."""
+
+    offset: float = 0.0
+    drift: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.drift <= -1.0:
+            raise ValueError(f"drift must be > -1 (got {self.drift}); clock would run backwards")
+
+    def to_local(self, t_global: float) -> float:
+        return t_global * (1.0 + self.drift) + self.offset
+
+    def to_global(self, t_local: float) -> float:
+        return (t_local - self.offset) / (1.0 + self.drift)
+
+
+def perfect_clocks(nprocs: int) -> list[LocalClock]:
+    """Globally synchronized clocks (for ground-truth validation runs)."""
+    return [LocalClock() for _ in range(nprocs)]
+
+
+def random_clocks(
+    nprocs: int,
+    seed: int | np.random.Generator | None = None,
+    max_offset: float = 1e9,
+    max_drift: float = 1e-4,
+) -> list[LocalClock]:
+    """Independent random skews/drifts, one clock per rank.
+
+    Defaults give offsets up to a billion cycles and drifts up to 100
+    ppm — far larger than any event interval, so cross-rank timestamp
+    comparison is guaranteed to be meaningless (as intended).
+    """
+    rng = as_rng(seed)
+    clocks = []
+    for _ in range(nprocs):
+        offset = rng.uniform(-max_offset, max_offset)
+        drift = rng.uniform(-max_drift, max_drift)
+        clocks.append(LocalClock(offset=offset, drift=drift))
+    return clocks

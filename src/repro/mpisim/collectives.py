@@ -1,0 +1,258 @@
+"""Timing models for collective operations in the simulator.
+
+When the last participant enters a collective, the engine computes every
+rank's exit time here, using the dependency structure of a concrete
+algorithm — dissemination (works for any p) for the unrooted
+synchronizing collectives, binomial trees for the rooted ones.  These
+are the classic O(log p)-round algorithms the paper appeals to when it
+argues a collective "can be considered equivalent to log(p) periods of
+local computation and pairwise messaging" (§3.2).
+
+Every local processing segment (send/recv overhead) passes through the
+rank's OS-noise model, so a single noisy rank delays everyone — the
+"single slow processor induces idle time in all other processors"
+behaviour the paper highlights.
+
+All functions share a signature::
+
+    fn(entries, root, nbytes, network, noise_delay, rngs) -> exits
+
+where ``entries[r]`` is rank r's entry (global) time, ``noise_delay``
+is ``(rank, rng, t, duration) -> extra`` and ``rngs[r]`` is rank r's
+generator.  ``exits[r]`` is rank r's return time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro._util import ilog2_ceil
+from repro.mpisim.network import NetworkModel
+from repro.trace.events import EventKind
+
+__all__ = ["collective_exits", "dissemination_rounds", "binomial_parent", "binomial_children"]
+
+NoiseFn = Callable[[int, np.random.Generator, float, float], float]
+
+
+def dissemination_rounds(p: int) -> int:
+    """Number of rounds of the dissemination algorithm for ``p`` ranks."""
+    return ilog2_ceil(p) if p > 1 else 0
+
+
+def binomial_parent(v: int) -> int:
+    """Parent of virtual rank ``v`` in a binomial tree rooted at 0."""
+    if v == 0:
+        raise ValueError("root has no parent")
+    return v & (v - 1)  # clear lowest set bit
+
+
+def binomial_children(v: int, p: int) -> list[int]:
+    """Children of virtual rank ``v`` in a binomial tree over ``p`` ranks."""
+    children = []
+    bit = 1
+    # v's children are v | bit for bits above v's lowest set bit boundary
+    while True:
+        if v & bit:
+            break
+        child = v | bit
+        if child < p:
+            if child != v:
+                children.append(child)
+        bit <<= 1
+        if bit >= p:
+            break
+    return children
+
+
+def _overhead(
+    base: float, rank: int, t: float, noise_delay: NoiseFn, rngs: Sequence[np.random.Generator]
+) -> float:
+    return base + noise_delay(rank, rngs[rank], t, base)
+
+
+def _dissemination(
+    entries: Sequence[float],
+    payload_per_round: Callable[[int], int],
+    network: NetworkModel,
+    noise_delay: NoiseFn,
+    rngs: Sequence[np.random.Generator],
+    net_rng: np.random.Generator,
+) -> list[float]:
+    """Dissemination pattern: round k, rank r sends to (r+2^k) mod p and
+    receives from (r-2^k) mod p.  Correct for any p."""
+    p = len(entries)
+    busy = list(entries)
+    if p == 1:
+        return busy
+    for k in range(dissemination_rounds(p)):
+        step = 1 << k
+        nbytes = payload_per_round(k)
+        send_done = []
+        arrivals = []
+        for r in range(p):
+            s_end = busy[r] + _overhead(network.send_overhead, r, busy[r], noise_delay, rngs)
+            dstr = (r + step) % p
+            arrivals.append(s_end + network.wire_time(net_rng, r, dstr, nbytes))
+            send_done.append(s_end)
+        new_busy = []
+        for r in range(p):
+            src = (r - step) % p
+            t_in = max(send_done[r], arrivals[src])
+            new_busy.append(
+                t_in + _overhead(network.recv_overhead, r, t_in, noise_delay, rngs)
+            )
+        busy = new_busy
+    return busy
+
+
+def _binomial_down(
+    entries: Sequence[float],
+    root: int,
+    payload: Callable[[int], int],
+    network: NetworkModel,
+    noise_delay: NoiseFn,
+    rngs: Sequence[np.random.Generator],
+    net_rng: np.random.Generator,
+) -> list[float]:
+    """Root-to-leaves binomial tree (bcast/scatter).
+
+    ``payload(child_virtual)`` gives bytes sent to the subtree rooted at
+    that child (scatter sends the whole subtree's data; bcast sends the
+    full buffer each hop).
+    """
+    p = len(entries)
+    to_actual = lambda v: (v + root) % p
+    busy = [None] * p  # virtual-rank indexed "has data & free at" time
+    busy[0] = entries[root]
+    exits = [None] * p
+    # Process virtual ranks in increasing order: parents always before children.
+    for v in range(p):
+        if busy[v] is None:
+            raise RuntimeError("binomial order violated")  # pragma: no cover
+        a = to_actual(v)
+        for child in binomial_children(v, p):
+            s_end = busy[v] + _overhead(network.send_overhead, a, busy[v], noise_delay, rngs)
+            ca = to_actual(child)
+            arrival = s_end + network.wire_time(net_rng, a, ca, payload(child))
+            t_in = max(arrival, entries[ca])
+            busy[child] = t_in + _overhead(network.recv_overhead, ca, t_in, noise_delay, rngs)
+            busy[v] = s_end
+        exits[a] = busy[v]
+    return exits
+
+
+def _binomial_up(
+    entries: Sequence[float],
+    root: int,
+    payload: Callable[[int], int],
+    network: NetworkModel,
+    noise_delay: NoiseFn,
+    rngs: Sequence[np.random.Generator],
+    net_rng: np.random.Generator,
+) -> list[float]:
+    """Leaves-to-root binomial tree (reduce/gather).
+
+    ``payload(child_virtual)`` gives bytes the child sends up (gather
+    sends its whole received subtree; reduce sends a fixed buffer).
+    """
+    p = len(entries)
+    to_actual = lambda v: (v + root) % p
+    busy = [entries[to_actual(v)] for v in range(p)]
+    exits = [None] * p
+    # Children complete before parents consume them: descending order works
+    # because parent(v) < v in the binomial tree.
+    for v in range(p - 1, -1, -1):
+        a = to_actual(v)
+        if v != 0:
+            parent = binomial_parent(v)
+            pa = to_actual(parent)
+            s_end = busy[v] + _overhead(network.send_overhead, a, busy[v], noise_delay, rngs)
+            arrival = s_end + network.wire_time(net_rng, a, pa, payload(v))
+            t_in = max(arrival, busy[parent])
+            busy[parent] = t_in + _overhead(network.recv_overhead, pa, t_in, noise_delay, rngs)
+            busy[v] = s_end
+        exits[a] = busy[v]
+    return exits
+
+
+def collective_exits(
+    kind: EventKind,
+    entries: Sequence[float],
+    root: int,
+    nbytes: int,
+    network: NetworkModel,
+    noise_delay: NoiseFn,
+    rngs: Sequence[np.random.Generator],
+    net_rng: np.random.Generator,
+) -> list[float]:
+    """Exit times for one collective instance (dispatch by kind)."""
+    p = len(entries)
+    if p == 1:
+        return [e + network.send_overhead for e in entries]
+
+    if kind == EventKind.BARRIER:
+        return _dissemination(entries, lambda k: 0, network, noise_delay, rngs, net_rng)
+    if kind == EventKind.ALLREDUCE:
+        return _dissemination(entries, lambda k: nbytes, network, noise_delay, rngs, net_rng)
+    if kind == EventKind.ALLGATHER:
+        # Round k moves 2^k blocks of nbytes (capped at p blocks total).
+        return _dissemination(
+            entries,
+            lambda k: min(1 << k, p) * nbytes,
+            network,
+            noise_delay,
+            rngs,
+            net_rng,
+        )
+    if kind == EventKind.ALLTOALL:
+        # Model as log-rounds moving ~p/2 blocks per round (Bruck-style).
+        return _dissemination(
+            entries,
+            lambda k: max(p // 2, 1) * nbytes,
+            network,
+            noise_delay,
+            rngs,
+            net_rng,
+        )
+    if kind == EventKind.BCAST:
+        return _binomial_down(entries, root, lambda child: nbytes, network, noise_delay, rngs, net_rng)
+    if kind == EventKind.SCATTER:
+
+        def subtree(child: int) -> int:
+            # Child v owns virtual ranks [v, v + lowbit(v)) — lowbit = subtree size.
+            return (child & -child) * nbytes
+
+        return _binomial_down(entries, root, subtree, network, noise_delay, rngs, net_rng)
+    if kind == EventKind.REDUCE:
+        return _binomial_up(entries, root, lambda child: nbytes, network, noise_delay, rngs, net_rng)
+    if kind == EventKind.GATHER:
+
+        def subtree_up(child: int) -> int:
+            return (child & -child) * nbytes
+
+        return _binomial_up(entries, root, subtree_up, network, noise_delay, rngs, net_rng)
+    if kind == EventKind.SCAN:
+        # Inclusive prefix: a pipeline chain 0 -> 1 -> ... -> p-1; rank r
+        # forwards its running partial to r+1 once it holds prefixes 0..r.
+        busy = list(entries)
+        for r in range(1, p):
+            src = r - 1
+            s_end = busy[src] + _overhead(network.send_overhead, src, busy[src], noise_delay, rngs)
+            arrival = s_end + network.wire_time(net_rng, src, r, nbytes)
+            t_in = max(arrival, busy[r])
+            busy[r] = t_in + _overhead(network.recv_overhead, r, t_in, noise_delay, rngs)
+        return busy
+    if kind == EventKind.REDUCE_SCATTER:
+        # Recursive-halving timing: log rounds with shrinking payloads.
+        return _dissemination(
+            entries,
+            lambda k: max(p >> (k + 1), 1) * nbytes,
+            network,
+            noise_delay,
+            rngs,
+            net_rng,
+        )
+    raise ValueError(f"{kind.name} is not a collective")

@@ -1,0 +1,680 @@
+"""Discrete-event engine executing rank programs in virtual time.
+
+This is the "parallel machine" of our reproduction (DESIGN.md §2): rank
+programs (generators yielding :mod:`repro.mpisim.api` ops) advance
+through virtual cycles; point-to-point messages go through the
+:class:`~repro.mpisim.matching.Matcher` with eager/rendezvous protocol
+selection from the :class:`~repro.mpisim.network.NetworkModel`;
+collectives are timed by :mod:`repro.mpisim.collectives`; per-rank
+OS-noise models stretch every local processing segment; and a tracing
+hook observes every MPI-level event with its entry/exit times — the
+PMPI-wrapper role.
+
+Timing of the point-to-point protocols (all segments get noise added):
+
+eager (nbytes <= eager_threshold)
+    ``send_end = t0 + o_s``; payload arrives at
+    ``send_end + λ + nbytes/B``; ``recv_end = max(arrival, recv_ready) + o_r``.
+synchronous (rendezvous)
+    transfer starts at ``max(sender_ready, recv_ready)`` where
+    ``sender_ready = t0 + o_s``; arrival adds ``λ + nbytes/B``;
+    ``recv_end = arrival + o_r``; the sender unblocks one ack latency
+    after the receiver finished: ``send_end = recv_end + λ(dst→src)``.
+    This matches the three-way ``max`` structure of Eq. (1).
+
+The engine is deterministic given its seed: the heap breaks ties with a
+serial counter, and every rank owns an independent RNG stream.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro._util import as_rng, spawn_rng
+from repro.mpisim import api
+from repro.mpisim.collectives import collective_exits
+from repro.mpisim.matching import Matcher, PostedRecv, SimMessage
+from repro.mpisim.network import NetworkModel
+from repro.mpisim.request import Request, Status
+from repro.noise.models import NO_NOISE, NoiseModel
+from repro.trace.events import EventKind
+
+__all__ = ["Engine", "SimDeadlock", "SimError", "RankProgram"]
+
+RankProgram = Callable[[api.RankInfo], Iterator[api.Op]]
+
+
+class SimError(RuntimeError):
+    """Generic simulation failure (bad op, misuse of a request, ...)."""
+
+
+class SimDeadlock(SimError):
+    """No runnable rank and unfinished programs remain."""
+
+
+@dataclass
+class _Proc:
+    rank: int
+    gen: Iterator
+    done: bool = False
+    finish_time: float = 0.0
+    blocked_on: str = ""  # human-readable, for deadlock reports
+    coll_count: int = 0  # per-rank collective ordinal
+    event_count: int = 0
+
+
+@dataclass
+class _CollInstance:
+    kind: EventKind
+    root: int
+    nbytes: int
+    entries: dict = field(default_factory=dict)  # rank -> entry time
+
+
+class Engine:
+    """One simulation run over ``nprocs`` rank programs."""
+
+    def __init__(
+        self,
+        program: RankProgram,
+        nprocs: int,
+        network: NetworkModel | None = None,
+        noise: NoiseModel | Sequence[NoiseModel] | None = None,
+        seed: int | np.random.Generator | None = 0,
+        trace_hook: Callable | None = None,
+        call_overhead: float = 10.0,
+        max_events: int = 50_000_000,
+    ):
+        if nprocs < 1:
+            raise ValueError(f"nprocs must be >= 1, got {nprocs}")
+        self.nprocs = nprocs
+        self.network = network or NetworkModel()
+        if noise is None:
+            noise_models: list[NoiseModel] = [NO_NOISE] * nprocs
+        elif isinstance(noise, (list, tuple)):
+            if len(noise) != nprocs:
+                raise ValueError(f"need {nprocs} noise models, got {len(noise)}")
+            noise_models = list(noise)
+        else:
+            noise_models = [noise] * nprocs
+        self.noise = noise_models
+        root_rng = as_rng(seed)
+        self.rank_rngs = spawn_rng(root_rng, nprocs)
+        self.net_rng = as_rng(root_rng.integers(0, 2**63 - 1))
+        self.trace_hook = trace_hook
+        self.trace_patch = getattr(trace_hook, "__self__", None) and trace_hook.__self__.patch
+        self.call_overhead = call_overhead
+        self.max_events = max_events
+
+        self.now = 0.0
+        self._heap: list = []
+        self._serial = itertools.count()
+        self._procs = [
+            _Proc(rank=r, gen=program(api.RankInfo(rank=r, size=nprocs))) for r in range(nprocs)
+        ]
+        self._matcher = Matcher(nprocs)
+        self._collectives: dict[int, _CollInstance] = {}
+        self._req_counters = [itertools.count() for _ in range(nprocs)]
+        self._link_free: dict[tuple[int, int], float] = {}
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------ plumbing
+    def _at(self, when: float, fn: Callable[[], None]) -> None:
+        if when < self.now - 1e-9:
+            raise SimError(f"scheduling into the past: {when} < now {self.now}")
+        heapq.heappush(self._heap, (when, next(self._serial), fn))
+
+    def _noise_delay(self, rank: int, rng: np.random.Generator, t: float, duration: float) -> float:
+        return self.noise[rank].delay(rng, t, duration)
+
+    def _seg(self, rank: int, t: float, base: float) -> float:
+        """A local processing segment of nominal length ``base`` plus noise."""
+        return base + self._noise_delay(rank, self.rank_rngs[rank], t, base)
+
+    def _transmit(self, src: int, dst: int, nbytes: int, ready: float) -> float:
+        """Arrival time of a payload handed to the wire at ``ready``.
+
+        With contention enabled, the directed link serializes payloads
+        (bookkeeping follows engine dispatch order — an approximation for
+        transfers resolved out of wire order, which is the standard
+        compromise of trace-driven network models).
+        """
+        net = self.network
+        if not net.contention:
+            return ready + net.wire_time(self.net_rng, src, dst, nbytes)
+        payload = net.payload_time(nbytes)
+        start = max(ready, self._link_free.get((src, dst), 0.0))
+        self._link_free[(src, dst)] = start + payload
+        return start + payload + net.link_latency(src, dst) + net.sample_jitter(self.net_rng)
+
+    def _emit(self, rank: int, kind: EventKind, t_start: float, t_end: float, **meta):
+        self._procs[rank].event_count += 1
+        if self.trace_hook is not None:
+            return self.trace_hook(rank, kind, t_start, t_end, **meta)
+        return None
+
+    def _patch(self, token, *, peer: int, tag: int, nbytes: int) -> None:
+        """Late-resolve a wildcard IRECV's trace record (see tracing)."""
+        if token is not None and self.trace_patch is not None:
+            self.trace_patch(token, peer=peer, tag=tag, nbytes=nbytes)
+
+    def _resume(self, rank: int, value, when: float) -> None:
+        """Schedule the rank's generator to take its next step at logical
+        time ``when``.
+
+        ``when`` may lie before the engine's dispatch clock: a broadcast
+        leaf physically exits the collective before the last straggler
+        has even entered it, but the engine can only compute the exit
+        times once everyone arrived.  The step is dispatched no earlier
+        than ``self.now``, while the *logical* rank time carried into
+        the op handlers remains ``when`` — all timing arithmetic uses
+        explicit timestamps, never the dispatch clock.
+        """
+        proc = self._procs[rank]
+        proc.blocked_on = ""
+
+        def step() -> None:
+            try:
+                op = proc.gen.send(value)
+            except StopIteration:
+                self._finalize(rank, when)
+                return
+            self._handle(rank, op, when)
+
+        self._at(max(when, self.now), step)
+
+    def _finalize(self, rank: int, t0: float) -> None:
+        proc = self._procs[rank]
+        t1 = t0 + self.call_overhead
+        self._emit(rank, EventKind.FINALIZE, t0, t1)
+        proc.done = True
+        proc.finish_time = t1
+
+    # ------------------------------------------------------------------ run loop
+    def run(self) -> "list[float]":
+        """Execute to completion; return per-rank finish times."""
+        for rank in range(self.nprocs):
+            t1 = self.call_overhead
+            self._emit(rank, EventKind.INIT, 0.0, t1)
+            self._resume(rank, None, t1)
+        while self._heap:
+            when, _, fn = heapq.heappop(self._heap)
+            self.now = when
+            fn()
+            self._events_processed += 1
+            if self._events_processed > self.max_events:
+                raise SimError(f"exceeded max_events={self.max_events}; runaway program?")
+        stuck = [p for p in self._procs if not p.done]
+        if stuck:
+            lines = [f"rank {p.rank}: blocked on {p.blocked_on or '<unknown>'}" for p in stuck]
+            lines += self._matcher.describe_stuck()
+            raise SimDeadlock("deadlock with unfinished ranks:\n" + "\n".join(lines))
+        return [p.finish_time for p in self._procs]
+
+    # ------------------------------------------------------------------ dispatch
+    def _handle(self, rank: int, op: api.Op, t: float) -> None:
+        if isinstance(op, api.Compute):
+            self._resume(rank, None, t + self._seg(rank, t, op.cycles))
+        elif isinstance(op, api.Send):
+            self._do_send(rank, op, t)
+        elif isinstance(op, api.Recv):
+            self._do_recv(rank, op, t)
+        elif isinstance(op, api.Isend):
+            self._do_isend(rank, op, t)
+        elif isinstance(op, api.Irecv):
+            self._do_irecv(rank, op, t)
+        elif isinstance(op, api.Wait):
+            self._do_wait(rank, op, t)
+        elif isinstance(op, api.Waitall):
+            self._do_waitall(rank, op, t)
+        elif isinstance(op, api.Waitsome):
+            self._do_waitsome(rank, op, t)
+        elif isinstance(op, api.Test):
+            self._do_test(rank, op, t)
+        elif isinstance(op, api.Sendrecv):
+            self._do_sendrecv(rank, op, t)
+        elif isinstance(op, api.COLLECTIVE_OPS):
+            self._do_collective(rank, op, t)
+        else:
+            raise SimError(f"rank {rank} yielded a non-op: {op!r}")
+
+    # ------------------------------------------------------------------ p2p sends
+    def _check_peer(self, rank: int, peer: int, what: str) -> None:
+        if not 0 <= peer < self.nprocs:
+            raise SimError(f"rank {rank}: {what} peer {peer} out of range")
+        if peer == rank:
+            raise SimError(f"rank {rank}: self-{what} is not supported")
+
+    def _do_send(self, rank: int, op: api.Send, t: float) -> None:
+        self._check_peer(rank, op.dest, "send")
+        ready = t + self._seg(rank, t, self.network.send_overhead)
+        mode = getattr(op, "mode", "standard")
+        if mode == "ready":
+            # MPI_Rsend: erroneous unless the matching receive is posted.
+            if not self._matcher.has_posted_recv(rank, op.dest, op.tag):
+                raise SimError(
+                    f"rank {rank}: ready-mode send to {op.dest} (tag {op.tag}) "
+                    f"with no matching receive posted (erroneous MPI program)"
+                )
+            eager = True
+        elif mode == "buffered":
+            eager = True
+        elif mode == "synchronous":
+            eager = False
+        else:
+            eager = self.network.is_eager(op.nbytes)
+        if eager:
+            arrival = ready + self.network.wire_time(self.net_rng, rank, op.dest, op.nbytes)
+            pair = self._matcher.add_message(
+                SimMessage(rank, op.dest, op.tag, op.nbytes, sync=False, ready=arrival)
+            )
+            self._emit(
+                rank, EventKind.SEND, t, ready, peer=op.dest, tag=op.tag, nbytes=op.nbytes
+            )
+            self._resume(rank, None, ready)
+            if pair:
+                self._resolve(*pair)
+        else:
+            proc = self._procs[rank]
+            proc.blocked_on = f"Send(dest={op.dest}, tag={op.tag}, {op.nbytes}B, sync)"
+
+            def on_send_end(send_end: float) -> None:
+                self._emit(
+                    rank, EventKind.SEND, t, send_end, peer=op.dest, tag=op.tag, nbytes=op.nbytes
+                )
+                self._resume(rank, None, send_end)
+
+            pair = self._matcher.add_message(
+                SimMessage(
+                    rank, op.dest, op.tag, op.nbytes, sync=True, ready=ready, on_send_end=on_send_end
+                )
+            )
+            if pair:
+                self._resolve(*pair)
+
+    def _do_recv(self, rank: int, op: api.Recv, t: float) -> None:
+        if op.source != api.ANY_SOURCE:
+            self._check_peer(rank, op.source, "recv")
+        proc = self._procs[rank]
+        proc.blocked_on = f"Recv(source={op.source}, tag={op.tag})"
+
+        def on_complete(recv_end: float, msg: SimMessage) -> None:
+            status = Status(source=msg.src, tag=msg.tag, nbytes=msg.nbytes)
+            self._emit(
+                rank, EventKind.RECV, t, recv_end, peer=msg.src, tag=msg.tag, nbytes=msg.nbytes
+            )
+            self._resume(rank, status, recv_end)
+
+        pair = self._matcher.add_recv(
+            PostedRecv(dst=rank, source=op.source, tag=op.tag, ready=t, on_complete=on_complete)
+        )
+        if pair:
+            self._resolve(*pair)
+
+    def _resolve(self, msg: SimMessage, recv: PostedRecv) -> None:
+        """Compute completion times for a matched (message, receive) pair."""
+        dst = recv.dst
+        if msg.sync:
+            start = max(msg.ready, recv.ready)
+            arrival = self._transmit(msg.src, dst, msg.nbytes, start)
+            recv_end = arrival + self._seg(dst, arrival, self.network.recv_overhead)
+            send_end = recv_end + self.network.link_latency(dst, msg.src)
+            if msg.on_send_end is not None:
+                msg.on_send_end(send_end)
+        else:
+            t_in = max(msg.ready, recv.ready)
+            recv_end = t_in + self._seg(dst, t_in, self.network.recv_overhead)
+        recv.on_complete(recv_end, msg)
+
+    # ------------------------------------------------------------------ nonblocking
+    def _new_request(self, rank: int, is_send: bool, peer: int, tag: int, nbytes: int) -> Request:
+        rid = next(self._req_counters[rank])
+        return Request(rid, rank, is_send, peer, tag, nbytes)
+
+    def _do_isend(self, rank: int, op: api.Isend, t: float) -> None:
+        self._check_peer(rank, op.dest, "isend")
+        req = self._new_request(rank, True, op.dest, op.tag, op.nbytes)
+        call_end = t + self._seg(rank, t, self.network.send_overhead)
+        status = Status(source=rank, tag=op.tag, nbytes=op.nbytes)
+        if self.network.is_eager(op.nbytes):
+            arrival = self._transmit(rank, op.dest, op.nbytes, call_end)
+            req._complete(call_end, status)
+            pair = self._matcher.add_message(
+                SimMessage(rank, op.dest, op.tag, op.nbytes, sync=False, ready=arrival)
+            )
+        else:
+
+            def on_send_end(send_end: float) -> None:
+                req._complete(send_end, status)
+
+            pair = self._matcher.add_message(
+                SimMessage(
+                    rank,
+                    op.dest,
+                    op.tag,
+                    op.nbytes,
+                    sync=True,
+                    ready=call_end,
+                    on_send_end=on_send_end,
+                )
+            )
+        self._emit(
+            rank,
+            EventKind.ISEND,
+            t,
+            call_end,
+            peer=op.dest,
+            tag=op.tag,
+            nbytes=op.nbytes,
+            req=req.req_id,
+        )
+        self._resume(rank, req, call_end)
+        if pair:
+            self._resolve(*pair)
+
+    def _do_irecv(self, rank: int, op: api.Irecv, t: float) -> None:
+        if op.source != api.ANY_SOURCE:
+            self._check_peer(rank, op.source, "irecv")
+        req = self._new_request(rank, False, op.source, op.tag, 0)
+        call_end = t + self._seg(rank, t, self.call_overhead)
+        # Every IRECV record is patched at match time so the trace carries
+        # the resolved source/tag/size (what a real PMPI tracer reads from
+        # the eventual MPI_Status) — essential for wildcards, and it gives
+        # non-wildcard receives their actual payload size too.
+        token = self._emit(
+            rank,
+            EventKind.IRECV,
+            t,
+            call_end,
+            peer=op.source,
+            tag=op.tag,
+            req=req.req_id,
+            patchable=True,
+        )
+
+        def on_complete(recv_end: float, msg: SimMessage) -> None:
+            req._complete(recv_end, Status(source=msg.src, tag=msg.tag, nbytes=msg.nbytes))
+            self._patch(token, peer=msg.src, tag=msg.tag, nbytes=msg.nbytes)
+
+        pair = self._matcher.add_recv(
+            PostedRecv(dst=rank, source=op.source, tag=op.tag, ready=call_end, on_complete=on_complete)
+        )
+        self._resume(rank, req, call_end)
+        if pair:
+            self._resolve(*pair)
+
+    # A request may have a completion *time* assigned before that virtual time
+    # arrives (resolution happens when both endpoints are known).  Waiters must
+    # not observe a completion before its time, so observation goes through a
+    # scheduled callback at done_at.
+    def _when_observable(self, req: Request, cb: Callable[[float], None]) -> None:
+        if not isinstance(req, Request):
+            raise SimError(f"waited on non-request {req!r}")
+        if req.done:
+            cb(req.done_at)
+        else:
+            # Completion may be *assigned* (during match resolution) with a
+            # done_at in the virtual future; observation is deferred to that
+            # time via a scheduled callback.
+            req.add_waiter(lambda when: self._at(max(when, self.now), lambda: cb(when)))
+
+    def _do_wait(self, rank: int, op: api.Wait, t: float) -> None:
+        req: Request = op.request  # type: ignore[assignment]
+        if not isinstance(req, Request):
+            raise SimError(f"rank {rank}: Wait on non-request {req!r}")
+        if req.rank != rank:
+            raise SimError(f"rank {rank}: Wait on rank {req.rank}'s request")
+        proc = self._procs[rank]
+        proc.blocked_on = f"Wait(req={req.req_id})"
+
+        def finish(done_at: float) -> None:
+            end = max(done_at, t) + self.call_overhead
+            self._emit(
+                rank,
+                EventKind.WAIT,
+                t,
+                end,
+                peer=req.status.source if not req.is_send else req.peer,
+                tag=req.status.tag,
+                nbytes=req.status.nbytes,
+                reqs=(req.req_id,),
+                completed=(req.req_id,),
+            )
+            self._resume(rank, req.status, end)
+
+        self._when_observable(req, finish)
+
+    def _do_waitall(self, rank: int, op: api.Waitall, t: float) -> None:
+        reqs = list(op.requests)
+        for r in reqs:
+            if not isinstance(r, Request) or r.rank != rank:
+                raise SimError(f"rank {rank}: Waitall on invalid request {r!r}")
+        proc = self._procs[rank]
+        proc.blocked_on = f"Waitall({[r.req_id for r in reqs]})"
+        if not reqs:
+            end = t + self.call_overhead
+            self._emit(rank, EventKind.WAITALL, t, end, reqs=(), completed=())
+            self._resume(rank, [], end)
+            return
+        remaining = {id(r) for r in reqs if not r.done}
+        latest = max((r.done_at for r in reqs if r.done), default=t)
+
+        def finish() -> None:
+            end = max(latest, t) + self.call_overhead
+            ids = tuple(r.req_id for r in reqs)
+            self._emit(rank, EventKind.WAITALL, t, end, reqs=ids, completed=ids)
+            self._resume(rank, [r.status for r in reqs], end)
+
+        if not remaining:
+            finish()
+            return
+
+        def one_done(req: Request, when: float) -> None:
+            nonlocal latest
+            latest = max(latest, when)
+            remaining.discard(id(req))
+            if not remaining:
+                finish()
+
+        for r in reqs:
+            if not r.done:
+                self._when_observable(r, lambda when, _r=r: one_done(_r, when))
+
+    def _do_waitsome(self, rank: int, op: api.Waitsome, t: float) -> None:
+        reqs = list(op.requests)
+        for r in reqs:
+            if not isinstance(r, Request) or r.rank != rank:
+                raise SimError(f"rank {rank}: Waitsome on invalid request {r!r}")
+        proc = self._procs[rank]
+        proc.blocked_on = f"Waitsome({[r.req_id for r in reqs]})"
+        already = [r for r in reqs if r.done_by(t)]
+
+        def finish(done_at: float) -> None:
+            end = max(done_at, t) + self.call_overhead
+            done_now = [r for r in reqs if r.done_by(end)]
+            ids = tuple(r.req_id for r in reqs)
+            self._emit(
+                rank,
+                EventKind.WAITSOME,
+                t,
+                end,
+                reqs=ids,
+                completed=tuple(r.req_id for r in done_now),
+            )
+            self._resume(rank, done_now, end)
+
+        if already:
+            finish(t)
+            return
+        fired = False
+
+        def first_done(when: float) -> None:
+            nonlocal fired
+            if fired:
+                return
+            fired = True
+            finish(when)
+
+        for r in reqs:
+            self._when_observable(r, first_done)
+
+    def _do_test(self, rank: int, op: api.Test, t: float) -> None:
+        req: Request = op.request  # type: ignore[assignment]
+        if not isinstance(req, Request) or req.rank != rank:
+            raise SimError(f"rank {rank}: Test on invalid request {op.request!r}")
+        end = t + self.call_overhead
+        done = req.done_by(end)
+        self._emit(
+            rank,
+            EventKind.TEST,
+            t,
+            end,
+            reqs=(req.req_id,),
+            completed=(req.req_id,) if done else (),
+        )
+        self._resume(rank, (done, req.status if done else None), end)
+
+    # ------------------------------------------------------------------ sendrecv
+    def _do_sendrecv(self, rank: int, op: api.Sendrecv, t: float) -> None:
+        self._check_peer(rank, op.dest, "sendrecv-send")
+        if op.source != api.ANY_SOURCE:
+            self._check_peer(rank, op.source, "sendrecv-recv")
+        proc = self._procs[rank]
+        proc.blocked_on = f"Sendrecv(dest={op.dest}, source={op.source})"
+        state = {"send_end": None, "recv_end": None, "msg": None, "finished": False}
+
+        def maybe_finish() -> None:
+            if state["send_end"] is None or state["recv_end"] is None or state["finished"]:
+                return
+            state["finished"] = True
+            end = max(state["send_end"], state["recv_end"])
+            msg: SimMessage = state["msg"]
+            self._emit(
+                rank,
+                EventKind.SENDRECV,
+                t,
+                end,
+                peer=op.dest,
+                tag=op.send_tag,
+                nbytes=op.send_nbytes,
+                recv_peer=msg.src,
+                recv_tag=msg.tag,
+                recv_nbytes=msg.nbytes,
+            )
+            self._resume(rank, Status(source=msg.src, tag=msg.tag, nbytes=msg.nbytes), end)
+
+        # Receive half first (posted-before-send avoids artificial rendezvous
+        # deadlock when two ranks sendrecv each other).
+        def on_recv(recv_end: float, msg: SimMessage) -> None:
+            state["recv_end"] = recv_end
+            state["msg"] = msg
+            maybe_finish()
+
+        pair_r = self._matcher.add_recv(
+            PostedRecv(dst=rank, source=op.source, tag=op.recv_tag, ready=t, on_complete=on_recv)
+        )
+
+        ready = t + self._seg(rank, t, self.network.send_overhead)
+        if self.network.is_eager(op.send_nbytes):
+            arrival = self._transmit(rank, op.dest, op.send_nbytes, ready)
+            state["send_end"] = ready
+            pair_s = self._matcher.add_message(
+                SimMessage(rank, op.dest, op.send_tag, op.send_nbytes, sync=False, ready=arrival)
+            )
+        else:
+
+            def on_send_end(send_end: float) -> None:
+                state["send_end"] = send_end
+                maybe_finish()
+
+            pair_s = self._matcher.add_message(
+                SimMessage(
+                    rank,
+                    op.dest,
+                    op.send_tag,
+                    op.send_nbytes,
+                    sync=True,
+                    ready=ready,
+                    on_send_end=on_send_end,
+                )
+            )
+        if pair_r:
+            self._resolve(*pair_r)
+        if pair_s:
+            self._resolve(*pair_s)
+        maybe_finish()
+
+    # ------------------------------------------------------------------ collectives
+    _COLL_KIND = {
+        api.Barrier: EventKind.BARRIER,
+        api.Bcast: EventKind.BCAST,
+        api.Reduce: EventKind.REDUCE,
+        api.Allreduce: EventKind.ALLREDUCE,
+        api.Gather: EventKind.GATHER,
+        api.Scatter: EventKind.SCATTER,
+        api.Allgather: EventKind.ALLGATHER,
+        api.Alltoall: EventKind.ALLTOALL,
+        api.Scan: EventKind.SCAN,
+        api.ReduceScatter: EventKind.REDUCE_SCATTER,
+    }
+
+    def _do_collective(self, rank: int, op: api.Op, t: float) -> None:
+        kind = self._COLL_KIND[type(op)]
+        root = getattr(op, "root", -1)
+        nbytes = getattr(op, "nbytes", 0)
+        if root >= self.nprocs:
+            raise SimError(f"rank {rank}: collective root {root} out of range")
+        proc = self._procs[rank]
+        ordinal = proc.coll_count
+        proc.coll_count += 1
+        proc.blocked_on = f"{kind.name}(coll#{ordinal})"
+
+        inst = self._collectives.get(ordinal)
+        if inst is None:
+            inst = _CollInstance(kind=kind, root=root, nbytes=nbytes)
+            self._collectives[ordinal] = inst
+        else:
+            if inst.kind != kind:
+                raise SimError(
+                    f"collective #{ordinal}: rank {rank} called {kind.name} but others "
+                    f"called {inst.kind.name}"
+                )
+            if inst.root != root:
+                raise SimError(
+                    f"collective #{ordinal} ({kind.name}): root mismatch "
+                    f"({root} vs {inst.root})"
+                )
+        if rank in inst.entries:
+            raise SimError(f"rank {rank} entered collective #{ordinal} twice")
+        inst.entries[rank] = t
+        if len(inst.entries) < self.nprocs:
+            return
+        del self._collectives[ordinal]
+        entries = [inst.entries[r] for r in range(self.nprocs)]
+        exits = collective_exits(
+            kind,
+            entries,
+            root if root >= 0 else 0,
+            nbytes,
+            self.network,
+            self._noise_delay,
+            self.rank_rngs,
+            self.net_rng,
+        )
+        for r in range(self.nprocs):
+            end = max(exits[r], entries[r] + self.call_overhead)
+            self._emit(
+                r,
+                kind,
+                entries[r],
+                end,
+                nbytes=nbytes,
+                root=root,
+                coll_seq=ordinal,
+            )
+            self._resume(r, None, end)

@@ -1,0 +1,118 @@
+"""Runtime message matching for the simulated MPI layer.
+
+Pairs in-flight messages with posted receives following MPI matching
+rules: a receive with (source, tag) — either possibly wildcarded —
+matches the earliest-posted pending message from a matching channel;
+pending messages are kept in send-initiation order, so per-channel
+non-overtaking holds by construction.  This is the property the
+analyzer's order-based matcher (§4.1) later relies on when it re-pairs
+events from the traces alone.
+
+The matcher only *pairs*; completion-time arithmetic stays in the
+engine, which knows the network model and noise state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.mpisim.api import ANY_SOURCE, ANY_TAG
+
+__all__ = ["SimMessage", "PostedRecv", "Matcher"]
+
+
+@dataclass
+class SimMessage:
+    """One message in flight from ``src`` to ``dst``.
+
+    For eager messages ``ready`` is the arrival time of the payload at
+    the destination; for synchronous (rendezvous) messages it is the
+    time the *sender* became ready to start the transfer (the transfer
+    itself cannot begin until a receive is matched).
+    """
+
+    src: int
+    dst: int
+    tag: int
+    nbytes: int
+    sync: bool
+    ready: float
+    on_send_end: Optional[Callable[[float], None]] = None
+
+
+@dataclass
+class PostedRecv:
+    """A receive posted on ``dst`` awaiting a matching message."""
+
+    dst: int
+    source: int  # may be ANY_SOURCE
+    tag: int  # may be ANY_TAG
+    ready: float
+    on_complete: Callable[[float, "SimMessage"], None] = field(repr=False, default=None)
+
+    def matches(self, msg: SimMessage) -> bool:
+        if msg.dst != self.dst:
+            return False
+        if self.source != ANY_SOURCE and msg.src != self.source:
+            return False
+        if self.tag != ANY_TAG and msg.tag != self.tag:
+            return False
+        return True
+
+
+class Matcher:
+    """Per-destination pending-message and posted-receive queues."""
+
+    def __init__(self, nprocs: int):
+        self._pending: list[list[SimMessage]] = [[] for _ in range(nprocs)]
+        self._posted: list[list[PostedRecv]] = [[] for _ in range(nprocs)]
+
+    def add_message(self, msg: SimMessage) -> Optional[tuple[SimMessage, PostedRecv]]:
+        """Register a new message; return a pair if a posted recv matches."""
+        posted = self._posted[msg.dst]
+        for i, recv in enumerate(posted):
+            if recv.matches(msg):
+                del posted[i]
+                return msg, recv
+        self._pending[msg.dst].append(msg)
+        return None
+
+    def add_recv(self, recv: PostedRecv) -> Optional[tuple[SimMessage, PostedRecv]]:
+        """Post a receive; return a pair if a pending message matches."""
+        pending = self._pending[recv.dst]
+        for i, msg in enumerate(pending):
+            if recv.matches(msg):
+                del pending[i]
+                return msg, recv
+        self._posted[recv.dst].append(recv)
+        return None
+
+    def has_posted_recv(self, src: int, dst: int, tag: int) -> bool:
+        """Whether a receive matching ``(src, dst, tag)`` is already
+        posted (MPI_Rsend's readiness condition)."""
+        probe = SimMessage(src=src, dst=dst, tag=tag, nbytes=0, sync=False, ready=0.0)
+        return any(r.matches(probe) for r in self._posted[dst])
+
+    # -- diagnostics (deadlock reports, tests) ---------------------------------
+    def pending_count(self) -> int:
+        return sum(len(q) for q in self._pending)
+
+    def posted_count(self) -> int:
+        return sum(len(q) for q in self._posted)
+
+    def describe_stuck(self) -> list[str]:
+        """Human-readable lines for every unmatched message/receive."""
+        lines = []
+        for dst, msgs in enumerate(self._pending):
+            for m in msgs:
+                lines.append(
+                    f"unmatched message {m.src}->{dst} tag={m.tag} ({m.nbytes}B, "
+                    f"{'sync' if m.sync else 'eager'})"
+                )
+        for dst, recvs in enumerate(self._posted):
+            for r in recvs:
+                src = "ANY" if r.source == ANY_SOURCE else r.source
+                tag = "ANY" if r.tag == ANY_TAG else r.tag
+                lines.append(f"unmatched recv on {dst} from {src} tag={tag}")
+        return lines

@@ -1,0 +1,133 @@
+"""Interconnect model for the simulated machine.
+
+The paper's communication model needs latency (per-message), bandwidth
+(per-byte) and optional per-message jitter.  This module also carries
+the software overheads of the messaging layer (send/recv call costs and
+the eager threshold that decides buffered-vs-synchronous blocking
+sends), because those shape where time is spent inside traced events.
+
+Per-directed-link latency overrides let experiments build asymmetric or
+hierarchical topologies (e.g. one slow link) without a full routing
+model — adequate for the paper's ping-style benchmark assumptions (§5.2
+assumes iid symmetric links; the override is how we *violate* that
+assumption in tests to show where the methodology's assumptions bind).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro._util import check_nonnegative, check_positive
+from repro.noise.distributions import RandomVariable, ZERO
+
+__all__ = ["NetworkModel"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Timing parameters of the simulated interconnect (cycles, bytes).
+
+    Parameters
+    ----------
+    latency:
+        Base one-way wire latency in cycles.
+    bandwidth:
+        Bytes per cycle on the wire (payload time = nbytes / bandwidth).
+    send_overhead / recv_overhead:
+        CPU cycles spent inside the send / receive call itself.
+    eager_threshold:
+        Messages of at most this many bytes use the eager protocol
+        (blocking send completes after local injection); larger messages
+        are synchronous (sender blocks for the rendezvous round trip).
+    jitter:
+        Per-message random extra wire delay (sampled once per message).
+    latency_by_link:
+        Per-directed-link overrides of ``latency``.
+    contention:
+        When True, each directed link serializes payloads: a message's
+        wire transfer cannot start before the previous message on the
+        same link has finished serializing (the "network contention"
+        parameter of the Dimemas model, §1.1).  Latency pipelines;
+        payload time does not.
+    """
+
+    latency: float = 1000.0
+    bandwidth: float = 1.0
+    send_overhead: float = 200.0
+    recv_overhead: float = 200.0
+    eager_threshold: int = 8192
+    jitter: RandomVariable = ZERO
+    latency_by_link: Mapping[tuple[int, int], float] = field(default_factory=dict)
+    contention: bool = False
+
+    def __post_init__(self) -> None:
+        check_nonnegative("latency", self.latency)
+        check_positive("bandwidth", self.bandwidth)
+        check_nonnegative("send_overhead", self.send_overhead)
+        check_nonnegative("recv_overhead", self.recv_overhead)
+        if self.eager_threshold < 0:
+            raise ValueError("eager_threshold must be >= 0")
+        for (src, dst), lat in self.latency_by_link.items():
+            check_nonnegative(f"latency_by_link[{src}->{dst}]", lat)
+
+    # -- queries -----------------------------------------------------------------
+    def link_latency(self, src: int, dst: int) -> float:
+        """One-way base latency for the directed link ``src -> dst``."""
+        return self.latency_by_link.get((src, dst), self.latency)
+
+    def payload_time(self, nbytes: int) -> float:
+        """Pure serialization time of ``nbytes`` at full bandwidth."""
+        return nbytes / self.bandwidth
+
+    def sample_jitter(self, rng: np.random.Generator) -> float:
+        """One per-message jitter draw (0 when no jitter configured)."""
+        return max(self.jitter.sample(rng), 0.0) if self.jitter is not ZERO else 0.0
+
+    def wire_time(self, rng: np.random.Generator, src: int, dst: int, nbytes: int) -> float:
+        """Latency + payload + sampled jitter for one message
+        (contention-free view; the engine layers link serialization on
+        top when ``contention`` is set)."""
+        return self.link_latency(src, dst) + self.payload_time(nbytes) + self.sample_jitter(rng)
+
+    def is_eager(self, nbytes: int) -> bool:
+        return nbytes <= self.eager_threshold
+
+    # -- variants -----------------------------------------------------------------
+    def with_latency(self, latency: float) -> "NetworkModel":
+        return NetworkModel(
+            latency=latency,
+            bandwidth=self.bandwidth,
+            send_overhead=self.send_overhead,
+            recv_overhead=self.recv_overhead,
+            eager_threshold=self.eager_threshold,
+            jitter=self.jitter,
+            latency_by_link=dict(self.latency_by_link),
+            contention=self.contention,
+        )
+
+    def with_jitter(self, jitter: RandomVariable) -> "NetworkModel":
+        return NetworkModel(
+            latency=self.latency,
+            bandwidth=self.bandwidth,
+            send_overhead=self.send_overhead,
+            recv_overhead=self.recv_overhead,
+            eager_threshold=self.eager_threshold,
+            jitter=jitter,
+            latency_by_link=dict(self.latency_by_link),
+            contention=self.contention,
+        )
+
+    def with_contention(self, contention: bool = True) -> "NetworkModel":
+        return NetworkModel(
+            latency=self.latency,
+            bandwidth=self.bandwidth,
+            send_overhead=self.send_overhead,
+            recv_overhead=self.recv_overhead,
+            eager_threshold=self.eager_threshold,
+            jitter=self.jitter,
+            latency_by_link=dict(self.latency_by_link),
+            contention=contention,
+        )

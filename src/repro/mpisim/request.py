@@ -1,0 +1,97 @@
+"""Requests and statuses for nonblocking simulated operations.
+
+A :class:`Request` is the handle returned by Isend/Irecv; the "status
+flags that uniquely identify the send/receive transaction" of Fig. 3 are
+its ``req_id``, which the tracing layer writes into both the ISEND/IRECV
+event and the completing WAIT* event so the graph builder can match the
+pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Status", "Request"]
+
+
+@dataclass(frozen=True)
+class Status:
+    """Completion metadata of a receive (or send) — like MPI_Status."""
+
+    source: int
+    tag: int
+    nbytes: int
+
+
+class Request:
+    """Handle for an in-flight nonblocking operation."""
+
+    __slots__ = (
+        "req_id",
+        "rank",
+        "is_send",
+        "peer",
+        "tag",
+        "nbytes",
+        "_done_at",
+        "_status",
+        "_waiters",
+    )
+
+    def __init__(self, req_id: int, rank: int, is_send: bool, peer: int, tag: int, nbytes: int):
+        self.req_id = req_id
+        self.rank = rank
+        self.is_send = is_send
+        self.peer = peer  # may stay ANY_SOURCE until a receive matches
+        self.tag = tag
+        self.nbytes = nbytes
+        self._done_at: float | None = None
+        self._status: Status | None = None
+        self._waiters: list = []
+
+    # -- engine-side mutation -------------------------------------------------
+    def _complete(self, when: float, status: Status) -> None:
+        if self._done_at is not None:
+            raise RuntimeError(f"request {self.req_id} completed twice")
+        self._done_at = when
+        self._status = status
+        waiters, self._waiters = self._waiters, []
+        for cb in waiters:
+            cb(when)
+
+    def add_waiter(self, cb) -> None:
+        """Engine hook: call ``cb(done_at)`` once the request completes.
+
+        Must only be used on incomplete requests (the engine checks
+        ``done`` first and handles the completed case directly).
+        """
+        if self._done_at is not None:
+            raise RuntimeError("add_waiter on a completed request; check done first")
+        self._waiters.append(cb)
+
+    # -- inspection -----------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self._done_at is not None
+
+    @property
+    def done_at(self) -> float:
+        """Virtual time at which the operation completed."""
+        if self._done_at is None:
+            raise RuntimeError(f"request {self.req_id} is not complete")
+        return self._done_at
+
+    def done_by(self, when: float) -> bool:
+        """Whether the op had completed at or before virtual time ``when``."""
+        return self._done_at is not None and self._done_at <= when
+
+    @property
+    def status(self) -> Status:
+        if self._status is None:
+            raise RuntimeError(f"request {self.req_id} is not complete")
+        return self._status
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "isend" if self.is_send else "irecv"
+        state = f"done@{self._done_at}" if self.done else "pending"
+        return f"<Request {self.req_id} {kind} r{self.rank}<->{self.peer} tag={self.tag} {state}>"

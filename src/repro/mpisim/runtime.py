@@ -1,0 +1,172 @@
+"""High-level entry points for running simulated MPI programs.
+
+Bundles the engine, the tracing hook, the network and noise
+configuration, and per-rank local clocks into a single call::
+
+    result = run(token_ring_program, nprocs=8, seed=1)
+    result.finish_times      # per-rank completion (global virtual time)
+    result.trace             # MemoryTrace / TraceSet of the run
+
+``Machine`` captures the physical configuration (what the program runs
+*on*); :mod:`repro.machines.presets` provides named instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.mpisim.clock import LocalClock, perfect_clocks, random_clocks
+from repro.mpisim.engine import Engine, RankProgram
+from repro.mpisim.network import NetworkModel
+from repro.mpisim.tracing import FileCollector, MemoryCollector
+from repro.noise.models import NO_NOISE, NoiseModel
+from repro.trace.reader import MemoryTrace, TraceSet
+
+__all__ = ["Machine", "RunResult", "run", "run_to_files"]
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A simulated platform: interconnect + per-node OS noise + clocks."""
+
+    nprocs: int
+    network: NetworkModel = field(default_factory=NetworkModel)
+    noise: NoiseModel | tuple = NO_NOISE
+    clocks: tuple = ()
+    name: str = "machine"
+
+    def __post_init__(self) -> None:
+        if self.nprocs < 1:
+            raise ValueError(f"nprocs must be >= 1, got {self.nprocs}")
+        if self.clocks and len(self.clocks) != self.nprocs:
+            raise ValueError(f"need {self.nprocs} clocks, got {len(self.clocks)}")
+        if isinstance(self.noise, (list, tuple)) and len(self.noise) != self.nprocs:
+            raise ValueError(f"need {self.nprocs} noise models, got {len(self.noise)}")
+
+    def resolved_clocks(self) -> list[LocalClock]:
+        return list(self.clocks) if self.clocks else perfect_clocks(self.nprocs)
+
+    def with_skewed_clocks(self, seed: int = 0) -> "Machine":
+        """Same machine with random per-rank clock skew/drift (§4.1)."""
+        return Machine(
+            nprocs=self.nprocs,
+            network=self.network,
+            noise=self.noise,
+            clocks=tuple(random_clocks(self.nprocs, seed)),
+            name=self.name,
+        )
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated run."""
+
+    finish_times: list
+    trace: MemoryTrace | TraceSet | None
+    nprocs: int
+    events_processed: int
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the slowest rank (global virtual time)."""
+        return max(self.finish_times)
+
+
+def _make_engine(
+    program: RankProgram,
+    machine: Machine,
+    seed,
+    collector,
+    call_overhead: float,
+    max_events: int,
+) -> Engine:
+    noise = machine.noise
+    if isinstance(noise, tuple):
+        noise = list(noise)
+    return Engine(
+        program,
+        machine.nprocs,
+        network=machine.network,
+        noise=noise,
+        seed=seed,
+        trace_hook=collector.hook if collector is not None else None,
+        call_overhead=call_overhead,
+        max_events=max_events,
+    )
+
+
+def run(
+    program: RankProgram,
+    nprocs: int | None = None,
+    machine: Machine | None = None,
+    seed: int | np.random.Generator | None = 0,
+    trace: bool = True,
+    program_name: str = "",
+    call_overhead: float = 10.0,
+    max_events: int = 50_000_000,
+) -> RunResult:
+    """Run ``program`` on ``machine`` (or a default quiet machine of
+    ``nprocs`` ranks) collecting an in-memory trace."""
+    if machine is None:
+        if nprocs is None:
+            raise ValueError("provide either nprocs or machine")
+        machine = Machine(nprocs=nprocs)
+    elif nprocs is not None and nprocs != machine.nprocs:
+        raise ValueError(f"nprocs {nprocs} disagrees with machine.nprocs {machine.nprocs}")
+    collector = (
+        MemoryCollector(machine.nprocs, machine.resolved_clocks(), program=program_name)
+        if trace
+        else None
+    )
+    engine = _make_engine(program, machine, seed, collector, call_overhead, max_events)
+    finish = engine.run()
+    return RunResult(
+        finish_times=finish,
+        trace=collector.trace() if collector is not None else None,
+        nprocs=machine.nprocs,
+        events_processed=engine._events_processed,
+    )
+
+
+def run_to_files(
+    program: RankProgram,
+    directory: str | Path,
+    stem: str,
+    nprocs: int | None = None,
+    machine: Machine | None = None,
+    seed: int | np.random.Generator | None = 0,
+    program_name: str = "",
+    buffer_events: int = 4096,
+    binary: bool = False,
+    call_overhead: float = 10.0,
+    max_events: int = 50_000_000,
+) -> RunResult:
+    """Run ``program`` writing buffered per-rank trace files (§4)."""
+    if machine is None:
+        if nprocs is None:
+            raise ValueError("provide either nprocs or machine")
+        machine = Machine(nprocs=nprocs)
+    collector = FileCollector(
+        directory,
+        stem,
+        machine.nprocs,
+        clocks=machine.resolved_clocks(),
+        program=program_name,
+        buffer_events=buffer_events,
+        binary=binary,
+    )
+    engine = _make_engine(program, machine, seed, collector, call_overhead, max_events)
+    try:
+        finish = engine.run()
+    finally:
+        collector.close()
+    return RunResult(
+        finish_times=finish,
+        trace=TraceSet.open(directory, stem),
+        nprocs=machine.nprocs,
+        events_processed=engine._events_processed,
+    )

@@ -1,0 +1,66 @@
+"""Perturbation parameterization (§5 of the paper).
+
+Distributions (parametric and empirical), fitting from microbenchmark
+samples, synthetic OS-noise generators, and the machine-signature bundle
+the analyzer consumes.
+"""
+
+from repro.noise.distributions import (
+    ZERO,
+    BernoulliSpike,
+    Constant,
+    Exponential,
+    Gamma,
+    LogNormal,
+    Mixture,
+    Normal,
+    Pareto,
+    RandomVariable,
+    Scaled,
+    Shifted,
+    TruncatedNormal,
+    Uniform,
+    Weibull,
+)
+from repro.noise.empirical import Empirical, ecdf
+from repro.noise.fitting import FitResult, fit_best
+from repro.noise.models import (
+    NO_NOISE,
+    CompositeNoise,
+    DistributionNoise,
+    NoiseModel,
+    NoNoise,
+    PeriodicDaemon,
+    RandomPreemption,
+)
+from repro.noise.signature import MachineSignature
+
+__all__ = [
+    "ZERO",
+    "BernoulliSpike",
+    "Constant",
+    "Exponential",
+    "Gamma",
+    "LogNormal",
+    "Mixture",
+    "Normal",
+    "Pareto",
+    "RandomVariable",
+    "Scaled",
+    "Shifted",
+    "TruncatedNormal",
+    "Uniform",
+    "Weibull",
+    "Empirical",
+    "ecdf",
+    "FitResult",
+    "fit_best",
+    "NO_NOISE",
+    "CompositeNoise",
+    "DistributionNoise",
+    "NoiseModel",
+    "NoNoise",
+    "PeriodicDaemon",
+    "RandomPreemption",
+    "MachineSignature",
+]

@@ -1,0 +1,173 @@
+"""Parameter estimation for assumed distribution families (§5, method 1).
+
+Given microbenchmark samples, estimate the parameters of an assumed
+family (exponential, normal, log-normal, gamma, pareto) and report the
+goodness of fit (one-sample Kolmogorov–Smirnov via scipy).  The
+``fit_best`` helper tries every family and returns the one with the
+smallest KS statistic — the automated version of "pick a model that
+looks right", useful when sweeping many machine signatures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+from scipy import stats
+
+from repro.noise.distributions import (
+    Exponential,
+    Gamma,
+    LogNormal,
+    Normal,
+    Pareto,
+    RandomVariable,
+    Weibull,
+)
+from repro.noise.empirical import Empirical
+
+__all__ = [
+    "FitResult",
+    "fit_exponential",
+    "fit_normal",
+    "fit_lognormal",
+    "fit_gamma",
+    "fit_pareto",
+    "fit_weibull",
+    "fit_best",
+    "FAMILIES",
+]
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Outcome of fitting one family to a sample set."""
+
+    family: str
+    distribution: RandomVariable
+    ks_statistic: float
+    ks_pvalue: float
+
+    def acceptable(self, alpha: float = 0.05) -> bool:
+        """True when the KS test does *not* reject the fit at level ``alpha``."""
+        return self.ks_pvalue >= alpha
+
+
+def _as_array(samples: Sequence[float], positive: bool = False) -> np.ndarray:
+    arr = np.asarray(samples, dtype=float)
+    if arr.ndim != 1 or arr.size < 2:
+        raise ValueError("fitting requires at least two 1-D samples")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("samples must be finite")
+    if positive and np.any(arr <= 0):
+        raise ValueError("this family requires strictly positive samples")
+    return arr
+
+
+def _ks(arr: np.ndarray, cdf: Callable, args: tuple) -> tuple[float, float]:
+    res = stats.kstest(arr, cdf, args=args)
+    return float(res.statistic), float(res.pvalue)
+
+
+def fit_exponential(samples: Sequence[float]) -> FitResult:
+    """MLE exponential fit: mean = sample mean."""
+    arr = _as_array(samples)
+    if np.any(arr < 0):
+        raise ValueError("exponential requires nonnegative samples")
+    mean = float(arr.mean())
+    if mean <= 0:
+        raise ValueError("exponential fit requires a positive sample mean")
+    ks, pv = _ks(arr, "expon", (0.0, mean))
+    return FitResult("exponential", Exponential(mean), ks, pv)
+
+
+def fit_normal(samples: Sequence[float]) -> FitResult:
+    """MLE normal fit: (sample mean, sample std)."""
+    arr = _as_array(samples)
+    mu, sigma = float(arr.mean()), float(arr.std())
+    sigma = max(sigma, 1e-12)
+    ks, pv = _ks(arr, "norm", (mu, sigma))
+    return FitResult("normal", Normal(mu, sigma), ks, pv)
+
+
+def fit_lognormal(samples: Sequence[float]) -> FitResult:
+    """MLE log-normal fit on log-samples."""
+    arr = _as_array(samples, positive=True)
+    logs = np.log(arr)
+    mu, sigma = float(logs.mean()), float(logs.std())
+    sigma = max(sigma, 1e-12)
+    ks, pv = _ks(arr, "lognorm", (sigma, 0.0, math.exp(mu)))
+    return FitResult("lognormal", LogNormal(mu, sigma), ks, pv)
+
+
+def fit_gamma(samples: Sequence[float]) -> FitResult:
+    """Method-of-moments gamma fit (robust, no iteration)."""
+    arr = _as_array(samples, positive=True)
+    mean, var = float(arr.mean()), float(arr.var())
+    var = max(var, 1e-24)
+    shape = mean**2 / var
+    scale = var / mean
+    ks, pv = _ks(arr, "gamma", (shape, 0.0, scale))
+    return FitResult("gamma", Gamma(shape, scale), ks, pv)
+
+
+def fit_pareto(samples: Sequence[float]) -> FitResult:
+    """Hill-style MLE Pareto fit (minimum = sample min)."""
+    arr = _as_array(samples, positive=True)
+    xm = float(arr.min())
+    ratios = np.log(arr / xm)
+    mean_log = float(ratios.mean())
+    alpha = 1.0 / max(mean_log, 1e-12)
+    ks, pv = _ks(arr, "pareto", (alpha, 0.0, xm))
+    return FitResult("pareto", Pareto(alpha, xm), ks, pv)
+
+
+def fit_weibull(samples: Sequence[float]) -> FitResult:
+    """Weibull fit via scipy's MLE (location pinned at 0)."""
+    arr = _as_array(samples, positive=True)
+    shape, _loc, scale = stats.weibull_min.fit(arr, floc=0.0)
+    ks, pv = _ks(arr, "weibull_min", (shape, 0.0, scale))
+    return FitResult("weibull", Weibull(shape, scale), ks, pv)
+
+
+FAMILIES: dict[str, Callable[[Sequence[float]], FitResult]] = {
+    "exponential": fit_exponential,
+    "normal": fit_normal,
+    "lognormal": fit_lognormal,
+    "gamma": fit_gamma,
+    "pareto": fit_pareto,
+    "weibull": fit_weibull,
+}
+
+
+def fit_best(
+    samples: Sequence[float],
+    families: Sequence[str] | None = None,
+    fallback_empirical: bool = True,
+) -> FitResult:
+    """Fit every requested family and return the best by KS statistic.
+
+    When no family fits (e.g. multimodal daemon noise) and
+    ``fallback_empirical`` is set, returns an :class:`Empirical`
+    distribution instead — mirroring the paper's position that empirical
+    distributions are the safe general answer.
+    """
+    names = list(families) if families is not None else list(FAMILIES)
+    results: list[FitResult] = []
+    for name in names:
+        if name not in FAMILIES:
+            raise KeyError(f"unknown family {name!r}; choose from {sorted(FAMILIES)}")
+        try:
+            results.append(FAMILIES[name](samples))
+        except ValueError:
+            continue  # family inapplicable to this sample's support
+    if results:
+        best = min(results, key=lambda r: r.ks_statistic)
+        if best.acceptable() or not fallback_empirical:
+            return best
+    if not fallback_empirical:
+        raise ValueError("no parametric family could be fitted")
+    emp = Empirical(samples)
+    return FitResult("empirical", emp, 0.0, 1.0)

@@ -1,0 +1,156 @@
+"""Synthetic operating-system noise generators.
+
+These play the role of the *physical machine* in our reproduction: the
+simulator (:mod:`repro.mpisim`) asks a noise model how much extra time a
+compute or messaging phase loses to the OS, exactly the way a real node
+loses cycles to kernel daemons.  The microbenchmarks of §5.1 then probe
+these generators — without being told their parameters — and the fitted
+or empirical distributions they recover are what parameterizes the
+graph-perturbation analysis.  That closes the paper's loop:
+machine → microbenchmark → signature → analysis.
+
+A noise model answers one question::
+
+    delay(rng, t_start, duration) -> float
+
+"how much total interference does a phase of ``duration`` cycles
+starting at local time ``t_start`` suffer?"  Time-dependence matters:
+periodic daemons hit phases that overlap their firing times, which is
+what the FTQ benchmark is designed to detect.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro._util import check_nonnegative, check_positive
+from repro.noise.distributions import Constant, RandomVariable
+
+__all__ = [
+    "NoiseModel",
+    "NoNoise",
+    "RandomPreemption",
+    "PeriodicDaemon",
+    "DistributionNoise",
+    "CompositeNoise",
+    "NO_NOISE",
+]
+
+
+@runtime_checkable
+class NoiseModel(Protocol):
+    """Protocol for OS-interference generators."""
+
+    def delay(self, rng: np.random.Generator, t_start: float, duration: float) -> float:
+        """Total extra cycles lost in the phase ``[t_start, t_start+duration)``."""
+
+
+@dataclass(frozen=True)
+class NoNoise:
+    """The idealized noiseless lightweight-kernel node."""
+
+    def delay(self, rng: np.random.Generator, t_start: float, duration: float) -> float:
+        return 0.0
+
+
+NO_NOISE = NoNoise()
+
+
+@dataclass(frozen=True)
+class RandomPreemption:
+    """Memoryless preemptions: Poisson arrivals, random cost each.
+
+    ``rate`` is expected preemptions per cycle (tiny numbers — e.g.
+    ``1e-6`` means one preemption per million cycles); ``cost`` is the
+    per-preemption delay distribution.
+    """
+
+    rate: float
+    cost: RandomVariable
+
+    def __post_init__(self) -> None:
+        check_nonnegative("RandomPreemption rate", self.rate)
+
+    def delay(self, rng: np.random.Generator, t_start: float, duration: float) -> float:
+        if duration <= 0 or self.rate == 0.0:
+            return 0.0
+        hits = rng.poisson(self.rate * duration)
+        if hits == 0:
+            return 0.0
+        return float(np.sum(np.maximum(self.cost.sample_n(rng, hits), 0.0)))
+
+
+@dataclass(frozen=True)
+class PeriodicDaemon:
+    """A daemon firing every ``period`` cycles with phase ``phase``.
+
+    Each firing inside the phase window costs a draw from ``cost``.
+    This is the canonical structure FTQ exposes as periodic dips in
+    work-per-quantum (Sottile & Minnich 2004).
+    """
+
+    period: float
+    cost: RandomVariable
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive("PeriodicDaemon period", self.period)
+        check_nonnegative("PeriodicDaemon phase", self.phase)
+
+    def delay(self, rng: np.random.Generator, t_start: float, duration: float) -> float:
+        if duration <= 0:
+            return 0.0
+        # Daemon fires at phase + k*period; count firings in [t_start, t_start+duration).
+        first = math.ceil((t_start - self.phase) / self.period)
+        last = math.ceil((t_start + duration - self.phase) / self.period) - 1
+        hits = last - first + 1
+        if hits <= 0:
+            return 0.0
+        return float(np.sum(np.maximum(self.cost.sample_n(rng, hits), 0.0)))
+
+    def firings(self, t_start: float, duration: float) -> np.ndarray:
+        """Local times of daemon firings inside the window (for tests)."""
+        first = math.ceil((t_start - self.phase) / self.period)
+        last = math.ceil((t_start + duration - self.phase) / self.period) - 1
+        if last < first:
+            return np.empty(0, dtype=float)
+        ks = np.arange(first, last + 1, dtype=float)
+        return self.phase + ks * self.period
+
+
+@dataclass(frozen=True)
+class DistributionNoise:
+    """Stateless per-phase noise: one draw from ``dist`` per phase,
+    optionally scaled by phase duration.
+
+    With ``per_cycle=True`` the draw is interpreted as noise *per cycle*
+    of work (useful for modeling slowdown factors); otherwise it is an
+    absolute per-phase delay — which matches how the paper attaches one
+    δ_os sample per local edge.
+    """
+
+    dist: RandomVariable
+    per_cycle: bool = False
+
+    def delay(self, rng: np.random.Generator, t_start: float, duration: float) -> float:
+        if duration <= 0:
+            return 0.0
+        draw = max(self.dist.sample(rng), 0.0)
+        return draw * duration if self.per_cycle else draw
+
+
+@dataclass(frozen=True)
+class CompositeNoise:
+    """Sum of independent noise sources (daemons + preemptions + ...)."""
+
+    parts: tuple
+
+    def __init__(self, parts: Sequence[NoiseModel]):
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def delay(self, rng: np.random.Generator, t_start: float, duration: float) -> float:
+        return float(sum(p.delay(rng, t_start, duration) for p in self.parts))

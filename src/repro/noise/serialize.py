@@ -1,0 +1,116 @@
+"""JSON (de)serialization for distributions and noise models.
+
+Machine signatures travel: the CLI writes them to disk, the experiment
+history (:mod:`repro.core.history`) stores the exact parameterization of
+every run, and tests round-trip them.  The representation is a plain
+JSON-able dict with a ``"kind"`` tag.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.noise import distributions as d
+from repro.noise import models as m
+from repro.noise.empirical import Empirical
+
+__all__ = ["to_jsonable", "from_jsonable"]
+
+
+def to_jsonable(obj: Any) -> dict:
+    """Encode a distribution or noise model as a JSON-able dict."""
+    t = type(obj)
+    if t is d.Constant:
+        return {"kind": "constant", "value": obj.value}
+    if t is d.Uniform:
+        return {"kind": "uniform", "low": obj.low, "high": obj.high}
+    if t is d.Exponential:
+        return {"kind": "exponential", "mean": obj.mean_value}
+    if t is d.Normal:
+        return {"kind": "normal", "mu": obj.mu, "sigma": obj.sigma}
+    if t is d.TruncatedNormal:
+        return {"kind": "truncated_normal", "mu": obj.mu, "sigma": obj.sigma, "lower": obj.lower}
+    if t is d.LogNormal:
+        return {"kind": "lognormal", "mu": obj.mu, "sigma": obj.sigma}
+    if t is d.Gamma:
+        return {"kind": "gamma", "shape": obj.shape, "scale": obj.scale}
+    if t is d.Pareto:
+        return {"kind": "pareto", "alpha": obj.alpha, "minimum": obj.minimum}
+    if t is d.Weibull:
+        return {"kind": "weibull", "shape": obj.shape, "scale": obj.scale}
+    if t is d.BernoulliSpike:
+        return {"kind": "bernoulli_spike", "p": obj.p, "spike": to_jsonable(obj.spike)}
+    if t is d.Mixture:
+        return {
+            "kind": "mixture",
+            "components": [to_jsonable(c) for c in obj.components],
+            "weights": list(obj.weights),
+        }
+    if t is d.Shifted:
+        return {"kind": "shifted", "base": to_jsonable(obj.base), "offset": obj.offset}
+    if t is d.Scaled:
+        return {"kind": "scaled", "base": to_jsonable(obj.base), "factor": obj.factor}
+    if t is Empirical:
+        return {"kind": "empirical", "samples": list(obj.samples), "interpolate": obj.interpolate}
+    if t is m.NoNoise:
+        return {"kind": "no_noise"}
+    if t is m.RandomPreemption:
+        return {"kind": "random_preemption", "rate": obj.rate, "cost": to_jsonable(obj.cost)}
+    if t is m.PeriodicDaemon:
+        return {
+            "kind": "periodic_daemon",
+            "period": obj.period,
+            "cost": to_jsonable(obj.cost),
+            "phase": obj.phase,
+        }
+    if t is m.DistributionNoise:
+        return {"kind": "distribution_noise", "dist": to_jsonable(obj.dist), "per_cycle": obj.per_cycle}
+    if t is m.CompositeNoise:
+        return {"kind": "composite_noise", "parts": [to_jsonable(p) for p in obj.parts]}
+    raise TypeError(f"cannot serialize object of type {t.__name__}")
+
+
+def from_jsonable(data: dict) -> Any:
+    """Decode a dict produced by :func:`to_jsonable`."""
+    if not isinstance(data, dict) or "kind" not in data:
+        raise ValueError(f"not a serialized distribution/model: {data!r}")
+    kind = data["kind"]
+    if kind == "constant":
+        return d.Constant(data["value"])
+    if kind == "uniform":
+        return d.Uniform(data["low"], data["high"])
+    if kind == "exponential":
+        return d.Exponential(data["mean"])
+    if kind == "normal":
+        return d.Normal(data["mu"], data["sigma"])
+    if kind == "truncated_normal":
+        return d.TruncatedNormal(data["mu"], data["sigma"], data.get("lower", 0.0))
+    if kind == "lognormal":
+        return d.LogNormal(data["mu"], data["sigma"])
+    if kind == "gamma":
+        return d.Gamma(data["shape"], data["scale"])
+    if kind == "pareto":
+        return d.Pareto(data["alpha"], data["minimum"])
+    if kind == "weibull":
+        return d.Weibull(data["shape"], data["scale"])
+    if kind == "bernoulli_spike":
+        return d.BernoulliSpike(data["p"], from_jsonable(data["spike"]))
+    if kind == "mixture":
+        return d.Mixture([from_jsonable(c) for c in data["components"]], data["weights"])
+    if kind == "shifted":
+        return d.Shifted(from_jsonable(data["base"]), data["offset"])
+    if kind == "scaled":
+        return d.Scaled(from_jsonable(data["base"]), data["factor"])
+    if kind == "empirical":
+        return Empirical(data["samples"], interpolate=data.get("interpolate", False))
+    if kind == "no_noise":
+        return m.NO_NOISE
+    if kind == "random_preemption":
+        return m.RandomPreemption(data["rate"], from_jsonable(data["cost"]))
+    if kind == "periodic_daemon":
+        return m.PeriodicDaemon(data["period"], from_jsonable(data["cost"]), data.get("phase", 0.0))
+    if kind == "distribution_noise":
+        return m.DistributionNoise(from_jsonable(data["dist"]), data.get("per_cycle", False))
+    if kind == "composite_noise":
+        return m.CompositeNoise([from_jsonable(p) for p in data["parts"]])
+    raise ValueError(f"unknown kind {kind!r}")

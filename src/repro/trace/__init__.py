@@ -1,0 +1,43 @@
+"""Trace substrate: event model, codecs, buffered writers, streaming readers.
+
+Implements the paper's §4 tracing layer (minus the C/PMPI part, which is
+replaced by :mod:`repro.mpisim.tracing` — see DESIGN.md §2).
+"""
+
+from repro.trace.events import (
+    COLLECTIVE_KINDS,
+    COMPLETION_KINDS,
+    EventKind,
+    EventRecord,
+    LOCAL_KINDS,
+    NONBLOCKING_KINDS,
+    PAIRWISE_KINDS,
+    ROOTED_COLLECTIVES,
+    TraceMeta,
+)
+from repro.trace.reader import MemoryTrace, RankStream, TraceReader, TraceSet, find_trace_files
+from repro.trace.validate import ValidationIssue, ValidationReport, validate_traces
+from repro.trace.writer import TraceSetWriter, TraceWriter, rank_filename
+
+__all__ = [
+    "COLLECTIVE_KINDS",
+    "COMPLETION_KINDS",
+    "EventKind",
+    "EventRecord",
+    "LOCAL_KINDS",
+    "NONBLOCKING_KINDS",
+    "PAIRWISE_KINDS",
+    "ROOTED_COLLECTIVES",
+    "TraceMeta",
+    "MemoryTrace",
+    "RankStream",
+    "TraceReader",
+    "TraceSet",
+    "find_trace_files",
+    "ValidationIssue",
+    "ValidationReport",
+    "validate_traces",
+    "TraceSetWriter",
+    "TraceWriter",
+    "rank_filename",
+]

@@ -1,0 +1,213 @@
+"""On-disk codecs for trace files.
+
+Two interchangeable formats:
+
+* **text** (JSONL) — a JSON header line (the :class:`TraceMeta`) followed
+  by one JSON array per event.  Grep-able, diff-able, the debugging
+  format.
+* **binary** — a fixed magic + JSON header block followed by packed
+  little-endian records.  Compact and fast; the format the windowed
+  streaming reader is designed around (§4: the PMPI wrapper dumps its
+  memory-resident buffer to a file when full — our writer does the same
+  buffer-flush dance for either codec).
+
+Both codecs stream: encoding/decoding is record-at-a-time so traces
+larger than memory never need to be resident (§1 difference (3) from
+Dimemas).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import BinaryIO, Iterator, TextIO
+
+from repro.trace.events import EventKind, EventRecord, TraceMeta
+
+__all__ = [
+    "TEXT_SUFFIX",
+    "BINARY_SUFFIX",
+    "BINARY_MAGIC",
+    "encode_event_text",
+    "decode_event_text",
+    "encode_event_binary",
+    "decode_events_binary",
+    "write_header_text",
+    "read_header_text",
+    "write_header_binary",
+    "read_header_binary",
+]
+
+TEXT_SUFFIX = ".trace.jsonl"
+BINARY_SUFFIX = ".trace.bin"
+BINARY_MAGIC = b"MPGT0001"
+
+# Fixed part of a binary record:
+#   kind, rank, seq, t_start, t_end, peer, tag, nbytes, req, root,
+#   coll_seq, recv_peer, recv_tag, recv_nbytes, n_reqs, n_completed
+_FIXED = struct.Struct("<BiqddiiqqiqiiqHH")
+
+
+# ---------------------------------------------------------------------------
+# Text codec
+# ---------------------------------------------------------------------------
+
+def write_header_text(fh: TextIO, meta: TraceMeta) -> None:
+    fh.write(json.dumps({"__meta__": meta.to_dict()}) + "\n")
+
+
+def read_header_text(fh: TextIO) -> TraceMeta:
+    line = fh.readline()
+    if not line:
+        raise ValueError("empty trace file (missing header)")
+    data = json.loads(line)
+    if "__meta__" not in data:
+        raise ValueError("trace file does not start with a meta header")
+    return TraceMeta.from_dict(data["__meta__"])
+
+
+def encode_event_text(ev: EventRecord) -> str:
+    """One event as a compact JSON array line."""
+    return json.dumps(
+        [
+            int(ev.kind),
+            ev.rank,
+            ev.seq,
+            ev.t_start,
+            ev.t_end,
+            ev.peer,
+            ev.tag,
+            ev.nbytes,
+            ev.req,
+            list(ev.reqs),
+            list(ev.completed),
+            ev.root,
+            ev.coll_seq,
+            ev.recv_peer,
+            ev.recv_tag,
+            ev.recv_nbytes,
+        ],
+        separators=(",", ":"),
+    )
+
+
+def decode_event_text(line: str) -> EventRecord:
+    v = json.loads(line)
+    if not isinstance(v, list) or len(v) != 16:
+        raise ValueError(f"malformed trace line: {line[:80]!r}")
+    return EventRecord(
+        kind=EventKind(v[0]),
+        rank=v[1],
+        seq=v[2],
+        t_start=v[3],
+        t_end=v[4],
+        peer=v[5],
+        tag=v[6],
+        nbytes=v[7],
+        req=v[8],
+        reqs=tuple(v[9]),
+        completed=tuple(v[10]),
+        root=v[11],
+        coll_seq=v[12],
+        recv_peer=v[13],
+        recv_tag=v[14],
+        recv_nbytes=v[15],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Binary codec
+# ---------------------------------------------------------------------------
+
+def write_header_binary(fh: BinaryIO, meta: TraceMeta) -> None:
+    blob = json.dumps(meta.to_dict()).encode("utf-8")
+    fh.write(BINARY_MAGIC)
+    fh.write(struct.pack("<I", len(blob)))
+    fh.write(blob)
+
+
+def read_header_binary(fh: BinaryIO) -> TraceMeta:
+    magic = fh.read(len(BINARY_MAGIC))
+    if magic != BINARY_MAGIC:
+        raise ValueError(f"bad magic {magic!r}; not a {BINARY_MAGIC.decode()} trace")
+    (length,) = struct.unpack("<I", fh.read(4))
+    blob = fh.read(length)
+    if len(blob) != length:
+        raise ValueError("truncated binary trace header")
+    return TraceMeta.from_dict(json.loads(blob.decode("utf-8")))
+
+
+def encode_event_binary(ev: EventRecord) -> bytes:
+    head = _FIXED.pack(
+        int(ev.kind),
+        ev.rank,
+        ev.seq,
+        ev.t_start,
+        ev.t_end,
+        ev.peer,
+        ev.tag,
+        ev.nbytes,
+        ev.req,
+        ev.root,
+        ev.coll_seq,
+        ev.recv_peer,
+        ev.recv_tag,
+        ev.recv_nbytes,
+        len(ev.reqs),
+        len(ev.completed),
+    )
+    tail = struct.pack(f"<{len(ev.reqs)}q{len(ev.completed)}q", *ev.reqs, *ev.completed)
+    return head + tail
+
+
+def decode_events_binary(fh: BinaryIO) -> Iterator[EventRecord]:
+    """Stream records from ``fh`` positioned just past the header."""
+    while True:
+        head = fh.read(_FIXED.size)
+        if not head:
+            return
+        if len(head) < _FIXED.size:
+            raise ValueError("truncated binary trace record")
+        (
+            kind,
+            rank,
+            seq,
+            t_start,
+            t_end,
+            peer,
+            tag,
+            nbytes,
+            req,
+            root,
+            coll_seq,
+            recv_peer,
+            recv_tag,
+            recv_nbytes,
+            n_reqs,
+            n_completed,
+        ) = _FIXED.unpack(head)
+        total = n_reqs + n_completed
+        ids: tuple = ()
+        if total:
+            blob = fh.read(8 * total)
+            if len(blob) < 8 * total:
+                raise ValueError("truncated request-id block")
+            ids = struct.unpack(f"<{total}q", blob)
+        yield EventRecord(
+            kind=EventKind(kind),
+            rank=rank,
+            seq=seq,
+            t_start=t_start,
+            t_end=t_end,
+            peer=peer,
+            tag=tag,
+            nbytes=nbytes,
+            req=req,
+            reqs=ids[:n_reqs],
+            completed=ids[n_reqs:],
+            root=root,
+            coll_seq=coll_seq,
+            recv_peer=recv_peer,
+            recv_tag=recv_tag,
+            recv_nbytes=recv_nbytes,
+        )

@@ -1,0 +1,192 @@
+"""Streaming trace readers.
+
+The analyzer streams traces instead of loading them in core (§1
+difference (3); §6 "windowed approach").  :class:`TraceReader` yields
+one rank's events lazily from disk; :class:`RankStream` wraps any event
+iterator with one-event lookahead (the matching algorithm of §4.1 needs
+``peek``); :class:`TraceSet` opens the per-rank files written by
+:class:`repro.trace.writer.TraceSetWriter` and checks they form a
+coherent run.
+
+An in-memory variant (:class:`MemoryTrace`) backs tests and
+property-based generators without touching disk.
+"""
+
+from __future__ import annotations
+
+import glob
+import re
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.trace import format as fmt
+from repro.trace.events import EventRecord, TraceMeta
+
+__all__ = ["TraceReader", "RankStream", "TraceSet", "MemoryTrace", "find_trace_files"]
+
+_RANK_RE = re.compile(r"\.rank(\d+)\.trace\.(jsonl|bin)$")
+
+
+def find_trace_files(directory: str | Path, stem: str) -> list[Path]:
+    """Locate and rank-sort all trace files for ``stem`` in ``directory``."""
+    paths = []
+    for pattern in (f"{stem}.rank*.trace.jsonl", f"{stem}.rank*.trace.bin"):
+        paths.extend(Path(p) for p in glob.glob(str(Path(directory) / pattern)))
+    matched = []
+    for p in paths:
+        m = _RANK_RE.search(p.name)
+        if m:
+            matched.append((int(m.group(1)), p))
+    matched.sort()
+    return [p for _, p in matched]
+
+
+class TraceReader:
+    """Lazy reader for a single rank's trace file (text or binary)."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.binary = self.path.name.endswith(fmt.BINARY_SUFFIX) or (
+            not self.path.name.endswith(fmt.TEXT_SUFFIX) and self._sniff_binary()
+        )
+        if self.binary:
+            fh = open(self.path, "rb")
+            self.meta = fmt.read_header_binary(fh)
+        else:
+            fh = open(self.path, "r")
+            self.meta = fmt.read_header_text(fh)
+        fh.close()
+
+    def _sniff_binary(self) -> bool:
+        with open(self.path, "rb") as fh:
+            return fh.read(len(fmt.BINARY_MAGIC)) == fmt.BINARY_MAGIC
+
+    def events(self) -> Iterator[EventRecord]:
+        """Stream all events from disk, one at a time."""
+        if self.binary:
+            with open(self.path, "rb") as fh:
+                fmt.read_header_binary(fh)
+                yield from fmt.decode_events_binary(fh)
+        else:
+            with open(self.path, "r") as fh:
+                fmt.read_header_text(fh)
+                for line in fh:
+                    line = line.strip()
+                    if line:
+                        yield fmt.decode_event_text(line)
+
+    def __iter__(self) -> Iterator[EventRecord]:
+        return self.events()
+
+
+class RankStream:
+    """One-event-lookahead cursor over a rank's event sequence.
+
+    The order-based matcher repeatedly asks "what is the next unmatched
+    event on rank r?" — ``peek``/``advance`` is exactly that interface.
+    """
+
+    def __init__(self, rank: int, events: Iterable[EventRecord]):
+        self.rank = rank
+        self._it = iter(events)
+        self._head: EventRecord | None = None
+        self._exhausted = False
+        self.consumed = 0
+        self._pull()
+
+    def _pull(self) -> None:
+        try:
+            self._head = next(self._it)
+        except StopIteration:
+            self._head = None
+            self._exhausted = True
+
+    def peek(self) -> EventRecord | None:
+        """Next event without consuming it (``None`` at end of trace)."""
+        return self._head
+
+    def advance(self) -> EventRecord:
+        """Consume and return the next event."""
+        if self._head is None:
+            raise StopIteration(f"rank {self.rank} trace exhausted")
+        ev = self._head
+        self._pull()
+        self.consumed += 1
+        return ev
+
+    @property
+    def exhausted(self) -> bool:
+        return self._head is None
+
+
+class TraceSet:
+    """The per-rank trace files of one complete run."""
+
+    def __init__(self, readers: Sequence[TraceReader]):
+        if not readers:
+            raise ValueError("TraceSet requires at least one trace")
+        ranks = sorted(r.meta.rank for r in readers)
+        nprocs = readers[0].meta.nprocs
+        if any(r.meta.nprocs != nprocs for r in readers):
+            raise ValueError("trace files disagree on nprocs")
+        if ranks != list(range(nprocs)):
+            raise ValueError(f"expected ranks 0..{nprocs - 1}, found {ranks}")
+        self.readers = sorted(readers, key=lambda r: r.meta.rank)
+        self.nprocs = nprocs
+
+    @classmethod
+    def open(cls, directory: str | Path, stem: str) -> "TraceSet":
+        paths = find_trace_files(directory, stem)
+        if not paths:
+            raise FileNotFoundError(f"no trace files for stem {stem!r} in {directory}")
+        return cls([TraceReader(p) for p in paths])
+
+    @classmethod
+    def open_paths(cls, paths: Sequence[str | Path]) -> "TraceSet":
+        return cls([TraceReader(p) for p in paths])
+
+    def meta(self, rank: int) -> TraceMeta:
+        return self.readers[rank].meta
+
+    def streams(self) -> list[RankStream]:
+        """Fresh lookahead cursors, one per rank."""
+        return [RankStream(r.meta.rank, r.events()) for r in self.readers]
+
+    def events_of(self, rank: int) -> Iterator[EventRecord]:
+        return self.readers[rank].events()
+
+    def load_all(self) -> list[list[EventRecord]]:
+        """Materialize everything (small traces / tests only)."""
+        return [list(r.events()) for r in self.readers]
+
+
+class MemoryTrace:
+    """In-memory stand-in for :class:`TraceSet` (tests, generators).
+
+    Takes per-rank event lists; performs the same coherence checks.
+    """
+
+    def __init__(self, per_rank: Sequence[Sequence[EventRecord]], program: str = "synthetic"):
+        if not per_rank:
+            raise ValueError("MemoryTrace requires at least one rank")
+        self.nprocs = len(per_rank)
+        self._events = [list(evs) for evs in per_rank]
+        for rank, evs in enumerate(self._events):
+            for ev in evs:
+                if ev.rank != rank:
+                    raise ValueError(f"event rank {ev.rank} filed under rank {rank}")
+        self._metas = [
+            TraceMeta(rank=r, nprocs=self.nprocs, program=program) for r in range(self.nprocs)
+        ]
+
+    def meta(self, rank: int) -> TraceMeta:
+        return self._metas[rank]
+
+    def streams(self) -> list[RankStream]:
+        return [RankStream(r, iter(evs)) for r, evs in enumerate(self._events)]
+
+    def events_of(self, rank: int) -> Iterator[EventRecord]:
+        return iter(self._events[rank])
+
+    def load_all(self) -> list[list[EventRecord]]:
+        return [list(evs) for evs in self._events]

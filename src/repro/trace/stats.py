@@ -1,0 +1,150 @@
+"""Descriptive statistics of trace sets.
+
+Before perturbing anything, an analyst wants the shape of the run: how
+much of each rank's time is computation vs messaging (the Fig. 1
+decomposition, aggregated), who talks to whom and how much, which
+primitives dominate.  These are also the numbers one sanity-checks a
+substitute workload against when standing in for a proprietary trace.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.trace.events import COLLECTIVE_KINDS, EventKind, EventRecord
+
+__all__ = ["RankStats", "TraceStats", "trace_stats"]
+
+
+@dataclass(frozen=True)
+class RankStats:
+    """One rank's time and traffic decomposition."""
+
+    rank: int
+    events: int
+    runtime: float  # first START to last END, local clock
+    compute_time: float  # sum of gaps between events
+    message_time: float  # sum of event durations
+    bytes_sent: int
+    bytes_received: int
+    messages_sent: int
+    messages_received: int
+    by_kind: dict
+
+    @property
+    def compute_fraction(self) -> float:
+        return self.compute_time / self.runtime if self.runtime else 0.0
+
+    @property
+    def message_fraction(self) -> float:
+        return self.message_time / self.runtime if self.runtime else 0.0
+
+
+@dataclass
+class TraceStats:
+    """Whole-run statistics."""
+
+    ranks: list
+    comm_matrix: np.ndarray  # bytes sent [src, dst]
+    kind_counts: Counter
+
+    @property
+    def nprocs(self) -> int:
+        return len(self.ranks)
+
+    @property
+    def total_events(self) -> int:
+        return sum(r.events for r in self.ranks)
+
+    @property
+    def total_bytes(self) -> int:
+        return int(self.comm_matrix.sum())
+
+    def heaviest_channel(self) -> tuple[int, int, int]:
+        """(src, dst, bytes) of the busiest directed pair."""
+        idx = int(np.argmax(self.comm_matrix))
+        src, dst = divmod(idx, self.nprocs)
+        return src, dst, int(self.comm_matrix[src, dst])
+
+    def mean_compute_fraction(self) -> float:
+        return float(np.mean([r.compute_fraction for r in self.ranks]))
+
+    def summary(self) -> str:
+        src, dst, nbytes = self.heaviest_channel()
+        return (
+            f"{self.nprocs} ranks, {self.total_events} events, "
+            f"{self.total_bytes:,} bytes total; "
+            f"mean compute fraction {self.mean_compute_fraction():.1%}; "
+            f"busiest channel {src}->{dst} ({nbytes:,} B)"
+        )
+
+
+def _sent(ev: EventRecord) -> tuple[int, int] | None:
+    """(dst, nbytes) of the event's send half, if any."""
+    if ev.kind in (EventKind.SEND, EventKind.ISEND, EventKind.SENDRECV):
+        return ev.peer, ev.nbytes
+    return None
+
+
+def _received(ev: EventRecord) -> tuple[int, int] | None:
+    """(src, nbytes) of the event's receive half, if any."""
+    if ev.kind in (EventKind.RECV, EventKind.IRECV):
+        return ev.peer, ev.nbytes
+    if ev.kind == EventKind.SENDRECV:
+        return ev.recv_peer, ev.recv_nbytes
+    return None
+
+
+def trace_stats(trace_set) -> TraceStats:
+    """Compute per-rank and whole-run statistics (one streaming pass)."""
+    nprocs = trace_set.nprocs
+    comm = np.zeros((nprocs, nprocs), dtype=np.int64)
+    kind_counts: Counter = Counter()
+    ranks = []
+    for rank in range(nprocs):
+        events = 0
+        compute = 0.0
+        message = 0.0
+        first_start = None
+        last_end = 0.0
+        prev_end = None
+        sent_b = recv_b = sent_n = recv_n = 0
+        by_kind: Counter = Counter()
+        for ev in trace_set.events_of(rank):
+            events += 1
+            by_kind[ev.kind.name] += 1
+            kind_counts[ev.kind.name] += 1
+            if first_start is None:
+                first_start = ev.t_start
+            if prev_end is not None:
+                compute += ev.t_start - prev_end
+            message += ev.duration
+            prev_end = ev.t_end
+            last_end = ev.t_end
+            s = _sent(ev)
+            if s is not None and 0 <= s[0] < nprocs:
+                sent_b += s[1]
+                sent_n += 1
+                comm[rank, s[0]] += s[1]
+            r = _received(ev)
+            if r is not None:
+                recv_b += r[1]
+                recv_n += 1
+        ranks.append(
+            RankStats(
+                rank=rank,
+                events=events,
+                runtime=(last_end - first_start) if first_start is not None else 0.0,
+                compute_time=compute,
+                message_time=message,
+                bytes_sent=sent_b,
+                bytes_received=recv_b,
+                messages_sent=sent_n,
+                messages_received=recv_n,
+                by_kind=dict(by_kind),
+            )
+        )
+    return TraceStats(ranks=ranks, comm_matrix=comm, kind_counts=kind_counts)

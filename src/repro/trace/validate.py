@@ -1,0 +1,209 @@
+"""Structural validation of trace sets.
+
+The builder assumes (§4.3) "the program did run correctly in the first
+place"; these checks verify that the files we were handed are actually
+consistent with a completed run *before* any graph is built, producing
+precise diagnostics instead of mysterious matching failures:
+
+* per-rank: dense sequence numbers, monotone local timestamps, INIT
+  first / FINALIZE last, request ids unique and referenced correctly;
+* cross-rank: every send channel ``(src, dst, tag)`` has equal send and
+  receive counts; every rank performs the same ordered list of
+  collective operations with consistent roots.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.trace.events import (
+    COLLECTIVE_KINDS,
+    EventKind,
+    EventRecord,
+    ROOTED_COLLECTIVES,
+)
+
+__all__ = ["ValidationIssue", "ValidationReport", "validate_traces"]
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One detected inconsistency."""
+
+    severity: str  # "error" | "warning"
+    rank: int  # -1 for cross-rank issues
+    message: str
+
+    def __str__(self) -> str:
+        where = f"rank {self.rank}" if self.rank >= 0 else "cross-rank"
+        return f"[{self.severity}] {where}: {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    """All issues found in a trace set."""
+
+    issues: list = field(default_factory=list)
+    nprocs: int = 0
+    event_count: int = 0
+
+    @property
+    def errors(self) -> list:
+        return [i for i in self.issues if i.severity == "error"]
+
+    @property
+    def warnings(self) -> list:
+        return [i for i in self.issues if i.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def raise_if_invalid(self) -> None:
+        if not self.ok:
+            lines = "\n".join(str(e) for e in self.errors[:20])
+            more = f"\n... and {len(self.errors) - 20} more" if len(self.errors) > 20 else ""
+            raise ValueError(f"invalid trace set:\n{lines}{more}")
+
+    def summary(self) -> str:
+        return (
+            f"{self.nprocs} ranks, {self.event_count} events, "
+            f"{len(self.errors)} errors, {len(self.warnings)} warnings"
+        )
+
+
+def _validate_rank(rank: int, events: list[EventRecord], report: ValidationReport) -> None:
+    err = lambda msg: report.issues.append(ValidationIssue("error", rank, msg))
+    warn = lambda msg: report.issues.append(ValidationIssue("warning", rank, msg))
+
+    prev_end = float("-inf")
+    open_reqs: set[int] = set()
+    seen_reqs: set[int] = set()
+    for i, ev in enumerate(events):
+        if ev.rank != rank:
+            err(f"event #{i} claims rank {ev.rank}")
+        if ev.seq != i:
+            err(f"event #{i} has seq {ev.seq} (expected dense numbering)")
+        if ev.t_start < prev_end:
+            err(
+                f"event #{i} ({ev.kind.name}) starts at {ev.t_start} "
+                f"before previous event ended at {prev_end}"
+            )
+        prev_end = max(prev_end, ev.t_end)
+
+        if ev.kind in (EventKind.ISEND, EventKind.IRECV):
+            if ev.req < 0:
+                err(f"event #{i} {ev.kind.name} lacks a request id")
+            elif ev.req in seen_reqs:
+                err(f"event #{i} reuses request id {ev.req}")
+            else:
+                seen_reqs.add(ev.req)
+                open_reqs.add(ev.req)
+        elif ev.kind.is_completion:
+            for rid in ev.completed:
+                if rid not in seen_reqs:
+                    err(f"event #{i} {ev.kind.name} completes unknown request {rid}")
+                elif rid not in open_reqs:
+                    err(f"event #{i} {ev.kind.name} completes already-completed request {rid}")
+                else:
+                    open_reqs.discard(rid)
+            unknown = [rid for rid in ev.completed if rid not in ev.reqs]
+            if unknown:
+                err(f"event #{i} completed ids {unknown} not among its reqs")
+
+    if events:
+        if events[0].kind != EventKind.INIT:
+            warn(f"first event is {events[0].kind.name}, not INIT")
+        if events[-1].kind != EventKind.FINALIZE:
+            warn(f"last event is {events[-1].kind.name}, not FINALIZE")
+    if open_reqs:
+        warn(f"{len(open_reqs)} request(s) never completed: {sorted(open_reqs)[:8]}")
+
+
+def _send_channels(events: list[EventRecord]) -> Counter:
+    """Count sends per (src, dst, tag) including SENDRECV send-halves."""
+    c: Counter = Counter()
+    for ev in events:
+        if ev.kind in (EventKind.SEND, EventKind.ISEND):
+            c[(ev.rank, ev.peer, ev.tag)] += 1
+        elif ev.kind == EventKind.SENDRECV:
+            c[(ev.rank, ev.peer, ev.tag)] += 1
+    return c
+
+
+def _recv_channels(events: list[EventRecord]) -> Counter:
+    c: Counter = Counter()
+    for ev in events:
+        if ev.kind in (EventKind.RECV, EventKind.IRECV):
+            c[(ev.peer, ev.rank, ev.tag)] += 1
+        elif ev.kind == EventKind.SENDRECV:
+            c[(ev.recv_peer, ev.rank, ev.recv_tag)] += 1
+    return c
+
+
+def validate_traces(trace_set) -> ValidationReport:
+    """Validate a :class:`TraceSet` / :class:`MemoryTrace`.
+
+    Loads each rank once, streaming rank-by-rank (cross-rank checks only
+    need aggregate counters, not resident events).
+    """
+    report = ValidationReport(nprocs=trace_set.nprocs)
+    sends: Counter = Counter()
+    recvs: Counter = Counter()
+    collective_seqs: dict[int, list[tuple[EventKind, int]]] = {}
+
+    for rank in range(trace_set.nprocs):
+        events = list(trace_set.events_of(rank))
+        report.event_count += len(events)
+        _validate_rank(rank, events, report)
+        sends += _send_channels(events)
+        recvs += _recv_channels(events)
+        collective_seqs[rank] = [
+            (ev.kind, ev.root) for ev in events if ev.kind in COLLECTIVE_KINDS
+        ]
+
+    for channel in sorted(set(sends) | set(recvs)):
+        ns, nr = sends.get(channel, 0), recvs.get(channel, 0)
+        if ns != nr:
+            src, dst, tag = channel
+            report.issues.append(
+                ValidationIssue(
+                    "error",
+                    -1,
+                    f"channel {src}->{dst} tag {tag}: {ns} send(s) but {nr} receive(s)",
+                )
+            )
+
+    reference = collective_seqs.get(0, [])
+    for rank in range(1, trace_set.nprocs):
+        seq = collective_seqs[rank]
+        if len(seq) != len(reference):
+            report.issues.append(
+                ValidationIssue(
+                    "error",
+                    -1,
+                    f"rank {rank} performed {len(seq)} collectives, rank 0 performed "
+                    f"{len(reference)}",
+                )
+            )
+            continue
+        for i, ((k0, r0), (k1, r1)) in enumerate(zip(reference, seq)):
+            if k0 != k1:
+                report.issues.append(
+                    ValidationIssue(
+                        "error",
+                        -1,
+                        f"collective #{i}: rank 0 did {k0.name}, rank {rank} did {k1.name}",
+                    )
+                )
+            elif k0 in ROOTED_COLLECTIVES and r0 != r1:
+                report.issues.append(
+                    ValidationIssue(
+                        "error",
+                        -1,
+                        f"collective #{i} ({k0.name}): root disagreement "
+                        f"(rank 0 says {r0}, rank {rank} says {r1})",
+                    )
+                )
+    return report

@@ -1,0 +1,154 @@
+"""Buffered per-rank trace writers.
+
+Section 4: the PMPI wrapper "records the event in a memory resident
+buffer.  The buffer is dumped to an event trace file when it becomes
+full, and is then reset to empty for future events.  The size of this
+buffer can be tuned to compensate for event frequency and overhead."
+
+:class:`TraceWriter` reproduces that behaviour: events accumulate in a
+list and are encoded + written only when ``buffer_events`` is reached
+(or on close/flush).  The ``flush_count`` statistic lets tests assert
+the buffering actually happens.
+
+:class:`TraceSetWriter` manages one writer per rank plus the naming
+convention ``<stem>.rank<NNNN><suffix>`` shared with the reader.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable
+
+from repro.trace import format as fmt
+from repro.trace.events import EventRecord, TraceMeta
+
+__all__ = ["TraceWriter", "TraceSetWriter", "rank_filename"]
+
+
+def rank_filename(stem: str, rank: int, binary: bool = False) -> str:
+    """Canonical per-rank trace filename."""
+    suffix = fmt.BINARY_SUFFIX if binary else fmt.TEXT_SUFFIX
+    return f"{stem}.rank{rank:04d}{suffix}"
+
+
+class TraceWriter:
+    """Buffered writer for a single rank's trace file."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        meta: TraceMeta,
+        buffer_events: int = 4096,
+        binary: bool = False,
+    ):
+        if buffer_events < 1:
+            raise ValueError(f"buffer_events must be >= 1, got {buffer_events}")
+        self.path = Path(path)
+        self.meta = meta
+        self.binary = binary
+        self.buffer_events = buffer_events
+        self._buffer: list[EventRecord] = []
+        self._next_seq = 0
+        self.flush_count = 0
+        self.event_count = 0
+        self._closed = False
+        if binary:
+            self._fh: io.IOBase = open(self.path, "wb")
+            fmt.write_header_binary(self._fh, meta)
+        else:
+            self._fh = open(self.path, "w")
+            fmt.write_header_text(self._fh, meta)
+
+    # -- recording ----------------------------------------------------------------
+    def record(self, event: EventRecord) -> None:
+        """Append one event; flush if the memory buffer is full."""
+        if self._closed:
+            raise ValueError(f"writer for {self.path} is closed")
+        if event.rank != self.meta.rank:
+            raise ValueError(f"event rank {event.rank} != trace rank {self.meta.rank}")
+        if event.seq != self._next_seq:
+            raise ValueError(
+                f"out-of-order event: expected seq {self._next_seq}, got {event.seq}"
+            )
+        self._buffer.append(event)
+        self._next_seq += 1
+        self.event_count += 1
+        if len(self._buffer) >= self.buffer_events:
+            self.flush()
+
+    def record_all(self, events: Iterable[EventRecord]) -> None:
+        for ev in events:
+            self.record(ev)
+
+    def flush(self) -> None:
+        """Dump the memory buffer to disk and reset it (§4)."""
+        if not self._buffer:
+            return
+        if self.binary:
+            self._fh.write(b"".join(fmt.encode_event_binary(ev) for ev in self._buffer))
+        else:
+            self._fh.write("\n".join(fmt.encode_event_text(ev) for ev in self._buffer) + "\n")
+        self._buffer.clear()
+        self.flush_count += 1
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.flush()
+        self._fh.close()
+        self._closed = True
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class TraceSetWriter:
+    """One :class:`TraceWriter` per rank under a common stem."""
+
+    def __init__(
+        self,
+        directory: str | Path,
+        stem: str,
+        nprocs: int,
+        program: str = "",
+        buffer_events: int = 4096,
+        binary: bool = False,
+        clock_params: dict[int, tuple[float, float]] | None = None,
+    ):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.stem = stem
+        self.nprocs = nprocs
+        self.writers: list[TraceWriter] = []
+        clock_params = clock_params or {}
+        for rank in range(nprocs):
+            offset, drift = clock_params.get(rank, (0.0, 0.0))
+            meta = TraceMeta(
+                rank=rank,
+                nprocs=nprocs,
+                program=program,
+                clock_offset=offset,
+                clock_drift=drift,
+            )
+            path = self.directory / rank_filename(stem, rank, binary)
+            self.writers.append(TraceWriter(path, meta, buffer_events, binary))
+
+    def record(self, event: EventRecord) -> None:
+        self.writers[event.rank].record(event)
+
+    def paths(self) -> list[Path]:
+        return [w.path for w in self.writers]
+
+    def close(self) -> None:
+        for w in self.writers:
+            w.close()
+
+    def __enter__(self) -> "TraceSetWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,6 @@
+"""Text visualizations: Fig. 1 phase timelines, delay-growth charts."""
+
+from repro.viz.delays import render_delay_timeline
+from repro.viz.timeline import PhaseSegment, phases, render_ascii
+
+__all__ = ["PhaseSegment", "phases", "render_ascii", "render_delay_timeline"]

@@ -1,0 +1,46 @@
+"""Text rendering of per-rank delay timelines (§4.2 sensitivity view).
+
+Turns :func:`repro.core.analysis.delay_timeline` output into a compact
+bar chart: one row per event, bar length ∝ accumulated delay, with the
+per-event increment called out — flat stretches are tolerant code,
+jumps are where perturbation was injected or arrived from remote ranks.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_delay_timeline"]
+
+
+def render_delay_timeline(
+    points: Sequence, width: int = 50, min_increment: float = 0.0
+) -> str:
+    """ASCII chart of one rank's accumulated delay per event.
+
+    ``points`` is the list of :class:`~repro.core.analysis.DelayPoint`
+    from :func:`delay_timeline`; events whose increment is below
+    ``min_increment`` are collapsed into ``...`` runs to keep long
+    tolerant stretches readable.
+    """
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    if not points:
+        return "(no events)"
+    peak = max(p.delay for p in points)
+    scale = (width - 1) / peak if peak > 0 else 0.0
+    lines = []
+    skipped = 0
+    for p in points:
+        if p.increment < min_increment and p.delay < peak:
+            skipped += 1
+            continue
+        if skipped:
+            lines.append(f"       ... {skipped} event(s) with no delay growth ...")
+            skipped = 0
+        bar = "#" * max(int(p.delay * scale), 1 if p.delay > 0 else 0)
+        marker = f" (+{p.increment:,.0f})" if p.increment > 0 else ""
+        lines.append(f"#{p.seq:>4} {p.kind:<10} |{bar:<{width}}| {p.delay:>10,.0f}{marker}")
+    if skipped:
+        lines.append(f"       ... {skipped} event(s) with no delay growth ...")
+    return "\n".join(lines)

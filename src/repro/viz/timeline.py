@@ -1,0 +1,88 @@
+"""Per-rank compute/messaging phase timelines (Fig. 1).
+
+The paper's Fig. 1 shows a processor alternating between computation
+phases (c_i) and messaging phases (m_i).  :func:`phases` extracts that
+alternation from a rank's trace — messaging phases are the traced
+events, compute phases the gaps between them — and
+:func:`render_ascii` draws the classic swim-lane view in plain text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.trace.events import EventKind, EventRecord
+
+__all__ = ["PhaseSegment", "phases", "render_ascii"]
+
+
+@dataclass(frozen=True)
+class PhaseSegment:
+    """One c_i or m_i segment on a rank's local timeline."""
+
+    kind: str  # "compute" or "message"
+    label: str  # c0, m0, c1, ... plus the op name for message phases
+    t_start: float
+    t_end: float
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+def phases(events: Sequence[EventRecord], min_compute: float = 0.0) -> list[PhaseSegment]:
+    """Extract the alternating phase list of one rank.
+
+    ``min_compute`` suppresses gaps shorter than the given cycles
+    (clutter from back-to-back calls).
+    """
+    segments: list[PhaseSegment] = []
+    ci = mi = 0
+    prev_end: float | None = None
+    for ev in events:
+        if prev_end is not None and ev.t_start - prev_end > min_compute:
+            segments.append(PhaseSegment("compute", f"c{ci}", prev_end, ev.t_start))
+            ci += 1
+        segments.append(
+            PhaseSegment("message", f"m{mi}:{ev.kind.name.lower()}", ev.t_start, ev.t_end)
+        )
+        mi += 1
+        prev_end = ev.t_end
+    return segments
+
+
+def render_ascii(
+    trace_set,
+    ranks: Sequence[int] | None = None,
+    width: int = 100,
+    compute_char: str = "=",
+    message_char: str = "#",
+) -> str:
+    """Swim-lane rendering: one row per rank, ``=`` compute, ``#`` messaging.
+
+    Each rank's lane is scaled to its own local clock span — lanes are
+    **not** mutually aligned, deliberately: cross-rank timestamps are
+    not comparable (§4.1).
+    """
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    chosen = list(ranks) if ranks is not None else list(range(trace_set.nprocs))
+    lines = []
+    for rank in chosen:
+        events = list(trace_set.events_of(rank))
+        if not events:
+            lines.append(f"r{rank:>3} | (no events)")
+            continue
+        t0 = events[0].t_start
+        t1 = events[-1].t_end
+        span = max(t1 - t0, 1e-12)
+        lane = [compute_char] * width
+        for ev in events:
+            a = int((ev.t_start - t0) / span * (width - 1))
+            b = int((ev.t_end - t0) / span * (width - 1))
+            for i in range(a, b + 1):
+                lane[i] = message_char
+        lines.append(f"r{rank:>3} |{''.join(lane)}|")
+    legend = f"({compute_char} compute, {message_char} messaging; lanes use each rank's own clock)"
+    return "\n".join(lines + [legend])

@@ -1,0 +1,72 @@
+"""Property test: replay identity over random valid runs.
+
+For ANY program the simulator can run, replaying its trace under the
+generating machine's parameters must reproduce the original per-rank
+timings exactly — the strongest possible check that the replay
+semantics mirror the engine's protocol rules.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import ReplayParams, replay
+from repro.mpisim import Machine, NetworkModel, run
+
+from tests.conftest import plan_program
+
+NET = NetworkModel(
+    latency=900.0, bandwidth=2.0, send_overhead=150.0, recv_overhead=150.0, eager_threshold=4096
+)
+PARAMS = ReplayParams(
+    latency=900.0, bandwidth=2.0, send_overhead=150.0, recv_overhead=150.0, eager_threshold=4096
+)
+
+_round = st.one_of(
+    st.tuples(st.just("compute"), st.integers(100, 5000)),
+    st.tuples(st.just("ring"), st.integers(0, 20_000)),
+    st.tuples(st.just("xchg"), st.integers(0, 20_000)),
+    st.tuples(st.just("nb"), st.integers(0, 20_000)),
+    st.tuples(st.just("allreduce"), st.integers(0, 256)),
+    st.tuples(st.just("barrier")),
+    st.tuples(st.just("bcast"), st.integers(0, 7), st.integers(0, 256)),
+    st.tuples(st.just("reduce"), st.integers(0, 7), st.integers(0, 256)),
+    st.tuples(st.just("scan"), st.integers(0, 256)),
+    st.tuples(st.just("rscatter"), st.integers(0, 256)),
+)
+
+
+@given(plan=st.lists(_round, min_size=1, max_size=5), p=st.integers(2, 5))
+@settings(max_examples=30, deadline=None)
+def test_replay_identity_property(plan, p):
+    machine = Machine(nprocs=p, network=NET)
+    res = run(plan_program(plan), machine=machine, seed=0)
+    rp = replay(res.trace, PARAMS)
+    assert rp.makespan == pytest.approx(rp.original_makespan, rel=1e-9, abs=1e-6)
+    for a, b in zip(rp.finish_times, rp.original_finish_times):
+        assert a == pytest.approx(b, rel=1e-9, abs=1e-6)
+
+
+@given(
+    plan=st.lists(_round, min_size=1, max_size=4),
+    p=st.integers(2, 4),
+    lat_scale=st.floats(min_value=0.1, max_value=1.0),
+)
+@settings(max_examples=15, deadline=None)
+def test_replay_faster_network_never_slower(plan, p, lat_scale):
+    """What-if monotonicity: reducing latency (and raising bandwidth)
+    can never make the replayed run slower."""
+    machine = Machine(nprocs=p, network=NET)
+    trace = run(plan_program(plan), machine=machine, seed=0).trace
+    baseline = replay(trace, PARAMS)
+    faster = replay(
+        trace,
+        ReplayParams(
+            latency=PARAMS.latency * lat_scale,
+            bandwidth=PARAMS.bandwidth / lat_scale,
+            send_overhead=PARAMS.send_overhead,
+            recv_overhead=PARAMS.recv_overhead,
+            eager_threshold=PARAMS.eager_threshold,
+        ),
+    )
+    assert faster.makespan <= baseline.makespan + 1e-6

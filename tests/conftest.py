@@ -1,0 +1,191 @@
+"""Shared fixtures and helpers for the test suite.
+
+Traced runs are expensive relative to assertions, so commonly used
+traces are produced once per session.  The ``plan_program`` helper turns
+a declarative "round plan" into a rank program — the basis for the
+property-based tests, because any plan yields a *valid* complete run by
+construction (all ranks derive identical structure).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BuildConfig, PerturbationSpec, StreamingTraversal, build_graph, propagate
+from repro.mpisim import (
+    Allreduce,
+    Barrier,
+    Bcast,
+    Compute,
+    Irecv,
+    Isend,
+    Machine,
+    NetworkModel,
+    RankInfo,
+    Recv,
+    Reduce,
+    ReduceScatter,
+    Scan,
+    Send,
+    Sendrecv,
+    Waitall,
+    run,
+)
+from repro.noise import Constant, Exponential, MachineSignature
+
+DELAY_TOL = 1e-6
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def const_signature():
+    """Deterministic signature: exact-arithmetic checks."""
+    return MachineSignature(
+        os_noise=Constant(100.0),
+        latency=Constant(50.0),
+        per_byte=Constant(0.01),
+        name="const",
+    )
+
+
+@pytest.fixture
+def mixed_signature():
+    """Random-distribution signature: statistical checks."""
+    return MachineSignature(
+        os_noise=Exponential(80.0),
+        latency=Exponential(40.0),
+        per_byte=Constant(0.005),
+        name="mixed",
+    )
+
+
+@pytest.fixture
+def const_spec(const_signature):
+    return PerturbationSpec(const_signature, seed=7)
+
+
+@pytest.fixture
+def mixed_spec(mixed_signature):
+    return PerturbationSpec(mixed_signature, seed=7)
+
+
+# ---------------------------------------------------------------------------
+# Canned traced runs (session-scoped: read-only from tests)
+# ---------------------------------------------------------------------------
+
+
+def _ring_program(me: RankInfo):
+    p = me.size
+    for _ in range(3):
+        yield Compute(10_000)
+        if me.rank == 0:
+            yield Send(dest=1, nbytes=512)
+            yield Recv(source=p - 1)
+        else:
+            yield Recv(source=me.rank - 1)
+            yield Send(dest=(me.rank + 1) % p, nbytes=512)
+    yield Allreduce(nbytes=64)
+
+
+def _stencil_program(me: RankInfo):
+    p = me.size
+    left, right = (me.rank - 1) % p, (me.rank + 1) % p
+    for _ in range(3):
+        r1 = yield Irecv(source=left, tag=1)
+        r2 = yield Irecv(source=right, tag=2)
+        s1 = yield Isend(dest=right, nbytes=256, tag=1)
+        s2 = yield Isend(dest=left, nbytes=256, tag=2)
+        yield Compute(5_000)
+        yield Waitall([r1, r2, s1, s2])
+    yield Reduce(root=0, nbytes=8)
+
+
+@pytest.fixture(scope="session")
+def ring_trace():
+    return run(_ring_program, nprocs=4, seed=3).trace
+
+
+@pytest.fixture(scope="session")
+def stencil_trace():
+    return run(_stencil_program, nprocs=5, seed=3).trace
+
+
+# ---------------------------------------------------------------------------
+# Declarative random-plan programs (property tests)
+# ---------------------------------------------------------------------------
+
+
+def plan_program(plan: list[tuple]):
+    """Build a rank program from a round plan.
+
+    Every rank executes the same plan, so the run is always valid.
+    Round forms:
+
+    - ``("compute", base_cycles)`` — per-rank work ``base * (rank+1)``
+    - ``("ring", nbytes)`` — blocking token pass 0→1→...→0
+    - ``("xchg", nbytes)`` — neighbor sendrecv ring
+    - ``("nb", nbytes)`` — nonblocking bidirectional halo + waitall
+    - ``("allreduce", nbytes)`` / ``("barrier",)`` / ``("bcast", root, nbytes)``
+      / ``("reduce", root, nbytes)`` / ``("scan", nbytes)`` /
+      ``("rscatter", nbytes)``
+    """
+
+    def program(me: RankInfo):
+        p = me.size
+        for round_ in plan:
+            kind = round_[0]
+            if kind == "compute":
+                yield Compute(round_[1] * (me.rank + 1))
+            elif kind == "ring" and p > 1:
+                nxt, prv = (me.rank + 1) % p, (me.rank - 1) % p
+                if me.rank == 0:
+                    yield Send(dest=nxt, nbytes=round_[1])
+                    yield Recv(source=prv)
+                else:
+                    yield Recv(source=prv)
+                    yield Send(dest=nxt, nbytes=round_[1])
+            elif kind == "xchg" and p > 1:
+                yield Sendrecv(
+                    dest=(me.rank + 1) % p,
+                    send_nbytes=round_[1],
+                    source=(me.rank - 1) % p,
+                )
+            elif kind == "nb" and p > 1:
+                left, right = (me.rank - 1) % p, (me.rank + 1) % p
+                r1 = yield Irecv(source=left, tag=3)
+                r2 = yield Irecv(source=right, tag=4)
+                s1 = yield Isend(dest=right, nbytes=round_[1], tag=3)
+                s2 = yield Isend(dest=left, nbytes=round_[1], tag=4)
+                yield Compute(1_000)
+                yield Waitall([r1, r2, s1, s2])
+            elif kind == "allreduce":
+                yield Allreduce(nbytes=round_[1])
+            elif kind == "barrier":
+                yield Barrier()
+            elif kind == "bcast":
+                yield Bcast(root=round_[1] % p, nbytes=round_[2])
+            elif kind == "reduce":
+                yield Reduce(root=round_[1] % p, nbytes=round_[2])
+            elif kind == "scan":
+                yield Scan(nbytes=round_[1])
+            elif kind == "rscatter":
+                yield ReduceScatter(nbytes=round_[1])
+
+    return program
+
+
+def assert_engines_agree(trace, spec, config: BuildConfig | None = None, mode: str = "additive"):
+    """Assert streaming and in-core traversals agree; return the in-core result."""
+    config = config or BuildConfig()
+    build = build_graph(trace, config)
+    incore = propagate(build, spec, mode=mode)
+    streaming = StreamingTraversal(spec, config=config, mode=mode).run(trace)
+    assert len(incore.final_delay) == len(streaming.final_delay)
+    for r, (a, b) in enumerate(zip(incore.final_delay, streaming.final_delay)):
+        assert a == pytest.approx(b, abs=DELAY_TOL), f"rank {r}: incore {a} != streaming {b}"
+    return incore

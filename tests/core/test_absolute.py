@@ -1,0 +1,138 @@
+"""Tests for absolute-mode propagation (the slack-absorbing extension).
+
+Only valid for builds over globally-clocked traces
+(``BuildConfig(absolute_weights=True)``); used to validate the paper's
+delta model against a stronger recomputation.
+"""
+
+import pytest
+
+from repro.core import (
+    BuildConfig,
+    PerturbationSpec,
+    build_graph,
+    propagate,
+    propagate_absolute,
+)
+from repro.mpisim import Compute, Machine, Recv, Send, run
+from repro.noise import Constant, Exponential, MachineSignature
+
+ABS = BuildConfig(absolute_weights=True)
+
+
+def abs_build(prog, p, seed=0):
+    # Default Machine: perfect (globally consistent) clocks.
+    trace = run(prog, nprocs=p, seed=seed).trace
+    return build_graph(trace, ABS)
+
+
+def ring3(me):
+    p = me.size
+    for _ in range(3):
+        yield Compute(10_000.0)
+        if me.rank == 0:
+            yield Send(dest=1, nbytes=128)
+            yield Recv(source=p - 1)
+        else:
+            yield Recv(source=me.rank - 1)
+            yield Send(dest=(me.rank + 1) % p, nbytes=128)
+
+
+class TestZeroIdentity:
+    def test_reproduces_original_timestamps(self):
+        build = abs_build(ring3, 4)
+        res = propagate_absolute(build, PerturbationSpec(MachineSignature(), seed=0))
+        g = build.graph
+        for n in g.nodes:
+            if not n.is_virtual:
+                assert res.node_delay[n.node_id] == pytest.approx(0.0, abs=1e-6)
+        assert res.final_delay == [pytest.approx(0.0, abs=1e-6)] * 4
+
+    def test_requires_absolute_build(self, ring_trace):
+        build = build_graph(ring_trace)  # default: clock-free weights
+        with pytest.raises(ValueError, match="absolute_weights"):
+            propagate_absolute(build, PerturbationSpec(MachineSignature(), seed=0))
+
+
+class TestSlackAbsorption:
+    def test_waiting_receiver_still_delayed_by_sender(self):
+        """A receiver that was genuinely *waiting* for the message has no
+        slack against sender delays: the arrival path was binding in the
+        original run, so both models must propagate the sender's noise."""
+
+        def prog(me):
+            if me.rank == 0:
+                yield Compute(50_000.0)
+                yield Send(dest=1, nbytes=64)
+            else:
+                yield Recv(source=0)  # posted at ~t=10, data arrives ~t>50k
+
+        trace = run(prog, nprocs=2, seed=0).trace
+        sig = MachineSignature(os_noise_by_rank={0: Constant(1_000.0)})
+        spec = PerturbationSpec(sig, seed=0)
+
+        delta_res = propagate(build_graph(trace), spec)
+        abs_res = propagate_absolute(build_graph(trace, ABS), spec)
+        assert delta_res.final_delay[1] > 0
+        assert abs_res.final_delay[1] > 0
+        assert abs_res.final_delay[0] == pytest.approx(delta_res.final_delay[0], rel=0.5)
+
+    def test_late_receiver_absorbs_network_perturbation(self):
+        """The receive was posted long after the data arrived (eager):
+        extra latency smaller than that lateness is fully absorbed in
+        absolute mode, fully propagated in delta mode."""
+
+        def prog(me):
+            if me.rank == 0:
+                yield Send(dest=1, nbytes=64)
+            else:
+                yield Compute(100_000.0)
+                yield Recv(source=0)  # message arrived ~99k cycles ago
+
+        trace = run(prog, nprocs=2, seed=0).trace
+        sig = MachineSignature(latency=Constant(5_000.0))
+        spec = PerturbationSpec(sig, seed=0)
+
+        delta_res = propagate(build_graph(trace), spec)
+        # Single message on the channel -> the per-channel heuristic has no
+        # tight lag to learn from; supply the causal transfer time from the
+        # known machine (default network: o_s 200 + lat 1000 + d/bw + o_r 200).
+        estimate = lambda src, dst, nbytes: 200.0 + 1000.0 + nbytes / 1.0 + 200.0
+        abs_res = propagate_absolute(
+            build_graph(trace, ABS), spec, transfer_estimate=estimate
+        )
+        assert delta_res.final_delay[1] >= 5_000.0  # conservative
+        assert abs_res.final_delay[1] == pytest.approx(0.0, abs=1e-6)  # absorbed
+
+    def test_absolute_never_exceeds_delta(self):
+        """Slack absorption can only reduce predicted delays."""
+        build_d = abs_build(ring3, 4)
+        sig = MachineSignature(os_noise=Exponential(200.0), latency=Exponential(80.0))
+        spec = PerturbationSpec(sig, seed=7)
+        delta_res = propagate(build_d, spec)
+        abs_res = propagate_absolute(build_d, spec)
+        for a, d in zip(abs_res.final_delay, delta_res.final_delay):
+            assert a <= d + 1e-6
+
+
+class TestAgainstGroundTruth:
+    def test_absolute_at_least_as_accurate_as_delta(self):
+        """For a synchronous ring under constant machine noise, the
+        absolute recomputation should land no further from ground truth
+        than the delta model."""
+        from repro.mpisim import NetworkModel
+        from repro.noise import DistributionNoise
+
+        net = NetworkModel(latency=800.0, bandwidth=4.0, send_overhead=100.0, recv_overhead=100.0)
+        quiet = Machine(nprocs=5, network=net)
+        noisy = Machine(nprocs=5, network=net, noise=DistributionNoise(Constant(400.0)))
+        base = run(ring3, machine=quiet, seed=0)
+        actual = run(ring3, machine=noisy, seed=0).makespan - base.makespan
+
+        sig = MachineSignature(os_noise=Constant(400.0))
+        spec = PerturbationSpec(sig, seed=0)
+        delta_res = propagate(build_graph(base.trace), spec)
+        abs_res = propagate_absolute(build_graph(base.trace, ABS), spec)
+        delta_err = abs(delta_res.max_delay - actual)
+        abs_err = abs(abs_res.max_delay - actual)
+        assert abs_err <= delta_err + 1e-6

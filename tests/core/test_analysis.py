@@ -1,0 +1,155 @@
+"""Tests for runtime impact, critical path, and absorption analyses."""
+
+import pytest
+
+from repro.core import (
+    PerturbationSpec,
+    StreamingTraversal,
+    absorption_map,
+    build_graph,
+    critical_path,
+    propagate,
+    runtime_impact,
+)
+from repro.apps import (
+    MasterWorkerParams,
+    TokenRingParams,
+    master_worker,
+    token_ring,
+)
+from repro.mpisim import run
+from repro.noise import Constant, MachineSignature
+
+
+def spec(os=0.0, lat=0.0, per_byte=0.0, seed=0, by_rank=None):
+    return PerturbationSpec(
+        MachineSignature(
+            os_noise=Constant(os),
+            latency=Constant(lat),
+            per_byte=Constant(per_byte),
+            os_noise_by_rank=by_rank or {},
+        ),
+        seed=seed,
+    )
+
+
+class TestRuntimeImpact:
+    def test_delays_and_slowdowns(self, ring_trace):
+        build = build_graph(ring_trace)
+        res = propagate(build, spec(os=100.0, lat=50.0))
+        impact = runtime_impact(build, res)
+        assert impact.delays == tuple(res.final_delay)
+        assert len(impact.slowdowns) == ring_trace.nprocs
+        for d, t, s in zip(impact.delays, impact.original_runtimes, impact.slowdowns):
+            assert s == pytest.approx(d / t)
+        assert impact.max_delay == max(impact.delays)
+
+    def test_table_renders(self, ring_trace):
+        build = build_graph(ring_trace)
+        impact = runtime_impact(build, propagate(build, spec(os=10.0)))
+        table = impact.table()
+        assert "rank" in table
+        assert len(table.splitlines()) == ring_trace.nprocs + 1
+
+
+class TestCriticalPath:
+    def test_pure_latency_ring_path_crosses_ranks(self):
+        trace = run(token_ring(TokenRingParams(traversals=2)), nprocs=4, seed=0).trace
+        build = build_graph(trace)
+        res = propagate(build, spec(lat=100.0))
+        cp = critical_path(build, res)
+        assert cp.total_delay > 0
+        assert len(cp.ranks_visited) > 1  # token delay chains across ranks
+        assert cp.dominant_class() in ("TRANSFER_OS", "LATENCY")
+
+    def test_attribution_sums_to_total(self, ring_trace):
+        build = build_graph(ring_trace)
+        res = propagate(build, spec(os=100.0, lat=25.0))
+        cp = critical_path(build, res)
+        assert sum(cp.by_delta_kind.values()) == pytest.approx(cp.total_delay)
+        assert sum(cp.by_edge_kind.values()) == pytest.approx(cp.total_delay)
+
+    def test_os_only_attribution(self, ring_trace):
+        build = build_graph(ring_trace)
+        res = propagate(build, spec(os=100.0))
+        cp = critical_path(build, res)
+        assert cp.dominant_class() == "OS"
+        assert set(cp.by_delta_kind) <= {"OS", "TRANSFER_OS", "COLL_FANIN"}
+
+    def test_explicit_rank_selection(self, ring_trace):
+        build = build_graph(ring_trace)
+        res = propagate(build, spec(os=50.0))
+        cp = critical_path(build, res, rank=2)
+        assert cp.rank == 2
+        assert cp.total_delay == pytest.approx(res.final_delay[2])
+
+    def test_zero_noise_empty_path(self, ring_trace):
+        build = build_graph(ring_trace)
+        res = propagate(build, spec())
+        cp = critical_path(build, res)
+        assert cp.total_delay == 0.0
+        assert cp.by_delta_kind == {}
+
+    def test_requires_incore(self, ring_trace, const_spec):
+        streaming = StreamingTraversal(const_spec).run(ring_trace)
+        build = build_graph(ring_trace)
+        with pytest.raises(ValueError):
+            critical_path(build, streaming)
+
+
+class TestAbsorption:
+    def test_token_ring_mostly_propagates(self):
+        """The fully synchronous ring (§6.1) propagates message delays."""
+        trace = run(token_ring(TokenRingParams(traversals=3)), nprocs=4, seed=0).trace
+        build = build_graph(trace)
+        res = propagate(build, spec(lat=500.0))
+        am = absorption_map(build, res)
+        assert am.overall_ratio() < 0.5  # mostly binding (sensitive code)
+
+    def test_master_worker_absorbs_more_than_ring(self):
+        """§4.2's tolerant-vs-sensitive distinction: a task farm hides
+        single-worker slowness better than a lockstep ring."""
+        farm = run(
+            master_worker(MasterWorkerParams(tasks=24, base_cycles=50_000.0)), nprocs=5, seed=0
+        ).trace
+        ring = run(token_ring(TokenRingParams(traversals=3)), nprocs=5, seed=0).trace
+        s = spec(os=0.0, lat=0.0, by_rank={2: Constant(20_000.0)})
+        farm_res = propagate(build_graph(farm), s)
+        ring_res = propagate(build_graph(ring), s)
+        am_farm = absorption_map(build_graph(farm), farm_res)
+        am_ring = absorption_map(build_graph(ring), ring_res)
+        assert am_farm.overall_ratio() > am_ring.overall_ratio()
+
+    def test_counts_partition_events(self, ring_trace):
+        build = build_graph(ring_trace)
+        res = propagate(build, spec(os=100.0, lat=10.0))
+        am = absorption_map(build, res)
+        for rank in range(ring_trace.nprocs):
+            listed = len(am.events[rank])
+            assert listed == am.propagated_counts[rank] + am.absorbed_counts[rank]
+
+    def test_absorbed_slack_nonnegative(self, stencil_trace):
+        build = build_graph(stencil_trace)
+        res = propagate(build, spec(os=200.0, lat=30.0))
+        am = absorption_map(build, res)
+        assert all(s >= 0.0 for s in am.slack.values())
+
+
+class TestCriticalPathDescribe:
+    def test_describe_lists_top_edges(self, ring_trace):
+        build = build_graph(ring_trace)
+        res = propagate(build, spec(os=100.0, lat=25.0))
+        cp = critical_path(build, res)
+        text = cp.describe(build, limit=5)
+        assert "critical path of rank" in text
+        assert "cy" in text
+        # At most header + 5 contributor rows.
+        assert len(text.splitlines()) <= 6
+        assert "OS" in text or "TRANSFER_OS" in text
+
+    def test_describe_zero_noise(self, ring_trace):
+        build = build_graph(ring_trace)
+        res = propagate(build, spec())
+        cp = critical_path(build, res)
+        text = cp.describe(build)
+        assert "0 cy over 0 edges" in text

@@ -1,0 +1,134 @@
+"""Tests for trace → graph construction."""
+
+import math
+
+import pytest
+
+from repro.core.builder import build_graph
+from repro.core.graph import DeltaKind, EdgeKind, Phase
+from repro.core.primitives import BuildConfig
+from repro.mpisim import Compute, Machine, Recv, Send, run
+from repro.trace.events import EventKind
+
+
+class TestStructure:
+    def test_two_nodes_per_event(self, ring_trace):
+        build = build_graph(ring_trace)
+        per_rank = build.events
+        real_nodes = sum(1 for n in build.graph.nodes if not n.is_virtual)
+        assert real_nodes == 2 * sum(len(evs) for evs in per_rank)
+
+    def test_straight_line_chains(self, ring_trace):
+        build = build_graph(ring_trace)
+        g = build.graph
+        for rank in range(g.nprocs):
+            chain = g.rank_chain(rank)
+            # S/E alternation in seq order.
+            phases = [g.nodes[n].phase for n in chain]
+            assert phases[::2] == [Phase.START] * (len(chain) // 2)
+            assert phases[1::2] == [Phase.END] * (len(chain) // 2)
+
+    def test_final_nodes_are_finalize_ends(self, ring_trace):
+        build = build_graph(ring_trace)
+        g = build.graph
+        for rank in range(g.nprocs):
+            node = g.nodes[g.final_nodes[rank]]
+            assert node.kind == EventKind.FINALIZE
+            assert node.phase == Phase.END
+
+    def test_local_edge_weights_are_observed_intervals(self, ring_trace):
+        build = build_graph(ring_trace)
+        g = build.graph
+        for edge in g.local_edges():
+            src, dst = g.nodes[edge.src], g.nodes[edge.dst]
+            if src.is_virtual or dst.is_virtual:
+                continue
+            assert edge.weight == pytest.approx(dst.t_local - src.t_local)
+
+    def test_message_edges_weight_zero(self, ring_trace):
+        build = build_graph(ring_trace)
+        for edge in build.graph.message_edges():
+            assert edge.weight == 0.0  # §6
+
+    def test_graph_is_dag(self, ring_trace, stencil_trace):
+        for trace in (ring_trace, stencil_trace):
+            build = build_graph(trace)
+            order = build.graph.topological_order()
+            assert len(order) == len(build.graph.nodes)
+
+    def test_hub_virtual_node_per_unrooted_collective(self, ring_trace):
+        build = build_graph(ring_trace)  # ends with one allreduce
+        virtuals = [n for n in build.graph.nodes if n.is_virtual]
+        assert len(virtuals) == 1
+        assert virtuals[0].label.startswith("hub#")
+
+    def test_butterfly_adds_round_nodes(self, ring_trace):
+        build = build_graph(ring_trace, BuildConfig(collective_mode="butterfly"))
+        virtuals = [n for n in build.graph.nodes if n.is_virtual]
+        p = ring_trace.nprocs
+        rounds = math.ceil(math.log2(p))
+        assert len(virtuals) == p * (rounds + 1)
+
+    def test_butterfly_larger_than_hub(self, ring_trace):
+        hub = build_graph(ring_trace).graph.stats()
+        bfly = build_graph(ring_trace, BuildConfig(collective_mode="butterfly")).graph.stats()
+        assert bfly["edges"] > hub["edges"]
+        assert bfly["nodes"] > hub["nodes"]
+
+
+class TestTransfersInGraph:
+    def test_every_transfer_has_data_edge(self, ring_trace):
+        build = build_graph(ring_trace)
+        data_edges = [
+            e for e in build.graph.message_edges() if e.delta.kind == DeltaKind.TRANSFER_OS
+        ]
+        assert len(data_edges) == build.match.link_count()
+
+    def test_eager_threshold_removes_acks(self, ring_trace):
+        full = build_graph(ring_trace)
+        eager = build_graph(ring_trace, BuildConfig(eager_threshold=10**6))
+        full_acks = sum(
+            1
+            for e in full.graph.message_edges()
+            if e.delta.kind in (DeltaKind.LATENCY, DeltaKind.ROUNDTRIP)
+        )
+        eager_acks = sum(
+            1
+            for e in eager.graph.message_edges()
+            if e.delta.kind in (DeltaKind.LATENCY, DeltaKind.ROUNDTRIP)
+        )
+        assert full_acks > 0
+        assert eager_acks == 0
+
+
+class TestAbsoluteWeights:
+    def test_absolute_mode_uses_time_differences(self):
+        # Perfect clocks => cross-rank times comparable.
+        def prog(me):
+            if me.rank == 0:
+                yield Compute(1000.0)
+                yield Send(dest=1, nbytes=32)
+            else:
+                yield Recv(source=0)
+
+        trace = run(prog, nprocs=2, seed=0).trace
+        build = build_graph(trace, BuildConfig(absolute_weights=True))
+        data = [
+            e for e in build.graph.message_edges() if e.delta.kind == DeltaKind.TRANSFER_OS
+        ][0]
+        src, dst = build.graph.nodes[data.src], build.graph.nodes[data.dst]
+        assert data.weight == pytest.approx(dst.t_local - src.t_local)
+        assert data.weight > 0
+
+    def test_default_mode_ignores_clock_differences(self):
+        def prog(me):
+            if me.rank == 0:
+                yield Send(dest=1, nbytes=32)
+            else:
+                yield Recv(source=0)
+
+        machine = Machine(nprocs=2).with_skewed_clocks(seed=1)
+        trace = run(prog, machine=machine, seed=0).trace
+        build = build_graph(trace)
+        for e in build.graph.message_edges():
+            assert e.weight == 0.0

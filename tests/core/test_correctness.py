@@ -1,0 +1,114 @@
+"""Tests for the §4.3 correctness checks."""
+
+import pytest
+
+from repro.core import PerturbationSpec, build_graph, check_correctness, propagate
+from repro.core.correctness import async_warnings, check_order_preserved
+from repro.mpisim import Compute, Irecv, Isend, Recv, Send, Wait, run
+from repro.noise import Constant, Exponential, MachineSignature
+
+
+def spec(os=100.0, lat=50.0, scale=1.0, seed=0):
+    return PerturbationSpec(
+        MachineSignature(os_noise=Constant(os), latency=Constant(lat)), seed=seed, scale=scale
+    )
+
+
+class TestCleanRuns:
+    def test_synchronous_run_clean(self, ring_trace, const_spec):
+        build = build_graph(ring_trace)
+        res = propagate(build, const_spec)
+        report = check_correctness(build, res)
+        assert report.ok
+        assert not report.warnings
+        assert "0 order violation(s)" in report.summary()
+
+    def test_random_noise_run_clean(self, stencil_trace):
+        random_spec = PerturbationSpec(
+            MachineSignature(os_noise=Exponential(300.0), latency=Exponential(100.0)), seed=5
+        )
+        build = build_graph(stencil_trace)
+        res = propagate(build, random_spec)
+        assert check_correctness(build, res).ok
+
+
+class TestAsyncWarnings:
+    def test_uncompleted_isend_warned(self):
+        def prog(me):
+            if me.rank == 0:
+                yield Isend(dest=1, nbytes=8)  # never waited (§4.3 worst case)
+                yield Compute(1000.0)
+            else:
+                yield Recv(source=0)
+
+        trace = run(prog, nprocs=2, seed=0).trace
+        build = build_graph(trace)
+        warnings = async_warnings(build)
+        assert len(warnings) == 1
+        assert "ISEND" in warnings[0]
+        assert "cannot be guaranteed" in warnings[0]
+
+    def test_uncompleted_irecv_warned(self):
+        def prog(me):
+            if me.rank == 0:
+                yield Irecv(source=1, tag=0)
+                yield Compute(200_000.0)  # long enough for the message to land
+            else:
+                yield Send(dest=0, nbytes=8, tag=0)
+
+        trace = run(prog, nprocs=2, seed=0).trace
+        build = build_graph(trace)
+        warnings = async_warnings(build)
+        assert len(warnings) == 1
+        assert "IRECV" in warnings[0]
+        assert "dropped" in warnings[0]
+
+    def test_completed_requests_no_warning(self):
+        def prog(me):
+            if me.rank == 0:
+                r = yield Isend(dest=1, nbytes=8)
+                yield Wait(r)
+            else:
+                r = yield Irecv(source=0)
+                yield Wait(r)
+
+        trace = run(prog, nprocs=2, seed=0).trace
+        build = build_graph(trace)
+        assert async_warnings(build) == []
+
+
+class TestClampWarnings:
+    def test_negative_scale_produces_clamp_warning(self, ring_trace):
+        build = build_graph(ring_trace)
+        res = propagate(build, spec(scale=-5.0))
+        report = check_correctness(build, res)
+        assert report.clamp_warnings
+        assert "clamped" in report.clamp_warnings[0]
+
+    def test_positive_scale_no_clamps(self, ring_trace):
+        build = build_graph(ring_trace)
+        res = propagate(build, spec())
+        assert check_correctness(build, res).clamp_warnings == []
+
+
+class TestOrderCheck:
+    def test_requires_incore_result(self, ring_trace, const_spec):
+        from repro.core import StreamingTraversal
+
+        build = build_graph(ring_trace)
+        streaming = StreamingTraversal(const_spec).run(ring_trace)
+        with pytest.raises(ValueError, match="in-core"):
+            check_order_preserved(build, streaming)
+
+    def test_detects_fabricated_violation(self, ring_trace, const_spec):
+        build = build_graph(ring_trace)
+        res = propagate(build, const_spec)
+        # Corrupt a node delay to simulate a traversal bug: pick an END
+        # node and push it before its START.
+        g = build.graph
+        from repro.core.graph import Phase
+
+        victim = g.node_of(0, 1, Phase.END)
+        res.node_delay[victim] = -1e9
+        violations = check_order_preserved(build, res)
+        assert violations

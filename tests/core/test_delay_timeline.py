@@ -1,0 +1,56 @@
+"""Tests for the per-rank delay timeline (§4.2 at event granularity)."""
+
+import pytest
+
+from repro.core import (
+    PerturbationSpec,
+    StreamingTraversal,
+    build_graph,
+    delay_timeline,
+    propagate,
+)
+from repro.noise import Constant, MachineSignature
+
+
+@pytest.fixture
+def build_and_result(ring_trace):
+    build = build_graph(ring_trace)
+    spec = PerturbationSpec(
+        MachineSignature(os_noise=Constant(100.0), latency=Constant(30.0)), seed=0
+    )
+    return build, propagate(build, spec)
+
+
+class TestTimeline:
+    def test_one_point_per_event(self, build_and_result, ring_trace):
+        build, res = build_and_result
+        for rank in range(ring_trace.nprocs):
+            points = delay_timeline(build, res, rank)
+            assert len(points) == len(build.events[rank])
+            assert [p.seq for p in points] == list(range(len(points)))
+
+    def test_monotone_nondecreasing(self, build_and_result, ring_trace):
+        build, res = build_and_result
+        for rank in range(ring_trace.nprocs):
+            points = delay_timeline(build, res, rank)
+            for a, b in zip(points, points[1:]):
+                assert b.delay >= a.delay - 1e-9
+
+    def test_increments_sum_to_final(self, build_and_result):
+        build, res = build_and_result
+        points = delay_timeline(build, res, 0)
+        assert sum(p.increment for p in points) == pytest.approx(points[-1].delay)
+        assert points[-1].delay == pytest.approx(res.final_delay[0])
+
+    def test_first_event_init(self, build_and_result):
+        build, res = build_and_result
+        points = delay_timeline(build, res, 0)
+        assert points[0].kind == "INIT"
+        assert points[0].delay == 0.0  # INIT has no perturbed in-edges
+
+    def test_requires_incore(self, ring_trace):
+        build = build_graph(ring_trace)
+        spec = PerturbationSpec(MachineSignature(os_noise=Constant(1.0)), seed=0)
+        streaming = StreamingTraversal(spec).run(ring_trace)
+        with pytest.raises(ValueError, match="in-core"):
+            delay_timeline(build, streaming, 0)

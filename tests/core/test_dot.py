@@ -1,0 +1,67 @@
+"""Tests for Graphviz DOT export (Fig. 5)."""
+
+import re
+
+import pytest
+
+from repro.core import PerturbationSpec, build_graph, propagate, to_dot
+from repro.noise import Constant, MachineSignature
+
+
+class TestDotOutput:
+    def test_well_formed(self, ring_trace):
+        build = build_graph(ring_trace)
+        dot = to_dot(build.graph, name="ring")
+        assert dot.startswith('digraph "ring" {')
+        assert dot.rstrip().endswith("}")
+        assert dot.count("{") == dot.count("}")
+
+    def test_one_cluster_per_rank(self, ring_trace):
+        build = build_graph(ring_trace)
+        dot = to_dot(build.graph)
+        for rank in range(ring_trace.nprocs):
+            assert f"cluster_rank{rank}" in dot
+            assert f'label="rank {rank}"' in dot
+
+    def test_every_node_and_edge_rendered(self, ring_trace):
+        build = build_graph(ring_trace)
+        dot = to_dot(build.graph)
+        node_decls = re.findall(r"^\s*n(\d+) \[", dot, re.MULTILINE)
+        assert len(node_decls) == len(build.graph.nodes)
+        edge_lines = re.findall(r"n\d+ -> n\d+", dot)
+        assert len(edge_lines) == len(build.graph.edges)
+
+    def test_message_edges_dashed(self, ring_trace):
+        build = build_graph(ring_trace)
+        dot = to_dot(build.graph)
+        dashed = [l for l in dot.splitlines() if "->" in l and "style=dashed" in l]
+        n_msg = sum(1 for _ in build.graph.message_edges())
+        assert len(dashed) == n_msg
+
+    def test_virtual_hub_rendered_as_ellipse(self, ring_trace):
+        build = build_graph(ring_trace)
+        dot = to_dot(build.graph)
+        assert "shape=ellipse" in dot
+        assert "hub#" in dot
+
+    def test_delay_annotations(self, ring_trace):
+        build = build_graph(ring_trace)
+        spec = PerturbationSpec(MachineSignature(os_noise=Constant(100.0)), seed=0)
+        res = propagate(build, spec)
+        dot = to_dot(build.graph, node_delay=res.node_delay)
+        assert "D=" in dot
+
+    def test_delay_length_validated(self, ring_trace):
+        build = build_graph(ring_trace)
+        with pytest.raises(ValueError, match="node_delay"):
+            to_dot(build.graph, node_delay=[0.0])
+
+    def test_max_nodes_guard(self, ring_trace):
+        build = build_graph(ring_trace)
+        with pytest.raises(ValueError, match="max_nodes"):
+            to_dot(build.graph, max_nodes=3)
+
+    def test_quotes_escaped(self, ring_trace):
+        build = build_graph(ring_trace)
+        dot = to_dot(build.graph, name='we"ird')
+        assert 'digraph "we\\"ird"' in dot

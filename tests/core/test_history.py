@@ -1,0 +1,81 @@
+"""Tests for the experiment history registry (§7 future work)."""
+
+import pytest
+
+from repro.core import (
+    BuildConfig,
+    ExperimentHistory,
+    PerturbationSpec,
+    build_graph,
+    propagate,
+)
+from repro.noise import Constant, Exponential, MachineSignature
+
+
+@pytest.fixture
+def history(tmp_path):
+    return ExperimentHistory(tmp_path / "exp.jsonl")
+
+
+def spec(seed=3, scale=2.0):
+    return MachineSignature(
+        os_noise=Exponential(80.0), latency=Constant(25.0), name="hist-sig"
+    ), PerturbationSpec(
+        MachineSignature(os_noise=Exponential(80.0), latency=Constant(25.0), name="hist-sig"),
+        seed=seed,
+        scale=scale,
+    )
+
+
+class TestRecording:
+    def test_record_and_iterate(self, history, ring_trace):
+        _, s = spec()
+        build = build_graph(ring_trace)
+        res = propagate(build, s)
+        rec = history.record("first", s, res, build.config)
+        assert rec.name == "first"
+        assert rec.delays == tuple(res.final_delay)
+        stored = list(history)
+        assert len(stored) == 1
+        assert stored[0].params["seed"] == 3
+        assert stored[0].params["scale"] == 2.0
+        assert stored[0].params["build_config"]["collective_mode"] == "hub"
+
+    def test_append_only(self, history, ring_trace):
+        _, s = spec()
+        build = build_graph(ring_trace)
+        res = propagate(build, s)
+        history.record("a", s, res)
+        history.record("b", s, res)
+        history.record("a", s, res, extra={"note": "rerun"})
+        assert len(history) == 3
+        assert len(history.find("a")) == 2
+        assert history.latest("a").params.get("extra") == {"note": "rerun"}
+        assert history.latest("missing") is None
+
+    def test_max_delay(self, history, ring_trace):
+        _, s = spec()
+        build = build_graph(ring_trace)
+        res = propagate(build, s)
+        rec = history.record("x", s, res)
+        assert rec.max_delay == max(res.final_delay)
+
+
+class TestReplay:
+    def test_replay_spec_reproduces_exactly(self, history, ring_trace):
+        """Deterministic sampling + stored parameterization = exact replay."""
+        _, s = spec(seed=11, scale=1.5)
+        build = build_graph(ring_trace)
+        res = propagate(build, s)
+        rec = history.record("replayable", s, res)
+
+        # New history object reading the same file (cold start).
+        later = ExperimentHistory(history.path)
+        stored = later.latest("replayable")
+        replay = propagate(build, later.replay_spec(stored))
+        assert list(replay.final_delay) == list(stored.delays)
+
+    def test_empty_history(self, tmp_path):
+        h = ExperimentHistory(tmp_path / "nothing.jsonl")
+        assert len(h) == 0
+        assert list(h) == []

@@ -1,0 +1,68 @@
+"""Tests for the rank-to-rank influence matrix."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    MasterWorkerParams,
+    PipelineParams,
+    TokenRingParams,
+    master_worker,
+    pipeline,
+    token_ring,
+)
+from repro.core import build_graph, rank_influence
+from repro.mpisim import run
+from repro.noise import Constant
+
+
+NOISE = Constant(10_000.0)
+
+
+class TestRing:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        trace = run(token_ring(TokenRingParams(traversals=3)), nprocs=5, seed=0).trace
+        return rank_influence(build_graph(trace), NOISE, seed=0)
+
+    def test_shape(self, matrix):
+        assert matrix.matrix.shape == (5, 5)
+        assert matrix.noise_mean == 10_000.0
+
+    def test_everyone_influences_everyone(self, matrix):
+        """The lockstep ring: any rank's noise reaches all ranks."""
+        assert np.all(matrix.matrix > 0)
+        for src in range(5):
+            assert matrix.spread(src) == 5
+
+    def test_self_influence_positive(self, matrix):
+        for r in range(5):
+            assert matrix.matrix[r, r] > 0
+
+    def test_table_renders(self, matrix):
+        text = matrix.table()
+        assert "src   0" in text
+        assert len(text.splitlines()) == 6
+
+
+class TestPipeline:
+    def test_influence_flows_downstream(self):
+        """Pipeline: an early stage delays later stages more than the
+        reverse (upstream back-pressure is weaker than forward data
+        dependence once the pipeline drains)."""
+        trace = run(pipeline(PipelineParams(items=10)), nprocs=4, seed=0).trace
+        m = rank_influence(build_graph(trace), NOISE, seed=0)
+        # Stage 0's noise delays the final stage fully...
+        assert m.matrix[0, 3] > 0
+        # ...and more than stage 3's noise delays stage 0.
+        assert m.matrix[0, 3] > m.matrix[3, 0]
+
+
+class TestMasterWorker:
+    def test_master_is_most_influential(self):
+        trace = run(
+            master_worker(MasterWorkerParams(tasks=18, base_cycles=30_000.0)), nprocs=4, seed=0
+        ).trace
+        m = rank_influence(build_graph(trace), NOISE, seed=0)
+        totals = m.total_influence()
+        assert np.argmax(totals) == 0  # the master's noise hurts the most

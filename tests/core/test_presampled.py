@@ -1,0 +1,75 @@
+"""Tests for the presampled sweep fast path."""
+
+import pytest
+
+from repro.core import (
+    PerturbationSpec,
+    build_graph,
+    propagate,
+    propagate_presampled,
+    sample_edge_deltas,
+)
+from repro.noise import Constant, Exponential, MachineSignature
+
+
+@pytest.fixture(scope="module")
+def build(ring_trace):
+    return build_graph(ring_trace)
+
+
+def spec(seed=3, scale=1.0, quantum=0.0):
+    return PerturbationSpec(
+        MachineSignature(
+            os_noise=Exponential(80.0),
+            latency=Exponential(40.0),
+            per_byte=Constant(0.003),
+            os_quantum=quantum,
+        ),
+        seed=seed,
+        scale=scale,
+    )
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("scale", [0.0, 0.5, 1.0, 4.0, -1.0])
+    def test_matches_fresh_propagate(self, build, scale):
+        s = spec()
+        raw = sample_edge_deltas(build, s)
+        fast = propagate_presampled(build, raw, scale=scale)
+        slow = propagate(build, s.scaled(scale))
+        assert fast.final_delay == pytest.approx(slow.final_delay)
+        assert fast.clamped_edges == slow.clamped_edges
+
+    def test_matches_in_threshold_mode(self, build):
+        s = spec()
+        raw = sample_edge_deltas(build, s)
+        fast = propagate_presampled(build, raw, scale=2.0, mode="threshold")
+        slow = propagate(build, s.scaled(2.0), mode="threshold")
+        assert fast.final_delay == pytest.approx(slow.final_delay)
+
+    def test_matches_with_interval_scaling(self, build):
+        s = spec(quantum=2000.0)
+        raw = sample_edge_deltas(build, s)
+        fast = propagate_presampled(build, raw, scale=3.0)
+        slow = propagate(build, s.scaled(3.0))
+        assert fast.final_delay == pytest.approx(slow.final_delay)
+
+    def test_base_spec_scale_respected_by_sweep(self, ring_trace):
+        """sweep_scales composes the spec's own scale with the ladder."""
+        from repro.core import sweep_scales
+
+        s2 = spec(scale=2.0)
+        doubled = sweep_scales(ring_trace, s2, [1.0])
+        base = sweep_scales(ring_trace, spec(scale=1.0), [2.0])
+        assert doubled.points[0].delays == pytest.approx(base.points[0].delays)
+
+
+class TestValidation:
+    def test_length_checked(self, build):
+        with pytest.raises(ValueError, match="length"):
+            propagate_presampled(build, [0.0], scale=1.0)
+
+    def test_mode_checked(self, build):
+        raw = sample_edge_deltas(build, spec())
+        with pytest.raises(ValueError, match="mode"):
+            propagate_presampled(build, raw, mode="quantum")

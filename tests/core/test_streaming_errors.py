@@ -1,0 +1,107 @@
+"""Error paths of the streaming traversal on malformed traces.
+
+The engine must fail loudly and diagnosably — never hang or silently
+produce wrong delays — when handed traces that do not describe a
+complete run (§4.3's precondition).
+"""
+
+import pytest
+
+from repro.core import PerturbationSpec, StreamingTraversal
+from repro.core.matching import MatchError
+from repro.noise import Constant, MachineSignature
+from repro.trace.events import EventKind, EventRecord
+from repro.trace.reader import MemoryTrace
+
+
+def ev(rank, seq, kind, t0, t1, **kw):
+    return EventRecord(rank=rank, seq=seq, kind=kind, t_start=t0, t_end=t1, **kw)
+
+
+def wrap(rank, inner):
+    events = [ev(rank, 0, EventKind.INIT, 0.0, 1.0)]
+    t = 1.0
+    for kind, kw in inner:
+        events.append(ev(rank, len(events), kind, t + 1, t + 2, **kw))
+        t += 2
+    events.append(ev(rank, len(events), EventKind.FINALIZE, t + 1, t + 2))
+    return events
+
+
+SPEC = PerturbationSpec(MachineSignature(os_noise=Constant(10.0)), seed=0)
+
+
+class TestStalls:
+    def test_missing_sender(self):
+        traces = MemoryTrace(
+            [
+                wrap(0, [(EventKind.RECV, dict(peer=1, tag=0))]),
+                wrap(1, []),
+            ]
+        )
+        with pytest.raises(MatchError, match="stalled"):
+            StreamingTraversal(SPEC).run(traces)
+
+    def test_missing_collective_participant(self):
+        traces = MemoryTrace(
+            [
+                wrap(0, [(EventKind.BARRIER, dict(coll_seq=0))]),
+                wrap(1, []),
+            ]
+        )
+        with pytest.raises(MatchError, match="stalled"):
+            StreamingTraversal(SPEC).run(traces)
+
+    def test_stall_message_names_blockers(self):
+        traces = MemoryTrace(
+            [
+                wrap(0, [(EventKind.RECV, dict(peer=1, tag=7))]),
+                wrap(1, []),
+            ]
+        )
+        with pytest.raises(MatchError) as exc:
+            StreamingTraversal(SPEC).run(traces)
+        assert "rank 0" in str(exc.value)
+        assert "data" in str(exc.value)
+
+
+class TestHardErrors:
+    def test_unknown_request_completion(self):
+        traces = MemoryTrace(
+            [wrap(0, [(EventKind.WAIT, dict(reqs=(9,), completed=(9,)))])]
+        )
+        with pytest.raises(MatchError, match="unknown request"):
+            StreamingTraversal(SPEC).run(traces)
+
+    def test_collective_kind_mismatch(self):
+        traces = MemoryTrace(
+            [
+                wrap(0, [(EventKind.BARRIER, dict(coll_seq=0))]),
+                wrap(1, [(EventKind.ALLREDUCE, dict(coll_seq=0, nbytes=8))]),
+            ]
+        )
+        with pytest.raises(MatchError, match="inconsistent"):
+            StreamingTraversal(SPEC).run(traces)
+
+    def test_collective_root_mismatch(self):
+        traces = MemoryTrace(
+            [
+                wrap(0, [(EventKind.BCAST, dict(coll_seq=0, root=0, nbytes=8))]),
+                wrap(1, [(EventKind.BCAST, dict(coll_seq=0, root=1, nbytes=8))]),
+            ]
+        )
+        with pytest.raises(MatchError, match="inconsistent"):
+            StreamingTraversal(SPEC).run(traces)
+
+
+class TestWarnings:
+    def test_uncompleted_request_warned_not_fatal(self):
+        traces = MemoryTrace(
+            [
+                wrap(0, [(EventKind.ISEND, dict(peer=1, tag=0, nbytes=8, req=0))]),
+                wrap(1, [(EventKind.RECV, dict(peer=0, tag=0, nbytes=8))]),
+            ]
+        )
+        res = StreamingTraversal(SPEC).run(traces)
+        assert any("never completed" in w for w in res.warnings)
+        assert len(res.final_delay) == 2

@@ -1,0 +1,83 @@
+"""Tests for event-window extraction."""
+
+import pytest
+
+from repro.core import (
+    PerturbationSpec,
+    build_graph,
+    extract_window,
+    propagate,
+    to_dot,
+)
+from repro.core.graph import EdgeKind
+from repro.noise import Constant, MachineSignature
+
+
+@pytest.fixture
+def build(ring_trace):
+    return build_graph(ring_trace)
+
+
+class TestExtraction:
+    def test_window_selects_seq_range(self, build):
+        w = extract_window(build, 1, 4)
+        for n in w.graph.nodes:
+            if not n.is_virtual:
+                assert 1 <= n.seq < 4
+
+    def test_full_window_is_whole_graph(self, build):
+        total_seqs = max(len(evs) for evs in build.events)
+        w = extract_window(build, 0, total_seqs)
+        assert len(w.graph.nodes) == len(build.graph.nodes)
+        assert len(w.graph.edges) == len(build.graph.edges)
+
+    def test_edges_only_within_window(self, build):
+        w = extract_window(build, 1, 3)
+        assert len(w.graph.edges) < len(build.graph.edges)
+        # every kept edge references window nodes only (by construction of ids)
+        for e in w.graph.edges:
+            assert 0 <= e.src < len(w.graph.nodes)
+            assert 0 <= e.dst < len(w.graph.nodes)
+
+    def test_rank_restriction(self, build):
+        w = extract_window(build, 0, 100, ranks=[0, 1])
+        real_ranks = {n.rank for n in w.graph.nodes if not n.is_virtual}
+        assert real_ranks == {0, 1}
+
+    def test_hub_included_when_touching_window(self, build, ring_trace):
+        # The allreduce is the penultimate event; windows covering it keep
+        # the hub, earlier windows do not.
+        n_events = len(build.events[0])
+        with_coll = extract_window(build, n_events - 2, n_events)
+        without = extract_window(build, 0, 2)
+        assert any(n.is_virtual for n in with_coll.graph.nodes)
+        assert not any(n.is_virtual for n in without.graph.nodes)
+
+    def test_empty_window_rejected(self, build):
+        with pytest.raises(ValueError):
+            extract_window(build, 3, 3)
+        with pytest.raises(ValueError):
+            extract_window(build, 10_000, 10_001)
+
+    def test_message_edges_survive_when_both_ends_in(self, build):
+        total = max(len(evs) for evs in build.events)
+        w = extract_window(build, 0, total)
+        n_msg = sum(1 for e in w.graph.edges if e.kind == EdgeKind.MESSAGE)
+        assert n_msg == sum(1 for _ in build.graph.message_edges())
+
+
+class TestDelayMapping:
+    def test_map_delays_aligns(self, build):
+        spec = PerturbationSpec(MachineSignature(os_noise=Constant(50.0)), seed=0)
+        res = propagate(build, spec)
+        w = extract_window(build, 0, 3)
+        delays = w.map_delays(res.node_delay)
+        assert len(delays) == len(w.graph.nodes)
+        # spot check: node delays match the original graph's values
+        for wid, orig in enumerate(w.original_ids):
+            assert delays[wid] == res.node_delay[orig]
+
+    def test_windowed_dot_export(self, build):
+        w = extract_window(build, 0, 4)
+        dot = to_dot(w.graph, name="window")
+        assert dot.startswith('digraph "window"')

@@ -1,0 +1,251 @@
+"""Tests for the command-line entry points (invoked in-process)."""
+
+import json
+
+import pytest
+
+from repro.cli import main_analyze, main_dot, main_microbench, main_sweep, main_trace
+
+
+@pytest.fixture
+def traced(tmp_path):
+    """A small traced run plus a measured signature on disk."""
+    rc = main_trace(
+        [
+            "--app",
+            "token_ring",
+            "--nprocs",
+            "4",
+            "--machine",
+            "quiet",
+            "--out",
+            str(tmp_path),
+            "--stem",
+            "ring",
+            "--param",
+            "traversals=2",
+            "--seed",
+            "1",
+        ]
+    )
+    assert rc == 0
+    sig_path = tmp_path / "sig.json"
+    rc = main_microbench(
+        ["--machine", "noisy", "--out", str(sig_path), "--seed", "0"]
+    )
+    assert rc == 0
+    return tmp_path, sig_path
+
+
+class TestTrace:
+    def test_produces_files(self, traced):
+        tmp_path, _ = traced
+        files = sorted(tmp_path.glob("ring.rank*.trace.jsonl"))
+        assert len(files) == 4
+
+    def test_binary_flag(self, tmp_path):
+        main_trace(
+            [
+                "--app",
+                "pipeline",
+                "--nprocs",
+                "3",
+                "--out",
+                str(tmp_path),
+                "--binary",
+                "--param",
+                "items=3",
+            ]
+        )
+        assert len(list(tmp_path.glob("pipeline.rank*.trace.bin"))) == 3
+
+    def test_bad_param_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main_trace(
+                ["--app", "token_ring", "--nprocs", "2", "--out", str(tmp_path), "--param", "oops"]
+            )
+
+    def test_unknown_app_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main_trace(["--app", "quicksort", "--nprocs", "2", "--out", str(tmp_path)])
+
+
+class TestMicrobench:
+    def test_signature_is_loadable_json(self, traced):
+        _, sig_path = traced
+        data = json.loads(sig_path.read_text())
+        assert {"os_noise", "latency", "per_byte"} <= set(data)
+
+    def test_fit_method(self, tmp_path):
+        out = tmp_path / "fit.json"
+        rc = main_microbench(["--machine", "noisy", "--out", str(out), "--method", "fit"])
+        assert rc == 0
+        assert out.exists()
+
+
+class TestAnalyze:
+    def test_incore_report(self, traced, capsys):
+        tmp_path, sig_path = traced
+        rc = main_analyze(
+            ["--traces", str(tmp_path), "--stem", "ring", "--signature", str(sig_path)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "graph:" in out
+        assert "critical path" in out
+        assert "absorption ratio" in out
+        assert "correctness: 0 order violation(s)" in out
+
+    def test_streaming_engine(self, traced, capsys):
+        tmp_path, sig_path = traced
+        rc = main_analyze(
+            [
+                "--traces",
+                str(tmp_path),
+                "--stem",
+                "ring",
+                "--signature",
+                str(sig_path),
+                "--engine",
+                "streaming",
+            ]
+        )
+        assert rc == 0
+        assert "streaming traversal" in capsys.readouterr().out
+
+    def test_history_recorded(self, traced, capsys):
+        tmp_path, sig_path = traced
+        hist = tmp_path / "hist.jsonl"
+        main_analyze(
+            [
+                "--traces",
+                str(tmp_path),
+                "--stem",
+                "ring",
+                "--signature",
+                str(sig_path),
+                "--history",
+                str(hist),
+                "--name",
+                "cli-test",
+            ]
+        )
+        lines = hist.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["name"] == "cli-test"
+
+    def test_requires_signature_source(self, traced):
+        tmp_path, _ = traced
+        with pytest.raises(SystemExit):
+            main_analyze(["--traces", str(tmp_path), "--stem", "ring"])
+
+
+class TestSweep:
+    def test_table_and_slope(self, traced, capsys):
+        tmp_path, sig_path = traced
+        rc = main_sweep(
+            [
+                "--traces",
+                str(tmp_path),
+                "--stem",
+                "ring",
+                "--signature",
+                str(sig_path),
+                "--scales",
+                "0,1,2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "scale=2" in out
+        assert "slope" in out
+
+
+class TestDot:
+    def test_writes_dot_file(self, traced, capsys):
+        tmp_path, _ = traced
+        out = tmp_path / "g.dot"
+        rc = main_dot(["--traces", str(tmp_path), "--stem", "ring", "--out", str(out)])
+        assert rc == 0
+        text = out.read_text()
+        assert text.startswith('digraph "ring"')
+        assert "cluster_rank3" in text
+
+    def test_stdout_mode(self, traced, capsys):
+        tmp_path, _ = traced
+        main_dot(["--traces", str(tmp_path), "--stem", "ring"])
+        assert "digraph" in capsys.readouterr().out
+
+
+class TestReplay:
+    def test_replay_table(self, traced, capsys):
+        from repro.cli import main_replay
+
+        tmp_path, _ = traced
+        rc = main_replay(
+            [
+                "--traces",
+                str(tmp_path),
+                "--stem",
+                "ring",
+                "--latency",
+                "100",
+                "--bandwidth",
+                "20",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "makespan:" in out
+        assert "speedup" in out
+
+    def test_analyze_prints_trace_stats(self, traced, capsys):
+        from repro.cli import main_analyze
+
+        tmp_path, sig_path = traced
+        main_analyze(
+            ["--traces", str(tmp_path), "--stem", "ring", "--signature", str(sig_path)]
+        )
+        assert "trace:" in capsys.readouterr().out
+
+    def test_dot_seq_range(self, traced, capsys):
+        from repro.cli import main_dot
+
+        tmp_path, _ = traced
+        out = tmp_path / "w.dot"
+        main_dot(
+            [
+                "--traces",
+                str(tmp_path),
+                "--stem",
+                "ring",
+                "--out",
+                str(out),
+                "--seq-range",
+                "0:3",
+            ]
+        )
+        text = out.read_text()
+        # Window keeps only seqs 0..2: far fewer nodes than the full graph.
+        assert text.count("label=") < 60
+
+
+class TestMeasureFlow:
+    def test_analyze_with_inline_measurement(self, traced, capsys):
+        """--measure PRESET runs the microbenchmarks instead of loading a
+        signature file."""
+        tmp_path, _ = traced
+        rc = main_analyze(
+            [
+                "--traces",
+                str(tmp_path),
+                "--stem",
+                "ring",
+                "--measure",
+                "noisy",
+                "--engine",
+                "streaming",
+            ]
+        )
+        assert rc == 0
+        assert "max delay" in capsys.readouterr().out

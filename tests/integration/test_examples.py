@@ -1,0 +1,62 @@
+"""Smoke tests: every bundled example must run end-to-end.
+
+Examples are part of the public contract (deliverable (b)); these tests
+execute them in-process (with reduced sizes where the script accepts
+arguments) and sanity-check the narrative output.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(monkeypatch, capsys, name: str, argv: list[str] | None = None) -> str:
+    monkeypatch.setattr(sys, "argv", [name] + (argv or []))
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "quickstart.py")
+    assert "traced run: 16 ranks" in out
+    assert "critical path of rank" in out
+    assert "absorption:" in out
+    assert "0 order violation(s)" in out
+
+
+def test_nbody_token_ring(monkeypatch, capsys):
+    out = run_example(
+        monkeypatch,
+        capsys,
+        "nbody_token_ring.py",
+        ["--nprocs", "16", "--traversals", "3", "--max-noise", "200"],
+    )
+    assert "fitted slope" in out
+    # slope ≈ traversals × p = 48
+    assert "48" in out
+
+
+def test_platform_comparison(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "platform_comparison.py")
+    assert "recommendation" in out
+    assert "noisy-commodity" in out and "wan-grid" in out
+    # Every app gets a recommendation line.
+    assert out.count(":") >= 6
+
+
+def test_noise_tolerance_study(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "noise_tolerance_study.py")
+    assert "most tolerant" in out
+    assert "sensitivity detail" in out
+    assert "compute" in out  # timeline legend
+
+
+def test_uncertainty_and_influence(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "uncertainty_and_influence.py")
+    assert "p5/p50/p95" in out
+    assert "most dangerous rank" in out
+    assert "identical delays = True" in out

@@ -1,0 +1,136 @@
+"""Tests for the machine → signature measurement loop (§5).
+
+The crucial closed-loop property: a signature measured from a machine
+whose noise we *generated* must predict perturbations of the right
+magnitude when fed to the analyzer.
+"""
+
+import pytest
+
+from repro.core import PerturbationSpec, build_graph, propagate
+from repro.microbench import measure_machine
+from repro.mpisim import Machine, NetworkModel, run
+from repro.noise import (
+    Constant,
+    DistributionNoise,
+    Empirical,
+    Exponential,
+    MachineSignature,
+)
+from repro.apps import TokenRingParams, token_ring
+
+NET = NetworkModel(latency=800.0, bandwidth=4.0, send_overhead=100.0, recv_overhead=100.0)
+
+
+def noisy_machine(p=2, mean=150.0):
+    return Machine(
+        nprocs=p,
+        network=NET.with_jitter(Exponential(80.0)),
+        noise=DistributionNoise(Exponential(mean)),
+        name="gen",
+    )
+
+
+class TestMeasurement:
+    def test_report_fields(self):
+        report = measure_machine(noisy_machine(), seed=0, ftq_quanta=256,
+                                 pingpong_iterations=64, bandwidth_iterations=8,
+                                 mraz_messages=64)
+        assert report.machine_name == "gen"
+        assert report.ftq.mean_loss() > 0
+        assert report.pingpong.latency_estimate() >= 800.0
+        assert report.bandwidth.bandwidth_estimate() == pytest.approx(4.0, rel=0.05)
+        assert "gen" in report.summary()
+
+    def test_quiet_machine_yields_silent_signature(self, rng):
+        report = measure_machine(
+            Machine(nprocs=2, network=NET, name="quiet"),
+            seed=0,
+            ftq_quanta=128,
+            pingpong_iterations=32,
+            bandwidth_iterations=8,
+            mraz_messages=32,
+        )
+        sig = report.to_signature()
+        assert sig.sample_os(rng, 0) == 0.0
+        assert sig.sample_latency(rng, 0, 1) == 0.0
+        assert sig.sample_transfer(rng, 10**6) == 0.0
+
+    def test_empirical_signature_recovers_os_mean(self):
+        mean = 150.0
+        report = measure_machine(noisy_machine(mean=mean), seed=1, ftq_quanta=2048,
+                                 pingpong_iterations=64, bandwidth_iterations=8,
+                                 mraz_messages=64)
+        sig = report.to_signature(method="empirical")
+        assert isinstance(sig.os_noise, Empirical)
+        # FTQ quanta are 10k cycles; one DistributionNoise draw per quantum.
+        assert sig.os_noise.mean() == pytest.approx(mean, rel=0.15)
+
+    def test_fitted_signature(self):
+        report = measure_machine(noisy_machine(), seed=2, ftq_quanta=1024,
+                                 pingpong_iterations=64, bandwidth_iterations=8,
+                                 mraz_messages=64)
+        sig = report.to_signature(method="fit")
+        assert not isinstance(sig.os_noise, Empirical) or True  # fit may fall back
+        assert sig.os_noise.mean() > 0
+
+    def test_bad_method_rejected(self):
+        report = measure_machine(noisy_machine(), seed=0, ftq_quanta=64,
+                                 pingpong_iterations=16, bandwidth_iterations=4,
+                                 mraz_messages=16)
+        with pytest.raises(ValueError):
+            report.to_signature(method="magic")
+
+
+class TestClosedLoop:
+    def test_measured_signature_predicts_noise_magnitude(self):
+        """§5's whole point: trace on a quiet machine + signature measured
+        on a noisy one ⇒ predicted delays of the right order."""
+        mean = 200.0
+        # 1. Trace the app on a QUIET machine.
+        quiet = Machine(nprocs=4, network=NET, name="quiet")
+        trace = run(token_ring(TokenRingParams(traversals=3)), machine=quiet, seed=0).trace
+        # 2. Measure the NOISY machine.
+        report = measure_machine(noisy_machine(mean=mean), seed=3, ftq_quanta=1024,
+                                 pingpong_iterations=128, bandwidth_iterations=8,
+                                 mraz_messages=64)
+        sig = report.to_signature()
+        # 3. Predict.
+        build = build_graph(trace)
+        res = propagate(build, PerturbationSpec(sig, seed=0))
+        # Shape check: delays positive and within an order of magnitude of
+        # (events on critical path) × mean-noise.
+        n_events = sum(len(evs) for evs in build.events) // 4
+        assert res.max_delay > 0
+        assert res.max_delay < 50 * n_events * mean
+        assert res.max_delay > 0.1 * n_events * mean
+
+
+class TestPerRankMeasurement:
+    def test_heterogeneous_machine_recovered_per_rank(self):
+        """A machine whose node 2 is much noisier than the rest must
+        yield a signature whose rank-2 δ_os override dominates."""
+        noise = (
+            DistributionNoise(Exponential(20.0)),
+            DistributionNoise(Exponential(20.0)),
+            DistributionNoise(Exponential(900.0)),
+            DistributionNoise(Exponential(20.0)),
+        )
+        machine = Machine(nprocs=4, network=NET, noise=noise, name="hetero")
+        report = measure_machine(machine, seed=5, per_rank=True, ftq_quanta=1024,
+                                 pingpong_iterations=32, bandwidth_iterations=8,
+                                 mraz_messages=32)
+        assert len(report.ftq_by_rank) == 4
+        sig = report.to_signature()
+        means = [sig.os_noise_for(r).mean() for r in range(4)]
+        assert means[2] > 10 * max(means[0], means[1], means[3])
+        assert means[2] == pytest.approx(900.0, rel=0.2)
+
+    def test_default_skips_per_rank(self):
+        report = measure_machine(noisy_machine(), seed=0, ftq_quanta=64,
+                                 pingpong_iterations=8, bandwidth_iterations=4,
+                                 mraz_messages=8)
+        assert report.ftq_by_rank == ()
+        assert measure_machine(noisy_machine(), seed=0, ftq_quanta=64,
+                               pingpong_iterations=8, bandwidth_iterations=4,
+                               mraz_messages=8).to_signature().os_noise_by_rank == {}

@@ -1,0 +1,113 @@
+"""Tests for the ping-pong, bandwidth and Mraz messaging benchmarks (§5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.microbench.bandwidth import run_bandwidth
+from repro.microbench.mraz import run_mraz
+from repro.microbench.pingpong import run_pingpong
+from repro.mpisim import Machine, NetworkModel
+from repro.noise import Constant, DistributionNoise, Exponential
+
+NET = NetworkModel(
+    latency=1000.0, bandwidth=2.0, send_overhead=50.0, recv_overhead=50.0, eager_threshold=8192
+)
+
+
+def quiet(p=2):
+    return Machine(nprocs=p, network=NET, name="quiet")
+
+
+def noisy(p=2):
+    return Machine(
+        nprocs=p,
+        network=NET.with_jitter(Exponential(200.0)),
+        noise=DistributionNoise(Exponential(100.0)),
+        name="noisy",
+    )
+
+
+class TestPingPong:
+    def test_latency_estimate_close_to_configured(self):
+        res = run_pingpong(quiet(), iterations=32, nbytes=8)
+        # Half-RTT = latency + overheads + payload; must bracket the base
+        # latency from above and stay within the overhead budget.
+        est = res.latency_estimate()
+        assert 1000.0 <= est <= 1000.0 + 200.0
+
+    def test_quiet_machine_no_jitter(self):
+        res = run_pingpong(quiet(), iterations=64)
+        assert np.all(res.jitter_samples() == 0.0)
+
+    def test_noisy_machine_jitter_positive(self):
+        res = run_pingpong(noisy(), iterations=128, seed=3)
+        j = res.jitter_samples()
+        assert j.min() == 0.0  # by construction (deviation from best)
+        assert j.max() > 0.0
+        assert res.jitter_distribution().mean() > 0.0
+
+    def test_iteration_count_respected(self):
+        res = run_pingpong(quiet(), iterations=17)
+        assert len(res.rtt) == 17
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_pingpong(Machine(nprocs=1), iterations=4)
+        with pytest.raises(ValueError):
+            run_pingpong(quiet(), iterations=0)
+
+    def test_per_rank_noise_mapped_through(self):
+        m = Machine(
+            nprocs=4,
+            network=NET,
+            noise=(
+                DistributionNoise(Constant(0.0)),
+                DistributionNoise(Constant(0.0)),
+                DistributionNoise(Constant(777.0)),
+                DistributionNoise(Constant(0.0)),
+            ),
+        )
+        quiet_pair = run_pingpong(m, iterations=8, ranks=(0, 1))
+        noisy_pair = run_pingpong(m, iterations=8, ranks=(0, 2))
+        assert noisy_pair.latency_estimate() > quiet_pair.latency_estimate()
+
+
+class TestBandwidth:
+    def test_bandwidth_estimate_close(self):
+        res = run_bandwidth(quiet(), iterations=8, nbytes=1_000_000)
+        # One-way time dominated by payload (500k cycles); latency and
+        # overheads contribute <1%.
+        assert res.bandwidth_estimate() == pytest.approx(2.0, rel=0.02)
+
+    def test_per_byte_samples_zero_on_quiet(self):
+        res = run_bandwidth(quiet(), iterations=16, nbytes=500_000)
+        assert np.all(res.per_byte_samples() == 0.0)
+
+    def test_noisy_per_byte_positive(self):
+        res = run_bandwidth(noisy(), iterations=32, nbytes=500_000, seed=1)
+        assert res.per_byte_samples().max() > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_bandwidth(quiet(), nbytes=0)
+        with pytest.raises(ValueError):
+            run_bandwidth(Machine(nprocs=1))
+
+
+class TestMraz:
+    def test_quiet_intervals_regular(self):
+        res = run_mraz(quiet(), messages=32, send_gap=5_000.0)
+        assert len(res.intervals) == 31
+        assert np.all(res.jitter_samples() == pytest.approx(0.0))
+        assert res.variance() == pytest.approx(0.0, abs=1e-9)
+
+    def test_noise_raises_variance(self):
+        q = run_mraz(quiet(), messages=128, seed=0)
+        n = run_mraz(noisy(), messages=128, seed=0)
+        assert n.variance() > q.variance()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_mraz(quiet(), messages=1)
+        with pytest.raises(ValueError):
+            run_mraz(Machine(nprocs=1))

@@ -1,0 +1,94 @@
+"""Validation tests for the simulated-MPI op descriptors."""
+
+import pytest
+
+from repro.mpisim.api import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Allreduce,
+    Barrier,
+    Bcast,
+    Compute,
+    Gather,
+    Irecv,
+    Isend,
+    Recv,
+    Reduce,
+    Scatter,
+    Send,
+    Sendrecv,
+    Test as MpiTest,
+    Wait,
+    Waitall,
+    Waitsome,
+    COLLECTIVE_OPS,
+)
+
+
+class TestValidation:
+    def test_compute_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Compute(-1.0)
+        Compute(0.0)  # zero ok
+
+    @pytest.mark.parametrize("op_cls", [Send, Isend])
+    def test_send_rejects_bad_values(self, op_cls):
+        with pytest.raises(ValueError):
+            op_cls(dest=1, nbytes=-1)
+        with pytest.raises(ValueError):
+            op_cls(dest=1, tag=-2)
+        op_cls(dest=1, nbytes=0, tag=0)
+
+    @pytest.mark.parametrize("op_cls", [Recv, Irecv])
+    def test_recv_wildcards_ok(self, op_cls):
+        op = op_cls()
+        assert op.source == ANY_SOURCE
+        assert op.tag == ANY_TAG
+        with pytest.raises(ValueError):
+            op_cls(tag=-5)
+
+    def test_sendrecv_validation(self):
+        Sendrecv(dest=1, send_nbytes=0, source=ANY_SOURCE)
+        with pytest.raises(ValueError):
+            Sendrecv(dest=1, send_nbytes=-1)
+        with pytest.raises(ValueError):
+            Sendrecv(dest=1, send_tag=-3)
+
+    @pytest.mark.parametrize("op_cls", [Bcast, Reduce, Gather, Scatter, Allreduce])
+    def test_collective_nbytes(self, op_cls):
+        with pytest.raises(ValueError):
+            op_cls(nbytes=-1)
+
+    def test_waitsome_requires_requests(self):
+        with pytest.raises(ValueError):
+            Waitsome([])
+
+    def test_waitall_normalizes(self):
+        w = Waitall([1, 2, 3])  # any objects accepted at construction
+        assert w.requests == (1, 2, 3)
+        assert Waitall([]).requests == ()
+
+    def test_collective_ops_tuple_complete(self):
+        names = {c.__name__ for c in COLLECTIVE_OPS}
+        assert names == {
+            "Barrier",
+            "Bcast",
+            "Reduce",
+            "Allreduce",
+            "Gather",
+            "Scatter",
+            "Allgather",
+            "Alltoall",
+            "Scan",
+            "ReduceScatter",
+        }
+
+    def test_ops_are_frozen(self):
+        op = Send(dest=1)
+        with pytest.raises(AttributeError):
+            op.dest = 2
+
+    def test_wait_and_test_hold_request(self):
+        sentinel = object()
+        assert Wait(sentinel).request is sentinel
+        assert MpiTest(sentinel).request is sentinel

@@ -1,0 +1,62 @@
+"""Tests for per-rank local clocks (§4.1 motivation)."""
+
+import numpy as np
+import pytest
+
+from repro.mpisim.clock import LocalClock, perfect_clocks, random_clocks
+
+
+class TestLocalClock:
+    def test_identity_default(self):
+        c = LocalClock()
+        assert c.to_local(123.0) == 123.0
+        assert c.to_global(123.0) == 123.0
+
+    def test_offset(self):
+        c = LocalClock(offset=100.0)
+        assert c.to_local(5.0) == 105.0
+        assert c.to_global(105.0) == 5.0
+
+    def test_drift(self):
+        c = LocalClock(drift=0.5)
+        assert c.to_local(10.0) == 15.0
+        assert c.to_global(15.0) == pytest.approx(10.0)
+
+    def test_round_trip(self):
+        c = LocalClock(offset=-1e6, drift=1e-4)
+        for t in (0.0, 1.0, 1e9, 123.456):
+            assert c.to_global(c.to_local(t)) == pytest.approx(t, rel=1e-9, abs=1e-6)
+
+    def test_monotone_for_drift_above_minus_one(self):
+        c = LocalClock(offset=50.0, drift=-0.9)
+        assert c.to_local(10.0) < c.to_local(20.0)
+
+    def test_rejects_backwards_clock(self):
+        with pytest.raises(ValueError):
+            LocalClock(drift=-1.0)
+        with pytest.raises(ValueError):
+            LocalClock(drift=-2.0)
+
+
+class TestFactories:
+    def test_perfect(self):
+        clocks = perfect_clocks(4)
+        assert len(clocks) == 4
+        assert all(c.offset == 0.0 and c.drift == 0.0 for c in clocks)
+
+    def test_random_within_bounds(self):
+        clocks = random_clocks(16, seed=1, max_offset=1000.0, max_drift=1e-3)
+        assert len(clocks) == 16
+        for c in clocks:
+            assert -1000.0 <= c.offset <= 1000.0
+            assert -1e-3 <= c.drift <= 1e-3
+
+    def test_random_deterministic(self):
+        a = random_clocks(4, seed=7)
+        b = random_clocks(4, seed=7)
+        assert a == b
+
+    def test_random_varies(self):
+        clocks = random_clocks(8, seed=0)
+        offsets = {c.offset for c in clocks}
+        assert len(offsets) == 8  # astronomically unlikely to collide

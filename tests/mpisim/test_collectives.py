@@ -1,0 +1,154 @@
+"""Tests for the collective timing algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.mpisim.collectives import (
+    binomial_children,
+    binomial_parent,
+    collective_exits,
+    dissemination_rounds,
+)
+from repro.mpisim.network import NetworkModel
+from repro.trace.events import EventKind
+
+NET = NetworkModel(latency=100.0, bandwidth=1.0, send_overhead=10.0, recv_overhead=10.0)
+
+
+def no_noise(rank, rng, t, duration):
+    return 0.0
+
+
+def exits(kind, entries, root=0, nbytes=0, noise=no_noise, net=NET):
+    p = len(entries)
+    rngs = [np.random.default_rng(i) for i in range(p)]
+    return collective_exits(kind, entries, root, nbytes, net, noise, rngs, np.random.default_rng(99))
+
+
+class TestTreeHelpers:
+    def test_dissemination_rounds(self):
+        assert dissemination_rounds(1) == 0
+        assert dissemination_rounds(2) == 1
+        assert dissemination_rounds(5) == 3
+        assert dissemination_rounds(8) == 3
+        assert dissemination_rounds(9) == 4
+
+    def test_binomial_parent(self):
+        assert binomial_parent(1) == 0
+        assert binomial_parent(5) == 4
+        assert binomial_parent(6) == 4
+        assert binomial_parent(7) == 6
+        with pytest.raises(ValueError):
+            binomial_parent(0)
+
+    def test_binomial_children(self):
+        assert binomial_children(0, 8) == [1, 2, 4]
+        assert binomial_children(4, 8) == [5, 6]
+        assert binomial_children(0, 5) == [1, 2, 4]
+        assert binomial_children(3, 8) == []
+
+    def test_tree_consistency(self):
+        """Every non-root has exactly one parent listing it as a child."""
+        p = 13
+        for v in range(1, p):
+            parent = binomial_parent(v)
+            assert v in binomial_children(parent, p)
+
+
+COLLECTIVE_KINDS = [
+    EventKind.BARRIER,
+    EventKind.ALLREDUCE,
+    EventKind.ALLGATHER,
+    EventKind.ALLTOALL,
+    EventKind.BCAST,
+    EventKind.REDUCE,
+    EventKind.GATHER,
+    EventKind.SCATTER,
+]
+
+
+class TestExitInvariants:
+    @pytest.mark.parametrize("kind", COLLECTIVE_KINDS)
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 7, 8])
+    def test_exits_after_entries(self, kind, p):
+        entries = [100.0 * (r + 1) for r in range(p)]
+        ex = exits(kind, entries, root=0, nbytes=64)
+        assert len(ex) == p
+        for r in range(p):
+            assert ex[r] >= entries[r]
+
+    @pytest.mark.parametrize("kind", [EventKind.BARRIER, EventKind.ALLREDUCE])
+    def test_synchronizing_exits_after_last_entry(self, kind):
+        """Every rank of a synchronizing collective must wait for the
+        slowest entrant (dissemination connects all ranks)."""
+        entries = [0.0, 0.0, 50_000.0, 0.0]
+        ex = exits(kind, entries)
+        assert all(t >= 50_000.0 for t in ex)
+
+    def test_bcast_leaf_can_exit_before_stragglers(self):
+        """Non-synchronizing semantics: a bcast subtree fed early does
+        not wait for an unrelated late rank."""
+        entries = [0.0] * 8
+        entries[7] = 10**7  # late leaf (child of 4 only? rank 7 virtual=7)
+        ex = exits(EventKind.BCAST, entries, root=0, nbytes=8)
+        # rank 1 (direct child of root) exits long before 10^7.
+        assert ex[1] < 10**6
+
+    def test_barrier_with_one_rank(self):
+        ex = exits(EventKind.BARRIER, [42.0])
+        assert len(ex) == 1
+        assert ex[0] >= 42.0
+
+
+class TestTimingStructure:
+    def test_barrier_two_ranks_exact(self):
+        # One dissemination round: send (10) + wire (100) + recv (10).
+        ex = exits(EventKind.BARRIER, [0.0, 0.0])
+        assert ex == [pytest.approx(120.0), pytest.approx(120.0)]
+
+    def test_allreduce_payload_slows(self):
+        fast = exits(EventKind.ALLREDUCE, [0.0] * 4, nbytes=0)
+        slow = exits(EventKind.ALLREDUCE, [0.0] * 4, nbytes=10_000)
+        assert max(slow) > max(fast)
+
+    def test_bcast_root_matters(self):
+        entries = [0.0, 0.0, 0.0, 10_000.0]
+        late_root = exits(EventKind.BCAST, entries, root=3, nbytes=8)
+        early_root = exits(EventKind.BCAST, entries, root=0, nbytes=8)
+        # With the late rank as root, everyone waits for it.
+        assert min(late_root) >= 10_000.0
+        assert min(early_root) < 10_000.0
+
+    def test_reduce_root_receives_all(self):
+        entries = [0.0, 0.0, 0.0, 77_777.0]
+        ex = exits(EventKind.REDUCE, entries, root=0, nbytes=8)
+        assert ex[0] >= 77_777.0  # root cannot finish before slowest child
+
+    def test_log_rounds_scaling(self):
+        """Barrier cost grows logarithmically: doubling p adds one round."""
+        cost = {}
+        for p in (2, 4, 8, 16):
+            ex = exits(EventKind.BARRIER, [0.0] * p)
+            cost[p] = max(ex)
+        round_cost = cost[2]
+        assert cost[4] == pytest.approx(2 * round_cost)
+        assert cost[8] == pytest.approx(3 * round_cost)
+        assert cost[16] == pytest.approx(4 * round_cost)
+
+    def test_noise_delays_everyone_in_barrier(self):
+        def noisy_rank2(rank, rng, t, duration):
+            return 5_000.0 if rank == 2 else 0.0
+
+        ex = exits(EventKind.BARRIER, [0.0] * 4, noise=noisy_rank2)
+        baseline = exits(EventKind.BARRIER, [0.0] * 4)
+        # §3.2: one noisy rank perturbs all ranks' exits.
+        assert all(n > b for n, b in zip(ex, baseline))
+
+    def test_gather_payload_grows_up_tree(self):
+        small = exits(EventKind.GATHER, [0.0] * 8, root=0, nbytes=10)
+        big = exits(EventKind.GATHER, [0.0] * 8, root=0, nbytes=10_000)
+        assert big[0] > small[0]
+
+    def test_rejects_non_collective(self):
+        with pytest.raises(ValueError):
+            exits(EventKind.SEND, [0.0, 0.0])

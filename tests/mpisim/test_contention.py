@@ -1,0 +1,109 @@
+"""Tests for link-contention modeling (the Dimemas §1.1 network
+contention parameter, implemented in the simulated machine)."""
+
+import pytest
+
+from repro.mpisim import Compute, Isend, Machine, NetworkModel, Recv, Send, Wait, run
+
+NET = NetworkModel(
+    latency=100.0,
+    bandwidth=1.0,
+    send_overhead=10.0,
+    recv_overhead=10.0,
+    eager_threshold=100_000,
+)
+
+
+def go(prog, p, contention, seed=0):
+    net = NET.with_contention() if contention else NET
+    return run(prog, machine=Machine(nprocs=p, network=net), seed=seed)
+
+
+def two_sends(me):
+    if me.rank == 0:
+        r1 = yield Isend(dest=1, nbytes=10_000, tag=1)
+        r2 = yield Isend(dest=1, nbytes=10_000, tag=2)
+        yield Wait(r1)
+        yield Wait(r2)
+    else:
+        yield Recv(source=0, tag=1)
+        yield Recv(source=0, tag=2)
+
+
+class TestSerialization:
+    def test_same_link_serializes(self):
+        free = go(two_sends, 2, contention=False)
+        cont = go(two_sends, 2, contention=True)
+        # Second 10 kB payload waits for the first: ~payload_time extra.
+        assert cont.makespan - free.makespan == pytest.approx(10_000.0, rel=0.05)
+
+    def test_distinct_links_do_not_interact(self):
+        def prog(me):
+            if me.rank == 0:
+                r1 = yield Isend(dest=1, nbytes=10_000, tag=1)
+                r2 = yield Isend(dest=2, nbytes=10_000, tag=2)
+                yield Wait(r1)
+                yield Wait(r2)
+            elif me.rank in (1, 2):
+                yield Recv(source=0)
+
+        free = go(prog, 3, contention=False)
+        cont = go(prog, 3, contention=True)
+        assert cont.makespan == pytest.approx(free.makespan)
+
+    def test_directions_are_independent(self):
+        def prog(me):
+            if me.rank == 0:
+                r = yield Isend(dest=1, nbytes=10_000, tag=1)
+                yield Recv(source=1, tag=2)
+                yield Wait(r)
+            else:
+                r = yield Isend(dest=0, nbytes=10_000, tag=2)
+                yield Recv(source=0, tag=1)
+                yield Wait(r)
+
+        free = go(prog, 2, contention=False)
+        cont = go(prog, 2, contention=True)
+        assert cont.makespan == pytest.approx(free.makespan)
+
+    def test_zero_payload_messages_never_contend(self):
+        def prog(me):
+            if me.rank == 0:
+                for tag in range(5):
+                    yield Send(dest=1, nbytes=0, tag=tag)
+            else:
+                for tag in range(5):
+                    yield Recv(source=0, tag=tag)
+
+        free = go(prog, 2, contention=False)
+        cont = go(prog, 2, contention=True)
+        assert cont.makespan == pytest.approx(free.makespan)
+
+    def test_spaced_sends_do_not_contend(self):
+        def prog(me):
+            if me.rank == 0:
+                r1 = yield Isend(dest=1, nbytes=1_000, tag=1)
+                yield Compute(50_000.0)  # link long idle before next send
+                r2 = yield Isend(dest=1, nbytes=1_000, tag=2)
+                yield Wait(r1)
+                yield Wait(r2)
+            else:
+                yield Recv(source=0, tag=1)
+                yield Recv(source=0, tag=2)
+
+        free = go(prog, 2, contention=False)
+        cont = go(prog, 2, contention=True)
+        assert cont.makespan == pytest.approx(free.makespan)
+
+
+class TestConfig:
+    def test_with_contention_copies(self):
+        net = NET.with_contention()
+        assert net.contention and not NET.contention
+        assert net.latency == NET.latency
+        assert net.with_contention(False).contention is False
+
+    def test_deterministic(self):
+        a = go(two_sends, 2, contention=True)
+        b = go(two_sends, 2, contention=True)
+        assert a.finish_times == b.finish_times

@@ -1,0 +1,420 @@
+"""Behavioural tests for the discrete-event MPI engine.
+
+Numeric expectations use a network with latency=100, bandwidth=1,
+send/recv overhead=10, eager threshold 1000, call_overhead=10, and no
+noise, so timings can be computed by hand from the protocol rules in
+the engine docstring.
+"""
+
+import pytest
+
+from repro.mpisim import (
+    ANY_SOURCE,
+    Allreduce,
+    Barrier,
+    Bcast,
+    Compute,
+    Irecv,
+    Isend,
+    Machine,
+    NetworkModel,
+    Recv,
+    Send,
+    Sendrecv,
+    SimDeadlock,
+    SimError,
+    Test as MpiTest,
+    Wait,
+    Waitall,
+    Waitsome,
+    run,
+)
+from repro.noise import Constant, DistributionNoise, Exponential, RandomPreemption
+from repro.trace.events import EventKind
+
+NET = NetworkModel(
+    latency=100.0, bandwidth=1.0, send_overhead=10.0, recv_overhead=10.0, eager_threshold=1000
+)
+
+
+def machine(p, noise=None):
+    return Machine(nprocs=p, network=NET, noise=noise or (), name="t") if noise else Machine(
+        nprocs=p, network=NET, name="t"
+    )
+
+
+def go(program, p, noise=None, seed=0):
+    m = Machine(nprocs=p, network=NET, noise=noise, name="t") if noise is not None else Machine(
+        nprocs=p, network=NET, name="t"
+    )
+    return run(program, machine=m, seed=seed)
+
+
+def events_of(res, rank, kind=None):
+    evs = list(res.trace.events_of(rank))
+    if kind is not None:
+        evs = [e for e in evs if e.kind == kind]
+    return evs
+
+
+class TestEagerPointToPoint:
+    def test_eager_send_completes_locally(self):
+        def prog(me):
+            if me.rank == 0:
+                yield Send(dest=1, nbytes=100)
+                yield Compute(5.0)
+            else:
+                yield Compute(100_000.0)  # receiver busy long after send
+                yield Recv(source=0)
+
+        res = go(prog, 2)
+        send = events_of(res, 0, EventKind.SEND)[0]
+        # INIT ends at 10; send runs 10..20 (overhead only): buffered.
+        assert send.t_start == pytest.approx(10.0)
+        assert send.t_end == pytest.approx(20.0)
+
+    def test_recv_waits_for_arrival(self):
+        def prog(me):
+            if me.rank == 0:
+                yield Compute(1000.0)
+                yield Send(dest=1, nbytes=100)
+            else:
+                yield Recv(source=0)
+
+        res = go(prog, 2)
+        recv = events_of(res, 1, EventKind.RECV)[0]
+        # send starts 1010, injects till 1020, wire 100+100=200 -> 1220,
+        # recv overhead 10 -> ends 1230.
+        assert recv.t_start == pytest.approx(10.0)
+        assert recv.t_end == pytest.approx(1230.0)
+
+    def test_late_recv_pays_only_overhead(self):
+        def prog(me):
+            if me.rank == 0:
+                yield Send(dest=1, nbytes=0)
+            else:
+                yield Compute(50_000.0)
+                yield Recv(source=0)
+
+        res = go(prog, 2)
+        recv = events_of(res, 1, EventKind.RECV)[0]
+        assert recv.t_start == pytest.approx(50_010.0)
+        assert recv.t_end == pytest.approx(50_020.0)  # message already there
+
+
+class TestRendezvous:
+    def test_sync_send_blocks_for_receiver(self):
+        def prog(me):
+            if me.rank == 0:
+                yield Send(dest=1, nbytes=5000)  # above threshold
+            else:
+                yield Compute(10_000.0)
+                yield Recv(source=0)
+
+        res = go(prog, 2)
+        send = events_of(res, 0, EventKind.SEND)[0]
+        recv = events_of(res, 1, EventKind.RECV)[0]
+        # transfer starts max(20, 10010)=10010; arrival 10010+100+5000=15110
+        # recv_end 15120; send_end = 15120 + 100 (ack latency) = 15220.
+        assert recv.t_end == pytest.approx(15_120.0)
+        assert send.t_end == pytest.approx(15_220.0)
+
+    def test_sync_send_faster_when_receiver_ready(self):
+        def prog(me):
+            if me.rank == 0:
+                yield Compute(1_000.0)
+                yield Send(dest=1, nbytes=5000)
+            else:
+                yield Recv(source=0)
+
+        res = go(prog, 2)
+        send = events_of(res, 0, EventKind.SEND)[0]
+        # start 1010, ready 1020, arrival 1020+5100=6120, recv_end 6130,
+        # send_end 6230.
+        assert send.t_end == pytest.approx(6_230.0)
+
+
+class TestNonblocking:
+    def test_isend_returns_immediately(self):
+        def prog(me):
+            if me.rank == 0:
+                r = yield Isend(dest=1, nbytes=100)
+                yield Compute(42.0)
+                yield Wait(r)
+            else:
+                yield Recv(source=0)
+
+        res = go(prog, 2)
+        isend = events_of(res, 0, EventKind.ISEND)[0]
+        assert isend.duration == pytest.approx(10.0)
+        wait = events_of(res, 0, EventKind.WAIT)[0]
+        assert wait.completed == (isend.req,)
+
+    def test_wait_blocks_until_message(self):
+        def prog(me):
+            if me.rank == 0:
+                yield Compute(10_000.0)
+                yield Send(dest=1, nbytes=100)
+            else:
+                r = yield Irecv(source=0)
+                yield Wait(r)
+
+        res = go(prog, 2)
+        wait = events_of(res, 1, EventKind.WAIT)[0]
+        # arrival: 10010+10(inject) + 200(wire) = 10220; +10 recv o = 10230;
+        # wait end = 10230 + 10 call overhead.
+        assert wait.t_end == pytest.approx(10_240.0)
+
+    def test_waitall_gathers_all(self):
+        def prog(me):
+            if me.rank == 0:
+                reqs = []
+                for tag in range(3):
+                    reqs.append((yield Irecv(source=1, tag=tag)))
+                statuses = yield Waitall(reqs)
+                assert [s.tag for s in statuses] == [0, 1, 2]
+            else:
+                for tag in range(3):
+                    yield Compute(1000.0)
+                    yield Send(dest=0, nbytes=10, tag=tag)
+
+        res = go(prog, 2)
+        wall = events_of(res, 0, EventKind.WAITALL)[0]
+        assert len(wall.completed) == 3
+
+    def test_waitsome_returns_first_available(self):
+        def prog(me):
+            if me.rank == 0:
+                fast = yield Irecv(source=1, tag=1)
+                slow = yield Irecv(source=1, tag=2)
+                done = yield Waitsome([fast, slow])
+                assert done == [fast]
+                yield Waitall([slow])
+            else:
+                yield Send(dest=0, nbytes=10, tag=1)
+                yield Compute(100_000.0)
+                yield Send(dest=0, nbytes=10, tag=2)
+
+        go(prog, 2)
+
+    def test_test_polls_without_blocking(self):
+        def prog(me):
+            if me.rank == 0:
+                r = yield Irecv(source=1)
+                done, st = yield MpiTest(r)
+                assert not done and st is None
+                yield Compute(200_000.0)
+                done, st = yield MpiTest(r)
+                assert done and st.nbytes == 10
+            else:
+                yield Compute(50_000.0)
+                yield Send(dest=0, nbytes=10)
+
+        go(prog, 2)
+
+    def test_wildcard_irecv_resolved_in_trace(self):
+        def prog(me):
+            if me.rank == 0:
+                r = yield Irecv(source=ANY_SOURCE)
+                st = yield Wait(r)
+                assert st.source == 2
+            elif me.rank == 2:
+                yield Compute(1000.0)
+                yield Send(dest=0, nbytes=77)
+
+        res = go(prog, 3)
+        irecv = events_of(res, 0, EventKind.IRECV)[0]
+        assert irecv.peer == 2  # patched with resolved source
+        assert irecv.nbytes == 77
+
+
+class TestSendrecv:
+    def test_mutual_exchange_no_deadlock(self):
+        def prog(me):
+            st = yield Sendrecv(
+                dest=1 - me.rank, send_nbytes=5000, source=1 - me.rank
+            )
+            assert st.nbytes == 5000
+
+        res = go(prog, 2)
+        for rank in range(2):
+            srs = events_of(res, rank, EventKind.SENDRECV)
+            assert len(srs) == 1
+            assert srs[0].recv_peer == 1 - rank
+
+    def test_sendrecv_shift(self):
+        def prog(me):
+            p = me.size
+            yield Sendrecv(dest=(me.rank + 1) % p, send_nbytes=64, source=(me.rank - 1) % p)
+
+        res = go(prog, 5)
+        assert all(t > 0 for t in res.finish_times)
+
+
+class TestCollectivesInEngine:
+    def test_barrier_synchronizes(self):
+        def prog(me):
+            yield Compute(1000.0 * (me.rank + 1))
+            yield Barrier()
+
+        res = go(prog, 4)
+        barriers = [events_of(res, r, EventKind.BARRIER)[0] for r in range(4)]
+        slowest_entry = max(b.t_start for b in barriers)
+        assert all(b.t_end > slowest_entry for b in barriers)
+        assert all(b.coll_seq == 0 for b in barriers)
+
+    def test_collective_ordinals_increment(self):
+        def prog(me):
+            yield Barrier()
+            yield Allreduce(nbytes=8)
+            yield Barrier()
+
+        res = go(prog, 3)
+        colls = [e for e in events_of(res, 0) if e.kind.is_collective]
+        assert [c.coll_seq for c in colls] == [0, 1, 2]
+
+    def test_mismatched_collectives_detected(self):
+        def prog(me):
+            if me.rank == 0:
+                yield Barrier()
+            else:
+                yield Allreduce(nbytes=8)
+
+        with pytest.raises(SimError, match="called"):
+            go(prog, 2)
+
+    def test_root_mismatch_detected(self):
+        def prog(me):
+            yield Bcast(root=me.rank, nbytes=8)
+
+        with pytest.raises(SimError, match="root mismatch"):
+            go(prog, 2)
+
+
+class TestErrorsAndDiagnostics:
+    def test_deadlock_reports_blockers(self):
+        def prog(me):
+            yield Recv(source=1 - me.rank)
+
+        with pytest.raises(SimDeadlock) as exc:
+            go(prog, 2)
+        assert "Recv" in str(exc.value)
+
+    def test_self_send_rejected(self):
+        def prog(me):
+            yield Send(dest=me.rank, nbytes=1)
+
+        with pytest.raises(SimError, match="self-send"):
+            go(prog, 2)
+
+    def test_peer_out_of_range(self):
+        def prog(me):
+            yield Send(dest=99, nbytes=1)
+
+        with pytest.raises(SimError, match="out of range"):
+            go(prog, 2)
+
+    def test_wait_on_foreign_request(self):
+        def prog(me):
+            if me.rank == 0:
+                r = yield Isend(dest=1, nbytes=10)
+                yield Wait(r)
+            else:
+                r = yield Irecv(source=0)
+                yield Wait(r)
+
+        # sanity: legal version passes
+        go(prog, 2)
+
+        def bad(me):
+            yield Wait(object())
+
+        with pytest.raises(SimError, match="non-request"):
+            go(bad, 1)
+
+    def test_max_events_guard(self):
+        def prog(me):
+            while True:
+                yield Compute(1.0)
+
+        m = Machine(nprocs=1, network=NET)
+        with pytest.raises(SimError, match="max_events"):
+            run(prog, machine=m, max_events=100)
+
+    def test_non_op_yield_rejected(self):
+        def prog(me):
+            yield "not an op"
+
+        with pytest.raises(SimError, match="non-op"):
+            go(prog, 1)
+
+
+class TestDeterminismAndNoise:
+    def test_identical_seeds_identical_runs(self):
+        def prog(me):
+            for _ in range(5):
+                yield Compute(1000.0)
+                yield Allreduce(nbytes=8)
+
+        noise = RandomPreemption(rate=1e-3, cost=Exponential(50.0))
+        m = Machine(nprocs=4, network=NET, noise=noise)
+        a = run(prog, machine=m, seed=11)
+        b = run(prog, machine=m, seed=11)
+        assert a.finish_times == b.finish_times
+
+    def test_different_seeds_differ(self):
+        def prog(me):
+            for _ in range(5):
+                yield Compute(1000.0)
+                yield Allreduce(nbytes=8)
+
+        noise = RandomPreemption(rate=1e-3, cost=Exponential(50.0))
+        m = Machine(nprocs=4, network=NET, noise=noise)
+        a = run(prog, machine=m, seed=11)
+        b = run(prog, machine=m, seed=12)
+        assert a.finish_times != b.finish_times
+
+    def test_noise_slows_compute(self):
+        def prog(me):
+            yield Compute(100_000.0)
+
+        quiet = run(prog, machine=Machine(nprocs=1, network=NET), seed=0)
+        noisy = run(
+            prog,
+            machine=Machine(
+                nprocs=1, network=NET, noise=DistributionNoise(Constant(0.5), per_cycle=True)
+            ),
+            seed=0,
+        )
+        assert noisy.makespan == pytest.approx(quiet.makespan + 50_000.0)
+
+    def test_per_rank_noise_list(self):
+        def prog(me):
+            yield Compute(10_000.0)
+            yield Barrier()
+
+        noise = (DistributionNoise(Constant(5_000.0)), *(Constant and [] or []))
+        m = Machine(
+            nprocs=2,
+            network=NET,
+            noise=(DistributionNoise(Constant(5_000.0)), DistributionNoise(Constant(0.0))),
+        )
+        res = run(prog, machine=m, seed=0)
+        # Rank 0's noise delays its barrier entry; both exits reflect it.
+        assert res.finish_times[1] > 10_000.0
+
+
+class TestTraceWellFormedness:
+    def test_every_rank_init_finalize(self, ring_trace):
+        for rank in range(ring_trace.nprocs):
+            evs = list(ring_trace.events_of(rank))
+            assert evs[0].kind == EventKind.INIT
+            assert evs[-1].kind == EventKind.FINALIZE
+
+    def test_seq_dense_and_times_monotone(self, ring_trace):
+        for rank in range(ring_trace.nprocs):
+            prev_end = -1.0
+            for i, ev in enumerate(ring_trace.events_of(rank)):
+                assert ev.seq == i
+                assert ev.t_start >= prev_end
+                prev_end = ev.t_end

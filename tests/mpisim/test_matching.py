@@ -1,0 +1,101 @@
+"""Tests for the runtime message matcher."""
+
+import pytest
+
+from repro.mpisim.api import ANY_SOURCE, ANY_TAG
+from repro.mpisim.matching import Matcher, PostedRecv, SimMessage
+
+
+def msg(src=0, dst=1, tag=0, nbytes=8, sync=False, ready=0.0):
+    return SimMessage(src=src, dst=dst, tag=tag, nbytes=nbytes, sync=sync, ready=ready)
+
+
+def recv(dst=1, source=0, tag=0, ready=0.0):
+    return PostedRecv(dst=dst, source=source, tag=tag, ready=ready, on_complete=lambda *_: None)
+
+
+class TestPairing:
+    def test_message_then_recv(self):
+        m = Matcher(2)
+        assert m.add_message(msg()) is None
+        pair = m.add_recv(recv())
+        assert pair is not None
+        assert pair[0].src == 0
+
+    def test_recv_then_message(self):
+        m = Matcher(2)
+        assert m.add_recv(recv()) is None
+        pair = m.add_message(msg())
+        assert pair is not None
+
+    def test_fifo_per_channel(self):
+        m = Matcher(2)
+        m.add_message(msg(nbytes=1))
+        m.add_message(msg(nbytes=2))
+        first = m.add_recv(recv())
+        second = m.add_recv(recv())
+        assert first[0].nbytes == 1
+        assert second[0].nbytes == 2
+
+    def test_posted_recvs_fifo(self):
+        m = Matcher(2)
+        m.add_recv(recv(ready=1.0))
+        m.add_recv(recv(ready=2.0))
+        pair = m.add_message(msg())
+        assert pair[1].ready == 1.0
+
+    def test_tag_selectivity(self):
+        m = Matcher(2)
+        m.add_message(msg(tag=7))
+        assert m.add_recv(recv(tag=8)) is None
+        pair = m.add_recv(recv(tag=7))
+        assert pair is not None
+
+    def test_source_selectivity(self):
+        m = Matcher(3)
+        m.add_message(msg(src=2, dst=1))
+        assert m.add_recv(recv(dst=1, source=0)) is None
+        assert m.add_recv(recv(dst=1, source=2)) is not None
+
+
+class TestWildcards:
+    def test_any_source(self):
+        m = Matcher(3)
+        m.add_message(msg(src=2, dst=1, tag=5))
+        pair = m.add_recv(recv(dst=1, source=ANY_SOURCE, tag=5))
+        assert pair is not None
+        assert pair[0].src == 2
+
+    def test_any_tag(self):
+        m = Matcher(2)
+        m.add_message(msg(tag=99))
+        assert m.add_recv(recv(tag=ANY_TAG)) is not None
+
+    def test_wildcard_takes_earliest_message(self):
+        m = Matcher(3)
+        m.add_message(msg(src=2, dst=1, tag=1))
+        m.add_message(msg(src=0, dst=1, tag=2))
+        pair = m.add_recv(recv(dst=1, source=ANY_SOURCE, tag=ANY_TAG))
+        assert pair[0].src == 2  # first registered
+
+    def test_wrong_destination_never_matches(self):
+        m = Matcher(3)
+        m.add_message(msg(src=0, dst=2))
+        assert m.add_recv(recv(dst=1, source=ANY_SOURCE, tag=ANY_TAG)) is None
+
+
+class TestDiagnostics:
+    def test_counts(self):
+        m = Matcher(2)
+        assert (m.pending_count(), m.posted_count()) == (0, 0)
+        m.add_message(msg())
+        m.add_recv(recv(tag=42))
+        assert (m.pending_count(), m.posted_count()) == (1, 1)
+
+    def test_describe_stuck(self):
+        m = Matcher(2)
+        m.add_message(msg(tag=3))
+        m.add_recv(recv(source=ANY_SOURCE, tag=9))
+        lines = m.describe_stuck()
+        assert any("tag=3" in line for line in lines)
+        assert any("from ANY tag=9" in line for line in lines)

@@ -1,0 +1,69 @@
+"""Tests for the interconnect model."""
+
+import pytest
+
+from repro.mpisim.network import NetworkModel
+from repro.noise.distributions import Constant
+
+
+class TestDefaults:
+    def test_link_latency_default(self):
+        n = NetworkModel(latency=1000.0)
+        assert n.link_latency(0, 1) == 1000.0
+
+    def test_link_override_directed(self):
+        n = NetworkModel(latency=1000.0, latency_by_link={(0, 1): 50.0})
+        assert n.link_latency(0, 1) == 50.0
+        assert n.link_latency(1, 0) == 1000.0
+
+    def test_payload_time(self):
+        n = NetworkModel(bandwidth=2.0)
+        assert n.payload_time(1000) == 500.0
+        assert n.payload_time(0) == 0.0
+
+    def test_eager_threshold(self):
+        n = NetworkModel(eager_threshold=100)
+        assert n.is_eager(100)
+        assert not n.is_eager(101)
+
+
+class TestWireTime:
+    def test_no_jitter(self, rng):
+        n = NetworkModel(latency=100.0, bandwidth=4.0)
+        assert n.wire_time(rng, 0, 1, 400) == pytest.approx(200.0)
+
+    def test_with_jitter(self, rng):
+        n = NetworkModel(latency=100.0, bandwidth=4.0, jitter=Constant(7.0))
+        assert n.wire_time(rng, 0, 1, 0) == pytest.approx(107.0)
+
+    def test_negative_jitter_clamped(self, rng):
+        n = NetworkModel(latency=100.0, jitter=Constant(-50.0))
+        assert n.wire_time(rng, 0, 1, 0) == pytest.approx(100.0)
+
+
+class TestValidation:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            NetworkModel(latency=-1.0)
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth=0.0)
+        with pytest.raises(ValueError):
+            NetworkModel(send_overhead=-1.0)
+        with pytest.raises(ValueError):
+            NetworkModel(eager_threshold=-1)
+        with pytest.raises(ValueError):
+            NetworkModel(latency_by_link={(0, 1): -5.0})
+
+
+class TestVariants:
+    def test_with_latency(self):
+        n = NetworkModel(latency=100.0, bandwidth=3.0, latency_by_link={(0, 1): 5.0})
+        n2 = n.with_latency(999.0)
+        assert n2.latency == 999.0
+        assert n2.bandwidth == 3.0
+        assert n2.link_latency(0, 1) == 5.0
+        assert n.latency == 100.0  # original untouched
+
+    def test_with_jitter(self, rng):
+        n = NetworkModel(latency=10.0).with_jitter(Constant(3.0))
+        assert n.wire_time(rng, 0, 1, 0) == pytest.approx(13.0)

@@ -1,0 +1,66 @@
+"""Tests for nonblocking request handles."""
+
+import pytest
+
+from repro.mpisim.request import Request, Status
+
+
+def make_request():
+    return Request(req_id=5, rank=0, is_send=False, peer=1, tag=2, nbytes=64)
+
+
+class TestLifecycle:
+    def test_initially_pending(self):
+        r = make_request()
+        assert not r.done
+        with pytest.raises(RuntimeError):
+            _ = r.done_at
+        with pytest.raises(RuntimeError):
+            _ = r.status
+
+    def test_complete(self):
+        r = make_request()
+        st = Status(source=1, tag=2, nbytes=64)
+        r._complete(100.0, st)
+        assert r.done
+        assert r.done_at == 100.0
+        assert r.status == st
+
+    def test_double_completion_rejected(self):
+        r = make_request()
+        r._complete(1.0, Status(1, 2, 3))
+        with pytest.raises(RuntimeError, match="twice"):
+            r._complete(2.0, Status(1, 2, 3))
+
+    def test_done_by(self):
+        r = make_request()
+        assert not r.done_by(1e18)
+        r._complete(100.0, Status(1, 2, 3))
+        assert r.done_by(100.0)
+        assert r.done_by(101.0)
+        assert not r.done_by(99.0)
+
+
+class TestWaiters:
+    def test_waiters_fire_on_completion(self):
+        r = make_request()
+        fired = []
+        r.add_waiter(lambda when: fired.append(when))
+        r.add_waiter(lambda when: fired.append(when * 2))
+        assert fired == []
+        r._complete(10.0, Status(1, 2, 3))
+        assert fired == [10.0, 20.0]
+
+    def test_add_waiter_after_done_rejected(self):
+        r = make_request()
+        r._complete(1.0, Status(1, 2, 3))
+        with pytest.raises(RuntimeError, match="check done first"):
+            r.add_waiter(lambda when: None)
+
+    def test_waiters_fire_once(self):
+        r = make_request()
+        fired = []
+        r.add_waiter(fired.append)
+        r._complete(5.0, Status(1, 2, 3))
+        assert fired == [5.0]
+        assert r._waiters == []

@@ -1,0 +1,107 @@
+"""Tests for the MPI_Send mode family (§3.1.1's three blocking forms)."""
+
+import pytest
+
+from repro.mpisim import Compute, Machine, NetworkModel, Recv, Send, SimError, run
+from repro.trace.events import EventKind
+
+NET = NetworkModel(
+    latency=100.0, bandwidth=1.0, send_overhead=10.0, recv_overhead=10.0, eager_threshold=1000
+)
+
+
+def go(prog, p=2, seed=0):
+    return run(prog, machine=Machine(nprocs=p, network=NET), seed=seed)
+
+
+def send_event(res, rank=0):
+    return next(e for e in res.trace.events_of(rank) if e.kind == EventKind.SEND)
+
+
+class TestSynchronous:
+    def test_ssend_waits_even_below_threshold(self):
+        def prog(me):
+            if me.rank == 0:
+                yield Send(dest=1, nbytes=10, mode="synchronous")  # tiny but sync
+            else:
+                yield Compute(50_000.0)
+                yield Recv(source=0)
+
+        res = go(prog)
+        send = send_event(res)
+        assert send.t_end > 50_000.0  # waited for the late receiver
+
+    def test_standard_same_size_is_eager(self):
+        def prog(me):
+            if me.rank == 0:
+                yield Send(dest=1, nbytes=10)  # standard, below threshold
+            else:
+                yield Compute(50_000.0)
+                yield Recv(source=0)
+
+        res = go(prog)
+        assert send_event(res).t_end == pytest.approx(20.0)
+
+
+class TestBuffered:
+    def test_bsend_completes_locally_even_above_threshold(self):
+        def prog(me):
+            if me.rank == 0:
+                yield Send(dest=1, nbytes=100_000, mode="buffered")
+            else:
+                yield Compute(500_000.0)
+                yield Recv(source=0)
+
+        res = go(prog)
+        assert send_event(res).t_end == pytest.approx(20.0)
+
+    def test_standard_same_size_is_sync(self):
+        def prog(me):
+            if me.rank == 0:
+                yield Send(dest=1, nbytes=100_000)
+            else:
+                yield Compute(500_000.0)
+                yield Recv(source=0)
+
+        res = go(prog)
+        assert send_event(res).t_end > 500_000.0
+
+
+class TestReady:
+    def test_rsend_ok_when_recv_posted(self):
+        def prog(me):
+            if me.rank == 0:
+                yield Compute(10_000.0)  # give the receiver time to post
+                yield Send(dest=1, nbytes=10, mode="ready")
+            else:
+                yield Recv(source=0)
+
+        res = go(prog)
+        assert send_event(res).duration == pytest.approx(10.0)  # eager-like
+
+    def test_rsend_erroneous_without_posted_recv(self):
+        def prog(me):
+            if me.rank == 0:
+                yield Send(dest=1, nbytes=10, mode="ready")
+            else:
+                yield Compute(10_000.0)
+                yield Recv(source=0)
+
+        with pytest.raises(SimError, match="ready-mode"):
+            go(prog)
+
+    def test_rsend_respects_tag_matching(self):
+        def prog(me):
+            if me.rank == 0:
+                yield Compute(10_000.0)
+                yield Send(dest=1, nbytes=10, tag=7, mode="ready")
+            else:
+                yield Recv(source=0, tag=9)  # wrong tag posted
+
+        with pytest.raises(SimError):
+            go(prog)
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(ValueError, match="send mode"):
+        Send(dest=1, mode="telepathic")

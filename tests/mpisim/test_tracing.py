@@ -1,0 +1,98 @@
+"""Tests for the PMPI-style trace collectors."""
+
+import pytest
+
+from repro.mpisim.clock import LocalClock
+from repro.mpisim.tracing import FileCollector, MemoryCollector
+from repro.trace.events import EventKind
+from repro.trace.reader import TraceSet
+
+
+class TestMemoryCollector:
+    def test_sequence_numbers_dense_per_rank(self):
+        c = MemoryCollector(2)
+        c.hook(0, EventKind.INIT, 0.0, 1.0)
+        c.hook(1, EventKind.INIT, 0.0, 1.0)
+        c.hook(0, EventKind.SEND, 1.0, 2.0, peer=1)
+        trace = c.trace()
+        assert [e.seq for e in trace.events_of(0)] == [0, 1]
+        assert [e.seq for e in trace.events_of(1)] == [0]
+
+    def test_clock_conversion(self):
+        clocks = [LocalClock(offset=1000.0, drift=0.0), LocalClock(offset=0.0, drift=1.0)]
+        c = MemoryCollector(2, clocks=clocks)
+        c.hook(0, EventKind.INIT, 10.0, 20.0)
+        c.hook(1, EventKind.INIT, 10.0, 20.0)
+        trace = c.trace()
+        e0 = next(iter(trace.events_of(0)))
+        e1 = next(iter(trace.events_of(1)))
+        assert (e0.t_start, e0.t_end) == (1010.0, 1020.0)
+        assert (e1.t_start, e1.t_end) == (20.0, 40.0)
+
+    def test_clock_count_validated(self):
+        with pytest.raises(ValueError):
+            MemoryCollector(3, clocks=[LocalClock()])
+
+
+class TestPatching:
+    def test_patch_fills_resolved_fields(self):
+        c = MemoryCollector(1)
+        token = c.hook(0, EventKind.IRECV, 0.0, 1.0, peer=-1, tag=-1, req=0, patchable=True)
+        # Held back until patched: nothing visible yet.
+        assert c.records[0] == []
+        c.patch(token, peer=3, tag=7, nbytes=99)
+        (rec,) = c.records[0]
+        assert (rec.peer, rec.tag, rec.nbytes) == (3, 7, 99)
+
+    def test_order_preserved_across_patch(self):
+        c = MemoryCollector(1)
+        token = c.hook(0, EventKind.IRECV, 0.0, 1.0, peer=-1, req=0, patchable=True)
+        c.hook(0, EventKind.WAIT, 1.0, 2.0, reqs=(0,), completed=(0,))
+        assert c.records[0] == []  # the WAIT is queued behind the IRECV
+        c.patch(token, peer=2, tag=0, nbytes=8)
+        assert [e.kind for e in c.records[0]] == [EventKind.IRECV, EventKind.WAIT]
+        assert [e.seq for e in c.records[0]] == [0, 1]
+
+    def test_finish_flushes_unpatched(self):
+        c = MemoryCollector(1)
+        c.hook(0, EventKind.IRECV, 0.0, 1.0, peer=-1, req=0, patchable=True)
+        c.finish()
+        (rec,) = c.records[0]
+        assert rec.peer == -1  # never resolved
+
+    def test_patch_wrong_token_rejected(self):
+        c = MemoryCollector(1)
+        c.hook(0, EventKind.SEND, 0.0, 1.0, peer=1)
+        with pytest.raises(ValueError):
+            c.patch((0, 0), peer=1, tag=0, nbytes=0)
+
+    def test_other_rank_unaffected_by_held_record(self):
+        c = MemoryCollector(2)
+        c.hook(0, EventKind.IRECV, 0.0, 1.0, peer=-1, req=0, patchable=True)
+        c.hook(1, EventKind.SEND, 0.0, 1.0, peer=0)
+        assert len(c.records[1]) == 1  # rank 1 flushes independently
+
+
+class TestFileCollector:
+    def test_round_trip(self, tmp_path):
+        c = FileCollector(tmp_path, "t", 2, program="prog")
+        c.hook(0, EventKind.INIT, 0.0, 1.0)
+        c.hook(1, EventKind.INIT, 0.0, 1.0)
+        c.hook(0, EventKind.SEND, 1.0, 2.0, peer=1, tag=3, nbytes=64)
+        c.hook(1, EventKind.RECV, 1.0, 3.0, peer=0, tag=3, nbytes=64)
+        c.hook(0, EventKind.FINALIZE, 2.0, 3.0)
+        c.hook(1, EventKind.FINALIZE, 3.0, 4.0)
+        trace = c.trace()
+        assert isinstance(trace, TraceSet)
+        assert trace.nprocs == 2
+        events = list(trace.events_of(0))
+        assert [e.kind for e in events] == [EventKind.INIT, EventKind.SEND, EventKind.FINALIZE]
+        assert trace.meta(0).program == "prog"
+
+    def test_clock_params_in_meta(self, tmp_path):
+        clocks = [LocalClock(offset=7.0, drift=1e-5)]
+        c = FileCollector(tmp_path, "c", 1, clocks=clocks)
+        c.hook(0, EventKind.INIT, 0.0, 1.0)
+        trace = c.trace()
+        assert trace.meta(0).clock_offset == 7.0
+        assert trace.meta(0).clock_drift == 1e-5

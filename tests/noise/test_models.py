@@ -1,0 +1,123 @@
+"""Tests for the synthetic OS-noise generators."""
+
+import numpy as np
+import pytest
+
+from repro.noise.distributions import Constant, Exponential
+from repro.noise.models import (
+    NO_NOISE,
+    CompositeNoise,
+    DistributionNoise,
+    NoiseModel,
+    NoNoise,
+    PeriodicDaemon,
+    RandomPreemption,
+)
+
+
+class TestNoNoise:
+    def test_always_zero(self, rng):
+        assert NO_NOISE.delay(rng, 0.0, 1e9) == 0.0
+        assert NoNoise().delay(rng, 123.0, 456.0) == 0.0
+
+    def test_protocol(self):
+        assert isinstance(NO_NOISE, NoiseModel)
+
+
+class TestRandomPreemption:
+    def test_expected_total(self, rng):
+        # rate*duration*mean_cost expected loss.
+        model = RandomPreemption(rate=1e-4, cost=Constant(500.0))
+        total = sum(model.delay(rng, 0.0, 100_000.0) for _ in range(200))
+        expected = 200 * 1e-4 * 100_000.0 * 500.0
+        assert total == pytest.approx(expected, rel=0.1)
+
+    def test_zero_rate(self, rng):
+        assert RandomPreemption(0.0, Constant(1.0)).delay(rng, 0.0, 1e6) == 0.0
+
+    def test_zero_duration(self, rng):
+        assert RandomPreemption(1.0, Constant(1.0)).delay(rng, 0.0, 0.0) == 0.0
+
+    def test_negative_costs_clamped(self, rng):
+        model = RandomPreemption(rate=1e-3, cost=Constant(-100.0))
+        assert model.delay(rng, 0.0, 100_000.0) == 0.0
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            RandomPreemption(-1.0, Constant(1.0))
+
+
+class TestPeriodicDaemon:
+    def test_firings_in_window(self):
+        d = PeriodicDaemon(period=100.0, cost=Constant(5.0))
+        assert list(d.firings(0.0, 250.0)) == [0.0, 100.0, 200.0]
+        assert list(d.firings(50.0, 100.0)) == [100.0]
+        assert list(d.firings(101.0, 50.0)) == []
+
+    def test_phase_shifts_firings(self):
+        d = PeriodicDaemon(period=100.0, cost=Constant(5.0), phase=30.0)
+        assert list(d.firings(0.0, 100.0)) == [30.0]
+
+    def test_delay_counts_firings(self, rng):
+        d = PeriodicDaemon(period=100.0, cost=Constant(7.0))
+        assert d.delay(rng, 0.0, 250.0) == pytest.approx(3 * 7.0)
+        assert d.delay(rng, 101.0, 50.0) == 0.0
+
+    def test_time_dependence(self, rng):
+        """Unlike memoryless noise, a daemon hits specific windows —
+        the structure FTQ detects."""
+        d = PeriodicDaemon(period=1000.0, cost=Constant(50.0))
+        hit = d.delay(rng, 990.0, 20.0)  # spans t=1000
+        miss = d.delay(rng, 1010.0, 20.0)
+        assert hit == 50.0
+        assert miss == 0.0
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            PeriodicDaemon(0.0, Constant(1.0))
+        with pytest.raises(ValueError):
+            PeriodicDaemon(10.0, Constant(1.0), phase=-1.0)
+
+
+class TestDistributionNoise:
+    def test_per_phase(self, rng):
+        m = DistributionNoise(Constant(25.0))
+        assert m.delay(rng, 0.0, 100.0) == 25.0
+        assert m.delay(rng, 0.0, 1e9) == 25.0  # not duration-scaled
+
+    def test_per_cycle(self, rng):
+        m = DistributionNoise(Constant(0.01), per_cycle=True)
+        assert m.delay(rng, 0.0, 1000.0) == pytest.approx(10.0)
+
+    def test_zero_duration(self, rng):
+        assert DistributionNoise(Constant(5.0)).delay(rng, 0.0, 0.0) == 0.0
+
+    def test_negative_draws_clamped(self, rng):
+        assert DistributionNoise(Constant(-5.0)).delay(rng, 0.0, 10.0) == 0.0
+
+
+class TestCompositeNoise:
+    def test_sums_components(self, rng):
+        c = CompositeNoise(
+            [DistributionNoise(Constant(10.0)), DistributionNoise(Constant(3.0))]
+        )
+        assert c.delay(rng, 0.0, 100.0) == 13.0
+
+    def test_empty_composite(self, rng):
+        assert CompositeNoise([]).delay(rng, 0.0, 100.0) == 0.0
+
+    def test_mixed_models(self, rng):
+        c = CompositeNoise(
+            [
+                PeriodicDaemon(period=100.0, cost=Constant(5.0)),
+                RandomPreemption(rate=0.0, cost=Exponential(1.0)),
+            ]
+        )
+        assert c.delay(rng, 0.0, 250.0) == pytest.approx(15.0)
+
+
+def test_models_are_deterministic_per_generator():
+    m = RandomPreemption(rate=1e-3, cost=Exponential(100.0))
+    a = [m.delay(np.random.default_rng(9), t * 1000.0, 1000.0) for t in range(20)]
+    b = [m.delay(np.random.default_rng(9), t * 1000.0, 1000.0) for t in range(20)]
+    assert a == b

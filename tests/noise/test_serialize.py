@@ -1,0 +1,71 @@
+"""Round-trip tests for distribution / noise-model serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.noise import distributions as d
+from repro.noise import models as m
+from repro.noise.empirical import Empirical
+from repro.noise.serialize import from_jsonable, to_jsonable
+
+ALL_OBJECTS = [
+    d.Constant(3.5),
+    d.ZERO,
+    d.Uniform(1.0, 2.0),
+    d.Exponential(100.0),
+    d.Normal(5.0, 2.0),
+    d.TruncatedNormal(1.0, 2.0, 0.5),
+    d.LogNormal(2.0, 0.3),
+    d.Gamma(2.0, 10.0),
+    d.Pareto(2.5, 50.0),
+    d.Weibull(1.3, 75.0),
+    d.BernoulliSpike(0.2, d.Exponential(30.0)),
+    d.Mixture([d.Constant(1.0), d.Exponential(5.0)], [0.25, 0.75]),
+    d.Shifted(d.Exponential(10.0), 5.0),
+    d.Scaled(d.Normal(0.0, 1.0), 2.5),
+    Empirical([3.0, 1.0, 2.0]),
+    Empirical([1.0, 2.0], interpolate=True),
+    m.NO_NOISE,
+    m.RandomPreemption(1e-4, d.Exponential(100.0)),
+    m.PeriodicDaemon(1000.0, d.Constant(5.0), phase=17.0),
+    m.DistributionNoise(d.Constant(0.1), per_cycle=True),
+    m.CompositeNoise([m.NO_NOISE, m.RandomPreemption(1e-5, d.Constant(2.0))]),
+]
+
+
+@pytest.mark.parametrize("obj", ALL_OBJECTS, ids=lambda o: type(o).__name__)
+def test_round_trip(obj):
+    encoded = to_jsonable(obj)
+    # must be genuinely JSON-able
+    decoded = from_jsonable(json.loads(json.dumps(encoded)))
+    assert type(decoded) is type(obj)
+    assert to_jsonable(decoded) == encoded
+
+
+@pytest.mark.parametrize(
+    "obj",
+    [o for o in ALL_OBJECTS if hasattr(o, "sample_n")],
+    ids=lambda o: type(o).__name__,
+)
+def test_round_trip_preserves_sampling(obj):
+    decoded = from_jsonable(to_jsonable(obj))
+    a = obj.sample_n(np.random.default_rng(3), 16)
+    b = decoded.sample_n(np.random.default_rng(3), 16)
+    assert np.array_equal(a, b)
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        from_jsonable({"kind": "zipf", "s": 2.0})
+
+
+def test_non_dict_rejected():
+    with pytest.raises(ValueError):
+        from_jsonable([1, 2, 3])
+
+
+def test_unserializable_type_rejected():
+    with pytest.raises(TypeError):
+        to_jsonable(object())

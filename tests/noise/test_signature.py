@@ -1,0 +1,100 @@
+"""Tests for machine signatures (§5)."""
+
+import numpy as np
+import pytest
+
+from repro.noise.distributions import Constant, Exponential, Normal
+from repro.noise.signature import MachineSignature
+
+
+@pytest.fixture
+def sig():
+    return MachineSignature(
+        os_noise=Constant(100.0),
+        latency=Constant(50.0),
+        per_byte=Constant(0.01),
+        os_noise_by_rank={2: Constant(999.0)},
+        latency_by_link={(0, 1): Constant(5.0)},
+        name="test",
+    )
+
+
+class TestLookups:
+    def test_default_os(self, sig):
+        assert sig.os_noise_for(0).value == 100.0
+
+    def test_rank_override(self, sig):
+        assert sig.os_noise_for(2).value == 999.0
+
+    def test_default_latency(self, sig):
+        assert sig.latency_for(1, 0).value == 50.0
+
+    def test_link_override_directed(self, sig):
+        assert sig.latency_for(0, 1).value == 5.0
+        assert sig.latency_for(1, 0).value == 50.0  # override is directed
+
+
+class TestSampling:
+    def test_sample_os(self, sig, rng):
+        assert sig.sample_os(rng, 0) == 100.0
+        assert sig.sample_os(rng, 2) == 999.0
+
+    def test_sample_latency(self, sig, rng):
+        assert sig.sample_latency(rng, 0, 1) == 5.0
+
+    def test_sample_transfer_scales_with_bytes(self, sig, rng):
+        assert sig.sample_transfer(rng, 1000) == pytest.approx(10.0)
+        assert sig.sample_transfer(rng, 0) == 0.0
+
+    def test_negative_draws_clamped(self, rng):
+        s = MachineSignature(os_noise=Constant(-5.0), latency=Normal(-100.0, 0.0))
+        assert s.sample_os(rng, 0) == 0.0
+        assert s.sample_latency(rng, 0, 1) == 0.0
+
+
+class TestDerived:
+    def test_scaled(self, sig, rng):
+        s2 = sig.scaled(3.0)
+        assert s2.sample_os(rng, 0) == 300.0
+        assert s2.sample_os(rng, 2) == pytest.approx(999.0 * 3)
+        assert s2.sample_latency(rng, 0, 1) == 15.0
+        assert "x3" in s2.name
+
+    def test_quiet(self, sig, rng):
+        q = sig.quiet()
+        assert q.sample_os(rng, 0) == 0.0
+        assert q.sample_latency(rng, 0, 1) == 0.0
+        assert q.sample_transfer(rng, 10_000) == 0.0
+
+
+class TestSerialization:
+    def test_dict_round_trip(self, sig):
+        restored = MachineSignature.from_dict(sig.to_dict())
+        assert restored.name == sig.name
+        assert restored.os_noise_for(2).value == 999.0
+        assert restored.latency_for(0, 1).value == 5.0
+        assert restored.to_dict() == sig.to_dict()
+
+    def test_file_round_trip(self, sig, tmp_path):
+        path = tmp_path / "sig.json"
+        sig.save(path)
+        restored = MachineSignature.load(path)
+        assert restored.to_dict() == sig.to_dict()
+
+    def test_round_trip_with_random_dists(self, tmp_path, rng):
+        sig = MachineSignature(
+            os_noise=Exponential(80.0), latency=Normal(40.0, 5.0), name="rand"
+        )
+        path = tmp_path / "s.json"
+        sig.save(path)
+        restored = MachineSignature.load(path)
+        a = restored.os_noise.sample_n(np.random.default_rng(1), 8)
+        b = sig.os_noise.sample_n(np.random.default_rng(1), 8)
+        assert np.array_equal(a, b)
+
+
+def test_default_signature_is_silent(rng):
+    s = MachineSignature()
+    assert s.sample_os(rng, 0) == 0.0
+    assert s.sample_latency(rng, 3, 4) == 0.0
+    assert s.sample_transfer(rng, 10**9) == 0.0

@@ -1,0 +1,111 @@
+"""Tests for shared utilities."""
+
+import numpy as np
+import pytest
+
+from repro._util import (
+    as_rng,
+    check_nonnegative,
+    check_positive,
+    check_rank,
+    chunked,
+    format_cycles,
+    ilog2_ceil,
+    pairwise,
+    spawn_rng,
+)
+
+
+class TestRngHelpers:
+    def test_as_rng_from_int(self):
+        a = as_rng(5)
+        b = as_rng(5)
+        assert a.integers(0, 100) == b.integers(0, 100)
+
+    def test_as_rng_passthrough(self):
+        g = np.random.default_rng(1)
+        assert as_rng(g) is g
+
+    def test_as_rng_none(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_spawn_independent_streams(self):
+        children = spawn_rng(as_rng(7), 4)
+        draws = [c.integers(0, 2**62) for c in children]
+        assert len(set(draws)) == 4
+
+    def test_spawn_stable_prefix(self):
+        """Adding ranks must not shift existing ranks' streams."""
+        a = spawn_rng(as_rng(7), 2)
+        b = spawn_rng(as_rng(7), 5)
+        for x, y in zip(a, b):
+            assert x.integers(0, 2**62) == y.integers(0, 2**62)
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rng(as_rng(0), -1)
+
+
+class TestChecks:
+    def test_nonnegative(self):
+        assert check_nonnegative("x", 0.0) == 0.0
+        assert check_nonnegative("x", 5.5) == 5.5
+        for bad in (-1.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                check_nonnegative("x", bad)
+
+    def test_positive(self):
+        assert check_positive("x", 0.1) == 0.1
+        for bad in (0.0, -1.0, float("nan")):
+            with pytest.raises(ValueError):
+                check_positive("x", bad)
+
+    def test_rank(self):
+        assert check_rank(0, 4) == 0
+        assert check_rank(3, 4) == 3
+        with pytest.raises(ValueError):
+            check_rank(4, 4)
+        with pytest.raises(ValueError):
+            check_rank(-1, 4)
+
+
+class TestMath:
+    def test_ilog2_ceil(self):
+        assert ilog2_ceil(1) == 0
+        assert ilog2_ceil(2) == 1
+        assert ilog2_ceil(3) == 2
+        assert ilog2_ceil(4) == 2
+        assert ilog2_ceil(5) == 3
+        assert ilog2_ceil(1024) == 10
+        assert ilog2_ceil(1025) == 11
+        with pytest.raises(ValueError):
+            ilog2_ceil(0)
+
+    def test_ilog2_is_smallest_cover(self):
+        for n in range(1, 200):
+            k = ilog2_ceil(n)
+            assert 2**k >= n
+            assert k == 0 or 2 ** (k - 1) < n
+
+
+class TestIterables:
+    def test_pairwise(self):
+        assert list(pairwise([1, 2, 3])) == [(1, 2), (2, 3)]
+        assert list(pairwise([1])) == []
+        assert list(pairwise([])) == []
+
+    def test_chunked(self):
+        assert list(chunked([1, 2, 3, 4, 5], 2)) == [[1, 2], [3, 4], [5]]
+        assert list(chunked([], 3)) == []
+        with pytest.raises(ValueError):
+            list(chunked([1], 0))
+
+
+class TestFormatting:
+    def test_format_cycles(self):
+        assert format_cycles(0) == "0 cy"
+        assert format_cycles(999) == "999 cy"
+        assert format_cycles(1_500) == "1.50 kcy"
+        assert format_cycles(2_500_000) == "2.50 Mcy"
+        assert format_cycles(3.2e9) == "3.20 Gcy"
+        assert "kcy" in format_cycles(-5_000)

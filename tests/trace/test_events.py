@@ -1,0 +1,107 @@
+"""Tests for the trace event model."""
+
+import pytest
+
+from repro.trace.events import (
+    COLLECTIVE_KINDS,
+    COMPLETION_KINDS,
+    EventKind,
+    EventRecord,
+    NONBLOCKING_KINDS,
+    PAIRWISE_KINDS,
+    TraceMeta,
+    check_rank_order,
+)
+
+
+def ev(**kw):
+    base = dict(rank=0, seq=0, kind=EventKind.SEND, t_start=0.0, t_end=1.0)
+    base.update(kw)
+    return EventRecord(**base)
+
+
+class TestEventKind:
+    def test_partitions_disjoint(self):
+        assert not (PAIRWISE_KINDS & COLLECTIVE_KINDS)
+        assert not (COMPLETION_KINDS & COLLECTIVE_KINDS)
+        assert not (NONBLOCKING_KINDS - PAIRWISE_KINDS)
+
+    def test_predicates(self):
+        assert EventKind.SEND.is_pairwise
+        assert EventKind.ISEND.is_nonblocking
+        assert EventKind.WAITALL.is_completion
+        assert EventKind.ALLREDUCE.is_collective
+        assert EventKind.INIT.is_local
+        assert not EventKind.RECV.is_collective
+
+    def test_every_kind_covered_once(self):
+        classified = (
+            PAIRWISE_KINDS | COLLECTIVE_KINDS | COMPLETION_KINDS
+            | {EventKind.INIT, EventKind.FINALIZE}
+        )
+        assert classified == set(EventKind)
+
+
+class TestEventRecord:
+    def test_duration(self):
+        assert ev(t_start=10.0, t_end=35.0).duration == 25.0
+
+    def test_key(self):
+        assert ev(rank=3, seq=7).key == (3, 7)
+
+    def test_rejects_reversed_times(self):
+        with pytest.raises(ValueError):
+            ev(t_start=5.0, t_end=4.0)
+
+    def test_rejects_negative_rank_seq(self):
+        with pytest.raises(ValueError):
+            ev(rank=-1)
+        with pytest.raises(ValueError):
+            ev(seq=-1)
+
+    def test_reqs_normalized_to_tuples(self):
+        e = ev(kind=EventKind.WAITALL, reqs=[1, 2], completed=[1, 2])
+        assert e.reqs == (1, 2)
+        assert e.completed == (1, 2)
+
+    def test_with_times(self):
+        e = ev().with_times(100.0, 200.0)
+        assert (e.t_start, e.t_end) == (100.0, 200.0)
+        assert e.kind == EventKind.SEND
+
+    def test_describe_mentions_metadata(self):
+        e = ev(kind=EventKind.ISEND, peer=3, tag=9, nbytes=128, req=5)
+        text = e.describe()
+        assert "ISEND" in text and "peer=3" in text and "req=5" in text
+        c = ev(kind=EventKind.ALLREDUCE, coll_seq=2)
+        assert "coll#2" in c.describe()
+
+
+class TestTraceMeta:
+    def test_valid(self):
+        m = TraceMeta(rank=2, nprocs=4, program="x", clock_offset=5.0, clock_drift=1e-5)
+        assert m.rank == 2
+
+    def test_rejects_rank_out_of_range(self):
+        with pytest.raises(ValueError):
+            TraceMeta(rank=4, nprocs=4)
+
+    def test_dict_round_trip(self):
+        m = TraceMeta(rank=1, nprocs=8, program="app", clock_offset=-3.0, clock_drift=2e-6)
+        assert TraceMeta.from_dict(m.to_dict()) == m
+
+
+class TestCheckRankOrder:
+    def test_accepts_ordered(self):
+        events = [ev(seq=0, t_start=0.0, t_end=1.0), ev(seq=1, t_start=1.0, t_end=2.0)]
+        check_rank_order(events)
+
+    def test_rejects_gap_in_seq(self):
+        events = [ev(seq=0), ev(seq=2, t_start=2.0, t_end=3.0)]
+        with pytest.raises(ValueError, match="non-dense"):
+            check_rank_order(events)
+
+    def test_rejects_time_travel(self):
+        events = [ev(seq=0, t_start=0.0, t_end=10.0), ev(seq=1, t_start=5.0, t_end=12.0)]
+        with pytest.raises(ValueError, match="backwards"):
+            check_rank_order(events)

@@ -1,0 +1,95 @@
+"""Robustness of trace readers against damaged files."""
+
+import pytest
+
+from repro.trace.events import EventKind, EventRecord, TraceMeta
+from repro.trace.reader import TraceReader, TraceSet
+from repro.trace.writer import TraceSetWriter, TraceWriter
+
+
+def make_events(rank, n):
+    return [
+        EventRecord(rank=rank, seq=i, kind=EventKind.SEND, t_start=float(i), t_end=i + 0.5)
+        for i in range(n)
+    ]
+
+
+def write_one(tmp_path, binary=False, n=5):
+    suffix = "bin" if binary else "jsonl"
+    path = tmp_path / f"t.trace.{suffix}"
+    with TraceWriter(path, TraceMeta(rank=0, nprocs=1), binary=binary) as w:
+        w.record_all(make_events(0, n))
+    return path
+
+
+class TestTextDamage:
+    def test_truncated_tail_line(self, tmp_path):
+        path = write_one(tmp_path)
+        data = path.read_text()
+        path.write_text(data[: len(data) - 20])  # cut into the last record
+        reader = TraceReader(path)
+        with pytest.raises(ValueError):
+            list(reader.events())
+
+    def test_garbage_line(self, tmp_path):
+        path = write_one(tmp_path)
+        with open(path, "a") as fh:
+            fh.write("this is not json\n")
+        with pytest.raises(Exception):
+            list(TraceReader(path).events())
+
+    def test_wrong_arity_line(self, tmp_path):
+        path = write_one(tmp_path)
+        with open(path, "a") as fh:
+            fh.write("[1,2,3]\n")
+        with pytest.raises(ValueError, match="malformed"):
+            list(TraceReader(path).events())
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        path = write_one(tmp_path, n=3)
+        with open(path, "a") as fh:
+            fh.write("\n\n")
+        assert len(list(TraceReader(path).events())) == 3
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "e.trace.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="header"):
+            TraceReader(path)
+
+
+class TestBinaryDamage:
+    def test_truncated_record(self, tmp_path):
+        path = write_one(tmp_path, binary=True)
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-7])
+        with pytest.raises(ValueError, match="truncated"):
+            list(TraceReader(path).events())
+
+    def test_corrupt_header_length(self, tmp_path):
+        path = write_one(tmp_path, binary=True)
+        blob = bytearray(path.read_bytes())
+        blob[8:12] = (2**31 - 1).to_bytes(4, "little")  # absurd header size
+        path.write_bytes(bytes(blob))
+        with pytest.raises(ValueError):
+            TraceReader(path)
+
+    def test_random_bytes_file(self, tmp_path):
+        path = tmp_path / "junk.trace.bin"
+        path.write_bytes(b"\x99" * 100)
+        with pytest.raises(ValueError, match="magic"):
+            TraceReader(path)
+
+
+class TestSetRobustness:
+    def test_one_damaged_rank_detected_on_read(self, tmp_path):
+        with TraceSetWriter(tmp_path, "s", nprocs=2) as ws:
+            for r in range(2):
+                for e in make_events(r, 4):
+                    ws.record(e)
+        victim = tmp_path / "s.rank0001.trace.jsonl"
+        data = victim.read_text()
+        victim.write_text(data[:-15])
+        ts = TraceSet.open(tmp_path, "s")  # headers intact: open succeeds
+        with pytest.raises(Exception):
+            ts.load_all()

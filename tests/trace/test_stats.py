@@ -1,0 +1,84 @@
+"""Tests for trace statistics."""
+
+import numpy as np
+import pytest
+
+from repro.apps import TokenRingParams, token_ring
+from repro.mpisim import Compute, Recv, Send, Sendrecv, run
+from repro.trace.stats import trace_stats
+
+
+class TestRing:
+    @pytest.fixture(scope="class")
+    def stats(self):
+        trace = run(
+            token_ring(TokenRingParams(traversals=3, token_bytes=1000)), nprocs=4, seed=0
+        ).trace
+        return trace_stats(trace)
+
+    def test_counts(self, stats):
+        assert stats.nprocs == 4
+        for r in stats.ranks:
+            assert r.messages_sent == 3
+            assert r.messages_received == 3
+            assert r.bytes_sent == 3000
+            assert r.bytes_received == 3000
+
+    def test_comm_matrix_is_ring(self, stats):
+        for src in range(4):
+            for dst in range(4):
+                expected = 3000 if dst == (src + 1) % 4 else 0
+                assert stats.comm_matrix[src, dst] == expected
+
+    def test_time_decomposition_partitions_runtime(self, stats):
+        for r in stats.ranks:
+            assert r.compute_time + r.message_time == pytest.approx(r.runtime)
+            assert 0.0 <= r.compute_fraction <= 1.0
+            assert r.compute_fraction + r.message_fraction == pytest.approx(1.0)
+
+    def test_kind_counts(self, stats):
+        assert stats.kind_counts["SEND"] == 12
+        assert stats.kind_counts["RECV"] == 12
+        assert stats.kind_counts["INIT"] == 4
+
+    def test_heaviest_channel(self, stats):
+        src, dst, nbytes = stats.heaviest_channel()
+        assert nbytes == 3000
+        assert dst == (src + 1) % 4
+
+    def test_summary_renders(self, stats):
+        text = stats.summary()
+        assert "4 ranks" in text
+        assert "busiest channel" in text
+
+
+class TestSendrecvAccounting:
+    def test_both_halves_counted(self):
+        def prog(me):
+            yield Compute(100.0)
+            yield Sendrecv(
+                dest=(me.rank + 1) % me.size,
+                send_nbytes=500,
+                source=(me.rank - 1) % me.size,
+            )
+
+        stats = trace_stats(run(prog, nprocs=3, seed=0).trace)
+        for r in stats.ranks:
+            assert r.bytes_sent == 500
+            assert r.bytes_received == 500
+        assert stats.total_bytes == 1500
+
+
+class TestComputeBoundDetection:
+    def test_compute_heavy_vs_message_heavy(self):
+        def compute_heavy(me):
+            if me.rank == 0:
+                yield Compute(1_000_000.0)
+                yield Send(dest=1, nbytes=8)
+            else:
+                yield Recv(source=0)
+
+        stats = trace_stats(run(compute_heavy, nprocs=2, seed=0).trace)
+        assert stats.ranks[0].compute_fraction > 0.9
+        # rank 1 spends its life blocked inside the recv (message time)
+        assert stats.ranks[1].message_fraction > 0.9

@@ -1,0 +1,160 @@
+"""Tests for the structural trace validator."""
+
+import pytest
+
+from repro.mpisim import Compute, Recv, Send, run
+from repro.trace.events import EventKind, EventRecord
+from repro.trace.reader import MemoryTrace
+from repro.trace.validate import validate_traces
+
+
+def ev(rank, seq, kind, t0, t1, **kw):
+    return EventRecord(rank=rank, seq=seq, kind=kind, t_start=t0, t_end=t1, **kw)
+
+
+def wrap(rank, inner):
+    """INIT ... FINALIZE around a list of (kind, t0, t1, kwargs)."""
+    events = [ev(rank, 0, EventKind.INIT, 0.0, 1.0)]
+    for i, (kind, t0, t1, kw) in enumerate(inner, start=1):
+        events.append(ev(rank, i, kind, t0, t1, **kw))
+    last = events[-1]
+    events.append(ev(rank, len(events), EventKind.FINALIZE, last.t_end, last.t_end + 1))
+    return events
+
+
+class TestValidRuns:
+    def test_simulator_output_is_valid(self, ring_trace):
+        report = validate_traces(ring_trace)
+        assert report.ok
+        assert not report.warnings
+        assert report.event_count > 0
+        report.raise_if_invalid()  # must not raise
+
+    def test_blocking_pair(self):
+        t0 = wrap(0, [(EventKind.SEND, 2.0, 3.0, dict(peer=1, tag=0, nbytes=8))])
+        t1 = wrap(1, [(EventKind.RECV, 2.0, 3.0, dict(peer=0, tag=0, nbytes=8))])
+        report = validate_traces(MemoryTrace([t0, t1]))
+        assert report.ok
+
+
+class TestPerRankErrors:
+    def test_non_dense_seq(self):
+        events = [
+            ev(0, 0, EventKind.INIT, 0.0, 1.0),
+            ev(0, 2, EventKind.FINALIZE, 1.0, 2.0),
+        ]
+        report = validate_traces(MemoryTrace([events]))
+        assert any("seq" in str(e) for e in report.errors)
+
+    def test_time_backwards(self):
+        events = [
+            ev(0, 0, EventKind.INIT, 5.0, 6.0),
+            ev(0, 1, EventKind.FINALIZE, 2.0, 7.0),
+        ]
+        report = validate_traces(MemoryTrace([events]))
+        assert any("starts at" in str(e) for e in report.errors)
+
+    def test_unknown_request_completed(self):
+        inner = [(EventKind.WAIT, 2.0, 3.0, dict(reqs=(9,), completed=(9,)))]
+        report = validate_traces(MemoryTrace([wrap(0, inner)]))
+        assert any("unknown request" in str(e) for e in report.errors)
+
+    def test_duplicate_request_id(self):
+        inner = [
+            (EventKind.ISEND, 2.0, 3.0, dict(peer=1, tag=0, req=1)),
+            (EventKind.ISEND, 3.0, 4.0, dict(peer=1, tag=0, req=1)),
+        ]
+        report = validate_traces(MemoryTrace([wrap(0, inner), wrap(1, [
+            (EventKind.RECV, 2.0, 3.0, dict(peer=0, tag=0)),
+            (EventKind.RECV, 3.0, 4.0, dict(peer=0, tag=0)),
+        ])]))
+        assert any("reuses request" in str(e) for e in report.errors)
+
+    def test_double_completion(self):
+        inner = [
+            (EventKind.IRECV, 2.0, 3.0, dict(peer=1, tag=0, req=0)),
+            (EventKind.WAIT, 3.0, 4.0, dict(reqs=(0,), completed=(0,))),
+            (EventKind.WAIT, 4.0, 5.0, dict(reqs=(0,), completed=(0,))),
+        ]
+        other = wrap(1, [(EventKind.SEND, 2.0, 3.0, dict(peer=0, tag=0))])
+        report = validate_traces(MemoryTrace([wrap(0, inner), other]))
+        assert any("already-completed" in str(e) for e in report.errors)
+
+    def test_never_completed_warns(self):
+        inner = [(EventKind.IRECV, 2.0, 3.0, dict(peer=1, tag=0, req=0))]
+        other = wrap(1, [(EventKind.SEND, 2.0, 3.0, dict(peer=0, tag=0))])
+        report = validate_traces(MemoryTrace([wrap(0, inner), other]))
+        assert report.ok  # warning, not error
+        assert any("never completed" in str(w) for w in report.warnings)
+
+    def test_missing_init_finalize_warns(self):
+        events = [ev(0, 0, EventKind.BARRIER, 0.0, 1.0, coll_seq=0)]
+        report = validate_traces(MemoryTrace([events]))
+        assert any("not INIT" in str(w) for w in report.warnings)
+        assert any("not FINALIZE" in str(w) for w in report.warnings)
+
+
+class TestCrossRankErrors:
+    def test_channel_count_mismatch(self):
+        t0 = wrap(0, [(EventKind.SEND, 2.0, 3.0, dict(peer=1, tag=0, nbytes=8))])
+        t1 = wrap(1, [])
+        report = validate_traces(MemoryTrace([t0, t1]))
+        assert any("1 send(s) but 0 receive(s)" in str(e) for e in report.errors)
+
+    def test_collective_count_mismatch(self):
+        t0 = wrap(0, [(EventKind.BARRIER, 2.0, 3.0, dict(coll_seq=0))])
+        t1 = wrap(1, [])
+        report = validate_traces(MemoryTrace([t0, t1]))
+        assert any("collectives" in str(e) for e in report.errors)
+
+    def test_collective_kind_mismatch(self):
+        t0 = wrap(0, [(EventKind.BARRIER, 2.0, 3.0, dict(coll_seq=0))])
+        t1 = wrap(1, [(EventKind.ALLREDUCE, 2.0, 3.0, dict(coll_seq=0))])
+        report = validate_traces(MemoryTrace([t0, t1]))
+        assert any("rank 0 did BARRIER" in str(e) for e in report.errors)
+
+    def test_collective_root_mismatch(self):
+        t0 = wrap(0, [(EventKind.BCAST, 2.0, 3.0, dict(coll_seq=0, root=0))])
+        t1 = wrap(1, [(EventKind.BCAST, 2.0, 3.0, dict(coll_seq=0, root=1))])
+        report = validate_traces(MemoryTrace([t0, t1]))
+        assert any("root disagreement" in str(e) for e in report.errors)
+
+    def test_sendrecv_counted_on_both_channels(self):
+        t0 = wrap(
+            0,
+            [
+                (
+                    EventKind.SENDRECV,
+                    2.0,
+                    3.0,
+                    dict(peer=1, tag=0, nbytes=8, recv_peer=1, recv_tag=0, recv_nbytes=8),
+                )
+            ],
+        )
+        t1 = wrap(
+            1,
+            [
+                (
+                    EventKind.SENDRECV,
+                    2.0,
+                    3.0,
+                    dict(peer=0, tag=0, nbytes=8, recv_peer=0, recv_tag=0, recv_nbytes=8),
+                )
+            ],
+        )
+        report = validate_traces(MemoryTrace([t0, t1]))
+        assert report.ok
+
+
+class TestReport:
+    def test_raise_if_invalid(self):
+        t0 = wrap(0, [(EventKind.SEND, 2.0, 3.0, dict(peer=1, tag=0))])
+        t1 = wrap(1, [])
+        report = validate_traces(MemoryTrace([t0, t1]))
+        with pytest.raises(ValueError, match="invalid trace set"):
+            report.raise_if_invalid()
+
+    def test_summary_counts(self, ring_trace):
+        report = validate_traces(ring_trace)
+        assert "4 ranks" in report.summary()
+        assert "0 errors" in report.summary()

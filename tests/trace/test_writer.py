@@ -1,0 +1,112 @@
+"""Tests for the buffered trace writers (§4 buffering behaviour)."""
+
+import pytest
+
+from repro.trace.events import EventKind, EventRecord, TraceMeta
+from repro.trace.reader import TraceReader
+from repro.trace.writer import TraceSetWriter, TraceWriter, rank_filename
+
+
+def make_events(rank, n):
+    return [
+        EventRecord(rank=rank, seq=i, kind=EventKind.SEND, t_start=float(i), t_end=float(i) + 0.5)
+        for i in range(n)
+    ]
+
+
+@pytest.fixture
+def meta():
+    return TraceMeta(rank=0, nprocs=1, program="t")
+
+
+class TestTraceWriter:
+    def test_buffer_flushes_when_full(self, tmp_path, meta):
+        w = TraceWriter(tmp_path / "t.trace.jsonl", meta, buffer_events=10)
+        for e in make_events(0, 25):
+            w.record(e)
+        assert w.flush_count == 2  # two full buffers; 5 events still resident
+        w.close()
+        assert w.flush_count == 3
+
+    def test_no_flush_below_buffer(self, tmp_path, meta):
+        w = TraceWriter(tmp_path / "t.trace.jsonl", meta, buffer_events=100)
+        for e in make_events(0, 99):
+            w.record(e)
+        assert w.flush_count == 0  # memory resident, §4
+        w.close()
+        assert w.event_count == 99
+
+    def test_round_trip_text_and_binary(self, tmp_path, meta):
+        events = make_events(0, 57)
+        for binary in (False, True):
+            path = tmp_path / f"t{binary}.trace.{'bin' if binary else 'jsonl'}"
+            with TraceWriter(path, meta, buffer_events=8, binary=binary) as w:
+                w.record_all(events)
+            reader = TraceReader(path)
+            assert reader.meta == meta
+            assert list(reader.events()) == events
+
+    def test_rejects_wrong_rank(self, tmp_path, meta):
+        w = TraceWriter(tmp_path / "t.trace.jsonl", meta)
+        with pytest.raises(ValueError, match="rank"):
+            w.record(make_events(1, 1)[0])
+        w.close()
+
+    def test_rejects_out_of_order_seq(self, tmp_path, meta):
+        w = TraceWriter(tmp_path / "t.trace.jsonl", meta)
+        events = make_events(0, 3)
+        w.record(events[0])
+        with pytest.raises(ValueError, match="out-of-order"):
+            w.record(events[2])
+        w.close()
+
+    def test_rejects_after_close(self, tmp_path, meta):
+        w = TraceWriter(tmp_path / "t.trace.jsonl", meta)
+        w.close()
+        with pytest.raises(ValueError, match="closed"):
+            w.record(make_events(0, 1)[0])
+
+    def test_double_close_harmless(self, tmp_path, meta):
+        w = TraceWriter(tmp_path / "t.trace.jsonl", meta)
+        w.close()
+        w.close()
+
+    def test_rejects_bad_buffer_size(self, tmp_path, meta):
+        with pytest.raises(ValueError):
+            TraceWriter(tmp_path / "t.trace.jsonl", meta, buffer_events=0)
+
+
+class TestRankFilename:
+    def test_zero_padded(self):
+        assert rank_filename("app", 7) == "app.rank0007.trace.jsonl"
+        assert rank_filename("app", 7, binary=True) == "app.rank0007.trace.bin"
+
+
+class TestTraceSetWriter:
+    def test_writes_all_ranks(self, tmp_path):
+        with TraceSetWriter(tmp_path, "app", nprocs=3, program="p") as ws:
+            for r in range(3):
+                for e in make_events(r, 5):
+                    ws.record(e)
+        paths = ws.paths()
+        assert len(paths) == 3
+        for r, path in enumerate(paths):
+            reader = TraceReader(path)
+            assert reader.meta.rank == r
+            assert reader.meta.nprocs == 3
+            assert len(list(reader.events())) == 5
+
+    def test_clock_params_stored(self, tmp_path):
+        ws = TraceSetWriter(
+            tmp_path, "c", nprocs=2, clock_params={0: (10.0, 1e-5), 1: (-3.0, 0.0)}
+        )
+        ws.close()
+        r0 = TraceReader(ws.paths()[0])
+        assert r0.meta.clock_offset == 10.0
+        assert r0.meta.clock_drift == 1e-5
+
+    def test_creates_directory(self, tmp_path):
+        target = tmp_path / "deep" / "nested"
+        ws = TraceSetWriter(target, "x", nprocs=1)
+        ws.close()
+        assert target.exists()

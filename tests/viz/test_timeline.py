@@ -1,0 +1,126 @@
+"""Tests for the Fig. 1 phase-timeline extraction and rendering."""
+
+import pytest
+
+from repro.trace.events import EventKind, EventRecord
+from repro.trace.reader import MemoryTrace
+from repro.viz.timeline import phases, render_ascii
+
+
+def ev(seq, kind, t0, t1, rank=0):
+    return EventRecord(rank=rank, seq=seq, kind=kind, t_start=t0, t_end=t1)
+
+
+SAMPLE = [
+    ev(0, EventKind.INIT, 0.0, 10.0),
+    ev(1, EventKind.SEND, 100.0, 150.0),
+    ev(2, EventKind.RECV, 300.0, 400.0),
+    ev(3, EventKind.FINALIZE, 450.0, 460.0),
+]
+
+
+class TestPhases:
+    def test_alternation(self):
+        segs = phases(SAMPLE)
+        kinds = [s.kind for s in segs]
+        assert kinds == [
+            "message",  # init
+            "compute",  # 10..100
+            "message",  # send
+            "compute",  # 150..300
+            "message",  # recv
+            "compute",  # 400..450
+            "message",  # finalize
+        ]
+
+    def test_labels_follow_fig1(self):
+        segs = phases(SAMPLE)
+        assert segs[0].label == "m0:init"
+        assert segs[1].label == "c0"
+        assert segs[2].label == "m1:send"
+        assert segs[3].label == "c1"
+
+    def test_durations(self):
+        segs = phases(SAMPLE)
+        compute_total = sum(s.duration for s in segs if s.kind == "compute")
+        message_total = sum(s.duration for s in segs if s.kind == "message")
+        assert compute_total == pytest.approx(90.0 + 150.0 + 50.0)
+        assert message_total == pytest.approx(10.0 + 50.0 + 100.0 + 10.0)
+
+    def test_min_compute_suppresses_slivers(self):
+        events = [
+            ev(0, EventKind.SEND, 0.0, 10.0),
+            ev(1, EventKind.RECV, 11.0, 20.0),  # 1-cycle gap
+        ]
+        assert len(phases(events, min_compute=5.0)) == 2
+        assert len(phases(events, min_compute=0.0)) == 3
+
+    def test_empty(self):
+        assert phases([]) == []
+
+
+class TestRenderAscii:
+    def test_one_lane_per_rank(self, ring_trace):
+        art = render_ascii(ring_trace, width=60)
+        lines = art.splitlines()
+        assert len(lines) == ring_trace.nprocs + 1  # lanes + legend
+        for rank in range(ring_trace.nprocs):
+            assert lines[rank].startswith(f"r{rank:>3} |")
+
+    def test_contains_both_phase_chars(self, ring_trace):
+        art = render_ascii(ring_trace, width=80)
+        assert "=" in art and "#" in art
+
+    def test_rank_selection(self, ring_trace):
+        art = render_ascii(ring_trace, ranks=[2], width=40)
+        assert art.splitlines()[0].startswith("r  2")
+        assert len(art.splitlines()) == 2
+
+    def test_width_validated(self, ring_trace):
+        with pytest.raises(ValueError):
+            render_ascii(ring_trace, width=5)
+
+    def test_empty_rank_handled(self):
+        trace = MemoryTrace([[], [ev(0, EventKind.INIT, 0.0, 1.0, rank=1)]])
+        art = render_ascii(trace, width=30)
+        assert "(no events)" in art
+
+
+class TestRenderDelayTimeline:
+    @staticmethod
+    def _points():
+        from repro.core import PerturbationSpec, build_graph, delay_timeline, propagate
+        from repro.mpisim import run as simrun
+        from repro.noise import Constant, MachineSignature
+        from repro.apps import TokenRingParams, token_ring
+
+        trace = simrun(token_ring(TokenRingParams(traversals=2)), nprocs=3, seed=0).trace
+        build = build_graph(trace)
+        res = propagate(
+            build, PerturbationSpec(MachineSignature(os_noise=Constant(100.0)), seed=0)
+        )
+        return delay_timeline(build, res, 1)
+
+    def test_renders_rows_and_totals(self):
+        from repro.viz import render_delay_timeline
+
+        points = self._points()
+        art = render_delay_timeline(points)
+        assert f"{points[-1].delay:,.0f}" in art
+        assert "RECV" in art or "SEND" in art
+
+    def test_collapses_flat_stretches(self):
+        from repro.viz import render_delay_timeline
+
+        points = self._points()
+        art = render_delay_timeline(points, min_increment=1e12)
+        assert "no delay growth" in art
+
+    def test_empty_and_validation(self):
+        from repro.viz import render_delay_timeline
+
+        assert render_delay_timeline([]) == "(no events)"
+        import pytest
+
+        with pytest.raises(ValueError):
+            render_delay_timeline(self._points(), width=3)
