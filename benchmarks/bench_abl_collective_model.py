@@ -10,7 +10,6 @@ models should agree within small factors).
 
 import time
 
-import pytest
 
 from benchmarks._common import emit, table
 from repro.apps import AllreduceIterParams, allreduce_iter
@@ -61,7 +60,16 @@ def test_abl_collective_model(benchmark):
     emit(
         "abl_collective_model",
         table(
-            ["p", "hub edges", "bfly edges", "hub ms", "bfly ms", "hub delay", "bfly delay", "hub/bfly"],
+            [
+                "p",
+                "hub edges",
+                "bfly edges",
+                "hub ms",
+                "bfly ms",
+                "hub delay",
+                "bfly delay",
+                "hub/bfly",
+            ],
             rows,
             widths=[4, 10, 10, 8, 8, 12, 12, 9],
         ),

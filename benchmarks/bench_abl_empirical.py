@@ -20,7 +20,6 @@ in its event timings).
 
 import dataclasses
 
-import pytest
 
 from benchmarks._common import emit, table
 from repro.apps import TokenRingParams, token_ring

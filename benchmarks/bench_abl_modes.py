@@ -7,7 +7,6 @@ and ships both.  This ablation quantifies the gap and exercises the
 reduced-noise (negative delta) extension with its clamping behaviour.
 """
 
-import pytest
 
 from benchmarks._common import emit, table
 from repro.apps import TokenRingParams, token_ring

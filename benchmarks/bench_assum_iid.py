@@ -13,7 +13,6 @@ ping-pong benchmark cannot observe queueing, so the analyzer badly
 under-predicts — exactly the failure mode the paper warns about.
 """
 
-import pytest
 
 from benchmarks._common import emit, table
 from repro.core import PerturbationSpec, build_graph, propagate

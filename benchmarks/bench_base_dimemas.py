@@ -16,7 +16,6 @@ on the same traced run:
 Together the two rows reproduce the complementarity argument of §1.1.
 """
 
-import pytest
 
 from benchmarks._common import emit, table
 from repro.apps import TokenRingParams, token_ring

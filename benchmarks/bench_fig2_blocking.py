@@ -76,7 +76,6 @@ def test_fig2_blocking_pair(benchmark):
     transfer = LAT + D_BYTES * PER_BYTE
     d_ss = res.node_delay[g.node_of(0, 1, Phase.START)]  # δ_os on the gap
     t_ss, t_se = 100.0 + d_ss, 400.0
-    t_rs = 80.0 + res.node_delay[g.node_of(1, 1, Phase.START)]
 
     t_re_model = 420.0 + d_ss + OS + transfer  # Eq. 1 line 2 (+ sender chain delay)
     t_re_measured = 420.0 + res.node_delay[g.node_of(1, 1, Phase.END)]

@@ -10,7 +10,7 @@ import pytest
 
 from benchmarks._common import emit, table
 from repro.core import PerturbationSpec, build_graph, propagate
-from repro.core.graph import DeltaKind, EdgeKind, Phase
+from repro.core.graph import DeltaKind, Phase
 from repro.mpisim import Compute, Irecv, Isend, Wait, run
 from repro.noise import Constant, MachineSignature
 from repro.trace.events import EventKind

@@ -8,11 +8,11 @@ l_δmax, and the slowest-rank-dominates behaviour the paper highlights.
 import pytest
 
 from benchmarks._common import emit, table
+from repro._util import ilog2_ceil
 from repro.core import PerturbationSpec, build_graph, propagate
 from repro.core.graph import Phase
 from repro.mpisim import Allreduce, Compute, Reduce, run
 from repro.noise import Constant, MachineSignature
-from repro._util import ilog2_ceil
 
 OS, LAT = 200.0, 75.0
 

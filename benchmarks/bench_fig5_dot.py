@@ -9,7 +9,6 @@ the DOT source — the figure's artifact.
 
 import re
 
-import pytest
 
 from benchmarks._common import emit
 from repro.core import build_graph, to_dot

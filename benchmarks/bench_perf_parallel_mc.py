@@ -1,0 +1,86 @@
+"""PERF — parallel Monte-Carlo replicate execution.
+
+Measures the serial-vs-parallel speedup of ``monte_carlo(..., jobs=N)``
+(:mod:`repro.core.parallel`) on one built graph, and verifies the
+backend's determinism contract: the parallel distribution must be
+**bit-for-bit identical** to the serial one for the same base seed.
+
+Environment knobs (used by the CI smoke job to keep runtime tiny):
+
+``REPRO_BENCH_MC_REPLICATES``
+    Replicate count per run (default 1000 — the headline configuration).
+``REPRO_BENCH_MC_JOBS``
+    Comma-separated worker counts to ladder over (default ``2,4``).
+
+Speedup depends on the machine (a single-core runner shows ~1x and
+pays fork overhead); equality must hold everywhere, so only equality is
+asserted and the measured speedups are recorded for EXPERIMENTS.md.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from benchmarks._common import emit, table
+from repro.apps import TokenRingParams, token_ring
+from repro.core import PerturbationSpec, build_graph, monte_carlo
+from repro.mpisim import run
+from repro.noise import Exponential, MachineSignature
+
+REPLICATES = int(os.environ.get("REPRO_BENCH_MC_REPLICATES", "1000"))
+JOBS_LADDER = [
+    int(j) for j in os.environ.get("REPRO_BENCH_MC_JOBS", "2,4").split(",") if j.strip()
+]
+
+
+def mc_build():
+    trace = run(token_ring(TokenRingParams(traversals=8)), nprocs=8, seed=0).trace
+    return build_graph(trace)
+
+
+def mc_spec():
+    return PerturbationSpec(
+        MachineSignature(os_noise=Exponential(120.0), latency=Exponential(50.0)), seed=17
+    )
+
+
+def test_parallel_mc_speedup(benchmark):
+    build = mc_build()
+    spec = mc_spec()
+
+    t0 = time.perf_counter()
+    serial = monte_carlo(build, spec, replicates=REPLICATES, jobs=0)
+    t_serial = time.perf_counter() - t0
+
+    rows = [["serial", REPLICATES, f"{t_serial * 1e3:.0f}", "1.00"]]
+    for jobs in JOBS_LADDER:
+        t0 = time.perf_counter()
+        dist = monte_carlo(build, spec, replicates=REPLICATES, jobs=jobs)
+        dt = time.perf_counter() - t0
+        # The determinism contract: identical samples for any backend.
+        assert np.array_equal(serial.samples, dist.samples)
+        assert serial.seeds == dist.seeds
+        rows.append([f"jobs={jobs}", REPLICATES, f"{dt * 1e3:.0f}", f"{t_serial / dt:.2f}"])
+
+    rows.append(["cores", os.cpu_count() or 1, "", ""])
+    emit(
+        "perf_parallel_mc",
+        table(["backend", "replicates", "time ms", "speedup"], rows, widths=[10, 10, 9, 8]),
+    )
+
+    # Time the steady-state parallel op at the widest requested pool.
+    bench_n = max(1, REPLICATES // 10)
+    jobs = JOBS_LADDER[-1] if JOBS_LADDER else 2
+    benchmark(lambda: monte_carlo(build, spec, replicates=bench_n, jobs=jobs))
+
+
+def test_parallel_mc_chunking_equivalence():
+    """Chunk-size choice must never change results, only performance."""
+    build = mc_build()
+    spec = mc_spec()
+    n = min(REPLICATES, 24)
+    reference = monte_carlo(build, spec, replicates=n, jobs=0)
+    for chunk_size in (1, 5, n):
+        dist = monte_carlo(build, spec, replicates=n, jobs=2, chunk_size=chunk_size)
+        assert np.array_equal(reference.samples, dist.samples)

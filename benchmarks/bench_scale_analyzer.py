@@ -8,7 +8,6 @@ the headline number.
 
 import time
 
-import pytest
 
 from benchmarks._common import emit, table
 from repro.apps import TokenRingParams, token_ring

@@ -9,7 +9,6 @@ shape is a tolerance ladder: lockstep ring most sensitive, task farm
 most tolerant.
 """
 
-import pytest
 
 from benchmarks._common import emit, table
 from repro.apps import (

@@ -7,7 +7,6 @@ the perturbed runtime (the §5 random-variable view taken seriously —
 200 independent propagations instead of one).
 """
 
-import pytest
 
 from benchmarks._common import emit, table
 from repro.apps import (

@@ -9,7 +9,6 @@ agreement within small factors (the delta model samples one δ_os per
 local edge while the machine perturbs every processing segment).
 """
 
-import pytest
 
 from benchmarks._common import emit, table
 from repro.apps import (

@@ -22,7 +22,7 @@ from repro.apps import (
     stencil1d,
     token_ring,
 )
-from repro.core import PerturbationSpec, build_graph, sweep_scales
+from repro.core import PerturbationSpec, sweep_scales
 from repro.mpisim import run
 from repro.noise import Exponential, MachineSignature
 from repro.viz import render_ascii

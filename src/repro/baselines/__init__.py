@@ -1,5 +1,5 @@
 """Baseline trace-analysis systems the paper compares against (§1.1)."""
 
-from repro.baselines.dimemas import ReplayParams, ReplayResult, replay
+from repro.baselines.dimemas import ReplayParams, ReplayResult, replay, replay_ladder
 
-__all__ = ["ReplayParams", "ReplayResult", "replay"]
+__all__ = ["ReplayParams", "ReplayResult", "replay", "replay_ladder"]

@@ -28,7 +28,7 @@ at 0 at MPI_Init.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 import numpy as np
@@ -38,7 +38,7 @@ from repro.mpisim.collectives import collective_exits
 from repro.mpisim.network import NetworkModel
 from repro.trace.events import COLLECTIVE_KINDS, EventKind, EventRecord
 
-__all__ = ["ReplayParams", "ReplayResult", "replay"]
+__all__ = ["ReplayParams", "ReplayResult", "replay", "replay_ladder"]
 
 
 @dataclass(frozen=True)
@@ -332,3 +332,25 @@ def replay(trace_set, params: ReplayParams | None = None) -> ReplayResult:
         events = list(trace_set.events_of(rank))
         originals.append(events[-1].t_end - events[0].t_start if events else 0.0)
     return ReplayResult(finish_times=finish, original_finish_times=originals, params=params)
+
+
+def _replay_worker(payload, params: ReplayParams) -> ReplayResult:
+    """Worker body for :func:`replay_ladder`: one target machine."""
+    return replay(payload, params)
+
+
+def replay_ladder(
+    trace_set, params_list: list[ReplayParams], jobs: int | None = 0
+) -> list[ReplayResult]:
+    """Replay one trace under several target machines (a what-if ladder).
+
+    Each point is an independent deterministic replay, so the ladder
+    parallelizes over worker processes exactly like the analyzer's
+    sweeps (``jobs`` convention of :mod:`repro.core.parallel`); results
+    are returned in ``params_list`` order and are identical for any
+    backend.
+    """
+    from repro.core.parallel import resolve_backend
+
+    backend = resolve_backend(jobs)
+    return backend.map(_replay_worker, list(params_list), payload=trace_set)

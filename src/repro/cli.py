@@ -24,7 +24,6 @@ Five entry points mirroring the paper's workflow:
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 
@@ -38,6 +37,7 @@ from repro.core import (
     build_graph,
     check_correctness,
     critical_path,
+    monte_carlo,
     propagate,
     runtime_impact,
     sweep_scales,
@@ -78,6 +78,30 @@ def _parse_params(pairs: list[str]) -> dict:
                 except ValueError:
                     out[key] = value
     return out
+
+
+def _parse_jobs(value: str) -> int | None:
+    """``--jobs`` values: 0 = serial, N >= 2 = pool of N, ``auto`` (or a
+    negative count) = one worker per core (see repro.core.parallel)."""
+    if value.strip().lower() == "auto":
+        return None
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"--jobs expects an integer or 'auto', got {value!r}")
+    return None if jobs < 0 else jobs
+
+
+def _add_jobs_arg(ap: argparse.ArgumentParser) -> None:
+    ap.add_argument(
+        "--jobs",
+        type=_parse_jobs,
+        default=0,
+        metavar="N",
+        help="worker processes for independent traversals: 0 = serial (default), "
+        "N >= 2 = process pool, 'auto'/-1 = one per core; results are "
+        "bit-identical regardless of N",
+    )
 
 
 def _machine(name: str, nprocs: int, seed: int):
@@ -183,6 +207,7 @@ def main_analyze(argv: list[str] | None = None) -> int:
         description="Build the message-passing graph and propagate perturbations.",
     )
     _add_analysis_args(ap)
+    _add_jobs_arg(ap)
     ap.add_argument("--engine", choices=("incore", "streaming"), default="incore")
     ap.add_argument("--window", type=int, default=4096)
     ap.add_argument("--history", help="append the experiment to this history JSONL")
@@ -192,7 +217,16 @@ def main_analyze(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print the critical path's top contributing edges (in-core engine only)",
     )
+    ap.add_argument(
+        "--replicates",
+        type=int,
+        default=0,
+        help="Monte-Carlo replicates for the runtime-delay distribution "
+        "(0 = single propagation only; in-core engine)",
+    )
     args = ap.parse_args(argv)
+    if args.replicates and args.engine != "incore":
+        raise SystemExit("--replicates requires --engine incore")
 
     traces = TraceSet.open(args.traces, args.stem)
     report = validate_traces(traces)
@@ -233,6 +267,15 @@ def main_analyze(argv: list[str] | None = None) -> int:
         print(f"correctness: {correctness.summary()}")
         for w in correctness.warnings:
             print(f"  warning: {w}")
+        if args.replicates:
+            dist = monte_carlo(
+                build, spec, replicates=args.replicates, mode=args.mode, jobs=args.jobs
+            )
+            print(f"monte carlo: {dist.summary()}")
+            print(
+                f"  P(makespan delay > 2x mean) = "
+                f"{dist.exceedance_probability(2 * dist.mean()):.2%}"
+            )
     if args.history:
         rec = ExperimentHistory(args.history).record(args.name, spec, result, config)
         print(f"recorded experiment {rec.name!r} in {args.history}")
@@ -244,6 +287,7 @@ def main_sweep(argv: list[str] | None = None) -> int:
         prog="repro-sweep", description="Noise-scale ladder over one trace set."
     )
     _add_analysis_args(ap)
+    _add_jobs_arg(ap)
     ap.add_argument("--scales", default="0,0.25,0.5,1,2,4", help="comma-separated scale factors")
     ap.add_argument("--engine", choices=("incore", "streaming"), default="incore")
     args = ap.parse_args(argv)
@@ -253,7 +297,13 @@ def main_sweep(argv: list[str] | None = None) -> int:
     spec = PerturbationSpec(sig, seed=args.seed, scale=args.scale)
     scales = [float(s) for s in args.scales.split(",") if s.strip()]
     result = sweep_scales(
-        traces, spec, scales, mode=args.mode, engine=args.engine, config=_build_config(args)
+        traces,
+        spec,
+        scales,
+        mode=args.mode,
+        engine=args.engine,
+        config=_build_config(args),
+        jobs=args.jobs,
     )
     print(result.table())
     try:
@@ -309,19 +359,41 @@ def main_replay(argv: list[str] | None = None) -> int:
     ap.add_argument("--recv-overhead", type=float, default=200.0)
     ap.add_argument("--eager-threshold", type=int, default=8192)
     ap.add_argument("--cpu-factor", type=float, default=1.0)
+    ap.add_argument(
+        "--cpu-factors",
+        help="comma-separated cpu_factor ladder: replay once per factor "
+        "(parallelized by --jobs) and print a what-if table",
+    )
+    _add_jobs_arg(ap)
     args = ap.parse_args(argv)
 
-    from repro.baselines import ReplayParams, replay
+    from repro.baselines import ReplayParams, replay, replay_ladder
 
     traces = TraceSet.open(args.traces, args.stem)
-    params = ReplayParams(
-        latency=args.latency,
-        bandwidth=args.bandwidth,
-        send_overhead=args.send_overhead,
-        recv_overhead=args.recv_overhead,
-        eager_threshold=args.eager_threshold,
-        cpu_factor=args.cpu_factor,
-    )
+
+    def params_for(cpu_factor: float) -> ReplayParams:
+        return ReplayParams(
+            latency=args.latency,
+            bandwidth=args.bandwidth,
+            send_overhead=args.send_overhead,
+            recv_overhead=args.recv_overhead,
+            eager_threshold=args.eager_threshold,
+            cpu_factor=cpu_factor,
+        )
+
+    if args.cpu_factors:
+        factors = [float(f) for f in args.cpu_factors.split(",") if f.strip()]
+        results = replay_ladder(traces, [params_for(f) for f in factors], jobs=args.jobs)
+        print(
+            f"target machine: latency {args.latency:g} cy, bandwidth {args.bandwidth:g} B/cy, "
+            f"{len(factors)}-point cpu-factor ladder"
+        )
+        print(f"{'cpu factor':>11} {'makespan (cy)':>16} {'speedup':>9}")
+        for f, res in zip(factors, results):
+            print(f"{f:>11g} {res.makespan:>16,.0f} {res.speedup:>8.2f}x")
+        return 0
+
+    params = params_for(args.cpu_factor)
     result = replay(traces, params)
     print(
         f"target machine: latency {params.latency:g} cy, bandwidth {params.bandwidth:g} B/cy, "

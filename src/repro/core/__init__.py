@@ -25,8 +25,16 @@ from repro.core.graph import (
 )
 from repro.core.history import ExperimentHistory, ExperimentRecord
 from repro.core.influence import InfluenceMatrix, rank_influence
-from repro.core.montecarlo import DelayDistribution, monte_carlo
 from repro.core.matching import CollectiveGroup, MatchError, MatchResult, match_events
+from repro.core.montecarlo import DelayDistribution, monte_carlo
+from repro.core.parallel import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    map_replicates,
+    replicate_items,
+    resolve_backend,
+)
 from repro.core.perturb import PerturbationSpec
 from repro.core.primitives import BuildConfig
 from repro.core.sweep import SweepPoint, SweepResult, fit_slope, sweep_scales, sweep_signatures
@@ -72,6 +80,12 @@ __all__ = [
     "MatchResult",
     "match_events",
     "PerturbationSpec",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "resolve_backend",
+    "map_replicates",
+    "replicate_items",
     "BuildConfig",
     "SweepPoint",
     "SweepResult",

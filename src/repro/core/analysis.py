@@ -18,7 +18,7 @@ traversal results:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.builder import BuildResult
 from repro.core.graph import DeltaKind, EdgeKind, Phase

@@ -13,8 +13,7 @@ it consumes the same templates without ever materializing the graph.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass
 
 from repro.core.graph import EdgeKind, MessagePassingGraph, Phase
 from repro.core.matching import MatchResult, match_events
@@ -103,13 +102,16 @@ def build_graph(trace_set, config: BuildConfig | None = None) -> BuildResult:
     def add(et: EdgeT) -> None:
         src = resolve(et.src)
         dst = resolve(et.dst)
-        graph.add_edge(src, dst, et.kind, _edge_weight(et, graph, src, dst, config), et.delta, et.label)
+        weight = _edge_weight(et, graph, src, dst, config)
+        graph.add_edge(src, dst, et.kind, weight, et.delta, et.label)
 
     # Straight-line per-rank chains (§2): subevent nodes, intra edges, gaps.
     for rank, events in enumerate(per_rank):
         prev: EventRecord | None = None
         for ev in events:
-            graph.add_node(rank, ev.seq, Phase.START, ev.kind, ev.t_start, label=f"{ev.kind.name}.s")
+            graph.add_node(
+                rank, ev.seq, Phase.START, ev.kind, ev.t_start, label=f"{ev.kind.name}.s"
+            )
             end_id = graph.add_node(
                 rank, ev.seq, Phase.END, ev.kind, ev.t_end, label=f"{ev.kind.name}.e"
             )

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.builder import BuildResult
-from repro.core.graph import EdgeKind, Phase
+from repro.core.graph import Phase
 from repro.core.traversal import TraversalResult
 from repro.trace.events import EventKind
 

@@ -20,8 +20,8 @@ delay (delta) propagation, never for cross-rank time arithmetic (§4.1).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from dataclasses import dataclass
+from typing import Iterator
 
 from repro.trace.events import EventKind
 

@@ -16,8 +16,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.builder import BuildResult
+from repro.core.parallel import map_replicates
 from repro.core.perturb import PerturbationSpec
-from repro.core.traversal import propagate
 from repro.noise.distributions import RandomVariable
 from repro.noise.signature import MachineSignature
 
@@ -70,15 +70,20 @@ def rank_influence(
     noise: RandomVariable,
     seed: int = 0,
     mode: str = "additive",
+    jobs: int | None = 0,
 ) -> InfluenceMatrix:
     """Compute the influence matrix: one propagation per source rank,
-    with ``noise`` as that rank's (only) δ_os distribution."""
+    with ``noise`` as that rank's (only) δ_os distribution.
+
+    The per-source propagations are independent; ``jobs`` fans them out
+    across worker processes (:mod:`repro.core.parallel`) with
+    bit-identical results.
+    """
     p = build.graph.nprocs
-    matrix = np.zeros((p, p))
+    items = []
     for src in range(p):
-        sig = MachineSignature(
-            os_noise_by_rank={src: noise}, name=f"only-rank-{src}"
-        )
-        res = propagate(build, PerturbationSpec(sig, seed=seed), mode=mode)
-        matrix[src, :] = res.final_delay
+        sig = MachineSignature(os_noise_by_rank={src: noise}, name=f"only-rank-{src}")
+        items.append((seed, PerturbationSpec(sig, seed=seed)))
+    rows = map_replicates(build, items, mode=mode, jobs=jobs)
+    matrix = np.array(rows, dtype=float).reshape(p, p)
     return InfluenceMatrix(matrix=matrix, noise_mean=noise.mean())

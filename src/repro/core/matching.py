@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.trace.events import (
     COLLECTIVE_KINDS,

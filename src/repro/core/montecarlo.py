@@ -19,8 +19,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.builder import BuildResult
+from repro.core.parallel import map_replicates, replicate_items
 from repro.core.perturb import PerturbationSpec
-from repro.core.traversal import propagate
 
 __all__ = ["DelayDistribution", "monte_carlo"]
 
@@ -34,7 +34,18 @@ class DelayDistribution:
     """
 
     samples: np.ndarray
-    seeds: tuple
+    seeds: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.samples.ndim != 2:
+            raise ValueError(
+                f"samples must be 2-D (replicates, nprocs), got shape {self.samples.shape}"
+            )
+        if self.samples.shape[0] != len(self.seeds):
+            raise ValueError(
+                f"samples rows ({self.samples.shape[0]}) must match "
+                f"seeds ({len(self.seeds)})"
+            )
 
     @property
     def replicates(self) -> int:
@@ -82,19 +93,20 @@ def monte_carlo(
     spec: PerturbationSpec,
     replicates: int = 100,
     mode: str = "additive",
+    jobs: int | None = 0,
+    chunk_size: int | None = None,
 ) -> DelayDistribution:
     """Propagate ``replicates`` independent perturbation samples.
 
     Replicate ``i`` uses seed ``spec.seed + i`` (every edge re-sampled
     independently across replicates, identically within one).
+
+    ``jobs`` fans replicates out across worker processes
+    (:mod:`repro.core.parallel`): 0 = serial, None = one per core,
+    N >= 2 = a pool of N.  Results are bit-identical across backends
+    because every replicate carries its own seed.
     """
-    if replicates < 1:
-        raise ValueError(f"replicates must be >= 1, got {replicates}")
-    rows = []
-    seeds = []
-    for i in range(replicates):
-        seed = spec.seed + i
-        seeds.append(seed)
-        res = propagate(build, PerturbationSpec(spec.signature, seed=seed, scale=spec.scale), mode)
-        rows.append(res.final_delay)
-    return DelayDistribution(samples=np.array(rows, dtype=float), seeds=tuple(seeds))
+    items = replicate_items(spec, replicates)
+    rows = map_replicates(build, items, mode=mode, jobs=jobs, chunk_size=chunk_size)
+    seeds = tuple(seed for seed, _ in items)
+    return DelayDistribution(samples=np.array(rows, dtype=float), seeds=seeds)

@@ -1,0 +1,243 @@
+"""Parallel execution backends for independent graph traversals.
+
+Every expensive analysis in this package — :func:`~repro.core.montecarlo.
+monte_carlo` replicates, :func:`~repro.core.sweep.sweep_scales` /
+:func:`~repro.core.sweep.sweep_signatures` points, and
+:func:`~repro.core.influence.rank_influence` rows — is a set of
+*independent* propagations over one shared :class:`~repro.core.builder.
+BuildResult`.  The paper's §5–§6 methodology makes them embarrassingly
+parallel: deterministic per-edge sampling means replicate ``i`` depends
+only on ``(base_seed + i, signature, scale)``, never on any other
+replicate's state.
+
+This module turns that independence into wall-clock speedup without
+giving up reproducibility:
+
+* :class:`SerialBackend` — the in-process reference executor.
+* :class:`ProcessPoolBackend` — fans work items out over a
+  ``concurrent.futures.ProcessPoolExecutor``.  The shared payload (the
+  built graph) is shipped to each worker **once** via the pool
+  initializer, and items are submitted in chunks so per-task pickling
+  overhead is amortized.  If process pools are unavailable on the
+  platform (restricted environments, missing ``_multiprocessing``,
+  sandboxed interpreters), it degrades to serial execution with a
+  :class:`RuntimeWarning` instead of failing.
+
+**Determinism guarantee:** a backend only changes *where* each item
+runs, never *what* it computes.  Each work item carries its own explicit
+seed, so parallel results are bit-for-bit identical to serial results
+for the same ``base_seed`` — verified by tests and by
+``benchmarks/bench_perf_parallel_mc.py``.
+
+The ``jobs`` convention (mirrored by the ``--jobs`` CLI flag):
+
+``jobs=0`` (default)
+    Serial, in-process — no pool is ever created.
+``jobs=1``
+    Also serial: a one-worker pool would add pickling cost for nothing.
+``jobs=None``
+    Auto: one worker per ``os.cpu_count()`` core.
+``jobs >= 2``
+    A pool with exactly that many workers.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, Sequence
+
+from repro.core.builder import BuildResult
+from repro.core.perturb import PerturbationSpec
+from repro.core.traversal import propagate
+
+__all__ = [
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "chunked",
+    "default_chunk_size",
+    "map_replicates",
+    "replicate_items",
+    "resolve_backend",
+]
+
+# Exceptions that mean "this platform cannot run a process pool" (as
+# opposed to a bug in the mapped function, which must propagate).
+_POOL_UNAVAILABLE = (NotImplementedError, ImportError, OSError, PermissionError)
+
+
+# ---------------------------------------------------------------------------
+# Worker-process plumbing
+# ---------------------------------------------------------------------------
+
+# Per-worker shared payload, installed once by the pool initializer so the
+# (potentially large) BuildResult is pickled once per worker instead of
+# once per chunk.
+_WORKER_PAYLOAD: dict = {}
+
+
+def _worker_init(payload) -> None:
+    _WORKER_PAYLOAD["payload"] = payload
+
+
+def _worker_run_chunk(args: tuple) -> list:
+    fn, chunk = args
+    payload = _WORKER_PAYLOAD.get("payload")
+    return [fn(payload, item) for item in chunk]
+
+
+# ---------------------------------------------------------------------------
+# Chunking
+# ---------------------------------------------------------------------------
+
+
+def chunked(items: Sequence, size: int) -> list[list]:
+    """Split ``items`` into consecutive chunks of at most ``size``.
+
+    Order is preserved (concatenating the chunks reproduces ``items``),
+    which is what lets backends return results in submission order.
+    """
+    if size < 1:
+        raise ValueError(f"chunk size must be >= 1, got {size}")
+    items = list(items)
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
+def default_chunk_size(n_items: int, jobs: int) -> int:
+    """Aim for ~4 chunks per worker: large enough to amortize pickling,
+    small enough that a straggler chunk cannot idle the rest of the pool
+    for long.  Degenerates to one-item chunks when ``n_items < jobs``."""
+    if n_items <= 0:
+        return 1
+    return max(1, math.ceil(n_items / (4 * max(1, jobs))))
+
+
+# ---------------------------------------------------------------------------
+# Backends
+# ---------------------------------------------------------------------------
+
+
+class ExecutionBackend:
+    """Maps a pure function over independent work items.
+
+    ``fn`` must be a module-level callable (picklable by reference) of
+    the form ``fn(payload, item) -> result``; ``payload`` is shared
+    state (typically the :class:`BuildResult`) shipped to workers once.
+    Results are returned in item order regardless of execution order.
+    """
+
+    jobs: int = 0
+
+    def map(self, fn: Callable, items: Iterable, payload=None) -> list:
+        raise NotImplementedError
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process reference executor (``jobs=0``/``jobs=1``)."""
+
+    jobs = 0
+
+    def map(self, fn: Callable, items: Iterable, payload=None) -> list:
+        return [fn(payload, item) for item in items]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "SerialBackend()"
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Chunked fan-out over a ``ProcessPoolExecutor``.
+
+    Parameters
+    ----------
+    jobs:
+        Worker count (>= 2; use :func:`resolve_backend` for the
+        ``0/1/None`` conveniences).
+    chunk_size:
+        Items per submitted task; defaults to
+        :func:`default_chunk_size`.
+    """
+
+    def __init__(self, jobs: int, chunk_size: int | None = None):
+        if jobs < 2:
+            raise ValueError(f"ProcessPoolBackend needs jobs >= 2, got {jobs}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.jobs = jobs
+        self.chunk_size = chunk_size
+
+    def map(self, fn: Callable, items: Iterable, payload=None) -> list:
+        items = list(items)
+        if not items:
+            return []
+        size = self.chunk_size or default_chunk_size(len(items), self.jobs)
+        chunks = chunked(items, size)
+        workers = min(self.jobs, len(chunks))
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers, initializer=_worker_init, initargs=(payload,)
+            ) as pool:
+                parts = list(pool.map(_worker_run_chunk, [(fn, c) for c in chunks]))
+        except (BrokenProcessPool,) + _POOL_UNAVAILABLE as exc:
+            warnings.warn(
+                f"process pool unavailable ({exc!r}); falling back to serial execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return SerialBackend().map(fn, items, payload)
+        return [result for part in parts for result in part]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProcessPoolBackend(jobs={self.jobs}, chunk_size={self.chunk_size})"
+
+
+def resolve_backend(jobs: int | None = 0, chunk_size: int | None = None) -> ExecutionBackend:
+    """Select a backend from the ``jobs`` convention (module docstring)."""
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0 or None, got {jobs}")
+    if jobs <= 1:
+        return SerialBackend()
+    return ProcessPoolBackend(jobs, chunk_size)
+
+
+# ---------------------------------------------------------------------------
+# Replicate mapping (the Monte-Carlo / influence work-item shape)
+# ---------------------------------------------------------------------------
+
+
+def replicate_items(spec: PerturbationSpec, replicates: int) -> list[tuple[int, PerturbationSpec]]:
+    """The §5 replicate schedule: item ``i`` is ``(spec.seed + i, spec)``."""
+    if replicates < 1:
+        raise ValueError(f"replicates must be >= 1, got {replicates}")
+    return [(spec.seed + i, spec) for i in range(replicates)]
+
+
+def _propagate_item(payload, item: tuple[int, PerturbationSpec]) -> list[float]:
+    """Worker body: one replicate's propagation, identified by its seed."""
+    build, mode = payload
+    seed, spec = item
+    res = propagate(build, PerturbationSpec(spec.signature, seed=seed, scale=spec.scale), mode)
+    return res.final_delay
+
+
+def map_replicates(
+    build: BuildResult,
+    items: Sequence[tuple[int, PerturbationSpec]],
+    mode: str = "additive",
+    jobs: int | None = 0,
+    chunk_size: int | None = None,
+) -> list[list[float]]:
+    """Propagate every ``(seed, spec)`` item over ``build``, returning
+    per-item ``final_delay`` rows in item order.
+
+    The workhorse behind ``monte_carlo(..., jobs=)`` and
+    ``rank_influence(..., jobs=)``; results are independent of the
+    backend choice (see module docstring).
+    """
+    backend = resolve_backend(jobs, chunk_size)
+    return backend.map(_propagate_item, items, payload=(build, mode))

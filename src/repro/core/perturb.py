@@ -23,7 +23,7 @@ zero to preserve ordering (§4.3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

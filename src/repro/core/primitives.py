@@ -41,7 +41,6 @@ Template catalogue:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
 from repro._util import ilog2_ceil
 from repro.core.graph import DeltaKind, DeltaSpec, EdgeKind, NO_DELTA, Phase
@@ -144,7 +143,9 @@ class BuildConfig:
 
     def __post_init__(self) -> None:
         if self.collective_mode not in ("hub", "butterfly"):
-            raise ValueError(f"collective_mode must be 'hub' or 'butterfly', got {self.collective_mode!r}")
+            raise ValueError(
+                f"collective_mode must be 'hub' or 'butterfly', got {self.collective_mode!r}"
+            )
         if self.eager_threshold is not None and self.eager_threshold < 0:
             raise ValueError("eager_threshold must be >= 0 or None")
 

@@ -12,11 +12,12 @@ can tolerate before significant performance degradation occurs", §5).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Sequence
 
 import numpy as np
 
 from repro.core.builder import BuildResult, build_graph
+from repro.core.parallel import resolve_backend
 from repro.core.perturb import PerturbationSpec
 from repro.core.primitives import BuildConfig
 from repro.core.traversal import (
@@ -37,7 +38,7 @@ class SweepPoint:
 
     label: str
     x: float
-    delays: tuple
+    delays: tuple[float, ...]
     mode: str
 
     @property
@@ -111,6 +112,32 @@ def _run_one(
     raise ValueError(f"engine must be 'incore' or 'streaming', got {engine!r}")
 
 
+def _sweep_worker(payload, spec: PerturbationSpec) -> list[float]:
+    """Worker body for parallel sweeps: one point's final delays.
+
+    ``carrier`` is the built graph (in-core engine) or the trace set
+    (streaming engine) — whichever the engine traverses.
+    """
+    engine, carrier, mode, config = payload
+    if engine == "incore":
+        return propagate(carrier, spec, mode=mode).final_delay
+    return StreamingTraversal(spec, config=config, mode=mode).run(carrier).final_delay
+
+
+def _map_points(
+    specs: Sequence[PerturbationSpec],
+    trace_set,
+    build: BuildResult | None,
+    mode: str,
+    engine: str,
+    config: BuildConfig,
+    jobs: int | None,
+) -> list[list[float]]:
+    backend = resolve_backend(jobs)
+    carrier = build if engine == "incore" else trace_set
+    return backend.map(_sweep_worker, specs, payload=(engine, carrier, mode, config))
+
+
 def sweep_scales(
     trace_set,
     spec: PerturbationSpec,
@@ -118,15 +145,36 @@ def sweep_scales(
     mode: str = "additive",
     engine: str = "incore",
     config: BuildConfig | None = None,
+    jobs: int | None = 0,
 ) -> SweepResult:
     """Run the traversal once per global scale factor.
 
     The graph is built (or matched) once; only delta sampling changes
     between points, so the sweep isolates the noise response.
+
+    ``jobs >= 2`` (or None = auto) fans the points out across worker
+    processes (:mod:`repro.core.parallel`); deterministic sampling makes
+    the results bit-identical to the serial sweep.
     """
     config = config or BuildConfig()
     build = build_graph(trace_set, config) if engine == "incore" else None
     result = SweepResult()
+    backend = resolve_backend(jobs)
+    if backend.jobs >= 2:
+        # One full propagation per point — identical results to the
+        # presampled fast path (deterministic sampling), run anywhere.
+        specs = [
+            PerturbationSpec(spec.signature, spec.seed, spec.scale * s)
+            if engine == "incore"
+            else spec.scaled(s)
+            for s in scales
+        ]
+        rows = _map_points(specs, trace_set, build, mode, engine, config, jobs)
+        for s, delays in zip(scales, rows):
+            result.points.append(
+                SweepPoint(label=f"scale={s:g}", x=float(s), delays=tuple(delays), mode=mode)
+            )
+        return result
     raw = sample_edge_deltas(build, spec) if engine == "incore" else None
     for s in scales:
         if engine == "incore":
@@ -149,22 +197,29 @@ def sweep_signatures(
     mode: str = "additive",
     engine: str = "incore",
     config: BuildConfig | None = None,
+    jobs: int | None = 0,
 ) -> SweepResult:
     """Run the traversal once per machine signature (platform ladder).
 
     ``xs`` supplies the numeric sweep coordinate per signature (e.g.
-    mean noise in cycles); defaults to the signature index.
+    mean noise in cycles); defaults to the signature index.  ``jobs``
+    parallelizes the ladder exactly as in :func:`sweep_scales`.
     """
     config = config or BuildConfig()
     if xs is not None and len(xs) != len(signatures):
         raise ValueError("xs must align with signatures")
     build = build_graph(trace_set, config) if engine == "incore" else None
     result = SweepResult()
-    for i, sig in enumerate(signatures):
-        spec = PerturbationSpec(sig, seed=seed)
-        tr = _run_one(trace_set, build, spec, mode, engine, config)
+    specs = [PerturbationSpec(sig, seed=seed) for sig in signatures]
+    backend = resolve_backend(jobs)
+    if backend.jobs >= 2:
+        rows = [tuple(r) for r in _map_points(specs, trace_set, build, mode, engine, config, jobs)]
+    else:
+        rows = [
+            tuple(_run_one(trace_set, build, spec, mode, engine, config).final_delay)
+            for spec in specs
+        ]
+    for i, (sig, delays) in enumerate(zip(signatures, rows)):
         x = float(xs[i]) if xs is not None else float(i)
-        result.points.append(
-            SweepPoint(label=sig.name, x=x, delays=tuple(tr.final_delay), mode=mode)
-        )
+        result.points.append(SweepPoint(label=sig.name, x=x, delays=delays, mode=mode))
     return result

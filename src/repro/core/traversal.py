@@ -36,20 +36,12 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
+from repro.core import primitives as _prim
 from repro.core.builder import BuildResult
-from repro.core.graph import DeltaKind, EdgeKind, MessagePassingGraph, Phase
+from repro.core.graph import DeltaKind, DeltaSpec, EdgeKind, MessagePassingGraph, Phase
 from repro.core.matching import CollectiveGroup, MatchError
 from repro.core.perturb import PerturbationSpec
-from repro.core.primitives import (
-    BuildConfig,
-    EdgeT,
-    collective_edges,
-    gap_edge,
-    intra_event_edge,
-    sub,
-)
-from repro.core import primitives as _prim
-from repro.core.graph import DeltaSpec
+from repro.core.primitives import BuildConfig, collective_edges, gap_edge, intra_event_edge, sub
 from repro.trace.events import COLLECTIVE_KINDS, EventKind, EventRecord
 
 __all__ = [
@@ -497,7 +489,9 @@ class StreamingTraversal:
                     )
                     window *= 2
                     continue
-                blocked = [f"rank {r}: waiting on {needs[r]!r}" for r in range(nprocs) if not done[r]]
+                blocked = [
+                    f"rank {r}: waiting on {needs[r]!r}" for r in range(nprocs) if not done[r]
+                ]
                 raise MatchError("streaming traversal stalled:\n" + "\n".join(blocked))
 
         return TraversalResult(

@@ -10,7 +10,6 @@ virtual cycles and bytes/cycle.
 
 from __future__ import annotations
 
-from repro.mpisim.clock import random_clocks
 from repro.mpisim.network import NetworkModel
 from repro.mpisim.runtime import Machine
 from repro.noise.distributions import Exponential, LogNormal, Pareto, Uniform

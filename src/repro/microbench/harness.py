@@ -19,7 +19,7 @@ from repro.microbench.ftq import FTQResult, run_ftq
 from repro.microbench.mraz import MrazResult, run_mraz
 from repro.microbench.pingpong import PingPongResult, run_pingpong
 from repro.mpisim.runtime import Machine
-from repro.noise.distributions import Constant, RandomVariable, ZERO
+from repro.noise.distributions import RandomVariable, ZERO
 from repro.noise.empirical import Empirical
 from repro.noise.fitting import fit_best
 from repro.noise.models import NO_NOISE

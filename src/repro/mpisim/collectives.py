@@ -218,7 +218,9 @@ def collective_exits(
             net_rng,
         )
     if kind == EventKind.BCAST:
-        return _binomial_down(entries, root, lambda child: nbytes, network, noise_delay, rngs, net_rng)
+        return _binomial_down(
+            entries, root, lambda child: nbytes, network, noise_delay, rngs, net_rng
+        )
     if kind == EventKind.SCATTER:
 
         def subtree(child: int) -> int:
@@ -227,7 +229,9 @@ def collective_exits(
 
         return _binomial_down(entries, root, subtree, network, noise_delay, rngs, net_rng)
     if kind == EventKind.REDUCE:
-        return _binomial_up(entries, root, lambda child: nbytes, network, noise_delay, rngs, net_rng)
+        return _binomial_up(
+            entries, root, lambda child: nbytes, network, noise_delay, rngs, net_rng
+        )
     if kind == EventKind.GATHER:
 
         def subtree_up(child: int) -> int:

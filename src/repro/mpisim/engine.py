@@ -291,7 +291,13 @@ class Engine:
 
             pair = self._matcher.add_message(
                 SimMessage(
-                    rank, op.dest, op.tag, op.nbytes, sync=True, ready=ready, on_send_end=on_send_end
+                    rank,
+                    op.dest,
+                    op.tag,
+                    op.nbytes,
+                    sync=True,
+                    ready=ready,
+                    on_send_end=on_send_end,
                 )
             )
             if pair:
@@ -402,7 +408,9 @@ class Engine:
             self._patch(token, peer=msg.src, tag=msg.tag, nbytes=msg.nbytes)
 
         pair = self._matcher.add_recv(
-            PostedRecv(dst=rank, source=op.source, tag=op.tag, ready=call_end, on_complete=on_complete)
+            PostedRecv(
+                dst=rank, source=op.source, tag=op.tag, ready=call_end, on_complete=on_complete
+            )
         )
         self._resume(rank, req, call_end)
         if pair:

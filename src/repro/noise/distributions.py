@@ -22,7 +22,7 @@ perturbation specs can be compared and stored in experiment histories.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Protocol, Sequence, runtime_checkable
 
 import numpy as np

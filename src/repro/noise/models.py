@@ -22,13 +22,13 @@ what the FTQ benchmark is designed to detect.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
 from repro._util import check_nonnegative, check_positive
-from repro.noise.distributions import Constant, RandomVariable
+from repro.noise.distributions import RandomVariable
 
 __all__ = [
     "NoiseModel",

@@ -64,7 +64,11 @@ def to_jsonable(obj: Any) -> dict:
             "phase": obj.phase,
         }
     if t is m.DistributionNoise:
-        return {"kind": "distribution_noise", "dist": to_jsonable(obj.dist), "per_cycle": obj.per_cycle}
+        return {
+            "kind": "distribution_noise",
+            "dist": to_jsonable(obj.dist),
+            "per_cycle": obj.per_cycle,
+        }
     if t is m.CompositeNoise:
         return {"kind": "composite_noise", "parts": [to_jsonable(p) for p in obj.parts]}
     raise TypeError(f"cannot serialize object of type {t.__name__}")

@@ -28,7 +28,7 @@ from typing import Mapping
 
 import numpy as np
 
-from repro.noise.distributions import Constant, RandomVariable, ZERO
+from repro.noise.distributions import RandomVariable, ZERO
 from repro.noise.serialize import from_jsonable, to_jsonable
 
 __all__ = ["MachineSignature"]

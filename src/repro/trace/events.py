@@ -30,7 +30,7 @@ single-node bookkeeping calls (INIT/FINALIZE).  Matching metadata:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterable
 
 __all__ = [
@@ -201,7 +201,11 @@ class EventRecord:
 
     def describe(self) -> str:
         """One-line human-readable rendering (CLI / debugging)."""
-        bits = [f"r{self.rank}#{self.seq}", self.kind.name, f"[{self.t_start:.0f},{self.t_end:.0f}]"]
+        bits = [
+            f"r{self.rank}#{self.seq}",
+            self.kind.name,
+            f"[{self.t_start:.0f},{self.t_end:.0f}]",
+        ]
         if self.kind.is_pairwise:
             bits.append(f"peer={self.peer} tag={self.tag} {self.nbytes}B")
         if self.kind in NONBLOCKING_KINDS:

@@ -9,12 +9,12 @@ substitute workload against when standing in for a proprietary trace.
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
-from dataclasses import dataclass, field
+from collections import Counter
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.trace.events import COLLECTIVE_KINDS, EventKind, EventRecord
+from repro.trace.events import EventKind, EventRecord
 
 __all__ = ["RankStats", "TraceStats", "trace_stats"]
 

@@ -14,7 +14,7 @@ precise diagnostics instead of mysterious matching failures:
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.trace.events import (

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.trace.events import EventKind, EventRecord
+from repro.trace.events import EventRecord
 
 __all__ = ["PhaseSegment", "phases", "render_ascii"]
 

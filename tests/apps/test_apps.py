@@ -134,7 +134,6 @@ class TestButterfly:
     def test_power_of_two_enforced(self):
         import pytest
 
-        from repro.mpisim import SimError
 
         with pytest.raises((ValueError, RuntimeError)):
             run(butterfly_allreduce(ButterflyParams(iterations=1)), nprocs=6, seed=0)

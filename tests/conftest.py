@@ -20,8 +20,6 @@ from repro.mpisim import (
     Compute,
     Irecv,
     Isend,
-    Machine,
-    NetworkModel,
     RankInfo,
     Recv,
     Reduce,

@@ -2,6 +2,12 @@
 
 import pytest
 
+from repro.apps import (
+    MasterWorkerParams,
+    TokenRingParams,
+    master_worker,
+    token_ring,
+)
 from repro.core import (
     PerturbationSpec,
     StreamingTraversal,
@@ -10,12 +16,6 @@ from repro.core import (
     critical_path,
     propagate,
     runtime_impact,
-)
-from repro.apps import (
-    MasterWorkerParams,
-    TokenRingParams,
-    master_worker,
-    token_ring,
 )
 from repro.mpisim import run
 from repro.noise import Constant, MachineSignature

@@ -5,7 +5,7 @@ import math
 import pytest
 
 from repro.core.builder import build_graph
-from repro.core.graph import DeltaKind, EdgeKind, Phase
+from repro.core.graph import DeltaKind, Phase
 from repro.core.primitives import BuildConfig
 from repro.mpisim import Compute, Machine, Recv, Send, run
 from repro.trace.events import EventKind

@@ -2,13 +2,7 @@
 
 import pytest
 
-from repro.core import (
-    BuildConfig,
-    ExperimentHistory,
-    PerturbationSpec,
-    build_graph,
-    propagate,
-)
+from repro.core import ExperimentHistory, PerturbationSpec, build_graph, propagate
 from repro.noise import Constant, Exponential, MachineSignature
 
 
@@ -67,7 +61,7 @@ class TestReplay:
         _, s = spec(seed=11, scale=1.5)
         build = build_graph(ring_trace)
         res = propagate(build, s)
-        rec = history.record("replayable", s, res)
+        history.record("replayable", s, res)
 
         # New history object reading the same file (cold start).
         later = ExperimentHistory(history.path)

@@ -5,9 +5,7 @@ the extension draws one sample per measurement quantum of observed edge
 duration (DESIGN.md §4, ablated in ABL3).
 """
 
-import dataclasses
 
-import numpy as np
 import pytest
 
 from repro.core import PerturbationSpec, build_graph, propagate

@@ -152,8 +152,14 @@ class TestNonblockingTransfer:
 
     def test_sendrecv_ack_restarts_at_start(self):
         """Mutual sendrecv must not create END-END cycles."""
-        a = ev(0, 1, EventKind.SENDRECV, peer=1, tag=0, nbytes=32, recv_peer=1, recv_tag=0, recv_nbytes=32)
-        b = ev(1, 1, EventKind.SENDRECV, peer=0, tag=0, nbytes=32, recv_peer=0, recv_tag=0, recv_nbytes=32)
+        a = ev(
+            0, 1, EventKind.SENDRECV,
+            peer=1, tag=0, nbytes=32, recv_peer=1, recv_tag=0, recv_nbytes=32,
+        )
+        b = ev(
+            1, 1, EventKind.SENDRECV,
+            peer=0, tag=0, nbytes=32, recv_peer=0, recv_tag=0, recv_nbytes=32,
+        )
         edges = transfer_edges(a, b, None, None, CFG, chan_index=0)
         ack = [e for e in edges if e.delta.kind == DeltaKind.ROUNDTRIP][0]
         assert ack.src == sub(1, 1, Phase.START)
@@ -161,7 +167,11 @@ class TestNonblockingTransfer:
 
 def group(kind, p, root=-1, nbytes=0, ordinal=0):
     return CollectiveGroup(
-        ordinal=ordinal, kind=kind, root=root, nbytes=nbytes, members=tuple((r, 3) for r in range(p))
+        ordinal=ordinal,
+        kind=kind,
+        root=root,
+        nbytes=nbytes,
+        members=tuple((r, 3) for r in range(p)),
     )
 
 

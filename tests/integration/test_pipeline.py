@@ -36,7 +36,7 @@ from tests.conftest import assert_engines_agree
 def test_full_file_based_pipeline(tmp_path, binary):
     """The complete paper workflow over on-disk traces."""
     machine = quiet_cluster(4, seed=0)
-    result = run_to_files(
+    run_to_files(
         token_ring(TokenRingParams(traversals=3)),
         tmp_path,
         "ring",

@@ -1,13 +1,12 @@
 """Property tests over random valid runs: file round trips and
 pipeline invariants that must hold for ANY simulator-producible trace."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.mpisim import Machine, run
-from repro.mpisim.tracing import FileCollector
+from repro.mpisim import run
 from repro.mpisim.engine import Engine
+from repro.mpisim.tracing import FileCollector
 from repro.trace.reader import TraceSet
 from repro.trace.stats import trace_stats
 from repro.trace.validate import validate_traces
@@ -29,7 +28,9 @@ _plans = st.lists(_round, min_size=1, max_size=4)
 
 
 @given(plan=_plans, p=st.integers(2, 4), binary=st.booleans())
-@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@settings(
+    max_examples=20, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture]
+)
 def test_file_round_trip_property(plan, p, binary, tmp_path_factory):
     """Trace files round-trip every event of any run bit-exactly, in
     both codecs."""

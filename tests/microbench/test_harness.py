@@ -7,17 +7,11 @@ magnitude when fed to the analyzer.
 
 import pytest
 
+from repro.apps import TokenRingParams, token_ring
 from repro.core import PerturbationSpec, build_graph, propagate
 from repro.microbench import measure_machine
 from repro.mpisim import Machine, NetworkModel, run
-from repro.noise import (
-    Constant,
-    DistributionNoise,
-    Empirical,
-    Exponential,
-    MachineSignature,
-)
-from repro.apps import TokenRingParams, token_ring
+from repro.noise import DistributionNoise, Empirical, Exponential
 
 NET = NetworkModel(latency=800.0, bandwidth=4.0, send_overhead=100.0, recv_overhead=100.0)
 

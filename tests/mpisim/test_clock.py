@@ -1,6 +1,5 @@
 """Tests for per-rank local clocks (§4.1 motivation)."""
 
-import numpy as np
 import pytest
 
 from repro.mpisim.clock import LocalClock, perfect_clocks, random_clocks

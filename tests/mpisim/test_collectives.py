@@ -22,7 +22,9 @@ def no_noise(rank, rng, t, duration):
 def exits(kind, entries, root=0, nbytes=0, noise=no_noise, net=NET):
     p = len(entries)
     rngs = [np.random.default_rng(i) for i in range(p)]
-    return collective_exits(kind, entries, root, nbytes, net, noise, rngs, np.random.default_rng(99))
+    return collective_exits(
+        kind, entries, root, nbytes, net, noise, rngs, np.random.default_rng(99)
+    )
 
 
 class TestTreeHelpers:

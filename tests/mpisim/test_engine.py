@@ -393,7 +393,6 @@ class TestDeterminismAndNoise:
             yield Compute(10_000.0)
             yield Barrier()
 
-        noise = (DistributionNoise(Constant(5_000.0)), *(Constant and [] or []))
         m = Machine(
             nprocs=2,
             network=NET,

@@ -1,14 +1,11 @@
 """Edge-case behaviour of the simulation engine."""
 
-import pytest
 
 from repro.mpisim import (
     Allreduce,
     Barrier,
     Bcast,
     Compute,
-    Machine,
-    NetworkModel,
     Recv,
     ReduceScatter,
     Scan,

@@ -1,6 +1,5 @@
 """Tests for the runtime message matcher."""
 
-import pytest
 
 from repro.mpisim.api import ANY_SOURCE, ANY_TAG
 from repro.mpisim.matching import Matcher, PostedRecv, SimMessage

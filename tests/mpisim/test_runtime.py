@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.mpisim import Compute, LocalClock, Machine, NetworkModel, Recv, Send, run, run_to_files
+from repro.mpisim import Compute, LocalClock, Machine, Recv, Send, run, run_to_files
 from repro.noise import Constant, DistributionNoise
-from repro.trace.events import EventKind
 from repro.trace.reader import MemoryTrace, TraceSet
 from repro.trace.validate import validate_traces
 

@@ -18,8 +18,6 @@ from repro.noise.distributions import (
     Normal,
     Pareto,
     RandomVariable,
-    Scaled,
-    Shifted,
     TruncatedNormal,
     Uniform,
 )

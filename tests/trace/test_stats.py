@@ -1,6 +1,5 @@
 """Tests for trace statistics."""
 
-import numpy as np
 import pytest
 
 from repro.apps import TokenRingParams, token_ring

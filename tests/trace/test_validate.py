@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.mpisim import Compute, Recv, Send, run
 from repro.trace.events import EventKind, EventRecord
 from repro.trace.reader import MemoryTrace
 from repro.trace.validate import validate_traces
