@@ -25,6 +25,8 @@ def test_abl_collective_model(benchmark):
 
     rows = []
     bfly_build_16 = None
+    timings = {}
+    gaps = {}
     for p in (4, 8, 16, 32):
         trace = run(allreduce_iter(prog_params), nprocs=p, seed=0).trace
 
@@ -41,6 +43,9 @@ def test_abl_collective_model(benchmark):
             bfly_build_16 = bfly_build
 
         gap = hub_res.max_delay / bfly_res.max_delay
+        timings[f"hub_p{p}_s"] = t_hub
+        timings[f"bfly_p{p}_s"] = t_bfly
+        gaps[str(p)] = gap
         rows.append(
             [
                 p,
@@ -73,6 +78,13 @@ def test_abl_collective_model(benchmark):
             rows,
             widths=[4, 10, 10, 8, 8, 12, 12, 9],
         ),
+        params={"procs": [4, 8, 16, 32], "iterations": 8},
+        timings=timings,
+        metrics={
+            "hub_over_bfly_delay": gaps,
+            "hub_edges_by_p": {str(r[0]): r[1] for r in rows},
+            "bfly_edges_by_p": {str(r[0]): r[2] for r in rows},
+        },
     )
 
     # Edge growth shape: hub is O(p) per collective, butterfly O(p log p).

@@ -19,7 +19,7 @@ in its event timings).
 """
 
 import dataclasses
-
+import time
 
 from benchmarks._common import emit, table
 from repro.apps import TokenRingParams, token_ring
@@ -58,6 +58,7 @@ def test_abl_empirical_vs_fitted(benchmark):
 
     rows = []
     results = {}
+    t0 = time.perf_counter()
     for method in ("empirical", "fit"):
         for scaling in ("per-edge", "interval"):
             sig = report.to_signature(method=method)
@@ -75,6 +76,12 @@ def test_abl_empirical_vs_fitted(benchmark):
         f"machine: {report.summary()}\n\n"
         + table(["parameterization", "os scaling", "predicted delay", "pred/actual"], rows,
                 widths=[16, 10, 16, 12]),
+        params={"nprocs": p, "traversals": 6},
+        timings={"predictions_s": time.perf_counter() - t0},
+        metrics={
+            "actual_delay": actual,
+            "predicted": {f"{m}/{s}": v for (m, s), v in results.items()},
+        },
     )
 
     # Empirical and fitted agree with each other (same measured samples).

@@ -7,6 +7,7 @@ and ships both.  This ablation quantifies the gap and exercises the
 reduced-noise (negative delta) extension with its clamping behaviour.
 """
 
+import time
 
 from benchmarks._common import emit, table
 from repro.apps import TokenRingParams, token_ring
@@ -21,10 +22,13 @@ def test_abl_modes(benchmark):
     sig = MachineSignature(os_noise=Exponential(200.0), latency=Exponential(80.0))
 
     rows = []
+    thr_over_add = {}
+    t0 = time.perf_counter()
     for scale in (0.25, 1.0, 4.0):
         spec = PerturbationSpec(sig, seed=3, scale=scale)
         add = propagate(build, spec, mode="additive")
         thr = propagate(build, spec, mode="threshold")
+        thr_over_add[str(scale)] = thr.max_delay / add.max_delay
         rows.append(
             [
                 scale,
@@ -60,7 +64,16 @@ def test_abl_modes(benchmark):
     # Speedups saturate: scaling -1 → -4 cannot shrink intervals past zero,
     # so the gain grows sublinearly and the clamp count rises.
     assert neg_rows[2][2] > neg_rows[0][2]
-    emit("abl_modes", out)
+    emit(
+        "abl_modes",
+        out,
+        params={"nprocs": 8, "traversals": 6, "scales": [0.25, 1.0, 4.0]},
+        timings={"ablation_s": time.perf_counter() - t0},
+        metrics={
+            "threshold_over_additive": thr_over_add,
+            "clamped_edges_by_scale": {str(r[0]): r[2] for r in neg_rows},
+        },
+    )
 
     spec = PerturbationSpec(sig, seed=3)
     benchmark(propagate, build, spec, "threshold")

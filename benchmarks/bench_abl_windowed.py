@@ -7,9 +7,11 @@ state (the mailbox high-water mark stays flat as the trace grows), and
 times both engines on a long token-ring trace.
 """
 
+import time
+
 import pytest
 
-from benchmarks._common import emit, table
+from benchmarks._common import bench_timings, emit, table
 from repro.apps import TokenRingParams, token_ring
 from repro.core import PerturbationSpec, StreamingTraversal, build_graph, propagate
 from repro.mpisim import run
@@ -28,6 +30,7 @@ def spec():
 def test_abl_windowed_equivalence_and_memory(spec, benchmark):
     rows = []
     long_trace = None
+    t0 = time.perf_counter()
     for traversals in (5, 20, 80):
         trace = run(
             token_ring(TokenRingParams(traversals=traversals)), nprocs=P, seed=0
@@ -46,7 +49,13 @@ def test_abl_windowed_equivalence_and_memory(spec, benchmark):
         rows,
         widths=[16, 14, 20],
     )
-    emit("abl_windowed", out)
+    emit(
+        "abl_windowed",
+        out,
+        params={"nprocs": P, "traversal_ladder": [5, 20, 80]},
+        timings={"equivalence_s": time.perf_counter() - t0},
+        metrics={"mailbox_hwm_by_traversals": {str(r[0]): r[2] for r in rows}},
+    )
 
     # Bounded-memory claim: in-flight contributions do NOT grow with trace
     # length (a token ring keeps O(1) messages in flight per rank pair).
@@ -64,5 +73,9 @@ def test_abl_windowed_throughput(spec, benchmark):
 
     result = benchmark(lambda: StreamingTraversal(spec).run(trace))
     assert max(result.final_delay) > 0
-    stats = benchmark.stats.stats
-    print(f"streaming throughput ≈ {events / stats.mean:,.0f} events/s ({events} events)")
+    timings = bench_timings(benchmark)
+    if timings:
+        print(
+            f"streaming throughput ≈ {events / timings['mean_s']:,.0f} events/s "
+            f"({events} events)"
+        )

@@ -13,6 +13,7 @@ ping-pong benchmark cannot observe queueing, so the analyzer badly
 under-predicts — exactly the failure mode the paper warns about.
 """
 
+import time
 
 from benchmarks._common import emit, table
 from repro.core import PerturbationSpec, build_graph, propagate
@@ -54,6 +55,7 @@ def test_assum1_iid_violation(benchmark):
 
     rows = []
     ratios = {}
+    t0 = time.perf_counter()
     for label, network in (
         ("iid jitter", BASE_NET.with_jitter(Exponential(300.0))),
         ("contended link", BASE_NET.with_contention()),
@@ -84,6 +86,9 @@ def test_assum1_iid_violation(benchmark):
             rows,
             widths=[16, 20, 12, 12, 12],
         ),
+        params={"bursts": BURSTS, "burst_len": BURST_LEN, "msg_bytes": MSG_BYTES},
+        timings={"scenarios_s": time.perf_counter() - t0},
+        metrics={"pred_over_actual": ratios},
     )
 
     # iid case: the microbenchmarks see the jitter and the model responds.

@@ -16,6 +16,7 @@ on the same traced run:
 Together the two rows reproduce the complementarity argument of §1.1.
 """
 
+import time
 
 from benchmarks._common import emit, table
 from repro.apps import TokenRingParams, token_ring
@@ -40,6 +41,7 @@ def test_base1_dimemas_comparison(benchmark):
     build = build_graph(base.trace)
 
     rows = []
+    t0 = time.perf_counter()
 
     # ---- Task 1: faster base network ---------------------------------------
     truth_fast = run(prog, machine=Machine(nprocs=P, network=FAST_NET), seed=0).makespan
@@ -106,6 +108,14 @@ def test_base1_dimemas_comparison(benchmark):
             rows,
             widths=[16, 14, 24, 24],
         ),
+        params={"nprocs": P, "noise_mean": NOISE_MEAN},
+        timings={"tasks_s": time.perf_counter() - t0},
+        metrics={
+            "fast_net": {"truth": truth_fast, "replay": replay_fast, "graph": graph_fast},
+            "os_noise": {"truth": truth_noise, "replay": replay_noise, "graph": graph_noise},
+            "graph_noise_rel_err": graph_err,
+            "replay_noise_rel_err": replay_err,
+        },
     )
 
     benchmark(replay, base.trace, ReplayParams())

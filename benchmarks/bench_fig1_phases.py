@@ -7,7 +7,7 @@ rendering of all ranks.
 
 import pytest
 
-from benchmarks._common import emit, table
+from benchmarks._common import bench_timings, emit, table
 from repro.apps import TokenRingParams, token_ring
 from repro.mpisim import run
 from repro.viz import phases, render_ascii
@@ -25,13 +25,23 @@ def test_fig1_phase_sequence(ring_trace, benchmark):
     rows = [[s.label, s.kind, f"{s.t_start:.0f}", f"{s.duration:.0f}"] for s in segs]
     out = table(["phase", "kind", "start (cy)", "duration (cy)"], rows, widths=[16, 8, 12, 14])
     out += "\n\n" + render_ascii(ring_trace, width=90)
-    emit("fig1_phases", out)
+    kinds = [s.kind for s in segs]
+    emit(
+        "fig1_phases",
+        out,
+        params={"app": "token_ring", "nprocs": 4, "traversals": 2, "rank": 1},
+        timings=bench_timings(benchmark),
+        metrics={
+            "segments": len(segs),
+            "message_phases": kinds.count("message"),
+            "compute_phases": kinds.count("compute"),
+        },
+    )
 
     # Shape: compute phases are always separated by messaging (two gaps
     # cannot be adjacent — Fig. 1's alternation; zero-length gaps between
     # back-to-back calls produce adjacent message phases, which is fine),
     # and message phases correspond one-to-one to traced events.
-    kinds = [s.kind for s in segs]
     for a, b in zip(kinds, kinds[1:]):
         assert not (a == "compute" and b == "compute")
     assert kinds.count("message") == len(events)

@@ -10,7 +10,7 @@ Eq. (1)'s end-times exactly for hand-chosen constant deltas:
 
 import pytest
 
-from benchmarks._common import emit, table
+from benchmarks._common import bench_timings, emit, table
 from repro.core import PerturbationSpec, build_graph, propagate
 from repro.core.graph import DeltaKind, EdgeKind, Phase
 from repro.noise import Constant, MachineSignature
@@ -97,4 +97,16 @@ def test_fig2_blocking_pair(benchmark):
         ],
         widths=[10, 16, 12],
     )
-    emit("fig2_blocking", listing + "\n\n" + verdict)
+    emit(
+        "fig2_blocking",
+        listing + "\n\n" + verdict,
+        params={"d_bytes": D_BYTES, "os": OS, "latency": LAT, "per_byte": PER_BYTE},
+        timings=bench_timings(benchmark),
+        metrics={
+            "t_re_model": t_re_model,
+            "t_re_measured": t_re_measured,
+            "t_se_model": t_se_model,
+            "t_se_measured": t_se_measured,
+            "edges": len(g.edges),
+        },
+    )

@@ -8,7 +8,7 @@ status flags (request ids).
 
 import pytest
 
-from benchmarks._common import emit, table
+from benchmarks._common import bench_timings, emit, table
 from repro.core import PerturbationSpec, build_graph, propagate
 from repro.core.graph import DeltaKind, Phase
 from repro.mpisim import Compute, Irecv, Isend, Wait, run
@@ -91,4 +91,15 @@ def test_fig3_nonblocking_pair(benchmark):
         ],
         widths=[12, 12, 28],
     )
-    emit("fig3_nonblocking", listing + "\n\n" + verdict)
+    emit(
+        "fig3_nonblocking",
+        listing + "\n\n" + verdict,
+        params={"nbytes": NBYTES, "os": OS, "latency": LAT, "per_byte": PER_BYTE},
+        timings=bench_timings(benchmark),
+        metrics={
+            "isend_end_delay": d_isend_end,
+            "irecv_end_delay": d_irecv_end,
+            "wait_recv_delay": d_w1,
+            "wait_send_delay": d_w0,
+        },
+    )

@@ -7,7 +7,7 @@ l_δmax, and the slowest-rank-dominates behaviour the paper highlights.
 
 import pytest
 
-from benchmarks._common import emit, table
+from benchmarks._common import bench_timings, emit, table
 from repro._util import ilog2_ceil
 from repro.core import PerturbationSpec, build_graph, propagate
 from repro.core.graph import Phase
@@ -60,7 +60,16 @@ def test_fig4_allreduce_hub(benchmark):
     assert min(res.final_delay) >= 3 * 10_000.0  # rank 3's l_δ reaches all
     out += "\n\nslowest-node domination (only rank 3 noisy, p=8):\n"
     out += table(["rank", "final delay"], dom_rows, widths=[4, 12])
-    emit("fig4_allreduce", out)
+    emit(
+        "fig4_allreduce",
+        out,
+        params={"procs": [4, 8, 16], "os": OS, "latency": LAT},
+        timings=bench_timings(benchmark),
+        metrics={
+            "end_delay_by_p": {str(r[0]): r[3] for r in rows},
+            "min_final_delay_dominated": min(res.final_delay),
+        },
+    )
 
 
 def test_fig4_reduce_simplification(benchmark):
@@ -94,4 +103,7 @@ def test_fig4_reduce_simplification(benchmark):
             ],
             widths=[10, 8, 36],
         ),
+        params={"nprocs": 8, "os": OS, "latency": LAT},
+        timings=bench_timings(benchmark),
+        metrics={"root_end_delay": d_root, "others_end_delay": OS + OS},
     )

@@ -10,7 +10,7 @@ the DOT source — the figure's artifact.
 import re
 
 
-from benchmarks._common import emit
+from benchmarks._common import bench_timings, emit
 from repro.core import build_graph, to_dot
 from repro.mpisim import Compute, Recv, Send, run
 
@@ -34,12 +34,18 @@ def test_fig5_dot_export(benchmark):
     trace = run(blocking_prog, nprocs=3, seed=0).trace
     build = build_graph(trace)
     dot = benchmark(to_dot, build.graph, "fig5")
-    emit("fig5_graph", dot)
+    edges = re.findall(r"n\d+ -> n\d+", dot)
+    emit(
+        "fig5_graph",
+        dot,
+        params={"nprocs": 3, "program": "blocking_prog"},
+        timings=bench_timings(benchmark),
+        metrics={"nodes": len(build.graph.nodes), "edges": len(edges)},
+    )
 
     # Structure of the figure: one cluster per rank, dashed message edges
     # pairing each blocking send with its receive, solid local chains.
     assert dot.count("subgraph cluster_rank") == 3
-    edges = re.findall(r"n\d+ -> n\d+", dot)
     assert len(edges) == len(build.graph.edges)
     dashed = [l for l in dot.splitlines() if "->" in l and "dashed" in l]
     # 3 transfers × (data + ack) = 6 message edges.

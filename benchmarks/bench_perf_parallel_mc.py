@@ -54,6 +54,8 @@ def test_parallel_mc_speedup(benchmark):
     t_serial = time.perf_counter() - t0
 
     rows = [["serial", REPLICATES, f"{t_serial * 1e3:.0f}", "1.00"]]
+    timings = {"serial_s": t_serial}
+    speedups = {}
     for jobs in JOBS_LADDER:
         t0 = time.perf_counter()
         dist = monte_carlo(build, spec, replicates=REPLICATES, jobs=jobs)
@@ -61,12 +63,21 @@ def test_parallel_mc_speedup(benchmark):
         # The determinism contract: identical samples for any backend.
         assert np.array_equal(serial.samples, dist.samples)
         assert serial.seeds == dist.seeds
+        timings[f"jobs{jobs}_s"] = dt
+        speedups[str(jobs)] = t_serial / dt
         rows.append([f"jobs={jobs}", REPLICATES, f"{dt * 1e3:.0f}", f"{t_serial / dt:.2f}"])
 
     rows.append(["cores", os.cpu_count() or 1, "", ""])
     emit(
         "perf_parallel_mc",
         table(["backend", "replicates", "time ms", "speedup"], rows, widths=[10, 10, 9, 8]),
+        params={
+            "replicates": REPLICATES,
+            "jobs_ladder": JOBS_LADDER,
+            "cores": os.cpu_count() or 1,
+        },
+        timings=timings,
+        metrics={"speedup_by_jobs": speedups, "mc_mean_delay": serial.mean()},
     )
 
     # Time the steady-state parallel op at the widest requested pool.

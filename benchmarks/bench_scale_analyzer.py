@@ -22,6 +22,8 @@ def test_scale_with_processes(benchmark):
     )
     rows = []
     biggest = None
+    timings = {}
+    throughput = {}
     for p in (8, 32, 128):
         trace = run(token_ring(TokenRingParams(traversals=8)), nprocs=p, seed=0).trace
         events = sum(len(evs) for evs in trace.load_all())
@@ -38,6 +40,10 @@ def test_scale_with_processes(benchmark):
         StreamingTraversal(spec).run(trace)
         t_stream = time.perf_counter() - t0
 
+        timings[f"build_p{p}_s"] = t_build
+        timings[f"propagate_p{p}_s"] = t_prop
+        timings[f"stream_p{p}_s"] = t_stream
+        throughput[str(p)] = events / t_stream
         rows.append(
             [
                 p,
@@ -57,6 +63,9 @@ def test_scale_with_processes(benchmark):
             rows,
             widths=[5, 9, 9, 13, 10, 13],
         ),
+        params={"procs": [8, 32, 128], "traversals": 8},
+        timings=timings,
+        metrics={"stream_events_per_s": throughput},
     )
 
     benchmark(lambda: StreamingTraversal(spec).run(biggest))
@@ -84,6 +93,9 @@ def test_scale_with_trace_length(benchmark):
             rows,
             widths=[10, 9, 9, 9],
         ),
+        params={"nprocs": p, "traversal_ladder": [10, 40, 160]},
+        timings={f"stream_t{r[0]}_s": c * r[1] for r, c in zip(rows, costs)},
+        metrics={"per_event_cost_s": {str(r[0]): c for r, c in zip(rows, costs)}},
     )
     # Linear scaling: per-event cost within 3x across a 16x trace growth.
     assert max(costs) / min(costs) < 3.0

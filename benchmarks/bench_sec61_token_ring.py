@@ -14,9 +14,11 @@ noise (δ_λ = constant mean) swept 0→700 in steps of 100, expecting the
 measured runtime increase to track traversals × noise × p.
 """
 
+import time
+
 import pytest
 
-from benchmarks._common import emit, table
+from benchmarks._common import bench_timings, emit, table
 from repro.apps import TokenRingParams, token_ring
 from repro.core import PerturbationSpec, build_graph, propagate
 from repro.mpisim import run
@@ -40,12 +42,15 @@ def test_sec61_per_message_noise_sweep(ring_build, benchmark):
     """Per-message noise (the paper's wording): runtime increase must be
     ≈ traversals × noise × p at every sweep point."""
     rows = []
+    delays = {}
+    t0 = time.perf_counter()
     for mean in range(0, 800, 100):
         sig = MachineSignature(latency=Constant(float(mean)), name=f"msg-noise-{mean}")
         res = propagate(ring_build, PerturbationSpec(sig, seed=0))
         model = TRAVERSALS * P * mean
         ratio = res.max_delay / model if model else 1.0
         rows.append([mean, res.max_delay, model, f"{ratio:.4f}"])
+        delays[str(mean)] = res.max_delay
         if mean:
             assert 0.95 < ratio < 1.10, f"noise {mean}: measured {res.max_delay} vs {model}"
         else:
@@ -55,7 +60,13 @@ def test_sec61_per_message_noise_sweep(ring_build, benchmark):
         rows,
         widths=[20, 20, 18, 8],
     )
-    emit("sec61_token_ring", out)
+    emit(
+        "sec61_token_ring",
+        out,
+        params={"nprocs": P, "traversals": TRAVERSALS, "sweep": "0..700 step 100"},
+        timings={"sweep_s": time.perf_counter() - t0},
+        metrics={"max_delay_by_noise": delays},
+    )
 
     # Time one traversal of the perturbation engine at the 400-cycle point.
     sig = MachineSignature(latency=Constant(400.0))
@@ -101,6 +112,12 @@ def test_sec61_os_noise_variant(ring_build, benchmark):
         rows,
         widths=[20, 20, 18],
     )
-    emit("sec61_os_variant", out)
+    emit(
+        "sec61_os_variant",
+        out,
+        params={"nprocs": P, "traversals": TRAVERSALS, "sweep": "0..600 step 200"},
+        timings=bench_timings(benchmark),
+        metrics={"max_delay_by_noise": {str(r[0]): r[1] for r in rows}},
+    )
     for mean, measured, model in rows[1:]:
         assert measured == pytest.approx(model, rel=0.05)

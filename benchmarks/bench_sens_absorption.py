@@ -9,6 +9,7 @@ shape is a tolerance ladder: lockstep ring most sensitive, task farm
 most tolerant.
 """
 
+import time
 
 from benchmarks._common import emit, table
 from repro.apps import (
@@ -46,6 +47,7 @@ def test_sens_absorption_ladder(benchmark):
     rows = []
     ratios = {}
     last = None
+    t0 = time.perf_counter()
     for name, prog in APPS:
         trace = run(prog, nprocs=P, seed=0).trace
         build = build_graph(trace)
@@ -71,6 +73,9 @@ def test_sens_absorption_ladder(benchmark):
             rows,
             widths=[14, 14, 12, 10, 12],
         ),
+        params={"nprocs": P, "noisy_rank": NOISY_RANK, "noise_cycles": 15_000.0},
+        timings={"ladder_s": time.perf_counter() - t0},
+        metrics={"absorbed_ratio": ratios},
     )
 
     # The §4.2 shape: the lockstep ring tolerates less than the task farm.

@@ -7,8 +7,9 @@ the perturbed runtime (the §5 random-variable view taken seriously —
 200 independent propagations instead of one).
 """
 
+import time
 
-from benchmarks._common import emit, table
+from benchmarks._common import bench_timings, emit, table
 from repro.apps import (
     MasterWorkerParams,
     PipelineParams,
@@ -33,18 +34,27 @@ def test_sens2_influence_matrices(benchmark):
     ]
     out_parts = []
     builds = {}
+    total_by_app = {}
+    t0 = time.perf_counter()
     for name, prog in apps:
         build = build_graph(run(prog, nprocs=P, seed=0).trace)
         builds[name] = build
         m = rank_influence(build, noise, seed=0)
         out_parts.append(f"{name}:\n{m.table()}")
         totals = m.total_influence()
+        total_by_app[name] = float(totals.sum())
         if name == "master_worker":
             assert totals.argmax() == 0  # the master dominates
         if name == "pipeline":
             # Upstream stages out-influence downstream ones.
             assert m.matrix[0, P - 1] > m.matrix[P - 1, 0]
-    emit("sens2_influence", "\n\n".join(out_parts))
+    emit(
+        "sens2_influence",
+        "\n\n".join(out_parts),
+        params={"nprocs": P, "noise_cycles": 10_000.0, "apps": [a for a, _ in apps]},
+        timings={"matrices_s": time.perf_counter() - t0},
+        metrics={"total_influence": total_by_app},
+    )
 
     benchmark(rank_influence, builds["token_ring"], noise, 0)
 
@@ -65,7 +75,19 @@ def test_sens2_monte_carlo(benchmark):
         ["p50", f"{q[1]:,.0f}"],
         ["p95", f"{q[2]:,.0f}"],
     ]
-    emit("sens2_monte_carlo", table(["statistic", "makespan delay (cy)"], rows, widths=[12, 20]))
+    emit(
+        "sens2_monte_carlo",
+        table(["statistic", "makespan delay (cy)"], rows, widths=[12, 20]),
+        params={"nprocs": P, "replicates": dist.replicates, "app": "token_ring"},
+        timings=bench_timings(benchmark),
+        metrics={
+            "mean": dist.mean(),
+            "std": dist.std(),
+            "p5": q[0],
+            "p50": q[1],
+            "p95": q[2],
+        },
+    )
     # Exponential deltas: spread is real but bounded; distribution is
     # right-shifted (mean > 0) and p95/p5 within a small factor.
     assert dist.mean() > 0

@@ -9,6 +9,7 @@ agreement within small factors (the delta model samples one δ_os per
 local edge while the machine perturbs every processing segment).
 """
 
+import time
 
 from benchmarks._common import emit, table
 from repro.apps import (
@@ -51,6 +52,7 @@ def test_val_ground_truth(benchmark):
     rows = []
     ratios = {}
     last_build = None
+    t0 = time.perf_counter()
     for name, prog in APPS:
         base = run(prog, machine=quiet, seed=0)
         actual = run(prog, machine=noisy, seed=0).makespan - base.makespan
@@ -91,6 +93,12 @@ def test_val_ground_truth(benchmark):
             rows,
             widths=[16, 12, 14, 12, 10, 8],
         ),
+        params={"nprocs": P, "noise_mean": NOISE_MEAN, "apps": [a for a, _ in APPS]},
+        timings={"protocol_s": time.perf_counter() - t0},
+        metrics={
+            name: {"predicted": p_, "actual": a_, "ratio": r_}
+            for name, (p_, a_, r_) in ratios.items()
+        },
     )
 
     # Ordering preserved: model ranks sensitivity like the machine does.

@@ -24,9 +24,11 @@ Five entry points mirroring the paper's workflow:
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from pathlib import Path
 
+from repro import obs
 from repro.apps import ALL_APPS
 from repro.core import (
     BuildConfig,
@@ -58,6 +60,99 @@ __all__ = [
     "main_microbench",
     "main_replay",
 ]
+
+# Two output channels, never mixed: results go to stdout (bare lines,
+# pipeable), diagnostics/warnings go to stderr through ``logging`` with
+# levels controlled by ``-v``/``--quiet``.
+_LOG = logging.getLogger("repro.cli")
+_RESULTS = logging.getLogger("repro.cli.results")
+
+
+def _add_logging_args(ap: argparse.ArgumentParser) -> None:
+    ap.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="more diagnostics on stderr (repeatable)",
+    )
+    ap.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress diagnostics on stderr (errors only); results still print",
+    )
+
+
+def _configure_logging(args) -> None:
+    """(Re)install the stderr diagnostics and stdout results handlers.
+
+    Reinstalling per invocation keeps in-process callers (tests, driver
+    scripts) bound to the *current* ``sys.stdout``/``sys.stderr``.
+    """
+    root = logging.getLogger("repro")
+    for h in list(root.handlers):
+        root.removeHandler(h)
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(levelname)s: %(message)s"))
+    root.addHandler(handler)
+    if getattr(args, "quiet", False):
+        root.setLevel(logging.ERROR)
+    elif getattr(args, "verbose", 0) >= 1:
+        root.setLevel(logging.DEBUG)
+    else:
+        root.setLevel(logging.INFO)
+
+    for h in list(_RESULTS.handlers):
+        _RESULTS.removeHandler(h)
+    out = logging.StreamHandler(sys.stdout)
+    out.setFormatter(logging.Formatter("%(message)s"))
+    _RESULTS.addHandler(out)
+    _RESULTS.setLevel(logging.INFO)
+    _RESULTS.propagate = False
+
+
+def _say(message: str) -> None:
+    """Emit one result line on stdout."""
+    _RESULTS.info(message)
+
+
+def _add_obs_args(ap: argparse.ArgumentParser) -> None:
+    ap.add_argument(
+        "--profile",
+        metavar="FILE",
+        help="record the analyzer's own execution and write a Chrome trace-event "
+        "JSON (open in https://ui.perfetto.dev)",
+    )
+    ap.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="write pipeline metrics (counters/gauges/timers) as JSON",
+    )
+
+
+def _start_observability(args, label: str):
+    """Activate an obs session when ``--profile``/``--metrics-out`` ask
+    for one; returns the session or None."""
+    if getattr(args, "profile", None) or getattr(args, "metrics_out", None):
+        return obs.start(label)
+    return None
+
+
+def _finish_observability(args, session) -> None:
+    if session is None:
+        return
+    obs.stop()
+    _LOG.debug(f"observability: {session.summary()}")
+    if args.profile:
+        obs.write_chrome_trace(session, args.profile)
+        _LOG.info(
+            f"profile written to {args.profile} "
+            f"({len(session.completed_spans())} spans; view at https://ui.perfetto.dev)"
+        )
+    if args.metrics_out:
+        obs.write_metrics(session, args.metrics_out)
+        _LOG.info(f"metrics written to {args.metrics_out}")
 
 
 def _parse_params(pairs: list[str]) -> dict:
@@ -115,8 +210,9 @@ def _load_signature(args) -> MachineSignature:
         return MachineSignature.load(args.signature)
     if args.measure:
         machine = _machine(args.measure, max(args.measure_nprocs, 2), args.seed)
-        report = measure_machine(machine, seed=args.seed)
-        print(f"# {report.summary()}", file=sys.stderr)
+        with obs.span("measure_machine", preset=args.measure):
+            report = measure_machine(machine, seed=args.seed)
+        _LOG.info(report.summary())
         return report.to_signature()
     raise SystemExit("provide --signature FILE or --measure PRESET")
 
@@ -156,7 +252,9 @@ def main_trace(argv: list[str] | None = None) -> int:
     ap.add_argument(
         "--param", action="append", default=[], help="app parameter override, k=v (repeatable)"
     )
+    _add_logging_args(ap)
     args = ap.parse_args(argv)
+    _configure_logging(args)
 
     factory, params_cls = ALL_APPS[args.app]
     params = params_cls(**_parse_params(args.param))
@@ -172,11 +270,11 @@ def main_trace(argv: list[str] | None = None) -> int:
         binary=args.binary,
         buffer_events=args.buffer_events,
     )
-    print(
+    _say(
         f"traced {args.app} on {machine.name} p={args.nprocs}: "
         f"makespan {result.makespan:.0f} cy, {result.events_processed} engine events"
     )
-    print(f"trace files: {args.out}/{stem}.rank*.trace.{'bin' if args.binary else 'jsonl'}")
+    _say(f"trace files: {args.out}/{stem}.rank*.trace.{'bin' if args.binary else 'jsonl'}")
     return 0
 
 
@@ -190,14 +288,16 @@ def main_microbench(argv: list[str] | None = None) -> int:
     ap.add_argument("--seed", type=int, default=0)
     ap.add_argument("--method", choices=("empirical", "fit"), default="empirical")
     ap.add_argument("--out", required=True, help="signature JSON output path")
+    _add_logging_args(ap)
     args = ap.parse_args(argv)
+    _configure_logging(args)
 
     machine = _machine(args.machine, max(args.nprocs, 2), args.seed)
     report = measure_machine(machine, seed=args.seed)
-    print(report.summary())
+    _say(report.summary())
     sig = report.to_signature(method=args.method)
     sig.save(args.out)
-    print(f"signature written to {args.out}")
+    _say(f"signature written to {args.out}")
     return 0
 
 
@@ -208,6 +308,8 @@ def main_analyze(argv: list[str] | None = None) -> int:
     )
     _add_analysis_args(ap)
     _add_jobs_arg(ap)
+    _add_logging_args(ap)
+    _add_obs_args(ap)
     ap.add_argument("--engine", choices=("incore", "streaming"), default="incore")
     ap.add_argument("--window", type=int, default=4096)
     ap.add_argument("--history", help="append the experiment to this history JSONL")
@@ -225,60 +327,69 @@ def main_analyze(argv: list[str] | None = None) -> int:
         "(0 = single propagation only; in-core engine)",
     )
     args = ap.parse_args(argv)
+    _configure_logging(args)
     if args.replicates and args.engine != "incore":
         raise SystemExit("--replicates requires --engine incore")
 
-    traces = TraceSet.open(args.traces, args.stem)
-    report = validate_traces(traces)
-    if not report.ok:
-        report.raise_if_invalid()
-    sig = _load_signature(args)
-    spec = PerturbationSpec(sig, seed=args.seed, scale=args.scale)
-    config = _build_config(args)
+    session = _start_observability(args, "repro-analyze")
+    with obs.span("analyze", engine=args.engine, mode=args.mode):
+        traces = TraceSet.open(args.traces, args.stem)
+        with obs.span("validate_traces"):
+            report = validate_traces(traces)
+        if not report.ok:
+            report.raise_if_invalid()
+        for issue in report.warnings:
+            _LOG.warning(str(issue))
+        sig = _load_signature(args)
+        spec = PerturbationSpec(sig, seed=args.seed, scale=args.scale)
+        config = _build_config(args)
 
-    stats = trace_stats(traces)
-    print(f"trace: {stats.summary()}")
-    if args.engine == "streaming":
-        result = StreamingTraversal(spec, config=config, mode=args.mode, window=args.window).run(
-            traces
-        )
-        print(f"streaming traversal ({args.mode}):")
-        for r, d in enumerate(result.final_delay):
-            print(f"  rank {r}: +{d:.1f} cy")
-        print(f"  max delay: {result.max_delay:.1f} cy")
-        for w in result.warnings:
-            print(f"  warning: {w}")
-    else:
-        build = build_graph(traces, config)
-        result = propagate(build, spec, mode=args.mode)
-        correctness = check_correctness(build, result)
-        impact = runtime_impact(build, result)
-        print(f"graph: {build.graph}")
-        print(impact.table())
-        cp = critical_path(build, result)
-        print(
-            f"critical path (rank {cp.rank}): {cp.total_delay:.1f} cy total; "
-            f"dominant class {cp.dominant_class()}; per-class {cp.by_delta_kind}"
-        )
-        if args.show_path:
-            print(cp.describe(build))
-        am = absorption_map(build, result)
-        print(f"absorption ratio (overall): {am.overall_ratio():.2%}")
-        print(f"correctness: {correctness.summary()}")
-        for w in correctness.warnings:
-            print(f"  warning: {w}")
-        if args.replicates:
-            dist = monte_carlo(
-                build, spec, replicates=args.replicates, mode=args.mode, jobs=args.jobs
+        with obs.span("trace_stats"):
+            stats = trace_stats(traces)
+        _say(f"trace: {stats.summary()}")
+        if args.engine == "streaming":
+            result = StreamingTraversal(
+                spec, config=config, mode=args.mode, window=args.window
+            ).run(traces)
+            _say(f"streaming traversal ({args.mode}):")
+            for r, d in enumerate(result.final_delay):
+                _say(f"  rank {r}: +{d:.1f} cy")
+            _say(f"  max delay: {result.max_delay:.1f} cy")
+            for w in result.warnings:
+                _LOG.warning(str(w))
+        else:
+            build = build_graph(traces, config)
+            result = propagate(build, spec, mode=args.mode)
+            with obs.span("analysis"):
+                correctness = check_correctness(build, result)
+                impact = runtime_impact(build, result)
+                cp = critical_path(build, result)
+                am = absorption_map(build, result)
+            _say(f"graph: {build.graph}")
+            _say(impact.table())
+            _say(
+                f"critical path (rank {cp.rank}): {cp.total_delay:.1f} cy total; "
+                f"dominant class {cp.dominant_class()}; per-class {cp.by_delta_kind}"
             )
-            print(f"monte carlo: {dist.summary()}")
-            print(
-                f"  P(makespan delay > 2x mean) = "
-                f"{dist.exceedance_probability(2 * dist.mean()):.2%}"
-            )
-    if args.history:
-        rec = ExperimentHistory(args.history).record(args.name, spec, result, config)
-        print(f"recorded experiment {rec.name!r} in {args.history}")
+            if args.show_path:
+                _say(cp.describe(build))
+            _say(f"absorption ratio (overall): {am.overall_ratio():.2%}")
+            _say(f"correctness: {correctness.summary()}")
+            for w in correctness.warnings:
+                _LOG.warning(str(w))
+            if args.replicates:
+                dist = monte_carlo(
+                    build, spec, replicates=args.replicates, mode=args.mode, jobs=args.jobs
+                )
+                _say(f"monte carlo: {dist.summary()}")
+                _say(
+                    f"  P(makespan delay > 2x mean) = "
+                    f"{dist.exceedance_probability(2 * dist.mean()):.2%}"
+                )
+        if args.history:
+            rec = ExperimentHistory(args.history).record(args.name, spec, result, config)
+            _say(f"recorded experiment {rec.name!r} in {args.history}")
+    _finish_observability(args, session)
     return 0
 
 
@@ -288,10 +399,14 @@ def main_sweep(argv: list[str] | None = None) -> int:
     )
     _add_analysis_args(ap)
     _add_jobs_arg(ap)
+    _add_logging_args(ap)
+    _add_obs_args(ap)
     ap.add_argument("--scales", default="0,0.25,0.5,1,2,4", help="comma-separated scale factors")
     ap.add_argument("--engine", choices=("incore", "streaming"), default="incore")
     args = ap.parse_args(argv)
+    _configure_logging(args)
 
+    session = _start_observability(args, "repro-sweep")
     traces = TraceSet.open(args.traces, args.stem)
     sig = _load_signature(args)
     spec = PerturbationSpec(sig, seed=args.seed, scale=args.scale)
@@ -305,11 +420,12 @@ def main_sweep(argv: list[str] | None = None) -> int:
         config=_build_config(args),
         jobs=args.jobs,
     )
-    print(result.table())
+    _say(result.table())
     try:
-        print(f"slope (max delay per unit scale): {result.slope():.1f} cy")
+        _say(f"slope (max delay per unit scale): {result.slope():.1f} cy")
     except ValueError:
         pass
+    _finish_observability(args, session)
     return 0
 
 
@@ -327,7 +443,9 @@ def main_dot(argv: list[str] | None = None) -> int:
     )
     ap.add_argument("--collective-mode", choices=("hub", "butterfly"), default="hub")
     ap.add_argument("--eager-threshold", type=int, default=None)
+    _add_logging_args(ap)
     args = ap.parse_args(argv)
+    _configure_logging(args)
 
     traces = TraceSet.open(args.traces, args.stem)
     build = build_graph(traces, _build_config(args))
@@ -340,9 +458,9 @@ def main_dot(argv: list[str] | None = None) -> int:
     dot = to_dot(graph, name=args.stem, max_nodes=args.max_nodes)
     if args.out:
         Path(args.out).write_text(dot)
-        print(f"wrote {args.out} ({len(dot.splitlines())} lines)", file=sys.stderr)
+        _LOG.info(f"wrote {args.out} ({len(dot.splitlines())} lines)")
     else:
-        print(dot)
+        _say(dot)
     return 0
 
 
@@ -365,7 +483,9 @@ def main_replay(argv: list[str] | None = None) -> int:
         "(parallelized by --jobs) and print a what-if table",
     )
     _add_jobs_arg(ap)
+    _add_logging_args(ap)
     args = ap.parse_args(argv)
+    _configure_logging(args)
 
     from repro.baselines import ReplayParams, replay, replay_ladder
 
@@ -384,25 +504,25 @@ def main_replay(argv: list[str] | None = None) -> int:
     if args.cpu_factors:
         factors = [float(f) for f in args.cpu_factors.split(",") if f.strip()]
         results = replay_ladder(traces, [params_for(f) for f in factors], jobs=args.jobs)
-        print(
+        _say(
             f"target machine: latency {args.latency:g} cy, bandwidth {args.bandwidth:g} B/cy, "
             f"{len(factors)}-point cpu-factor ladder"
         )
-        print(f"{'cpu factor':>11} {'makespan (cy)':>16} {'speedup':>9}")
+        _say(f"{'cpu factor':>11} {'makespan (cy)':>16} {'speedup':>9}")
         for f, res in zip(factors, results):
-            print(f"{f:>11g} {res.makespan:>16,.0f} {res.speedup:>8.2f}x")
+            _say(f"{f:>11g} {res.makespan:>16,.0f} {res.speedup:>8.2f}x")
         return 0
 
     params = params_for(args.cpu_factor)
     result = replay(traces, params)
-    print(
+    _say(
         f"target machine: latency {params.latency:g} cy, bandwidth {params.bandwidth:g} B/cy, "
         f"cpu factor {params.cpu_factor:g}"
     )
-    print(f"{'rank':>5} {'original (cy)':>16} {'replayed (cy)':>16}")
+    _say(f"{'rank':>5} {'original (cy)':>16} {'replayed (cy)':>16}")
     for r, (a, b) in enumerate(zip(result.original_finish_times, result.finish_times)):
-        print(f"{r:>5} {a:>16,.0f} {b:>16,.0f}")
-    print(
+        _say(f"{r:>5} {a:>16,.0f} {b:>16,.0f}")
+    _say(
         f"makespan: {result.original_makespan:,.0f} -> {result.makespan:,.0f} cy "
         f"(speedup {result.speedup:.2f}x)"
     )

@@ -13,6 +13,7 @@ from repro.core.analysis import (
 )
 from repro.core.builder import BuildResult, build_graph
 from repro.core.correctness import CorrectnessReport, check_correctness
+from repro.core.diagnostics import AnalysisWarning
 from repro.core.dot import to_dot
 from repro.core.graph import (
     DeltaKind,
@@ -50,6 +51,7 @@ from repro.core.window import WindowedGraph, extract_window
 
 __all__ = [
     "AbsorptionMap",
+    "AnalysisWarning",
     "CriticalPath",
     "RuntimeImpact",
     "absorption_map",

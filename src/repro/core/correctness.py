@@ -23,10 +23,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.builder import BuildResult
+from repro.core.builder import BuildResult, _match_warnings
+from repro.core.diagnostics import AnalysisWarning
 from repro.core.graph import Phase
 from repro.core.traversal import TraversalResult
-from repro.trace.events import EventKind
 
 __all__ = ["CorrectnessReport", "check_correctness", "check_order_preserved", "async_warnings"]
 
@@ -96,31 +96,27 @@ def check_order_preserved(build: BuildResult, result: TraversalResult) -> list[s
     return violations
 
 
-def async_warnings(build: BuildResult) -> list[str]:
+def async_warnings(build: BuildResult) -> list[AnalysisWarning]:
     """§4.3 warnings: nonblocking operations whose completion was never
-    checked, so perturbations through them cannot be anchored."""
-    warnings: list[str] = []
-    for rank, seq in build.match.uncompleted:
-        ev = build.events[rank][seq]
-        if ev.kind == EventKind.ISEND:
-            warnings.append(
-                f"rank {rank} event #{seq}: ISEND to {ev.peer} (tag {ev.tag}) never "
-                f"completed — sender-side delays from this transfer are not modeled; "
-                f"correctness of arbitrary perturbations cannot be guaranteed (§4.3)"
-            )
-        else:
-            warnings.append(
-                f"rank {rank} event #{seq}: IRECV from {ev.peer} (tag {ev.tag}) never "
-                f"completed — incoming delays from this transfer are dropped (§4.3)"
-            )
-    return warnings
+    checked, so perturbations through them cannot be anchored.
+
+    Returns the structured warnings the builder recorded (recomputed
+    here so hand-assembled :class:`BuildResult` objects work too).
+    """
+    if build.warnings:
+        return list(build.warnings)
+    return _match_warnings(build.match, build.events)
 
 
-def clamp_warnings(result: TraversalResult) -> list[str]:
+def clamp_warnings(result: TraversalResult) -> list[AnalysisWarning]:
     if result.clamped_edges:
         return [
-            f"{result.clamped_edges} edge delta(s) clamped at the zero-weight floor "
-            f"(negative perturbations cannot shrink an interval below zero)"
+            AnalysisWarning(
+                f"{result.clamped_edges} edge delta(s) clamped at the zero-weight floor "
+                f"(negative perturbations cannot shrink an interval below zero)",
+                code="clamped-deltas",
+                count=result.clamped_edges,
+            )
         ]
     return []
 

@@ -1,0 +1,80 @@
+"""Structured analysis warnings.
+
+Pipeline stages used to report anomalies (unmatched nonblocking
+requests, streaming-window doublings, clamped deltas) as ad-hoc
+strings, which made them impossible to count, filter, or route.
+:class:`AnalysisWarning` keeps them machine-readable — a stable
+``code``, optional ``rank``/``seq`` location, and an occurrence
+``count`` — while **subclassing** :class:`str` so every existing
+consumer (``print``, ``"window" in w``, JSON history records) keeps
+working on the human-readable message unchanged.
+
+Construct warnings through :func:`warn` so each one is also counted
+into the active observability session as a ``warnings.<code>`` metric
+(:mod:`repro.obs`); a ``--metrics-out`` report then shows exactly how
+many of each anomaly a run hit.
+"""
+
+from __future__ import annotations
+
+from repro import obs
+
+__all__ = ["AnalysisWarning", "warn"]
+
+
+class AnalysisWarning(str):
+    """A warning message carrying structured fields.
+
+    Behaves exactly like its message string (slicing, ``in``, equality,
+    serialization) — the structure rides along as attributes.
+    """
+
+    __slots__ = ("code", "rank", "seq", "count")
+
+    code: str
+    rank: int | None
+    seq: int | None
+    count: int
+
+    def __new__(
+        cls,
+        message: str,
+        code: str = "generic",
+        rank: int | None = None,
+        seq: int | None = None,
+        count: int = 1,
+    ) -> "AnalysisWarning":
+        self = super().__new__(cls, message)
+        self.code = code
+        self.rank = rank
+        self.seq = seq
+        self.count = count
+        return self
+
+    @property
+    def message(self) -> str:
+        return str(self)
+
+    def as_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "message": str(self),
+            "rank": self.rank,
+            "seq": self.seq,
+            "count": self.count,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AnalysisWarning({str(self)!r}, code={self.code!r})"
+
+
+def warn(
+    message: str,
+    code: str,
+    rank: int | None = None,
+    seq: int | None = None,
+    count: int = 1,
+) -> AnalysisWarning:
+    """Create an :class:`AnalysisWarning` and count it as a metric."""
+    obs.add(f"warnings.{code}", count)
+    return AnalysisWarning(message, code=code, rank=rank, seq=seq, count=count)

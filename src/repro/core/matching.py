@@ -18,6 +18,7 @@ from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro import obs
 from repro.trace.events import (
     COLLECTIVE_KINDS,
     EventKind,
@@ -105,6 +106,17 @@ def match_events(per_rank: Sequence[Sequence[EventRecord]]) -> MatchResult:
     nonblocking operations to their completions; collective ordinals
     group collective calls.
     """
+    with obs.span("match_events"):
+        result = _match_events_impl(per_rank)
+        obs.span_add("match.transfers", len(result.transfer_of))
+        obs.span_add("match.completions", len(result.completion_of))
+        obs.span_add("match.collectives", len(result.collectives))
+        if result.uncompleted:
+            obs.span_add("match.uncompleted", len(result.uncompleted))
+        return result
+
+
+def _match_events_impl(per_rank: Sequence[Sequence[EventRecord]]) -> MatchResult:
     result = MatchResult()
     pending_sends: dict[tuple, deque] = defaultdict(deque)
     pending_recvs: dict[tuple, deque] = defaultdict(deque)

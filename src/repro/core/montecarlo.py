@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.builder import BuildResult
 from repro.core.parallel import map_replicates, replicate_items
 from repro.core.perturb import PerturbationSpec
@@ -106,7 +107,8 @@ def monte_carlo(
     N >= 2 = a pool of N.  Results are bit-identical across backends
     because every replicate carries its own seed.
     """
-    items = replicate_items(spec, replicates)
-    rows = map_replicates(build, items, mode=mode, jobs=jobs, chunk_size=chunk_size)
-    seeds = tuple(seed for seed, _ in items)
+    with obs.span("monte_carlo", replicates=replicates, mode=mode, jobs=jobs):
+        items = replicate_items(spec, replicates)
+        rows = map_replicates(build, items, mode=mode, jobs=jobs, chunk_size=chunk_size)
+        seeds = tuple(seed for seed, _ in items)
     return DelayDistribution(samples=np.array(rows, dtype=float), seeds=seeds)

@@ -50,6 +50,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence
 
+from repro import obs
 from repro.core.builder import BuildResult
 from repro.core.perturb import PerturbationSpec
 from repro.core.traversal import propagate
@@ -80,14 +81,29 @@ _POOL_UNAVAILABLE = (NotImplementedError, ImportError, OSError, PermissionError)
 _WORKER_PAYLOAD: dict = {}
 
 
-def _worker_init(payload) -> None:
+def _worker_init(payload, observe: bool = False) -> None:
     _WORKER_PAYLOAD["payload"] = payload
+    # A fork-started worker inherits the parent's observability session
+    # (including its already-recorded spans); always discard that copy,
+    # then open a fresh worker session when the parent is observing.
+    obs.stop()
+    if observe:
+        obs.start("repro-worker")
 
 
-def _worker_run_chunk(args: tuple) -> list:
+def _worker_run_chunk(args: tuple) -> tuple[list, dict | None]:
+    """Run one chunk; ship results plus any observability state.
+
+    The second element is the worker session's :meth:`~repro.obs.
+    session.Session.drain` blob (spans + metric snapshot accumulated by
+    this chunk), or ``None`` when observability is off — the parent
+    absorbs it so ``--jobs N`` metrics merge to the serial totals.
+    """
     fn, chunk = args
     payload = _WORKER_PAYLOAD.get("payload")
-    return [fn(payload, item) for item in chunk]
+    results = [fn(payload, item) for item in chunk]
+    session = obs.active()
+    return results, (session.drain() if session is not None else None)
 
 
 # ---------------------------------------------------------------------------
@@ -176,9 +192,12 @@ class ProcessPoolBackend(ExecutionBackend):
         size = self.chunk_size or default_chunk_size(len(items), self.jobs)
         chunks = chunked(items, size)
         workers = min(self.jobs, len(chunks))
+        session = obs.active()
         try:
             with ProcessPoolExecutor(
-                max_workers=workers, initializer=_worker_init, initargs=(payload,)
+                max_workers=workers,
+                initializer=_worker_init,
+                initargs=(payload, session is not None),
             ) as pool:
                 parts = list(pool.map(_worker_run_chunk, [(fn, c) for c in chunks]))
         except (BrokenProcessPool,) + _POOL_UNAVAILABLE as exc:
@@ -188,7 +207,10 @@ class ProcessPoolBackend(ExecutionBackend):
                 stacklevel=2,
             )
             return SerialBackend().map(fn, items, payload)
-        return [result for part in parts for result in part]
+        if session is not None:
+            for _, blob in parts:
+                session.absorb(blob)
+        return [result for part, _ in parts for result in part]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ProcessPoolBackend(jobs={self.jobs}, chunk_size={self.chunk_size})"
@@ -221,7 +243,11 @@ def _propagate_item(payload, item: tuple[int, PerturbationSpec]) -> list[float]:
     """Worker body: one replicate's propagation, identified by its seed."""
     build, mode = payload
     seed, spec = item
-    res = propagate(build, PerturbationSpec(spec.signature, seed=seed, scale=spec.scale), mode)
+    with obs.span("replicate", seed=seed):
+        obs.span_add("mc.replicates")
+        res = propagate(
+            build, PerturbationSpec(spec.signature, seed=seed, scale=spec.scale), mode
+        )
     return res.final_delay
 
 

@@ -16,6 +16,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.builder import BuildResult, build_graph
 from repro.core.parallel import resolve_backend
 from repro.core.perturb import PerturbationSpec
@@ -119,9 +120,11 @@ def _sweep_worker(payload, spec: PerturbationSpec) -> list[float]:
     (streaming engine) — whichever the engine traverses.
     """
     engine, carrier, mode, config = payload
-    if engine == "incore":
-        return propagate(carrier, spec, mode=mode).final_delay
-    return StreamingTraversal(spec, config=config, mode=mode).run(carrier).final_delay
+    with obs.span("sweep_point", engine=engine, scale=spec.scale):
+        obs.span_add("sweep.points")
+        if engine == "incore":
+            return propagate(carrier, spec, mode=mode).final_delay
+        return StreamingTraversal(spec, config=config, mode=mode).run(carrier).final_delay
 
 
 def _map_points(
@@ -157,36 +160,40 @@ def sweep_scales(
     the results bit-identical to the serial sweep.
     """
     config = config or BuildConfig()
-    build = build_graph(trace_set, config) if engine == "incore" else None
-    result = SweepResult()
-    backend = resolve_backend(jobs)
-    if backend.jobs >= 2:
-        # One full propagation per point — identical results to the
-        # presampled fast path (deterministic sampling), run anywhere.
-        specs = [
-            PerturbationSpec(spec.signature, spec.seed, spec.scale * s)
-            if engine == "incore"
-            else spec.scaled(s)
-            for s in scales
-        ]
-        rows = _map_points(specs, trace_set, build, mode, engine, config, jobs)
-        for s, delays in zip(scales, rows):
+    with obs.span("sweep_scales", engine=engine, points=len(scales)):
+        build = build_graph(trace_set, config) if engine == "incore" else None
+        result = SweepResult()
+        backend = resolve_backend(jobs)
+        if backend.jobs >= 2:
+            # One full propagation per point — identical results to the
+            # presampled fast path (deterministic sampling), run anywhere.
+            specs = [
+                PerturbationSpec(spec.signature, spec.seed, spec.scale * s)
+                if engine == "incore"
+                else spec.scaled(s)
+                for s in scales
+            ]
+            rows = _map_points(specs, trace_set, build, mode, engine, config, jobs)
+            for s, delays in zip(scales, rows):
+                result.points.append(
+                    SweepPoint(label=f"scale={s:g}", x=float(s), delays=tuple(delays), mode=mode)
+                )
+            return result
+        raw = sample_edge_deltas(build, spec) if engine == "incore" else None
+        for s in scales:
+            if engine == "incore":
+                # Sample once, re-propagate per scale (identical results to a
+                # fresh propagate — deterministic sampling — but much faster).
+                tr = propagate_presampled(build, raw, scale=spec.scale * s, mode=mode)
+            else:
+                tr = _run_one(trace_set, build, spec.scaled(s), mode, engine, config)
+            obs.add("sweep.points")
             result.points.append(
-                SweepPoint(label=f"scale={s:g}", x=float(s), delays=tuple(delays), mode=mode)
+                SweepPoint(
+                    label=f"scale={s:g}", x=float(s), delays=tuple(tr.final_delay), mode=mode
+                )
             )
         return result
-    raw = sample_edge_deltas(build, spec) if engine == "incore" else None
-    for s in scales:
-        if engine == "incore":
-            # Sample once, re-propagate per scale (identical results to a
-            # fresh propagate — deterministic sampling — but much faster).
-            tr = propagate_presampled(build, raw, scale=spec.scale * s, mode=mode)
-        else:
-            tr = _run_one(trace_set, build, spec.scaled(s), mode, engine, config)
-        result.points.append(
-            SweepPoint(label=f"scale={s:g}", x=float(s), delays=tuple(tr.final_delay), mode=mode)
-        )
-    return result
 
 
 def sweep_signatures(
@@ -208,18 +215,23 @@ def sweep_signatures(
     config = config or BuildConfig()
     if xs is not None and len(xs) != len(signatures):
         raise ValueError("xs must align with signatures")
-    build = build_graph(trace_set, config) if engine == "incore" else None
-    result = SweepResult()
-    specs = [PerturbationSpec(sig, seed=seed) for sig in signatures]
-    backend = resolve_backend(jobs)
-    if backend.jobs >= 2:
-        rows = [tuple(r) for r in _map_points(specs, trace_set, build, mode, engine, config, jobs)]
-    else:
-        rows = [
-            tuple(_run_one(trace_set, build, spec, mode, engine, config).final_delay)
-            for spec in specs
-        ]
-    for i, (sig, delays) in enumerate(zip(signatures, rows)):
-        x = float(xs[i]) if xs is not None else float(i)
-        result.points.append(SweepPoint(label=sig.name, x=x, delays=delays, mode=mode))
-    return result
+    with obs.span("sweep_signatures", engine=engine, points=len(signatures)):
+        build = build_graph(trace_set, config) if engine == "incore" else None
+        result = SweepResult()
+        specs = [PerturbationSpec(sig, seed=seed) for sig in signatures]
+        backend = resolve_backend(jobs)
+        if backend.jobs >= 2:
+            rows = [
+                tuple(r) for r in _map_points(specs, trace_set, build, mode, engine, config, jobs)
+            ]
+        else:
+            rows = []
+            for spec in specs:
+                rows.append(
+                    tuple(_run_one(trace_set, build, spec, mode, engine, config).final_delay)
+                )
+                obs.add("sweep.points")
+        for i, (sig, delays) in enumerate(zip(signatures, rows)):
+            x = float(xs[i]) if xs is not None else float(i)
+            result.points.append(SweepPoint(label=sig.name, x=x, delays=delays, mode=mode))
+        return result

@@ -36,8 +36,10 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
+from repro import obs
 from repro.core import primitives as _prim
 from repro.core.builder import BuildResult
+from repro.core.diagnostics import warn
 from repro.core.graph import DeltaKind, DeltaSpec, EdgeKind, MessagePassingGraph, Phase
 from repro.core.matching import CollectiveGroup, MatchError
 from repro.core.perturb import PerturbationSpec
@@ -114,14 +116,18 @@ def propagate(
     """Propagate sampled perturbations over a built graph (in-core)."""
     g = build.graph
     applier = _DeltaApplier(spec, mode)
-    edge_delta = [applier.effective(e.delta, e.weight) for e in g.edges]
-    edges = g.edges
-    D = [0.0] * len(g.nodes)
-    for v in g.topological_order():
-        ins = g.in_edge_ids(v)
-        if ins:
-            D[v] = max(D[edges[ei].src] + edge_delta[ei] for ei in ins)
-    final_delay, final_times = _finals_from_graph(g, D)
+    with obs.span("propagate", mode=mode):
+        edge_delta = [applier.effective(e.delta, e.weight) for e in g.edges]
+        edges = g.edges
+        D = [0.0] * len(g.nodes)
+        for v in g.topological_order():
+            ins = g.in_edge_ids(v)
+            if ins:
+                D[v] = max(D[edges[ei].src] + edge_delta[ei] for ei in ins)
+        final_delay, final_times = _finals_from_graph(g, D)
+        obs.span_add("traversal.propagations")
+        if applier.clamped:
+            obs.span_add("traversal.clamped_edges", applier.clamped)
     return TraversalResult(
         final_delay=final_delay,
         final_local_times=final_times,
@@ -269,24 +275,28 @@ def propagate_presampled(
     g = build.graph
     if len(raw_deltas) != len(g.edges):
         raise ValueError("raw_deltas length does not match edge count")
-    clamped = 0
-    edge_delta = []
-    for raw, e in zip(raw_deltas, g.edges):
-        value = raw * scale
-        if mode == "threshold":
-            edge_delta.append(max(0.0, value - e.weight))
-        elif value < -e.weight:
-            clamped += 1
-            edge_delta.append(-e.weight)
-        else:
-            edge_delta.append(value)
-    edges = g.edges
-    D = [0.0] * len(g.nodes)
-    for v in g.topological_order():
-        ins = g.in_edge_ids(v)
-        if ins:
-            D[v] = max(D[edges[ei].src] + edge_delta[ei] for ei in ins)
-    final_delay, final_times = _finals_from_graph(g, D)
+    with obs.span("propagate_presampled", mode=mode, scale=scale):
+        clamped = 0
+        edge_delta = []
+        for raw, e in zip(raw_deltas, g.edges):
+            value = raw * scale
+            if mode == "threshold":
+                edge_delta.append(max(0.0, value - e.weight))
+            elif value < -e.weight:
+                clamped += 1
+                edge_delta.append(-e.weight)
+            else:
+                edge_delta.append(value)
+        edges = g.edges
+        D = [0.0] * len(g.nodes)
+        for v in g.topological_order():
+            ins = g.in_edge_ids(v)
+            if ins:
+                D[v] = max(D[edges[ei].src] + edge_delta[ei] for ei in ins)
+        final_delay, final_times = _finals_from_graph(g, D)
+        obs.span_add("traversal.propagations")
+        if clamped:
+            obs.span_add("traversal.clamped_edges", clamped)
     return TraversalResult(
         final_delay=final_delay,
         final_local_times=final_times,
@@ -443,6 +453,15 @@ class StreamingTraversal:
 
     # -- public API -------------------------------------------------------------
     def run(self, trace_set) -> TraversalResult:
+        with obs.span("streaming_traversal", mode=self.mode, window=self.window):
+            result = self._run(trace_set)
+            obs.span_add("traversal.propagations")
+            obs.gauge_max("window.occupancy_hwm", self.max_mailbox)
+            if result.clamped_edges:
+                obs.span_add("traversal.clamped_edges", result.clamped_edges)
+            return result
+
+    def _run(self, trace_set) -> TraversalResult:
         nprocs = trace_set.nprocs
         applier = _DeltaApplier(self.spec, self.mode)
         mail = _Mailboxes()
@@ -485,7 +504,10 @@ class StreamingTraversal:
             if not progressed:
                 if capped:
                     warnings.append(
-                        f"window {window} too small for matching distance; doubling"
+                        warn(
+                            f"window {window} too small for matching distance; doubling",
+                            code="window-doubled",
+                        )
                     )
                     window *= 2
                     continue
@@ -754,8 +776,13 @@ class StreamingTraversal:
         leftovers = [rid for rid, st in req_state.items() if st[0] != "done"]
         if leftovers:
             warnings.append(
-                f"rank {rank}: {len(leftovers)} request(s) never completed; their "
-                f"transfer delays were dropped (§4.3 asynchronous case)"
+                warn(
+                    f"rank {rank}: {len(leftovers)} request(s) never completed; their "
+                    f"transfer delays were dropped (§4.3 asynchronous case)",
+                    code="uncompleted-requests",
+                    rank=rank,
+                    count=len(leftovers),
+                )
             )
         return (d_prev_end, last_t_end + d_prev_end, n)
 

@@ -11,6 +11,7 @@ window.  Delay annotations can be carried over for perturbed views.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.core.builder import BuildResult
 from repro.core.graph import MessagePassingGraph
 
@@ -76,4 +77,6 @@ def extract_window(
     for e in g.edges:
         if e.src in mapping and e.dst in mapping:
             window.add_edge(mapping[e.src], mapping[e.dst], e.kind, e.weight, e.delta, e.label)
+    obs.add("window.extractions")
+    obs.gauge_max("window.occupancy_hwm", len(window.nodes))
     return WindowedGraph(window, original_ids)

@@ -1,0 +1,194 @@
+"""Observability for the analyzer itself: spans, metrics, trace export.
+
+The paper's method is trace-driven performance analysis; this package
+applies the same idiom to our own pipeline.  A :class:`Session` records
+nested phase **spans** (wall + CPU time, attributes, span-local
+counters) and **metrics** (counters / gauges / timers), and exports
+them as structured JSONL or Chrome trace-event JSON viewable in
+Perfetto — so ``repro-analyze --profile out.json`` shows trace read,
+graph build, matching, traversal, and per-replicate Monte-Carlo work on
+a timeline.
+
+Library code is instrumented through the module-level helpers below,
+which are **near-zero-cost while disabled**: each one is a single
+global load plus an ``is None`` test (and ``span()`` returns a shared
+no-op context manager), so the default path stays hot-loop safe.
+Instrumentation is phase-granular by design — nothing in this package
+runs per edge or per sampled delta.
+
+Typical use::
+
+    from repro import obs
+
+    with obs.observed() as session:
+        build = build_graph(traces)          # instrumented internally
+        dist = monte_carlo(build, spec, replicates=500, jobs=4)
+    obs.write_chrome_trace(session, "profile.json")
+
+Worker processes (``ProcessPoolBackend``) run their own session and
+ship drained spans/metrics back with each result chunk; the backend
+absorbs them into the active parent session, tagged by worker pid, so
+parallel runs report merged metrics equal to serial totals.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.obs.export import (
+    chrome_trace_events,
+    jsonl_records,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics,
+)
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Timer
+from repro.obs.session import Session, SpanRecord
+from repro.obs.validate import validate_chrome_trace, validate_chrome_trace_file
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "Session",
+    "SpanRecord",
+    "Timer",
+    "active",
+    "add",
+    "chrome_trace_events",
+    "enabled",
+    "gauge",
+    "gauge_max",
+    "jsonl_records",
+    "observed",
+    "span",
+    "span_add",
+    "start",
+    "stop",
+    "time_phase",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "validate_chrome_trace_file",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_metrics",
+]
+
+_ACTIVE: Session | None = None
+
+
+class _NullSpan:
+    """Shared no-op stand-in returned by :func:`span` while disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def add(self, name: str, n: int | float = 1) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def enabled() -> bool:
+    """True while a session is collecting."""
+    return _ACTIVE is not None
+
+
+def active() -> Session | None:
+    return _ACTIVE
+
+
+def start(label: str = "repro", session: Session | None = None) -> Session:
+    """Install (and return) the active session.
+
+    Re-entrant starts return the already-active session — nested tools
+    can call :func:`start` defensively without stealing ownership.
+    """
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = session if session is not None else Session(label)
+    return _ACTIVE
+
+
+def stop() -> Session | None:
+    """Deactivate and return the session (open spans force-closed)."""
+    global _ACTIVE
+    session, _ACTIVE = _ACTIVE, None
+    if session is not None:
+        session.close_open_spans()
+    return session
+
+
+@contextmanager
+def observed(label: str = "repro"):
+    """``with obs.observed() as session:`` — scoped enable/disable."""
+    owned = _ACTIVE is None
+    session = start(label)
+    try:
+        yield session
+    finally:
+        if owned:
+            stop()
+
+
+def span(name: str, **attrs):
+    """Context manager for one nested span (no-op while disabled)."""
+    s = _ACTIVE
+    if s is None:
+        return _NULL_SPAN
+    return s.span(name, **attrs)
+
+
+def add(name: str, n: int | float = 1) -> None:
+    """Increment a session counter (no-op while disabled)."""
+    s = _ACTIVE
+    if s is not None:
+        s.metrics.counter(name).inc(n)
+
+
+def span_add(name: str, n: int | float = 1) -> None:
+    """Increment a session counter AND attach it to the active span."""
+    s = _ACTIVE
+    if s is not None:
+        s.metrics.counter(name).inc(n)
+        current = s.current_span()
+        if current is not None:
+            current.add(name, n)
+
+
+def gauge(name: str, value: float, mode: str = "last") -> None:
+    """Set a gauge (no-op while disabled)."""
+    s = _ACTIVE
+    if s is not None:
+        s.metrics.gauge(name, mode).set(value)
+
+
+def gauge_max(name: str, value: float) -> None:
+    """Raise a high-water-mark gauge (no-op while disabled)."""
+    s = _ACTIVE
+    if s is not None:
+        s.metrics.gauge(name, "max").set(value)
+
+
+@contextmanager
+def time_phase(name: str):
+    """Observe a duration into the timer metric ``name`` (and nothing
+    else — lighter than a span for repeated small operations)."""
+    s = _ACTIVE
+    if s is None:
+        yield
+        return
+    import time as _time
+
+    t0 = _time.perf_counter()
+    try:
+        yield
+    finally:
+        s.metrics.timer(name).observe(_time.perf_counter() - t0)

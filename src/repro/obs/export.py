@@ -1,0 +1,133 @@
+"""Session exporters: structured JSONL and Chrome trace-event JSON.
+
+The Chrome format is the `trace-event` JSON consumed by Perfetto
+(https://ui.perfetto.dev) and ``chrome://tracing``: a ``traceEvents``
+list of complete (``"ph": "X"``) events with microsecond timestamps.
+Each span becomes one event on its ``(pid, tid)`` track, so a
+``--jobs N`` analysis shows the main pipeline phases on the parent
+process track and per-replicate work on one track per worker — the
+analyzer's own execution rendered in the paper's idiom.
+
+The JSONL export is the scriptable twin: one JSON object per line
+(``{"type": "span", ...}`` records, then one ``{"type": "metrics"}``
+record), greppable and trivially loadable from pandas/jq.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterator
+
+from repro.obs.session import Session, SpanRecord
+
+__all__ = [
+    "chrome_trace_events",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "jsonl_records",
+    "write_jsonl",
+    "write_metrics",
+]
+
+
+def _span_args(span: SpanRecord) -> dict:
+    args = dict(span.attrs)
+    if span.counters:
+        args.update(span.counters)
+    args["cpu_ms"] = round(span.cpu_time * 1e3, 3)
+    return args
+
+
+def chrome_trace_events(session: Session) -> list[dict]:
+    """Flatten a session into trace-event dicts (sorted by timestamp)."""
+    events: list[dict] = []
+    tracks: set[tuple[int, int]] = set()
+    for span in session.completed_spans():
+        tracks.add((span.pid, span.tid))
+        events.append(
+            {
+                "name": span.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": (span.t_start - session.epoch) * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": span.pid,
+                "tid": span.tid,
+                "args": _span_args(span),
+            }
+        )
+    events.sort(key=lambda e: (e["pid"], e["tid"], e["ts"], -e["dur"]))
+    meta: list[dict] = []
+    for pid in sorted({p for p, _ in tracks}):
+        name = session.label if pid == session.pid else f"{session.label}-worker"
+        meta.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"{name} (pid {pid})"},
+            }
+        )
+    return meta + events
+
+
+def to_chrome_trace(session: Session) -> dict:
+    """The full Chrome trace object (``json.dump``-ready)."""
+    return {
+        "traceEvents": chrome_trace_events(session),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "label": session.label,
+            "wall_epoch": session.wall_epoch,
+            "workers": session.workers,
+            "metrics": session.metrics.as_dict(),
+        },
+    }
+
+
+def write_chrome_trace(session: Session, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(to_chrome_trace(session)) + "\n")
+    return path
+
+
+def jsonl_records(session: Session) -> Iterator[dict]:
+    """Span records then one metrics record, as plain dicts."""
+    for span in session.completed_spans():
+        d = span.to_dict()
+        d["type"] = "span"
+        d["duration_s"] = span.duration
+        d["cpu_s"] = span.cpu_time
+        yield d
+    yield {
+        "type": "metrics",
+        "pid": session.pid,
+        "workers": session.workers,
+        "metrics": session.metrics.as_dict(),
+    }
+
+
+def write_jsonl(session: Session, path: str | Path) -> Path:
+    path = Path(path)
+    with open(path, "w") as fh:
+        for rec in jsonl_records(session):
+            fh.write(json.dumps(rec) + "\n")
+    return path
+
+
+def write_metrics(session: Session, path: str | Path) -> Path:
+    """Metrics-only JSON report (the ``--metrics-out`` artifact)."""
+    path = Path(path)
+    payload = {
+        "label": session.label,
+        "pid": session.pid,
+        "workers": session.workers,
+        "host_cores": os.cpu_count(),
+        "metrics": session.metrics.as_dict(),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path

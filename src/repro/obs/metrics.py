@@ -1,0 +1,181 @@
+"""Metric primitives and the mergeable registry.
+
+Three metric kinds cover everything the analyzer wants to report about
+itself:
+
+:class:`Counter`
+    Monotone accumulator (nodes built, messages matched, replicates
+    completed).  Merging sums.
+:class:`Gauge`
+    Point-in-time value with an explicit merge ``mode`` — ``"last"``
+    (default), ``"max"`` (high-water marks like mailbox occupancy), or
+    ``"min"``.
+:class:`Timer`
+    Duration accumulator (total seconds, observation count, max single
+    observation).  Merging sums totals/counts and maxes the max.
+
+A :class:`MetricsRegistry` owns one namespace of metrics and knows how
+to :meth:`~MetricsRegistry.snapshot` itself into plain dicts and
+:meth:`~MetricsRegistry.merge` snapshots back in — the mechanism the
+parallel backend uses to fold worker-process metrics into the parent
+session so a ``--jobs N`` run reports one coherent total (bit-equal to
+the serial totals, since merging counters is addition).
+"""
+
+from __future__ import annotations
+
+__all__ = ["Counter", "Gauge", "Timer", "MetricsRegistry"]
+
+_GAUGE_MODES = ("last", "max", "min")
+
+
+class Counter:
+    """Monotone sum; merge = addition."""
+
+    kind = "counter"
+    __slots__ = ("value",)
+
+    def __init__(self, value: int | float = 0):
+        self.value = value
+
+    def inc(self, n: int | float = 1) -> None:
+        self.value += n
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter({self.value})"
+
+
+class Gauge:
+    """Point-in-time value; merge policy chosen by ``mode``."""
+
+    kind = "gauge"
+    __slots__ = ("value", "mode")
+
+    def __init__(self, mode: str = "last"):
+        if mode not in _GAUGE_MODES:
+            raise ValueError(f"gauge mode must be one of {_GAUGE_MODES}, got {mode!r}")
+        self.mode = mode
+        self.value: float | None = None
+
+    def set(self, v: float) -> None:
+        if self.value is None:
+            self.value = v
+        elif self.mode == "max":
+            self.value = max(self.value, v)
+        elif self.mode == "min":
+            self.value = min(self.value, v)
+        else:
+            self.value = v
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "mode": self.mode, "value": self.value}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Gauge({self.value}, mode={self.mode!r})"
+
+
+class Timer:
+    """Duration accumulator in seconds; merge sums."""
+
+    kind = "timer"
+    __slots__ = ("total", "count", "max")
+
+    def __init__(self):
+        self.total = 0.0
+        self.count = 0
+        self.max = 0.0
+
+    def observe(self, dt: float) -> None:
+        self.total += dt
+        self.count += 1
+        if dt > self.max:
+            self.max = dt
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "total": self.total, "count": self.count, "max": self.max}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Timer(total={self.total:.6f}, count={self.count})"
+
+
+class MetricsRegistry:
+    """One named namespace of metrics with snapshot/merge round-trip."""
+
+    def __init__(self):
+        self._metrics: dict[str, Counter | Gauge | Timer] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def _fetch(self, name: str, kind: type, factory):
+        m = self._metrics.get(name)
+        if m is None:
+            m = factory()
+            self._metrics[name] = m
+        elif not isinstance(m, kind):
+            raise TypeError(f"metric {name!r} is a {m.kind}, not a {kind.kind}")
+        return m
+
+    def counter(self, name: str) -> Counter:
+        return self._fetch(name, Counter, Counter)
+
+    def gauge(self, name: str, mode: str = "last") -> Gauge:
+        g = self._fetch(name, Gauge, lambda: Gauge(mode))
+        if g.mode != mode:
+            raise ValueError(f"gauge {name!r} registered with mode {g.mode!r}, asked {mode!r}")
+        return g
+
+    def timer(self, name: str) -> Timer:
+        return self._fetch(name, Timer, Timer)
+
+    # -- serialization ------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Kind-tagged dict form, suitable for pickling across processes
+        and for :meth:`merge` on the other side."""
+        return {name: m.to_dict() for name, m in sorted(self._metrics.items())}
+
+    def as_dict(self) -> dict:
+        """Flat name -> value view for human-facing JSON reports (timers
+        keep their structured form)."""
+        out = {}
+        for name, m in sorted(self._metrics.items()):
+            out[name] = m.to_dict() if isinstance(m, Timer) else m.value
+        return out
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` into this registry.
+
+        Counters add, gauges apply their mode, timers accumulate — so
+        merging N worker snapshots produces exactly the totals a serial
+        run would have recorded.
+        """
+        for name, entry in snapshot.items():
+            kind = entry["kind"]
+            if kind == "counter":
+                self.counter(name).inc(entry["value"])
+            elif kind == "gauge":
+                if entry["value"] is not None:
+                    self.gauge(name, entry.get("mode", "last")).set(entry["value"])
+            elif kind == "timer":
+                t = self.timer(name)
+                t.total += entry["total"]
+                t.count += entry["count"]
+                t.max = max(t.max, entry["max"])
+            else:
+                raise ValueError(f"unknown metric kind {kind!r} for {name!r}")
+
+    def clear(self) -> None:
+        self._metrics.clear()

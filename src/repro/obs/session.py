@@ -1,0 +1,201 @@
+"""Spans and the observability session.
+
+A :class:`Session` collects what one analysis run did: a tree of timed
+**spans** (phase-level wall/CPU intervals with attributes and span-local
+counters) plus a :class:`~repro.obs.metrics.MetricsRegistry`.  Sessions
+are explicitly started — the instrumented library code goes through the
+module-level helpers in :mod:`repro.obs`, which are no-ops costing one
+global load + ``is None`` check while no session is active.
+
+Worker processes run their own session; :meth:`Session.drain` /
+:meth:`Session.absorb` move completed spans and metric snapshots across
+the process boundary (plain dicts, pickle-friendly), tagging every
+absorbed span with the worker's pid so the Chrome-trace export shows
+per-worker tracks.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Session", "SpanRecord"]
+
+
+@dataclass
+class SpanRecord:
+    """One completed (or still-open) span."""
+
+    name: str
+    t_start: float  # time.perf_counter seconds
+    cpu_start: float  # time.process_time seconds
+    pid: int
+    tid: int
+    depth: int
+    parent: int | None  # index into Session.spans, None for roots
+    attrs: dict = field(default_factory=dict)
+    counters: dict = field(default_factory=dict)
+    t_end: float | None = None
+    cpu_end: float | None = None
+
+    @property
+    def duration(self) -> float:
+        """Wall seconds (0.0 while the span is still open)."""
+        return (self.t_end - self.t_start) if self.t_end is not None else 0.0
+
+    @property
+    def cpu_time(self) -> float:
+        return (self.cpu_end - self.cpu_start) if self.cpu_end is not None else 0.0
+
+    def add(self, name: str, n: int | float = 1) -> None:
+        """Attach a span-local counter value."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "cpu_start": self.cpu_start,
+            "cpu_end": self.cpu_end,
+            "pid": self.pid,
+            "tid": self.tid,
+            "depth": self.depth,
+            "parent": self.parent,
+            "attrs": self.attrs,
+            "counters": self.counters,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SpanRecord":
+        return cls(**d)
+
+
+class _SpanHandle:
+    """Context manager returned by :meth:`Session.span`."""
+
+    __slots__ = ("_session", "_record", "_index")
+
+    def __init__(self, session: "Session", record: SpanRecord, index: int):
+        self._session = session
+        self._record = record
+        self._index = index
+
+    @property
+    def record(self) -> SpanRecord:
+        return self._record
+
+    def add(self, name: str, n: int | float = 1) -> None:
+        self._record.add(name, n)
+
+    def __enter__(self) -> "_SpanHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._session._close(self._index, failed=exc_type is not None)
+        return False
+
+
+class Session:
+    """One run's observability state (spans + metrics)."""
+
+    def __init__(self, label: str = "repro"):
+        self.label = label
+        self.pid = os.getpid()
+        self.epoch = time.perf_counter()
+        self.wall_epoch = time.time()
+        self.spans: list[SpanRecord] = []
+        from repro.obs.metrics import MetricsRegistry
+
+        self.metrics = MetricsRegistry()
+        self.workers: list[int] = []  # pids whose drained state was absorbed
+        self._stack: list[int] = []  # indices of open spans
+        self._drained = 0  # spans already shipped out by drain()
+
+    # -- spans --------------------------------------------------------------
+    def span(self, name: str, **attrs) -> _SpanHandle:
+        """Open a nested span; use as a context manager."""
+        parent = self._stack[-1] if self._stack else None
+        record = SpanRecord(
+            name=name,
+            t_start=time.perf_counter(),
+            cpu_start=time.process_time(),
+            pid=self.pid,
+            tid=threading.get_native_id(),
+            depth=len(self._stack),
+            parent=parent,
+            attrs=attrs,
+        )
+        index = len(self.spans)
+        self.spans.append(record)
+        self._stack.append(index)
+        return _SpanHandle(self, record, index)
+
+    def _close(self, index: int, failed: bool = False) -> None:
+        record = self.spans[index]
+        record.t_end = time.perf_counter()
+        record.cpu_end = time.process_time()
+        if failed:
+            record.attrs["error"] = True
+        # Spans close strictly LIFO under the context-manager API; tolerate
+        # a stray handle closed out of order by dropping nested survivors.
+        while self._stack and self._stack[-1] >= index:
+            self._stack.pop()
+
+    def current_span(self) -> SpanRecord | None:
+        return self.spans[self._stack[-1]] if self._stack else None
+
+    def close_open_spans(self) -> None:
+        """Force-close anything still open (end-of-run safety net)."""
+        while self._stack:
+            self._close(self._stack[-1])
+
+    # -- cross-process transfer --------------------------------------------
+    def drain(self) -> dict:
+        """Completed spans + metric snapshot since the last drain.
+
+        Clears what it returns; open spans stay behind.  The result is a
+        plain-dict blob that pickles cheaply across the pool boundary.
+        """
+        completed = [
+            s.to_dict() for s in self.spans[self._drained :] if s.t_end is not None
+        ]
+        blob = {"pid": self.pid, "spans": completed, "metrics": self.metrics.snapshot()}
+        self._drained = len(self.spans)
+        self.metrics.clear()
+        return blob
+
+    def absorb(self, blob: dict | None) -> None:
+        """Merge a worker's :meth:`drain` blob into this session.
+
+        Spans keep their recorded worker pid (separate tracks in the
+        Chrome export); metrics merge by kind so parallel totals equal
+        serial totals.
+        """
+        if not blob:
+            return
+        worker = blob.get("pid")
+        if worker is not None and worker != self.pid and worker not in self.workers:
+            self.workers.append(worker)
+        base = len(self.spans)
+        for d in blob.get("spans", ()):
+            rec = SpanRecord.from_dict(d)
+            # Re-base parent links into this session's span list.
+            if rec.parent is not None:
+                rec.parent += base
+            self.spans.append(rec)
+        self.metrics.merge(blob.get("metrics", {}))
+
+    # -- reporting ----------------------------------------------------------
+    def completed_spans(self) -> list[SpanRecord]:
+        return [s for s in self.spans if s.t_end is not None]
+
+    def summary(self) -> str:
+        roots = [s for s in self.completed_spans() if s.parent is None]
+        total = sum(s.duration for s in roots)
+        return (
+            f"{len(self.completed_spans())} span(s), {len(self.metrics)} metric(s), "
+            f"{len(self.workers)} worker(s), {total * 1e3:.1f} ms in root spans"
+        )

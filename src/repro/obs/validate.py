@@ -1,0 +1,106 @@
+"""Chrome trace-event JSON schema checks.
+
+Used by the obs test suite and by the CI smoke step (``python -m
+repro.obs.validate profile.json``) to guarantee that what ``--profile``
+writes actually loads in Perfetto: a ``traceEvents`` object list whose
+events carry the required fields with sane types, complete events with
+nonnegative durations, and properly nested spans per ``(pid, tid)``
+track.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from numbers import Number
+from pathlib import Path
+
+__all__ = ["validate_chrome_trace", "validate_chrome_trace_file"]
+
+_REQUIRED = ("name", "ph", "ts", "pid", "tid")
+
+
+def validate_chrome_trace(obj) -> list[str]:
+    """Return a list of schema problems (empty means valid)."""
+    problems: list[str] = []
+    if not isinstance(obj, dict):
+        return [f"top level must be an object, got {type(obj).__name__}"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+    complete: dict[tuple, list[tuple[float, float, str]]] = {}
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        missing = [k for k in _REQUIRED if k not in ev]
+        if missing:
+            problems.append(f"{where}: missing {missing}")
+            continue
+        if not isinstance(ev["name"], str):
+            problems.append(f"{where}: 'name' must be a string")
+        if not isinstance(ev["ts"], Number):
+            problems.append(f"{where}: 'ts' must be numeric")
+            continue
+        if "args" in ev and not isinstance(ev["args"], dict):
+            problems.append(f"{where}: 'args' must be an object")
+        if ev["ph"] == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, Number):
+                problems.append(f"{where}: complete event lacks numeric 'dur'")
+                continue
+            if dur < 0:
+                problems.append(f"{where}: negative duration {dur}")
+                continue
+            complete.setdefault((ev["pid"], ev["tid"]), []).append(
+                (float(ev["ts"]), float(ev["ts"]) + float(dur), ev["name"])
+            )
+    # Per-track nesting: intervals may nest or be disjoint, never
+    # partially overlap (Perfetto renders partial overlaps misleadingly).
+    for track, intervals in complete.items():
+        intervals.sort(key=lambda iv: (iv[0], -(iv[1] - iv[0])))
+        stack: list[tuple[float, float, str]] = []
+        for start, end, name in intervals:
+            while stack and start >= stack[-1][1] - 1e-9:
+                stack.pop()
+            if stack and end > stack[-1][1] + 1e-9:
+                problems.append(
+                    f"track {track}: span {name!r} [{start:.1f}, {end:.1f}] partially "
+                    f"overlaps enclosing {stack[-1][2]!r} ending at {stack[-1][1]:.1f}"
+                )
+            stack.append((start, end, name))
+    return problems
+
+
+def validate_chrome_trace_file(path: str | Path) -> dict:
+    """Load, validate, and return the trace object; raise on problems."""
+    with open(path) as fh:
+        obj = json.load(fh)
+    problems = validate_chrome_trace(obj)
+    if problems:
+        listing = "\n".join(f"  - {p}" for p in problems[:20])
+        raise ValueError(f"{path}: invalid Chrome trace:\n{listing}")
+    return obj
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv:
+        print("usage: python -m repro.obs.validate TRACE.json [...]", file=sys.stderr)
+        return 2
+    status = 0
+    for arg in argv:
+        try:
+            obj = validate_chrome_trace_file(arg)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"FAIL {arg}: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        n = len(obj["traceEvents"])
+        print(f"ok {arg}: {n} trace event(s)")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    raise SystemExit(main())

@@ -19,12 +19,31 @@ import re
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
+from repro import obs
 from repro.trace import format as fmt
 from repro.trace.events import EventRecord, TraceMeta
 
 __all__ = ["TraceReader", "RankStream", "TraceSet", "MemoryTrace", "find_trace_files"]
 
 _RANK_RE = re.compile(r"\.rank(\d+)\.trace\.(jsonl|bin)$")
+
+
+def _counted_events(it: Iterator[EventRecord]) -> Iterator[EventRecord]:
+    """Pass events through, reporting how many were read.
+
+    Only ever wrapped around a stream while an observability session is
+    active (the disabled path yields the raw iterator, zero overhead);
+    the count lands when the stream is exhausted or dropped, so partial
+    consumption is reported faithfully.
+    """
+    n = 0
+    try:
+        for ev in it:
+            n += 1
+            yield ev
+    finally:
+        if n:
+            obs.add("trace.events_read", n)
 
 
 def find_trace_files(directory: str | Path, stem: str) -> list[Path]:
@@ -63,6 +82,13 @@ class TraceReader:
 
     def events(self) -> Iterator[EventRecord]:
         """Stream all events from disk, one at a time."""
+        it = self._raw_events()
+        if obs.enabled():
+            obs.add("trace.files_read")
+            return _counted_events(it)
+        return it
+
+    def _raw_events(self) -> Iterator[EventRecord]:
         if self.binary:
             with open(self.path, "rb") as fh:
                 fmt.read_header_binary(fh)

@@ -140,6 +140,121 @@ class TestAnalyze:
             main_analyze(["--traces", str(tmp_path), "--stem", "ring"])
 
 
+class TestObservability:
+    def test_profile_writes_valid_chrome_trace(self, traced, capsys):
+        from repro.obs import validate_chrome_trace_file
+
+        tmp_path, sig_path = traced
+        profile = tmp_path / "profile.json"
+        rc = main_analyze(
+            [
+                "--traces",
+                str(tmp_path),
+                "--stem",
+                "ring",
+                "--signature",
+                str(sig_path),
+                "--replicates",
+                "4",
+                "--profile",
+                str(profile),
+            ]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "graph:" in captured.out  # results still on stdout
+        assert "profile written" in captured.err  # diagnostics on stderr
+
+        obj = validate_chrome_trace_file(profile)
+        names = {e["name"] for e in obj["traceEvents"]}
+        assert {"analyze", "build_graph", "read_traces", "match_events",
+                "propagate", "monte_carlo", "replicate"} <= names
+
+    def test_metrics_out(self, traced, capsys):
+        tmp_path, sig_path = traced
+        metrics_path = tmp_path / "metrics.json"
+        rc = main_analyze(
+            [
+                "--traces",
+                str(tmp_path),
+                "--stem",
+                "ring",
+                "--signature",
+                str(sig_path),
+                "--metrics-out",
+                str(metrics_path),
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(metrics_path.read_text())
+        metrics = payload["metrics"]
+        assert metrics["graph.nodes"] > 0
+        assert metrics["trace.files_read"] >= 4
+        assert metrics["traversal.propagations"] == 1
+
+    def test_no_session_leaks_between_invocations(self, traced):
+        from repro import obs
+
+        tmp_path, sig_path = traced
+        main_analyze(
+            [
+                "--traces",
+                str(tmp_path),
+                "--stem",
+                "ring",
+                "--signature",
+                str(sig_path),
+                "--profile",
+                str(tmp_path / "p.json"),
+            ]
+        )
+        assert not obs.enabled()
+
+    def test_quiet_silences_diagnostics(self, traced, capsys):
+        tmp_path, sig_path = traced
+        rc = main_analyze(
+            [
+                "--traces",
+                str(tmp_path),
+                "--stem",
+                "ring",
+                "--signature",
+                str(sig_path),
+                "--quiet",
+                "--profile",
+                str(tmp_path / "p.json"),
+            ]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "graph:" in captured.out
+        assert "profile written" not in captured.err
+
+    def test_sweep_profile(self, traced, capsys):
+        from repro.obs import validate_chrome_trace_file
+
+        tmp_path, sig_path = traced
+        profile = tmp_path / "sweep-profile.json"
+        rc = main_sweep(
+            [
+                "--traces",
+                str(tmp_path),
+                "--stem",
+                "ring",
+                "--signature",
+                str(sig_path),
+                "--scales",
+                "0,1",
+                "--profile",
+                str(profile),
+            ]
+        )
+        assert rc == 0
+        obj = validate_chrome_trace_file(profile)
+        names = {e["name"] for e in obj["traceEvents"]}
+        assert "sweep_scales" in names
+
+
 class TestSweep:
     def test_table_and_slope(self, traced, capsys):
         tmp_path, sig_path = traced

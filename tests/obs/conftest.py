@@ -1,0 +1,12 @@
+"""Obs tests toggle the module-global session; never leak it."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_session():
+    obs.stop()
+    yield
+    obs.stop()

@@ -1,0 +1,104 @@
+"""Chrome-trace / JSONL export shape and the schema validator."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Session,
+    chrome_trace_events,
+    jsonl_records,
+    to_chrome_trace,
+    validate_chrome_trace,
+    validate_chrome_trace_file,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics,
+)
+from repro.obs.validate import main as validate_main
+
+
+def make_session() -> Session:
+    s = Session("unit")
+    with s.span("build", engine="incore") as h:
+        h.add("graph.nodes", 12)
+        with s.span("match"):
+            pass
+    s.metrics.counter("graph.nodes").inc(12)
+    s.metrics.gauge("window.hwm", "max").set(5.0)
+    s.metrics.timer("io").observe(0.01)
+    return s
+
+
+def test_chrome_trace_events_shape():
+    s = make_session()
+    events = chrome_trace_events(s)
+    meta = [e for e in events if e["ph"] == "M"]
+    spans = [e for e in events if e["ph"] == "X"]
+    assert len(meta) == 1 and meta[0]["name"] == "process_name"
+    assert {e["name"] for e in spans} == {"build", "match"}
+    build = next(e for e in spans if e["name"] == "build")
+    assert build["args"]["engine"] == "incore"
+    assert build["args"]["graph.nodes"] == 12
+    assert "cpu_ms" in build["args"]
+    assert all(e["dur"] >= 0 for e in spans)
+
+
+def test_chrome_trace_validates():
+    trace = to_chrome_trace(make_session())
+    assert validate_chrome_trace(trace) == []
+    assert trace["displayTimeUnit"] == "ms"
+    assert trace["otherData"]["metrics"]["graph.nodes"] == 12
+
+
+def test_validator_catches_problems():
+    assert validate_chrome_trace([]) != []
+    assert validate_chrome_trace({"traceEvents": "nope"}) != []
+    assert validate_chrome_trace({"traceEvents": [{"ph": "X"}]}) != []
+    bad_dur = {
+        "traceEvents": [
+            {"name": "a", "ph": "X", "ts": 0, "dur": -5, "pid": 1, "tid": 1}
+        ]
+    }
+    assert any("negative" in p for p in validate_chrome_trace(bad_dur))
+    overlap = {
+        "traceEvents": [
+            {"name": "a", "ph": "X", "ts": 0, "dur": 10, "pid": 1, "tid": 1},
+            {"name": "b", "ph": "X", "ts": 5, "dur": 10, "pid": 1, "tid": 1},
+        ]
+    }
+    assert any("partially" in p for p in validate_chrome_trace(overlap))
+
+
+def test_write_chrome_trace_roundtrip(tmp_path):
+    s = make_session()
+    path = write_chrome_trace(s, tmp_path / "profile.json")
+    obj = validate_chrome_trace_file(path)
+    assert obj["otherData"]["label"] == "unit"
+    assert validate_main([str(path)]) == 0
+
+    (tmp_path / "broken.json").write_text('{"traceEvents": "nope"}')
+    assert validate_main([str(tmp_path / "broken.json")]) == 1
+    assert validate_main([]) == 2
+    with pytest.raises(ValueError):
+        validate_chrome_trace_file(tmp_path / "broken.json")
+
+
+def test_jsonl_export(tmp_path):
+    s = make_session()
+    records = list(jsonl_records(s))
+    assert [r["type"] for r in records] == ["span", "span", "metrics"]
+    assert records[-1]["metrics"]["graph.nodes"] == 12
+
+    path = write_jsonl(s, tmp_path / "spans.jsonl")
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert lines == records
+
+
+def test_write_metrics(tmp_path):
+    s = make_session()
+    path = write_metrics(s, tmp_path / "metrics.json")
+    payload = json.loads(path.read_text())
+    assert payload["label"] == "unit"
+    assert payload["metrics"]["window.hwm"] == 5.0
+    assert payload["metrics"]["io"]["count"] == 1

@@ -1,0 +1,105 @@
+"""Counter/gauge/timer semantics and the snapshot/merge round trip."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, MetricsRegistry, Timer
+
+
+def test_counter_sums():
+    c = Counter()
+    c.inc()
+    c.inc(4)
+    c.inc(0.5)
+    assert c.value == 5.5
+
+
+def test_gauge_modes():
+    last = Gauge("last")
+    for v in (3.0, 1.0, 2.0):
+        last.set(v)
+    assert last.value == 2.0
+
+    hwm = Gauge("max")
+    for v in (3.0, 1.0, 2.0):
+        hwm.set(v)
+    assert hwm.value == 3.0
+
+    low = Gauge("min")
+    for v in (3.0, 1.0, 2.0):
+        low.set(v)
+    assert low.value == 1.0
+
+    with pytest.raises(ValueError):
+        Gauge("median")
+
+
+def test_timer_accumulates():
+    t = Timer()
+    assert t.mean == 0.0
+    t.observe(0.2)
+    t.observe(0.6)
+    assert t.total == pytest.approx(0.8)
+    assert t.count == 2
+    assert t.max == pytest.approx(0.6)
+    assert t.mean == pytest.approx(0.4)
+
+
+def test_registry_fetch_or_create():
+    reg = MetricsRegistry()
+    assert len(reg) == 0
+    c = reg.counter("events")
+    assert reg.counter("events") is c
+    assert "events" in reg
+    assert len(reg) == 1
+
+    with pytest.raises(TypeError):
+        reg.gauge("events")
+    with pytest.raises(TypeError):
+        reg.timer("events")
+
+    g = reg.gauge("hwm", "max")
+    assert reg.gauge("hwm", "max") is g
+    with pytest.raises(ValueError):
+        reg.gauge("hwm", "last")
+
+
+def test_snapshot_merge_equals_serial():
+    """Merging N partial snapshots reproduces the serial totals exactly."""
+    serial = MetricsRegistry()
+    parts = [MetricsRegistry() for _ in range(3)]
+    for i, part in enumerate(parts):
+        for reg in (serial, part):
+            reg.counter("replicates").inc(10 + i)
+            reg.gauge("hwm", "max").set(float(i))
+            reg.timer("phase").observe(0.1 * (i + 1))
+
+    merged = MetricsRegistry()
+    for part in parts:
+        merged.merge(part.snapshot())
+
+    assert merged.as_dict() == serial.as_dict()
+    assert merged.counter("replicates").value == 10 + 11 + 12
+    assert merged.gauge("hwm", "max").value == 2.0
+    assert merged.timer("phase").count == 3
+
+
+def test_merge_empty_gauge_and_unknown_kind():
+    reg = MetricsRegistry()
+    reg.merge({"empty": {"kind": "gauge", "mode": "last", "value": None}})
+    assert "empty" not in reg
+    with pytest.raises(ValueError):
+        reg.merge({"x": {"kind": "histogram", "value": 1}})
+
+
+def test_as_dict_shapes():
+    reg = MetricsRegistry()
+    reg.counter("n").inc(3)
+    reg.gauge("g").set(1.5)
+    reg.timer("t").observe(0.25)
+    d = reg.as_dict()
+    assert d["n"] == 3
+    assert d["g"] == 1.5
+    assert d["t"] == {"kind": "timer", "total": 0.25, "count": 1, "max": 0.25}
+
+    reg.clear()
+    assert len(reg) == 0

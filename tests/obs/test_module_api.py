@@ -1,0 +1,78 @@
+"""The module-level helpers: disabled-path no-ops and session lifecycle."""
+
+from repro import obs
+
+
+def test_disabled_path_is_noop():
+    assert not obs.enabled()
+    assert obs.active() is None
+    # All helpers must be safe (and do nothing) without a session.
+    s1 = obs.span("anything", key="value")
+    s2 = obs.span("other")
+    assert s1 is s2  # the shared null span — no allocation per call
+    with s1 as handle:
+        handle.add("ignored", 5)
+    obs.add("counter")
+    obs.span_add("counter", 2)
+    obs.gauge("g", 1.0)
+    obs.gauge_max("g", 2.0)
+    with obs.time_phase("phase"):
+        pass
+    assert obs.stop() is None
+
+
+def test_start_stop_lifecycle():
+    session = obs.start("test-run")
+    assert obs.enabled()
+    assert obs.active() is session
+    # Re-entrant start returns the same session.
+    assert obs.start("other-label") is session
+    assert session.label == "test-run"
+
+    with obs.span("phase"):
+        obs.span_add("items", 3)
+    obs.add("items", 2)
+    obs.gauge_max("hwm", 7.0)
+
+    stopped = obs.stop()
+    assert stopped is session
+    assert not obs.enabled()
+    assert session.metrics.counter("items").value == 5
+    assert session.metrics.gauge("hwm", "max").value == 7.0
+    assert session.spans[0].counters == {"items": 3}
+
+
+def test_stop_force_closes_open_spans():
+    obs.start("t")
+    handle = obs.span("left-open")
+    handle.__enter__()
+    session = obs.stop()
+    assert session.spans[0].t_end is not None
+
+
+def test_observed_scoped_ownership():
+    with obs.observed("outer") as session:
+        assert obs.active() is session
+        # A nested observed() must not steal or stop the outer session.
+        with obs.observed("inner") as inner:
+            assert inner is session
+        assert obs.enabled()
+    assert not obs.enabled()
+
+
+def test_span_add_without_open_span():
+    obs.start("t")
+    obs.span_add("loose", 4)  # counts even though no span is open
+    session = obs.stop()
+    assert session.metrics.counter("loose").value == 4
+    assert session.spans == []
+
+
+def test_time_phase_records_timer():
+    obs.start("t")
+    with obs.time_phase("io"):
+        sum(range(100))
+    session = obs.stop()
+    t = session.metrics.timer("io")
+    assert t.count == 1
+    assert t.total >= 0.0

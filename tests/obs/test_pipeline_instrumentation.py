@@ -1,0 +1,101 @@
+"""End-to-end instrumentation: pipeline spans/metrics, and the parallel
+backend's worker-metric merge equalling the serial totals."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core import (
+    PerturbationSpec,
+    StreamingTraversal,
+    build_graph,
+    monte_carlo,
+    propagate,
+)
+from repro.noise import Exponential, MachineSignature
+
+
+def spec(seed=0):
+    return PerturbationSpec(
+        MachineSignature(os_noise=Exponential(100.0), latency=Exponential(40.0)),
+        seed=seed,
+    )
+
+
+def test_build_and_propagate_record_spans(ring_trace):
+    with obs.observed("unit") as session:
+        build = build_graph(ring_trace)
+        propagate(build, spec())
+    names = {s.name for s in session.completed_spans()}
+    assert {"build_graph", "read_traces", "match_events", "materialize_graph",
+            "propagate"} <= names
+    m = session.metrics
+    assert m.counter("graph.nodes").value == len(build.graph.nodes)
+    assert m.counter("graph.edges").value == len(build.graph.edges)
+    assert m.counter("match.transfers").value > 0
+    assert m.counter("traversal.propagations").value == 1
+    # The build span carries its node/edge counters.
+    build_span = next(s for s in session.spans if s.name == "build_graph")
+    assert build_span.counters["graph.nodes"] == len(build.graph.nodes)
+
+
+def test_streaming_traversal_records_window_hwm(ring_trace):
+    with obs.observed("unit") as session:
+        engine = StreamingTraversal(spec())
+        engine.run(ring_trace)
+    names = {s.name for s in session.completed_spans()}
+    assert "streaming_traversal" in names
+    hwm = session.metrics.gauge("window.occupancy_hwm", "max").value
+    assert hwm == engine.max_mailbox
+
+
+def test_disabled_results_identical(ring_trace):
+    """Instrumentation must not perturb the computation itself."""
+    build = build_graph(ring_trace)
+    baseline = propagate(build, spec())
+    with obs.observed("unit"):
+        build2 = build_graph(ring_trace)
+        observed = propagate(build2, spec())
+    assert baseline.final_delay == observed.final_delay
+    assert np.array_equal(baseline.node_delay, observed.node_delay)
+
+
+def test_parallel_metrics_merge_equals_serial(ring_build):
+    """--jobs 2 merged worker metrics must equal the serial totals."""
+    n = 8
+    with obs.observed("serial") as serial_session:
+        serial = monte_carlo(ring_build, spec(), replicates=n, jobs=0)
+    with obs.observed("parallel") as parallel_session:
+        parallel = monte_carlo(ring_build, spec(), replicates=n, jobs=2)
+
+    # Determinism contract first: same samples either way.
+    assert np.array_equal(serial.samples, parallel.samples)
+
+    sm, pm = serial_session.metrics, parallel_session.metrics
+    assert sm.counter("mc.replicates").value == n
+    assert pm.counter("mc.replicates").value == n
+    assert (
+        pm.counter("traversal.propagations").value
+        == sm.counter("traversal.propagations").value
+    )
+
+    # Pool fell back to serial (restricted platform)?  Then no worker
+    # tracks; otherwise replicate spans arrive tagged with worker pids.
+    if parallel_session.workers:
+        replicate_spans = [
+            s for s in parallel_session.completed_spans() if s.name == "replicate"
+        ]
+        assert len(replicate_spans) == n
+        assert {s.pid for s in replicate_spans} <= set(parallel_session.workers)
+
+
+def test_worker_sessions_do_not_leak(ring_build):
+    """Observability in a pool run must not activate a parent session,
+    and a disabled parallel run records nothing."""
+    monte_carlo(ring_build, spec(), replicates=4, jobs=2)
+    assert not obs.enabled()
+
+
+@pytest.fixture(scope="module")
+def ring_build(ring_trace):
+    return build_graph(ring_trace)

@@ -1,0 +1,104 @@
+"""Span nesting, timing monotonicity, and the drain/absorb transfer."""
+
+from repro.obs import Session
+
+
+def test_span_nesting_depth_and_parents():
+    s = Session("t")
+    with s.span("outer") as outer:
+        with s.span("mid"):
+            with s.span("inner"):
+                pass
+        with s.span("mid2"):
+            pass
+    assert outer.record.t_end is not None
+
+    by_name = {r.name: r for r in s.spans}
+    assert by_name["outer"].depth == 0 and by_name["outer"].parent is None
+    assert by_name["mid"].depth == 1 and s.spans[by_name["mid"].parent].name == "outer"
+    assert by_name["inner"].depth == 2 and s.spans[by_name["inner"].parent].name == "mid"
+    assert by_name["mid2"].depth == 1 and s.spans[by_name["mid2"].parent].name == "outer"
+
+
+def test_span_timing_monotonic():
+    s = Session("t")
+    with s.span("outer"):
+        with s.span("inner"):
+            sum(range(1000))
+    outer, inner = s.spans[0], s.spans[1]
+    for r in (outer, inner):
+        assert r.t_end >= r.t_start
+        assert r.cpu_end >= r.cpu_start
+        assert r.duration >= 0.0
+    # A child span is contained in its parent's wall interval.
+    assert outer.t_start <= inner.t_start
+    assert inner.t_end <= outer.t_end
+
+
+def test_span_counters_and_error_flag():
+    s = Session("t")
+    with s.span("work", mode="additive") as h:
+        h.add("items", 3)
+        h.add("items", 2)
+    assert s.spans[0].counters == {"items": 5}
+    assert s.spans[0].attrs == {"mode": "additive"}
+
+    try:
+        with s.span("failing"):
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert s.spans[1].attrs.get("error") is True
+    assert s.spans[1].t_end is not None
+
+
+def test_current_span_and_close_open():
+    s = Session("t")
+    assert s.current_span() is None
+    h = s.span("open")
+    h.__enter__()
+    assert s.current_span() is h.record
+    s.close_open_spans()
+    assert s.current_span() is None
+    assert s.spans[0].t_end is not None
+
+
+def test_drain_ships_only_completed_once():
+    s = Session("t")
+    with s.span("done"):
+        pass
+    h = s.span("open")
+    h.__enter__()
+
+    blob = s.drain()
+    assert [d["name"] for d in blob["spans"]] == ["done"]
+    assert blob["pid"] == s.pid
+    # A second drain must not re-ship the same span.
+    assert s.drain()["spans"] == []
+    h.__exit__(None, None, None)
+
+
+def test_absorb_rebases_parents_and_tags_workers():
+    parent = Session("parent")
+    with parent.span("local"):
+        pass
+
+    worker = Session("worker")
+    worker.pid = parent.pid + 1  # simulate a separate process
+    with worker.span("chunk"):
+        with worker.span("replicate"):
+            pass
+    worker.metrics.counter("mc.replicates").inc(4)
+    for rec in worker.spans:
+        rec.pid = worker.pid
+
+    parent.absorb(worker.drain())
+    parent.absorb(None)  # no-op blob
+
+    assert parent.workers == [worker.pid]
+    names = [r.name for r in parent.spans]
+    assert names == ["local", "chunk", "replicate"]
+    replicate = parent.spans[2]
+    assert parent.spans[replicate.parent].name == "chunk"
+    assert parent.metrics.counter("mc.replicates").value == 4
+    assert "span(s)" in parent.summary()
