@@ -1,0 +1,115 @@
+"""PERF — compiled plan vs object-graph Monte-Carlo throughput.
+
+Measures ``monte_carlo(..., engine="compiled")`` — the
+:class:`~repro.core.compiled.CompiledPlan` replicate-batched numpy
+kernel — against ``engine="graph"`` (the per-replicate object-graph
+reference) on the token-ring trace, serially and with ``--jobs``
+fan-out, and verifies the tentpole's equivalence bar: the compiled
+samples must be **bit-for-bit identical** to the reference engine's.
+
+Environment knobs (used by the CI smoke job to keep runtime tiny):
+
+``REPRO_BENCH_MC_REPLICATES``
+    Replicate count per run (default 200 — the headline R=200
+    configuration the >= 5x serial-speedup criterion is stated at).
+``REPRO_BENCH_MC_JOBS``
+    Comma-separated worker counts to ladder over (default ``2,4``).
+
+A warm-up batch runs first so the one-time costs (graph lowering plus
+the runtime ziggurat-table harvest, ~0.2 s per process) are paid before
+timing starts — exactly the steady state a sweep or repeated analysis
+sees, since plans and tables are cached per build / per process.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from benchmarks._common import emit, table
+from repro.apps import TokenRingParams, token_ring
+from repro.core import PerturbationSpec, build_graph, compiled_plan, monte_carlo
+from repro.mpisim import run
+from repro.noise import Exponential, MachineSignature
+
+REPLICATES = int(os.environ.get("REPRO_BENCH_MC_REPLICATES", "200"))
+JOBS_LADDER = [
+    int(j) for j in os.environ.get("REPRO_BENCH_MC_JOBS", "2,4").split(",") if j.strip()
+]
+
+
+def mc_build():
+    trace = run(token_ring(TokenRingParams(traversals=8)), nprocs=8, seed=0).trace
+    return build_graph(trace)
+
+
+def mc_spec():
+    return PerturbationSpec(
+        MachineSignature(os_noise=Exponential(120.0), latency=Exponential(50.0)), seed=17
+    )
+
+
+def test_compiled_mc_speedup(benchmark):
+    build = mc_build()
+    spec = mc_spec()
+    compiled_plan(build)  # lower once + harvest tables (cached afterwards)
+    monte_carlo(build, spec, replicates=4, engine="compiled")  # warm-up
+
+    t0 = time.perf_counter()
+    reference = monte_carlo(build, spec, replicates=REPLICATES, engine="graph")
+    t_graph = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    compiled = monte_carlo(build, spec, replicates=REPLICATES, engine="compiled")
+    t_compiled = time.perf_counter() - t0
+
+    # The tentpole's equivalence bar: bit-identical makespan samples.
+    assert np.array_equal(reference.samples, compiled.samples)
+    assert reference.seeds == compiled.seeds
+
+    serial_speedup = t_graph / t_compiled
+    rows = [
+        ["graph", REPLICATES, f"{t_graph * 1e3:.0f}", "1.00"],
+        ["compiled", REPLICATES, f"{t_compiled * 1e3:.0f}", f"{serial_speedup:.2f}"],
+    ]
+    timings = {"graph_serial_s": t_graph, "compiled_serial_s": t_compiled}
+    speedups = {"serial": serial_speedup}
+    for jobs in JOBS_LADDER:
+        t0 = time.perf_counter()
+        dist = monte_carlo(build, spec, replicates=REPLICATES, engine="compiled", jobs=jobs)
+        dt = time.perf_counter() - t0
+        assert np.array_equal(reference.samples, dist.samples)
+        timings[f"compiled_jobs{jobs}_s"] = dt
+        speedups[f"jobs{jobs}"] = t_graph / dt
+        rows.append(
+            [f"compiled -j{jobs}", REPLICATES, f"{dt * 1e3:.0f}", f"{t_graph / dt:.2f}"]
+        )
+
+    rows.append(["cores", os.cpu_count() or 1, "", ""])
+    emit(
+        "perf_compiled_mc",
+        table(["engine", "replicates", "time ms", "speedup"], rows, widths=[13, 10, 9, 8]),
+        params={
+            "replicates": REPLICATES,
+            "jobs_ladder": JOBS_LADDER,
+            "cores": os.cpu_count() or 1,
+        },
+        timings=timings,
+        metrics={"speedup": speedups, "mc_mean_delay": reference.mean()},
+    )
+
+    benchmark(lambda: monte_carlo(build, spec, replicates=REPLICATES, engine="compiled"))
+
+
+def test_compiled_mc_fallback_signature_equivalence():
+    """A signature with no vectorized fast path (LogNormal OS noise)
+    must still be bit-identical — only slower — via the scalar lanes."""
+    from repro.noise.distributions import LogNormal
+
+    build = mc_build()
+    sig = MachineSignature(os_noise=LogNormal(3.0, 0.5), latency=Exponential(50.0))
+    spec = PerturbationSpec(sig, seed=17)
+    n = min(REPLICATES, 24)
+    reference = monte_carlo(build, spec, replicates=n, engine="graph")
+    compiled = monte_carlo(build, spec, replicates=n, engine="compiled")
+    assert np.array_equal(reference.samples, compiled.samples)

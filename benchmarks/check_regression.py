@@ -1,0 +1,142 @@
+"""Benchmark regression guard: fresh results vs committed baselines.
+
+Compares freshly emitted ``repro-bench-result/1`` JSON artifacts (see
+:mod:`benchmarks._common`) against the committed baselines under
+``benchmarks/results/``.  A fresh timing is a **regression** when it
+exceeds ``tolerance x baseline`` — the tolerance is generous (2x by
+default) because CI runners differ from the machines that recorded the
+baselines; the guard exists to catch order-of-magnitude slowdowns (an
+accidentally de-vectorized kernel, a quadratic chunk assembly), not 10%
+jitter.
+
+Only comparable entries are compared: a fresh result whose ``params``
+disagree with the baseline's (ignoring volatile keys like ``cores``)
+is skipped and reported as such, so smoke runs with tiny replicate
+counts never produce false alarms.  The full comparison is written as a
+JSON diff for CI artifact upload.
+
+Usage (what the CI benchmark-smoke job runs)::
+
+    python benchmarks/check_regression.py \
+        --baseline /tmp/bench-baseline --fresh benchmarks/results \
+        --out regression-diff.json
+
+Exit status 1 iff at least one regression was found.  The tolerance can
+also be set via ``REPRO_BENCH_REGRESSION_TOL``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+SCHEMA = "repro-bench-result/1"
+
+#: Params that legitimately differ across machines without making the
+#: timings incomparable under a generous tolerance.
+VOLATILE_PARAMS = frozenset({"cores", "jobs_ladder"})
+
+
+def load_results(directory: Path) -> dict[str, dict]:
+    """All ``repro-bench-result/1`` records in ``directory``, by name."""
+    out = {}
+    for path in sorted(directory.glob("*.json")):
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(record, dict) and record.get("schema") == SCHEMA:
+            out[record.get("name", path.stem)] = record
+    return out
+
+
+def comparable_params(baseline: dict, fresh: dict, ignore=VOLATILE_PARAMS) -> bool:
+    strip = lambda p: {k: v for k, v in p.items() if k not in ignore}  # noqa: E731
+    return strip(baseline.get("params", {})) == strip(fresh.get("params", {}))
+
+
+def compare(
+    baseline: dict[str, dict], fresh: dict[str, dict], tolerance: float
+) -> dict:
+    """Build the diff: per-benchmark timing ratios and verdicts."""
+    diff: dict = {"tolerance": tolerance, "benchmarks": {}, "regressions": []}
+    for name, fresh_rec in sorted(fresh.items()):
+        base_rec = baseline.get(name)
+        if base_rec is None:
+            diff["benchmarks"][name] = {"status": "no-baseline"}
+            continue
+        if not comparable_params(base_rec, fresh_rec):
+            diff["benchmarks"][name] = {
+                "status": "skipped-params-differ",
+                "baseline_params": base_rec.get("params", {}),
+                "fresh_params": fresh_rec.get("params", {}),
+            }
+            continue
+        timings = {}
+        worst = 0.0
+        for key, base_val in sorted(base_rec.get("timings", {}).items()):
+            fresh_val = fresh_rec.get("timings", {}).get(key)
+            if (
+                not key.endswith("_s")
+                or not isinstance(base_val, (int, float))
+                or not isinstance(fresh_val, (int, float))
+                or base_val <= 0
+            ):
+                continue
+            ratio = fresh_val / base_val
+            worst = max(worst, ratio)
+            timings[key] = {
+                "baseline_s": base_val,
+                "fresh_s": fresh_val,
+                "ratio": round(ratio, 3),
+                "regressed": ratio > tolerance,
+            }
+            if ratio > tolerance:
+                diff["regressions"].append(
+                    f"{name}.{key}: {fresh_val:.3f}s vs baseline "
+                    f"{base_val:.3f}s ({ratio:.2f}x > {tolerance:g}x)"
+                )
+        diff["benchmarks"][name] = {
+            "status": "compared",
+            "worst_ratio": round(worst, 3),
+            "timings": timings,
+        }
+    return diff
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", type=Path, required=True, help="committed results dir")
+    ap.add_argument("--fresh", type=Path, required=True, help="freshly emitted results dir")
+    ap.add_argument(
+        "--tol",
+        type=float,
+        default=float(os.environ.get("REPRO_BENCH_REGRESSION_TOL", "2.0")),
+        help="slowdown ratio above which a timing regresses (default 2.0)",
+    )
+    ap.add_argument("--out", type=Path, help="write the JSON diff here")
+    args = ap.parse_args(argv)
+
+    diff = compare(load_results(args.baseline), load_results(args.fresh), args.tol)
+    if args.out:
+        args.out.write_text(json.dumps(diff, indent=2, sort_keys=True) + "\n")
+
+    compared = skipped = 0
+    for name, entry in diff["benchmarks"].items():
+        if entry["status"] == "compared":
+            compared += 1
+            print(f"{name}: worst ratio {entry['worst_ratio']:.2f}x (tol {args.tol:g}x)")
+        else:
+            skipped += 1
+            print(f"{name}: {entry['status']}")
+    print(f"{compared} compared, {skipped} skipped, {len(diff['regressions'])} regression(s)")
+    for line in diff["regressions"]:
+        print(f"REGRESSION: {line}", file=sys.stderr)
+    return 1 if diff["regressions"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,6 +38,7 @@ from repro.core import (
     absorption_map,
     build_graph,
     check_correctness,
+    compiled_plan,
     critical_path,
     monte_carlo,
     propagate,
@@ -310,7 +311,14 @@ def main_analyze(argv: list[str] | None = None) -> int:
     _add_jobs_arg(ap)
     _add_logging_args(ap)
     _add_obs_args(ap)
-    ap.add_argument("--engine", choices=("incore", "streaming"), default="incore")
+    ap.add_argument(
+        "--engine",
+        choices=("auto", "incore", "graph", "streaming", "compiled"),
+        default="auto",
+        help="propagation engine: auto (= compiled), the in-core object graph "
+        "(incore / its alias graph), the windowed streaming traversal, or the "
+        "vectorized compiled plan — all bit-identical on the same seed",
+    )
     ap.add_argument("--window", type=int, default=4096)
     ap.add_argument("--history", help="append the experiment to this history JSONL")
     ap.add_argument("--name", default="analysis", help="experiment name for the history")
@@ -328,11 +336,12 @@ def main_analyze(argv: list[str] | None = None) -> int:
     )
     args = ap.parse_args(argv)
     _configure_logging(args)
-    if args.replicates and args.engine != "incore":
-        raise SystemExit("--replicates requires --engine incore")
+    engine = {"auto": "compiled", "graph": "incore"}.get(args.engine, args.engine)
+    if args.replicates and engine == "streaming":
+        raise SystemExit("--replicates requires a graph engine (incore or compiled)")
 
     session = _start_observability(args, "repro-analyze")
-    with obs.span("analyze", engine=args.engine, mode=args.mode):
+    with obs.span("analyze", engine=engine, mode=args.mode):
         traces = TraceSet.open(args.traces, args.stem)
         with obs.span("validate_traces"):
             report = validate_traces(traces)
@@ -347,7 +356,7 @@ def main_analyze(argv: list[str] | None = None) -> int:
         with obs.span("trace_stats"):
             stats = trace_stats(traces)
         _say(f"trace: {stats.summary()}")
-        if args.engine == "streaming":
+        if engine == "streaming":
             result = StreamingTraversal(
                 spec, config=config, mode=args.mode, window=args.window
             ).run(traces)
@@ -359,7 +368,10 @@ def main_analyze(argv: list[str] | None = None) -> int:
                 _LOG.warning(str(w))
         else:
             build = build_graph(traces, config)
-            result = propagate(build, spec, mode=args.mode)
+            if engine == "compiled":
+                result = compiled_plan(build).propagate_one(spec, mode=args.mode)
+            else:
+                result = propagate(build, spec, mode=args.mode)
             with obs.span("analysis"):
                 correctness = check_correctness(build, result)
                 impact = runtime_impact(build, result)
@@ -379,7 +391,12 @@ def main_analyze(argv: list[str] | None = None) -> int:
                 _LOG.warning(str(w))
             if args.replicates:
                 dist = monte_carlo(
-                    build, spec, replicates=args.replicates, mode=args.mode, jobs=args.jobs
+                    build,
+                    spec,
+                    replicates=args.replicates,
+                    mode=args.mode,
+                    jobs=args.jobs,
+                    engine="compiled" if engine == "compiled" else "graph",
                 )
                 _say(f"monte carlo: {dist.summary()}")
                 _say(
@@ -402,7 +419,12 @@ def main_sweep(argv: list[str] | None = None) -> int:
     _add_logging_args(ap)
     _add_obs_args(ap)
     ap.add_argument("--scales", default="0,0.25,0.5,1,2,4", help="comma-separated scale factors")
-    ap.add_argument("--engine", choices=("incore", "streaming"), default="incore")
+    ap.add_argument(
+        "--engine",
+        choices=("auto", "incore", "graph", "streaming", "compiled"),
+        default="auto",
+        help="sweep engine (auto = compiled; all engines give identical points)",
+    )
     args = ap.parse_args(argv)
     _configure_logging(args)
 

@@ -12,6 +12,7 @@ from repro.core.analysis import (
     runtime_impact,
 )
 from repro.core.builder import BuildResult, build_graph
+from repro.core.compiled import CompiledBatch, CompiledPlan, compiled_plan
 from repro.core.correctness import CorrectnessReport, check_correctness
 from repro.core.diagnostics import AnalysisWarning
 from repro.core.dot import to_dot
@@ -32,6 +33,7 @@ from repro.core.parallel import (
     ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
+    map_replicate_batches,
     map_replicates,
     replicate_items,
     resolve_backend,
@@ -65,6 +67,9 @@ __all__ = [
     "monte_carlo",
     "BuildResult",
     "build_graph",
+    "CompiledBatch",
+    "CompiledPlan",
+    "compiled_plan",
     "CorrectnessReport",
     "check_correctness",
     "to_dot",
@@ -86,6 +91,7 @@ __all__ = [
     "SerialBackend",
     "ProcessPoolBackend",
     "resolve_backend",
+    "map_replicate_batches",
     "map_replicates",
     "replicate_items",
     "BuildConfig",

@@ -1,0 +1,860 @@
+"""Compiled graph plan: vectorized sampling + replicate-batched propagation.
+
+The perturbation engine is the hot path of every experiment:
+``monte_carlo``, sweeps, and ``rank_influence`` all call
+:func:`~repro.core.traversal.propagate` once per replicate, re-walking
+the Python object graph and re-hashing every edge uid through scalar
+``_splitmix64`` — an R-replicate analysis does R interpreter-bound
+traversals of *identical* topology.  A :class:`CompiledPlan` lowers a
+:class:`~repro.core.builder.BuildResult` once into structure-of-arrays
+form and then processes **all replicates simultaneously**:
+
+* a level-ordered node table with CSR in-edge arrays (predecessor
+  index, weight, delta-kind code, uid columns for hashing, message
+  sizes for δ_t(d));
+* a vectorized sampler — numpy-native splitmix64 over the uid columns,
+  a vectorized PCG64 (XSL-RR 128/64) advancing one independent stream
+  per edge, and ziggurat fast paths for the exponential / normal
+  families — that reproduces :meth:`PerturbationSpec.sample` draws
+  **bit-for-bit**;
+* a propagation kernel carrying a ``(R, n_nodes)`` delay matrix
+  through one topological pass (per-node max over in-edges vectorized
+  across the replicate axis, both ``additive`` and ``threshold``
+  modes).
+
+Exactness strategy
+------------------
+
+``PerturbationSpec`` keys one PCG64 stream per edge from
+``splitmix64``-mixed ``(seed, kind, *uid)`` and draws through numpy
+``Generator`` methods.  The mix chain and the PCG64 LCG are replayed
+here with uint64 array arithmetic (verified against
+``BitGenerator.random_raw`` at runtime).  The ziggurat layer tables
+numpy uses for ``standard_exponential`` / ``standard_normal`` are not
+exported, so they are *harvested* at runtime: the PCG64 LCG is
+invertible, so for any desired 64-bit output we can construct the
+predecessor state, feed it to a real ``Generator``, and observe the
+returned value and the number of raw draws consumed.  256 probes plus a
+binary search per layer recover ``(w[idx], k[idx])`` exactly.  Lanes
+whose every draw takes the single-draw ziggurat fast path (~98%) are
+vectorized; the rest — rejection/tail branches, and any distribution
+family outside the verified registry (Constant / Uniform / Exponential
+/ Normal plus Shifted/Scaled combinators) — fall back to the scalar
+``PerturbationSpec`` for that (edge, replicate) lane, so results are
+unconditionally identical to :func:`propagate` for *any* signature.
+If the runtime self-check fails (e.g. a future numpy changes its
+bit-stream layout), the vectorized sampler disables itself and every
+lane falls back — slower, never wrong.
+
+Observability: the compiled path emits ``compiled.compile``,
+``compiled.sample`` and ``compiled.propagate`` spans plus
+``traversal.propagations`` / ``traversal.clamped_edges`` counters, so
+``--profile`` output stays comparable with the reference engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import obs
+from repro.core.builder import BuildResult
+from repro.core.graph import DeltaKind, DeltaSpec
+from repro.core.perturb import PerturbationSpec
+from repro.core.traversal import MODES, TraversalResult
+from repro.noise.distributions import Constant, Exponential, Normal, Scaled, Shifted, Uniform
+from repro.noise.signature import MachineSignature
+
+__all__ = ["CompiledBatch", "CompiledPlan", "compiled_plan"]
+
+_U64 = np.uint64
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+_FNV_SEED = 0x811C9DC5
+_TO_DOUBLE = 1.0 / 9007199254740992.0  # 2^-53
+
+# PCG64 (XSL-RR 128/64) multiplier, split into 64-bit halves for the
+# two-limb vectorized LCG step.
+_PCG_MULT = 0x2360ED051FC65DA44385DF649FCCF645
+_PCG_MULT_HI = _U64(_PCG_MULT >> 64)
+_PCG_MULT_LO = _U64(_PCG_MULT & _MASK64)
+_MASK128 = (1 << 128) - 1
+_PCG_INV_MULT = pow(_PCG_MULT, -1, 1 << 128)  # LCG step inverse (harvesting)
+
+
+# ---------------------------------------------------------------------------
+# Vectorized splitmix64 / _mix (must match repro.core.perturb exactly)
+# ---------------------------------------------------------------------------
+
+
+def _splitmix64_vec(x: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`repro.core.perturb._splitmix64` over uint64 arrays."""
+    x = (x + _U64(0x9E3779B97F4A7C15)).astype(_U64, copy=False)
+    x = (x ^ (x >> _U64(30))) * _U64(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> _U64(27))) * _U64(0x94D049BB133111EB)
+    return x ^ (x >> _U64(31))
+
+
+def _mix_vec(columns: np.ndarray, lengths: np.ndarray | None = None) -> np.ndarray:
+    """Vectorized :func:`repro.core.perturb._mix` over the rows of a padded
+    uint64 matrix (``lengths[i]`` = how many leading columns row i uses)."""
+    n, width = columns.shape
+    h = np.full(n, _U64(_FNV_SEED), dtype=_U64)
+    for j in range(width):
+        if lengths is None:
+            h = _splitmix64_vec(h ^ columns[:, j])
+        else:
+            m = lengths > j
+            h[m] = _splitmix64_vec(h[m] ^ columns[m, j])
+    return h
+
+
+# ---------------------------------------------------------------------------
+# Vectorized PCG64 (XSL-RR 128/64)
+# ---------------------------------------------------------------------------
+
+
+def _mulhi64(a: np.ndarray, b) -> np.ndarray:
+    """High 64 bits of the 128-bit product of uint64 arrays (32-bit limbs)."""
+    m32 = _U64(0xFFFFFFFF)
+    s32 = _U64(32)
+    ah, al = a >> s32, a & m32
+    bh, bl = b >> s32, b & m32
+    lo = al * bl
+    t = ah * bl + (lo >> s32)
+    w1 = (t & m32) + al * bh
+    return ah * bh + (t >> s32) + (w1 >> s32)
+
+
+def _pcg_next64(hi, lo, inc_hi, inc_lo):
+    """One LCG step + XSL-RR output.  Returns ``(hi', lo', out)``."""
+    nhi = hi * _PCG_MULT_LO + lo * _PCG_MULT_HI + _mulhi64(lo, _PCG_MULT_LO)
+    nlo = lo * _PCG_MULT_LO
+    lo2 = nlo + inc_lo
+    hi2 = nhi + inc_hi + (lo2 < nlo).astype(_U64)
+    rot = hi2 >> _U64(58)
+    x = hi2 ^ lo2
+    out = (x >> rot) | (x << ((_U64(64) - rot) & _U64(63)))
+    return hi2, lo2, out
+
+
+# ---------------------------------------------------------------------------
+# Runtime ziggurat-table harvesting + backend self-check
+# ---------------------------------------------------------------------------
+
+_TABLES: dict | None = None
+
+
+def _spec_state(k: int, s1: int, s2: int, s3: int) -> tuple[int, int]:
+    """(state, inc) exactly as ``PerturbationSpec._rng`` would install them."""
+    inc = ((((s2 << 64) | s3) << 1) | 1) & _MASK128
+    return (k << 64) | s1, inc
+
+
+class _Prober:
+    """Drives a real ``Generator`` from constructed PCG64 states."""
+
+    def __init__(self) -> None:
+        self.bg = np.random.PCG64(0)
+        self.template = self.bg.state
+        self.gen = np.random.Generator(self.bg)
+
+    def set_state(self, state128: int, inc128: int) -> None:
+        st = dict(self.template)
+        st["state"] = {"state": state128, "inc": inc128}
+        st["has_uint32"] = 0
+        st["uinteger"] = 0
+        self.bg.state = st
+
+    def probe(self, u0: int, draw, maxn: int = 4) -> tuple[float, int]:
+        """Make the next raw output exactly ``u0`` (via the LCG inverse),
+        call ``draw()``, and count how many raw draws it consumed."""
+        s_pre = ((u0 - 1) * _PCG_INV_MULT) & _MASK128  # post-step (hi=0, lo=u0)
+        self.set_state(s_pre, 1)
+        value = draw()
+        after = self.bg.state["state"]["state"]
+        s = s_pre
+        for n in range(1, maxn + 1):
+            s = (s * _PCG_MULT + 1) & _MASK128
+            if s == after:
+                return value, n
+        return value, -1
+
+
+def _harvest_layers(probe_fn, payload_bits: int) -> tuple[np.ndarray, np.ndarray]:
+    """Recover ``(w, k)`` ziggurat tables for one family.
+
+    ``probe_fn(idx, payload) -> (value, steps)``.  A 1-step probe is a
+    primary accept; a 2-step probe is the boundary branch, which still
+    returns ``payload * w[idx]`` exactly, so either yields ``w``.  The
+    binary search uses ``steps == 1`` as the accept signal (``k[idx]``
+    is the smallest rejected payload; a layer may accept its whole
+    payload range, flagged with the ``2**payload_bits`` sentinel).
+    """
+    w = np.empty(256, dtype=np.float64)
+    k = np.empty(256, dtype=np.uint64)
+    top = 1 << payload_bits
+    for idx in range(256):
+        v, n = probe_fn(idx, 1)
+        if n not in (1, 2):
+            raise RuntimeError(f"layer {idx}: probe consumed {n} draws")
+        w[idx] = v
+        _, n = probe_fn(idx, top - 1)
+        if n == 1:
+            k[idx] = top
+            continue
+        lo, hi = 0, top
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            _, n = probe_fn(idx, mid)
+            lo, hi = (mid, hi) if n == 1 else (lo, mid)
+        k[idx] = hi
+    return w, k
+
+
+def _random_streams(n: int, seed: int):
+    """``n`` spec-style stream keys (k, s1, s2, s3) for self-checks."""
+    rng = np.random.default_rng(seed)
+    return tuple(rng.integers(0, 1 << 64, size=n, dtype=_U64) for _ in range(4))
+
+
+def _stream_state_arrays(k, s1, s2, s3):
+    inc_hi = (s2 << _U64(1)) | (s3 >> _U64(63))
+    inc_lo = (s3 << _U64(1)) | _U64(1)
+    return k.copy(), s1.copy(), inc_hi, inc_lo
+
+
+def _check_family(prober: _Prober, keys, u0, vec_values, accept, scalar_draw) -> bool:
+    """Verify vectorized accepted-lane values against scalar draws."""
+    k, s1, s2, s3 = keys
+    idx = np.nonzero(accept)[0] if accept is not None else np.arange(len(u0))
+    if accept is not None and len(idx) < len(u0) // 2:
+        return False  # implausible accept rate: layout assumption broken
+    for i in idx:
+        prober.set_state(*_spec_state(int(k[i]), int(s1[i]), int(s2[i]), int(s3[i])))
+        if scalar_draw(prober.gen) != vec_values[i]:
+            return False
+    return True
+
+
+def _build_tables() -> dict:
+    """Harvest + verify the vectorized sampling backend (once per process).
+
+    Returns ``{"pcg": bool, "uniform": bool, "exp": (we, ke) | None,
+    "norm": (wi, ki) | None}``.  Any check that fails simply disables
+    its family — affected lanes take the exact scalar fallback.
+    """
+    out: dict = {"pcg": False, "uniform": False, "exp": None, "norm": None}
+    prober = _Prober()
+    keys = _random_streams(512, 0xC0FFEE)
+    k, s1, s2, s3 = keys
+
+    # 1. Raw-stream check: vectorized LCG vs BitGenerator.random_raw.
+    hi, lo, ihi, ilo = _stream_state_arrays(k, s1, s2, s3)
+    hi, lo, u0 = _pcg_next64(hi, lo, ihi, ilo)
+    _, _, u1 = _pcg_next64(hi, lo, ihi, ilo)
+    for i in range(0, 512, 31):
+        prober.set_state(*_spec_state(int(k[i]), int(s1[i]), int(s2[i]), int(s3[i])))
+        raw = prober.bg.random_raw(2)
+        if int(raw[0]) != int(u0[i]) or int(raw[1]) != int(u1[i]):
+            return out
+    out["pcg"] = True
+
+    # 2. Uniform double: out = (u >> 11) * 2^-53.
+    d = (u0 >> _U64(11)).astype(np.float64) * _TO_DOUBLE
+    vals = -2.5 + 7.0 * d
+    out["uniform"] = _check_family(
+        prober, keys, u0, vals, None, lambda g: g.uniform(-2.5, 4.5)
+    )
+
+    # 3. Exponential ziggurat: idx = (u >> 3) & 0xFF, payload = u >> 11.
+    try:
+        exp_tables = _harvest_layers(
+            lambda idx, pay: prober.probe(((pay << 8) | idx) << 3, prober.gen.standard_exponential),
+            payload_bits=53,
+        )
+        we, ke = exp_tables
+        ri = u0 >> _U64(3)
+        lidx = (ri & _U64(0xFF)).astype(np.intp)
+        pay = ri >> _U64(8)
+        x = pay.astype(np.float64) * we[lidx]
+        acc = pay < ke[lidx]
+        if _check_family(prober, keys, u0, x, acc, lambda g: g.standard_exponential()):
+            out["exp"] = exp_tables
+    except RuntimeError:
+        pass
+
+    # 4. Normal ziggurat: idx = u & 0xFF, sign = bit 8, rabs = 52 bits above.
+    try:
+        norm_tables = _harvest_layers(
+            lambda idx, rabs: prober.probe((rabs << 9) | idx, prober.gen.standard_normal),
+            payload_bits=52,
+        )
+        wi, ki = norm_tables
+        nidx = (u0 & _U64(0xFF)).astype(np.intp)
+        r = u0 >> _U64(8)
+        sign = (r & _U64(1)) != 0
+        rabs = (r >> _U64(1)) & _U64(0x000FFFFFFFFFFFFF)
+        z = rabs.astype(np.float64) * wi[nidx]
+        z = np.where(sign, -z, z)
+        acc = rabs < ki[nidx]
+        if _check_family(prober, keys, u0, z, acc, lambda g: g.standard_normal()):
+            out["norm"] = norm_tables
+    except RuntimeError:
+        pass
+    return out
+
+
+def _get_tables() -> dict:
+    global _TABLES
+    if _TABLES is None:
+        with obs.span("compiled.harvest_tables"):
+            _TABLES = _build_tables()
+    return _TABLES
+
+
+# ---------------------------------------------------------------------------
+# Distribution registry (vectorizable families)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _ConstDist:
+    """0-draw distribution: always ``value`` (after combinator folding)."""
+
+    value: float
+
+
+@dataclass(frozen=True)
+class _VecDist:
+    """1-draw distribution with a verified vectorized fast path.
+
+    ``family`` ∈ {"uniform", "exp", "norm"}; ``ops`` is the ordered
+    Shifted/Scaled combinator chain applied after the family transform.
+    """
+
+    family: str
+    p1: float
+    p2: float = 0.0
+    ops: tuple = ()
+
+
+def _classify(dist, tables: dict):
+    """Map a RandomVariable to its vectorized form, or None (unsupported)."""
+    if isinstance(dist, Constant):
+        return _ConstDist(dist.value)
+    if isinstance(dist, Uniform):
+        if not tables["uniform"]:
+            return None
+        return _VecDist("uniform", dist.low, dist.high - dist.low)
+    if isinstance(dist, Exponential):
+        if tables["exp"] is None:
+            return None
+        return _VecDist("exp", dist.mean_value)
+    if isinstance(dist, Normal):
+        if tables["norm"] is None:
+            return None
+        return _VecDist("norm", dist.mu, dist.sigma)
+    if isinstance(dist, (Shifted, Scaled)):
+        inner = _classify(dist.base, tables)
+        if inner is None:
+            return None
+        op = ("+", dist.offset) if isinstance(dist, Shifted) else ("*", dist.factor)
+        if isinstance(inner, _ConstDist):
+            v = inner.value + op[1] if op[0] == "+" else inner.value * op[1]
+            return _ConstDist(v)
+        return _VecDist(inner.family, inner.p1, inner.p2, inner.ops + (op,))
+    return None
+
+
+def _eval_dist(d: _VecDist, u: np.ndarray, tables: dict):
+    """Evaluate a vectorized distribution on raw uint64 draws.
+
+    Returns ``(values, accept)`` — ``accept`` is None when every lane
+    is exact (no rejection step possible, e.g. uniform).
+    """
+    if d.family == "uniform":
+        v = (u >> _U64(11)).astype(np.float64) * _TO_DOUBLE
+        v = d.p1 + d.p2 * v
+        acc = None
+    elif d.family == "exp":
+        we, ke = tables["exp"]
+        ri = u >> _U64(3)
+        idx = (ri & _U64(0xFF)).astype(np.intp)
+        pay = ri >> _U64(8)
+        v = pay.astype(np.float64) * we[idx]
+        acc = pay < ke[idx]
+        v = d.p1 * v
+    else:  # "norm"
+        wi, ki = tables["norm"]
+        idx = (u & _U64(0xFF)).astype(np.intp)
+        r = u >> _U64(8)
+        sign = (r & _U64(1)) != 0
+        rabs = (r >> _U64(1)) & _U64(0x000FFFFFFFFFFFFF)
+        v = rabs.astype(np.float64) * wi[idx]
+        v = np.where(sign, -v, v)
+        acc = rabs < ki[idx]
+        v = d.p1 + d.p2 * v
+    for op, c in d.ops:
+        v = v + c if op == "+" else v * c
+    return v, acc
+
+
+# ---------------------------------------------------------------------------
+# Draw programs (per-edge sampling recipes)
+# ---------------------------------------------------------------------------
+
+
+def _edge_program(sig: MachineSignature, delta: DeltaSpec, weight: float, classify):
+    """The ordered primitive-draw recipe replaying ``spec.sample`` for one
+    edge: a list of ``(dist, factor)`` steps (factor = nbytes for δ_t
+    terms), or None when any step's family is unsupported."""
+    kind = delta.kind
+    os_d = classify(sig.os_noise_for(delta.rank))
+    lat = classify(sig.latency_for(delta.src, delta.dst))
+    pb = classify(sig.per_byte)
+    steps: list | None
+    if kind == DeltaKind.OS:
+        if sig.os_draws(weight) != 1:
+            return None  # interval-scaled multi-draw: scalar fallback
+        steps = [(os_d, 1.0)]
+    elif kind == DeltaKind.LATENCY:
+        steps = [(lat, 1.0)]
+    elif kind == DeltaKind.TRANSFER:
+        steps = [(lat, 1.0)]
+        if delta.nbytes > 0:
+            steps.append((pb, float(delta.nbytes)))
+    elif kind == DeltaKind.TRANSFER_OS:
+        steps = [(lat, 1.0)]
+        if delta.nbytes > 0:
+            steps.append((pb, float(delta.nbytes)))
+        steps.append((os_d, 1.0))
+    elif kind == DeltaKind.ROUNDTRIP:
+        lat_back = classify(sig.latency_for(delta.dst, delta.src))
+        steps = [(lat, 1.0)]
+        if delta.nbytes > 0:
+            steps.append((pb, float(delta.nbytes)))
+        steps.extend([(os_d, 1.0), (lat_back, 1.0)])
+    elif kind == DeltaKind.COLL_FANIN:
+        steps = []
+        for _ in range(delta.rounds):
+            steps.extend([(os_d, 1.0), (lat, 1.0)])
+            if delta.nbytes > 0:
+                steps.append((pb, float(delta.nbytes)))
+    else:  # pragma: no cover - exhaustive over sampled kinds
+        return None
+    if any(d is None for d, _ in steps):
+        return None
+    return steps
+
+
+class _Group:
+    """Edges sharing one program shape, sampled lane-parallel.
+
+    ``lanes`` indexes the supported-lane axis (for stream keys);
+    ``edge_ids`` the global edge axis (for output columns).  Steps are
+    ``("const", contrib_row)`` — no stream consumption — or
+    ``("draw", _VecDist, factor_row | None)``.
+    """
+
+    __slots__ = ("lanes", "edge_ids", "steps")
+
+    def __init__(self, lanes, edge_ids, steps):
+        self.lanes = lanes
+        self.edge_ids = edge_ids
+        self.steps = steps
+
+
+class _BoundSampler:
+    """A CompiledPlan's sampler bound to one machine signature."""
+
+    def __init__(self, plan: "CompiledPlan", signature: MachineSignature):
+        self.plan = plan
+        self.signature = signature
+        self.tables = _get_tables()
+        cache: dict = {}
+
+        def classify(dist):
+            key = id(dist)
+            if key not in cache:
+                cache[key] = _classify(dist, self.tables) if self.tables["pcg"] else None
+            return cache[key]
+
+        sup_lanes: list[int] = []  # edge ids with a vectorizable program
+        programs: list = []
+        unsup: list[int] = []
+        for eid in plan.sampled_ids:
+            delta = plan.deltas[eid]
+            if not delta.uid:
+                # scalar engine raises for uid-less sampled edges; defer
+                # to it so the error (and message) is identical.
+                unsup.append(eid)
+                continue
+            prog = _edge_program(signature, delta, plan.edge_weight[eid], classify)
+            if prog is None:
+                unsup.append(eid)
+            else:
+                sup_lanes.append(eid)
+                programs.append(prog)
+        self.unsup_ids = np.array(unsup, dtype=np.int64)
+        self.lane_edge_ids = np.array(sup_lanes, dtype=np.int64)
+        n_sup = len(sup_lanes)
+        self.kind_u64 = plan.uid_kind[self.lane_edge_ids] if n_sup else np.empty(0, _U64)
+        self.uid_mat = plan.uid_mat[self.lane_edge_ids] if n_sup else np.empty((0, 0), _U64)
+        self.uid_len = plan.uid_len[self.lane_edge_ids] if n_sup else np.empty(0, np.int64)
+
+        # Group lanes by program shape (the dist sequence; factors vary).
+        by_shape: dict[tuple, list[int]] = {}
+        for lane, prog in enumerate(programs):
+            by_shape.setdefault(tuple(d for d, _ in prog), []).append(lane)
+        self.groups: list[_Group] = []
+        for shape, lanes in by_shape.items():
+            lanes_arr = np.array(lanes, dtype=np.int64)
+            steps = []
+            for j, dist in enumerate(shape):
+                factors = np.array([programs[i][j][1] for i in lanes], dtype=np.float64)
+                if isinstance(dist, _ConstDist):
+                    steps.append(("const", max(dist.value, 0.0) * factors))
+                else:
+                    fac = None if np.all(factors == 1.0) else factors
+                    steps.append(("draw", dist, fac))
+            self.groups.append(_Group(lanes_arr, self.lane_edge_ids[lanes_arr], steps))
+
+    # -- sampling ---------------------------------------------------------------
+    def _stream_keys(self, seeds_u64: np.ndarray):
+        """Per-(replicate, lane) PCG64 state arrays, shape (R, n_sup)."""
+        h = _splitmix64_vec(_U64(_FNV_SEED) ^ seeds_u64)[:, None]
+        h = _splitmix64_vec(h ^ self.kind_u64[None, :])
+        for j in range(self.uid_mat.shape[1]):
+            cols = self.uid_len > j
+            if not np.any(cols):
+                break
+            h[:, cols] = _splitmix64_vec(h[:, cols] ^ self.uid_mat[cols, j][None, :])
+        k = h
+        s1 = _splitmix64_vec(k)
+        s2 = _splitmix64_vec(s1)
+        s3 = _splitmix64_vec(s2)
+        inc_hi = (s2 << _U64(1)) | (s3 >> _U64(63))
+        inc_lo = (s3 << _U64(1)) | _U64(1)
+        return k, s1, inc_hi, inc_lo
+
+    def sample_raw(self, seeds: list[int], scale: float) -> np.ndarray:
+        """(R, n_edges) matrix of per-edge deltas, row r drawn exactly as
+        ``PerturbationSpec(signature, seed=seeds[r], scale=scale)`` would."""
+        plan = self.plan
+        R = len(seeds)
+        raw = np.zeros((R, plan.n_edges), dtype=np.float64)
+        fallback = 0
+        if len(self.lane_edge_ids):
+            seeds_u64 = np.array([s & _MASK64 for s in seeds], dtype=_U64)
+            k, s1, inc_hi, inc_lo = self._stream_keys(seeds_u64)
+            bad_cols: list[np.ndarray] = []  # per-group (R, n_g) reject masks
+            for g in self.groups:
+                hi = k[:, g.lanes]
+                lo = s1[:, g.lanes]
+                ihi = inc_hi[:, g.lanes]
+                ilo = inc_lo[:, g.lanes]
+                V = np.zeros((R, len(g.lanes)), dtype=np.float64)
+                ok = np.ones((R, len(g.lanes)), dtype=bool)
+                for step in g.steps:
+                    if step[0] == "const":
+                        V += step[1]
+                        continue
+                    _, dist, fac = step
+                    hi, lo, u = _pcg_next64(hi, lo, ihi, ilo)
+                    v, acc = _eval_dist(dist, u, self.tables)
+                    np.maximum(v, 0.0, out=v)
+                    if fac is not None:
+                        v *= fac
+                    V += v
+                    if acc is not None:
+                        ok &= acc
+                raw[:, g.edge_ids] = V * scale
+                bad_cols.append(~ok)
+            # Exact per-lane fallback: any replicate/edge whose draw chain
+            # left the verified fast path is resampled by the scalar spec.
+            for g, bad in zip(self.groups, bad_cols):
+                if not bad.any():
+                    continue
+                rows, cols = np.nonzero(bad)
+                fallback += len(rows)
+                spec = None
+                last_row = -1
+                for r, c in zip(rows, cols):
+                    if r != last_row:
+                        spec = PerturbationSpec(self.signature, seed=seeds[r], scale=scale)
+                        last_row = r
+                    eid = int(g.edge_ids[c])
+                    raw[r, eid] = spec.sample(plan.deltas[eid], plan.edge_weight[eid])
+        if len(self.unsup_ids):
+            fallback += R * len(self.unsup_ids)
+            for r in range(R):
+                spec = PerturbationSpec(self.signature, seed=seeds[r], scale=scale)
+                for eid in self.unsup_ids:
+                    raw[r, eid] = spec.sample(plan.deltas[eid], plan.edge_weight[eid])
+        obs.span_add("compiled.lanes", R * plan.n_edges)
+        if fallback:
+            obs.span_add("compiled.fallback_lanes", fallback)
+        return raw
+
+
+# ---------------------------------------------------------------------------
+# The compiled plan
+# ---------------------------------------------------------------------------
+
+
+class _Level:
+    """One rank of the level schedule: nodes whose in-edges all come from
+    earlier levels, so the whole rank is a single vectorized gather+max."""
+
+    __slots__ = ("nodes", "src", "eid", "segs", "single")
+
+    def __init__(self, nodes, src, eid, segs, single):
+        self.nodes = nodes
+        self.src = src
+        self.eid = eid
+        self.segs = segs
+        self.single = single
+
+
+@dataclass(frozen=True)
+class CompiledBatch:
+    """Replicate-batched propagation output.
+
+    ``delays`` has shape (replicates, nprocs) — row r is exactly
+    ``propagate(build, spec_with_seed_r, mode).final_delay``.
+    """
+
+    delays: np.ndarray
+    clamped: np.ndarray  # (replicates,) per-replicate clamped-edge counts
+    mode: str
+
+
+class CompiledPlan:
+    """A BuildResult lowered to structure-of-arrays form (see module doc).
+
+    Compile once (topology is spec-independent), then reuse across
+    replicates, sweep points and influence rows.  The plan is picklable
+    — :class:`~repro.core.parallel.ProcessPoolBackend` ships these
+    compact arrays to workers instead of the Python object graph.
+    """
+
+    def __init__(self, build: BuildResult):
+        with obs.span("compiled.compile"):
+            g = build.graph
+            self.nprocs = g.nprocs
+            self.n_nodes = len(g.nodes)
+            self.n_edges = len(g.edges)
+            edges = g.edges
+            self.edge_weight = np.array([e.weight for e in edges], dtype=np.float64)
+            self.edge_kind = np.array([int(e.delta.kind) for e in edges], dtype=np.uint8)
+            self.deltas = [e.delta for e in edges]
+            self.sampled_ids = np.nonzero(self.edge_kind != int(DeltaKind.NONE))[0]
+
+            # uid columns, premasked to uint64 exactly like perturb._mix.
+            max_len = max((len(self.deltas[i].uid) for i in self.sampled_ids), default=0)
+            self.uid_mat = np.zeros((self.n_edges, max_len), dtype=_U64)
+            self.uid_len = np.zeros(self.n_edges, dtype=np.int64)
+            self.uid_kind = np.zeros(self.n_edges, dtype=_U64)
+            for i in self.sampled_ids:
+                uid = self.deltas[i].uid
+                self.uid_len[i] = len(uid)
+                self.uid_kind[i] = int(self.deltas[i].kind) & _MASK64
+                for j, v in enumerate(uid):
+                    self.uid_mat[i, j] = v & _MASK64
+
+            # Level schedule: level(v) = 1 + max level of predecessors.
+            level = [0] * self.n_nodes
+            for v in g.topological_order():
+                ins = g.in_edge_ids(v)
+                if ins:
+                    level[v] = 1 + max(level[edges[ei].src] for ei in ins)
+            by_level: dict[int, list[int]] = {}
+            for v, lv in enumerate(level):
+                if lv > 0:
+                    by_level.setdefault(lv, []).append(v)
+            self.levels: list[_Level] = []
+            for lv in sorted(by_level):
+                nodes = by_level[lv]
+                src: list[int] = []
+                eid: list[int] = []
+                segs: list[int] = []
+                for v in nodes:
+                    segs.append(len(eid))
+                    for ei in g.in_edge_ids(v):
+                        src.append(edges[ei].src)
+                        eid.append(ei)
+                single = len(eid) == len(nodes)
+                self.levels.append(
+                    _Level(
+                        np.array(nodes, dtype=np.int64),
+                        np.array(src, dtype=np.int64),
+                        np.array(eid, dtype=np.int64),
+                        np.array(segs, dtype=np.int64),
+                        single,
+                    )
+                )
+
+            # Final (FINALIZE END) node per rank, rank-chain fallback as in
+            # traversal._finals_from_graph; -1 = rank has no nodes at all.
+            self.final_node = np.full(self.nprocs, -1, dtype=np.int64)
+            self.final_t_local = np.zeros(self.nprocs, dtype=np.float64)
+            for rank in range(self.nprocs):
+                nid = g.final_nodes[rank]
+                if nid is None:
+                    chain = g.rank_chain(rank)
+                    nid = chain[-1] if chain else None
+                if nid is not None:
+                    self.final_node[rank] = nid
+                    self.final_t_local[rank] = g.nodes[nid].t_local
+            obs.span_add("compiled.plans")
+            self._samplers: list[tuple[MachineSignature, _BoundSampler]] = []
+            self._tables = _get_tables()  # harvested once; rides the pickle
+
+    # -- pickling (ship arrays, not caches) -------------------------------------
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_samplers"] = []
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        global _TABLES
+        if _TABLES is None and state.get("_tables") is not None:
+            _TABLES = state["_tables"]  # workers skip re-harvesting
+
+    # -- sampling ---------------------------------------------------------------
+    def bind(self, signature: MachineSignature) -> _BoundSampler:
+        """Sampler for one signature (memoized; signatures are compared
+        by identity first, then equality)."""
+        for sig, sampler in self._samplers:
+            if sig is signature or sig == signature:
+                return sampler
+        sampler = _BoundSampler(self, signature)
+        self._samplers.append((signature, sampler))
+        if len(self._samplers) > 8:
+            self._samplers.pop(0)
+        return sampler
+
+    def sample_raw_batch(
+        self, signature: MachineSignature, seeds: list[int], scale: float = 1.0
+    ) -> np.ndarray:
+        """(R, n_edges) sampled deltas (already scaled), bit-identical to
+        per-replicate ``PerturbationSpec.sample`` over every edge."""
+        with obs.span("compiled.sample", replicates=len(seeds)):
+            return self.bind(signature).sample_raw(list(seeds), scale)
+
+    # -- mode + kernel ----------------------------------------------------------
+    def apply_mode(self, raw: np.ndarray, mode: str):
+        """δ_eff per edge (same clamp semantics as ``_DeltaApplier``).
+
+        Returns ``(eff, clamped)``; ``clamped`` counts additive-mode
+        zero-floor clamps per replicate."""
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        w = self.edge_weight
+        if mode == "threshold":
+            return np.maximum(0.0, raw - w), np.zeros(raw.shape[0], dtype=np.int64)
+        mask = raw < -w
+        eff = np.where(mask, -w, raw)
+        return eff, mask.sum(axis=1).astype(np.int64)
+
+    def kernel(self, eff: np.ndarray) -> np.ndarray:
+        """One topological pass for all replicates: (R, n_nodes) delays."""
+        D = np.zeros((eff.shape[0], self.n_nodes), dtype=np.float64)
+        for lv in self.levels:
+            contrib = D[:, lv.src] + eff[:, lv.eid]
+            if lv.single:
+                D[:, lv.nodes] = contrib
+            else:
+                D[:, lv.nodes] = np.maximum.reduceat(contrib, lv.segs, axis=1)
+        return D
+
+    def finals(self, D: np.ndarray) -> np.ndarray:
+        """(R, nprocs) per-rank final delays from a node-delay matrix."""
+        out = np.zeros((D.shape[0], self.nprocs), dtype=np.float64)
+        have = self.final_node >= 0
+        out[:, have] = D[:, self.final_node[have]]
+        return out
+
+    # -- high-level entry points --------------------------------------------------
+    def _batch_size(self, replicates: int) -> int:
+        """Bound (R, n_nodes)+(R, n_edges) scratch to ~100 MB per batch."""
+        per_rep = max(1, self.n_nodes + 3 * self.n_edges)
+        return max(1, min(replicates, 12_000_000 // per_rep))
+
+    def propagate_batch(
+        self,
+        spec: PerturbationSpec,
+        seeds: list[int] | None = None,
+        mode: str = "additive",
+    ) -> CompiledBatch:
+        """Batched equivalent of ``propagate`` over per-replicate seeds.
+
+        Row r uses ``PerturbationSpec(spec.signature, seed=seeds[r],
+        scale=spec.scale)`` — the exact Monte-Carlo replicate schedule.
+        ``seeds`` defaults to ``[spec.seed]``.
+        """
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        seeds = [spec.seed] if seeds is None else list(seeds)
+        R = len(seeds)
+        delays = np.empty((R, self.nprocs), dtype=np.float64)
+        clamped = np.empty(R, dtype=np.int64)
+        step = self._batch_size(R)
+        for lo in range(0, R, step):
+            chunk = seeds[lo : lo + step]
+            raw = self.sample_raw_batch(spec.signature, chunk, spec.scale)
+            with obs.span("compiled.propagate", replicates=len(chunk), mode=mode):
+                eff, nclamp = self.apply_mode(raw, mode)
+                delays[lo : lo + step] = self.finals(self.kernel(eff))
+                clamped[lo : lo + step] = nclamp
+                obs.span_add("traversal.propagations", len(chunk))
+                if nclamp.any():
+                    obs.span_add("traversal.clamped_edges", int(nclamp.sum()))
+        return CompiledBatch(delays=delays, clamped=clamped, mode=mode)
+
+    def propagate_presampled_batch(
+        self, raw_base: np.ndarray, scales: list[float], mode: str = "additive"
+    ) -> CompiledBatch:
+        """Propagate one pre-sampled raw row at many scales (sweep fast
+        path): row i of the result uses ``raw_base * scales[i]``."""
+        raw = raw_base[None, :] * np.asarray(scales, dtype=np.float64)[:, None]
+        with obs.span("compiled.propagate", replicates=len(scales), mode=mode):
+            eff, nclamp = self.apply_mode(raw, mode)
+            delays = self.finals(self.kernel(eff))
+            obs.span_add("traversal.propagations", len(scales))
+            if nclamp.any():
+                obs.span_add("traversal.clamped_edges", int(nclamp.sum()))
+        return CompiledBatch(delays=delays, clamped=nclamp, mode=mode)
+
+    def propagate_one(self, spec: PerturbationSpec, mode: str = "additive") -> TraversalResult:
+        """Drop-in ``propagate`` replacement (single spec/seed) with the
+        in-core extras (node delays, edge deltas) populated."""
+        raw = self.sample_raw_batch(spec.signature, [spec.seed], spec.scale)
+        with obs.span("compiled.propagate", replicates=1, mode=mode):
+            eff, nclamp = self.apply_mode(raw, mode)
+            D = self.kernel(eff)
+            delays = self.finals(D)[0]
+            have = self.final_node >= 0
+            times = np.where(have, self.final_t_local + delays, 0.0)
+            obs.span_add("traversal.propagations")
+            if nclamp[0]:
+                obs.span_add("traversal.clamped_edges", int(nclamp[0]))
+        return TraversalResult(
+            final_delay=delays.tolist(),
+            final_local_times=times.tolist(),
+            mode=mode,
+            clamped_edges=int(nclamp[0]),
+            node_delay=D[0].tolist(),
+            edge_delta=eff[0].tolist(),
+        )
+
+
+def compiled_plan(build: BuildResult) -> CompiledPlan:
+    """The (cached) compiled plan for a build — compile once, reuse."""
+    plan = build.__dict__.get("_compiled_plan")
+    if plan is None:
+        plan = CompiledPlan(build)
+        build.__dict__["_compiled_plan"] = plan
+    return plan

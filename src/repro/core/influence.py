@@ -15,8 +15,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.builder import BuildResult
-from repro.core.parallel import map_replicates
+from repro.core.parallel import map_replicates, resolve_backend
 from repro.core.perturb import PerturbationSpec
 from repro.noise.distributions import RandomVariable
 from repro.noise.signature import MachineSignature
@@ -65,25 +66,48 @@ class InfluenceMatrix:
         return "\n".join(lines)
 
 
+def _compiled_influence_row(payload, item) -> np.ndarray:
+    """Worker body: one source rank's row through the compiled kernel."""
+    plan, mode = payload
+    seed, spec = item
+    with obs.span("replicate", seed=seed):
+        obs.span_add("mc.replicates")
+        return plan.propagate_batch(spec, seeds=[seed], mode=mode).delays[0]
+
+
 def rank_influence(
     build: BuildResult,
     noise: RandomVariable,
     seed: int = 0,
     mode: str = "additive",
     jobs: int | None = 0,
+    engine: str = "auto",
 ) -> InfluenceMatrix:
     """Compute the influence matrix: one propagation per source rank,
     with ``noise`` as that rank's (only) δ_os distribution.
 
     The per-source propagations are independent; ``jobs`` fans them out
     across worker processes (:mod:`repro.core.parallel`) with
-    bit-identical results.
+    bit-identical results.  ``engine`` follows :func:`~repro.core.
+    montecarlo.monte_carlo`: ``"auto"``/``"compiled"`` reuse one
+    :class:`~repro.core.compiled.CompiledPlan` across all source rows
+    (topology is signature-independent), ``"graph"`` is the reference
+    per-propagation path; the matrices are bit-identical.
     """
+    if engine not in ("auto", "compiled", "graph"):
+        raise ValueError(f"engine must be 'auto', 'compiled', or 'graph', got {engine!r}")
     p = build.graph.nprocs
     items = []
     for src in range(p):
         sig = MachineSignature(os_noise_by_rank={src: noise}, name=f"only-rank-{src}")
         items.append((seed, PerturbationSpec(sig, seed=seed)))
-    rows = map_replicates(build, items, mode=mode, jobs=jobs)
+    if engine == "graph":
+        rows = map_replicates(build, items, mode=mode, jobs=jobs)
+    else:
+        from repro.core.compiled import compiled_plan
+
+        plan = compiled_plan(build)
+        backend = resolve_backend(jobs)
+        rows = backend.map(_compiled_influence_row, items, payload=(plan, mode))
     matrix = np.array(rows, dtype=float).reshape(p, p)
     return InfluenceMatrix(matrix=matrix, noise_mean=noise.mean())

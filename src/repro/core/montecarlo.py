@@ -20,10 +20,14 @@ import numpy as np
 
 from repro import obs
 from repro.core.builder import BuildResult
-from repro.core.parallel import map_replicates, replicate_items
+from repro.core.parallel import map_replicate_batches, map_replicates, replicate_items
 from repro.core.perturb import PerturbationSpec
 
 __all__ = ["DelayDistribution", "monte_carlo"]
+
+#: Engines accepted by :func:`monte_carlo` — "auto" picks the compiled
+#: plan (bit-identical to "graph", the object-graph reference engine).
+ENGINES = ("auto", "compiled", "graph")
 
 
 @dataclass(frozen=True)
@@ -96,6 +100,7 @@ def monte_carlo(
     mode: str = "additive",
     jobs: int | None = 0,
     chunk_size: int | None = None,
+    engine: str = "auto",
 ) -> DelayDistribution:
     """Propagate ``replicates`` independent perturbation samples.
 
@@ -106,9 +111,33 @@ def monte_carlo(
     (:mod:`repro.core.parallel`): 0 = serial, None = one per core,
     N >= 2 = a pool of N.  Results are bit-identical across backends
     because every replicate carries its own seed.
+
+    ``engine`` selects the propagation engine: ``"compiled"`` (and the
+    ``"auto"`` default) lowers the build once into a
+    :class:`~repro.core.compiled.CompiledPlan` and runs all replicates
+    through the replicate-batched numpy kernel, returning the
+    ``(replicates, nprocs)`` sample matrix directly; ``"graph"`` is the
+    per-replicate object-graph reference engine.  Both produce
+    bit-identical samples.
     """
-    with obs.span("monte_carlo", replicates=replicates, mode=mode, jobs=jobs):
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+    with obs.span("monte_carlo", replicates=replicates, mode=mode, jobs=jobs, engine=engine):
         items = replicate_items(spec, replicates)
-        rows = map_replicates(build, items, mode=mode, jobs=jobs, chunk_size=chunk_size)
         seeds = tuple(seed for seed, _ in items)
-    return DelayDistribution(samples=np.array(rows, dtype=float), seeds=seeds)
+        if engine == "graph":
+            rows = map_replicates(build, items, mode=mode, jobs=jobs, chunk_size=chunk_size)
+            samples = np.array(rows, dtype=float)
+        else:
+            from repro.core.compiled import compiled_plan
+
+            samples = map_replicate_batches(
+                compiled_plan(build),
+                spec.signature,
+                list(seeds),
+                scale=spec.scale,
+                mode=mode,
+                jobs=jobs,
+                chunk_size=chunk_size,
+            )
+    return DelayDistribution(samples=samples, seeds=seeds)

@@ -32,6 +32,17 @@ from repro.noise.signature import MachineSignature
 
 __all__ = ["SweepPoint", "SweepResult", "sweep_scales", "sweep_signatures", "fit_slope"]
 
+#: Sweep engines: the in-core object graph, the windowed streaming
+#: traversal, or the compiled numpy plan.  "auto" resolves to compiled,
+#: "graph" is an alias for incore (matching the analyze CLI spelling).
+SWEEP_ENGINES = ("auto", "incore", "graph", "streaming", "compiled")
+
+
+def _resolve_engine(engine: str) -> str:
+    if engine not in SWEEP_ENGINES:
+        raise ValueError(f"engine must be one of {SWEEP_ENGINES}, got {engine!r}")
+    return {"auto": "compiled", "graph": "incore"}.get(engine, engine)
+
 
 @dataclass(frozen=True)
 class SweepPoint:
@@ -108,9 +119,14 @@ def _run_one(
     if engine == "incore":
         assert build is not None
         return propagate(build, spec, mode=mode)
+    if engine == "compiled":
+        from repro.core.compiled import compiled_plan
+
+        assert build is not None
+        return compiled_plan(build).propagate_one(spec, mode=mode)
     if engine == "streaming":
         return StreamingTraversal(spec, config=config, mode=mode).run(trace_set)
-    raise ValueError(f"engine must be 'incore' or 'streaming', got {engine!r}")
+    raise ValueError(f"engine must be 'incore', 'compiled', or 'streaming', got {engine!r}")
 
 
 def _sweep_worker(payload, spec: PerturbationSpec) -> list[float]:
@@ -124,6 +140,8 @@ def _sweep_worker(payload, spec: PerturbationSpec) -> list[float]:
         obs.span_add("sweep.points")
         if engine == "incore":
             return propagate(carrier, spec, mode=mode).final_delay
+        if engine == "compiled":
+            return list(carrier.propagate_batch(spec, mode=mode).delays[0])
         return StreamingTraversal(spec, config=config, mode=mode).run(carrier).final_delay
 
 
@@ -137,7 +155,14 @@ def _map_points(
     jobs: int | None,
 ) -> list[list[float]]:
     backend = resolve_backend(jobs)
-    carrier = build if engine == "incore" else trace_set
+    if engine == "incore":
+        carrier = build
+    elif engine == "compiled":
+        from repro.core.compiled import compiled_plan
+
+        carrier = compiled_plan(build)
+    else:
+        carrier = trace_set
     return backend.map(_sweep_worker, specs, payload=(engine, carrier, mode, config))
 
 
@@ -158,11 +183,31 @@ def sweep_scales(
     ``jobs >= 2`` (or None = auto) fans the points out across worker
     processes (:mod:`repro.core.parallel`); deterministic sampling makes
     the results bit-identical to the serial sweep.
+
+    The ``"compiled"`` engine (or ``"auto"``) samples the edge deltas
+    once and pushes the whole scale ladder through one replicate-batched
+    kernel pass — every point in a single numpy invocation, so ``jobs``
+    is moot there.  Results stay bit-identical to the other engines.
     """
+    engine = _resolve_engine(engine)
     config = config or BuildConfig()
     with obs.span("sweep_scales", engine=engine, points=len(scales)):
-        build = build_graph(trace_set, config) if engine == "incore" else None
+        build = build_graph(trace_set, config) if engine != "streaming" else None
         result = SweepResult()
+        if engine == "compiled":
+            from repro.core.compiled import compiled_plan
+
+            plan = compiled_plan(build)
+            raw = plan.sample_raw_batch(spec.signature, [spec.seed], 1.0)[0]
+            batch = plan.propagate_presampled_batch(
+                raw, [spec.scale * s for s in scales], mode=mode
+            )
+            obs.add("sweep.points", len(scales))
+            for s, row in zip(scales, batch.delays):
+                result.points.append(
+                    SweepPoint(label=f"scale={s:g}", x=float(s), delays=tuple(row), mode=mode)
+                )
+            return result
         backend = resolve_backend(jobs)
         if backend.jobs >= 2:
             # One full propagation per point — identical results to the
@@ -212,11 +257,12 @@ def sweep_signatures(
     mean noise in cycles); defaults to the signature index.  ``jobs``
     parallelizes the ladder exactly as in :func:`sweep_scales`.
     """
+    engine = _resolve_engine(engine)
     config = config or BuildConfig()
     if xs is not None and len(xs) != len(signatures):
         raise ValueError("xs must align with signatures")
     with obs.span("sweep_signatures", engine=engine, points=len(signatures)):
-        build = build_graph(trace_set, config) if engine == "incore" else None
+        build = build_graph(trace_set, config) if engine != "streaming" else None
         result = SweepResult()
         specs = [PerturbationSpec(sig, seed=seed) for sig in signatures]
         backend = resolve_backend(jobs)

@@ -1,0 +1,102 @@
+"""The CI benchmark regression guard (``benchmarks/check_regression.py``).
+
+Exercises the comparison semantics the benchmark-smoke job relies on:
+regressions beyond the tolerance fail, faster-or-equal runs pass,
+and results with differing params (smoke-sized runs) or without a
+baseline are skipped rather than misjudged.
+"""
+
+import json
+import runpy
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).resolve().parents[2] / "benchmarks" / "check_regression.py"
+
+
+@pytest.fixture(scope="module")
+def guard():
+    return runpy.run_path(str(SCRIPT))
+
+
+def record(name, params, timings):
+    return {
+        "schema": "repro-bench-result/1",
+        "name": name,
+        "params": params,
+        "timings": timings,
+        "metrics": {},
+    }
+
+
+def write(directory: Path, rec: dict) -> None:
+    directory.mkdir(exist_ok=True)
+    (directory / f"{rec['name']}.json").write_text(json.dumps(rec))
+
+
+def run_guard(guard, tmp_path, baseline, fresh, tol=2.0):
+    base_dir, fresh_dir = tmp_path / "baseline", tmp_path / "fresh"
+    for rec in baseline:
+        write(base_dir, rec)
+    for rec in fresh:
+        write(fresh_dir, rec)
+    out = tmp_path / "diff.json"
+    code = guard["main"](
+        ["--baseline", str(base_dir), "--fresh", str(fresh_dir), "--tol", str(tol),
+         "--out", str(out)]
+    )
+    return code, json.loads(out.read_text())
+
+
+def test_within_tolerance_passes(guard, tmp_path):
+    base = record("mc", {"replicates": 200}, {"serial_s": 1.0})
+    fresh = record("mc", {"replicates": 200}, {"serial_s": 1.9})
+    code, diff = run_guard(guard, tmp_path, [base], [fresh])
+    assert code == 0
+    assert diff["regressions"] == []
+    assert diff["benchmarks"]["mc"]["timings"]["serial_s"]["ratio"] == pytest.approx(1.9)
+
+
+def test_regression_fails(guard, tmp_path):
+    base = record("mc", {"replicates": 200}, {"serial_s": 1.0, "jobs2_s": 0.5})
+    fresh = record("mc", {"replicates": 200}, {"serial_s": 2.5, "jobs2_s": 0.5})
+    code, diff = run_guard(guard, tmp_path, [base], [fresh])
+    assert code == 1
+    assert len(diff["regressions"]) == 1
+    assert "mc.serial_s" in diff["regressions"][0]
+    assert diff["benchmarks"]["mc"]["timings"]["serial_s"]["regressed"]
+    assert not diff["benchmarks"]["mc"]["timings"]["jobs2_s"]["regressed"]
+
+
+def test_differing_params_are_skipped(guard, tmp_path):
+    """Smoke runs shrink replicate counts; those must never be compared."""
+    base = record("mc", {"replicates": 200}, {"serial_s": 1.0})
+    fresh = record("mc", {"replicates": 24}, {"serial_s": 9.0})
+    code, diff = run_guard(guard, tmp_path, [base], [fresh])
+    assert code == 0
+    assert diff["benchmarks"]["mc"]["status"] == "skipped-params-differ"
+
+
+def test_volatile_params_ignored(guard, tmp_path):
+    """Core counts differ across runners without breaking comparability."""
+    base = record("mc", {"replicates": 200, "cores": 1}, {"serial_s": 1.0})
+    fresh = record("mc", {"replicates": 200, "cores": 4}, {"serial_s": 1.1})
+    code, diff = run_guard(guard, tmp_path, [base], [fresh])
+    assert code == 0
+    assert diff["benchmarks"]["mc"]["status"] == "compared"
+
+
+def test_new_benchmark_without_baseline_passes(guard, tmp_path):
+    fresh = record("brand_new", {"n": 1}, {"serial_s": 5.0})
+    code, diff = run_guard(guard, tmp_path, [], [fresh])
+    assert code == 0
+    assert diff["benchmarks"]["brand_new"]["status"] == "no-baseline"
+
+
+def test_non_timing_keys_ignored(guard, tmp_path):
+    base = record("mc", {"n": 1}, {"serial_s": 1.0, "speedup": 1.0})
+    fresh = record("mc", {"n": 1}, {"serial_s": 1.0, "speedup": 99.0})
+    code, diff = run_guard(guard, tmp_path, [base], [fresh])
+    assert code == 0
+    assert "speedup" not in diff["benchmarks"]["mc"]["timings"]

@@ -168,7 +168,8 @@ class TestObservability:
         obj = validate_chrome_trace_file(profile)
         names = {e["name"] for e in obj["traceEvents"]}
         assert {"analyze", "build_graph", "read_traces", "match_events",
-                "propagate", "monte_carlo", "replicate"} <= names
+                "compiled.compile", "compiled.sample", "compiled.propagate",
+                "monte_carlo", "replicate_batch"} <= names
 
     def test_metrics_out(self, traced, capsys):
         tmp_path, sig_path = traced

@@ -80,13 +80,14 @@ def test_parallel_metrics_merge_equals_serial(ring_build):
     )
 
     # Pool fell back to serial (restricted platform)?  Then no worker
-    # tracks; otherwise replicate spans arrive tagged with worker pids.
+    # tracks; otherwise batch spans arrive tagged with worker pids and
+    # their per-span replicate counts sum to n.
     if parallel_session.workers:
-        replicate_spans = [
-            s for s in parallel_session.completed_spans() if s.name == "replicate"
+        batch_spans = [
+            s for s in parallel_session.completed_spans() if s.name == "replicate_batch"
         ]
-        assert len(replicate_spans) == n
-        assert {s.pid for s in replicate_spans} <= set(parallel_session.workers)
+        assert sum(s.attrs["n"] for s in batch_spans) == n
+        assert {s.pid for s in batch_spans} <= set(parallel_session.workers)
 
 
 def test_worker_sessions_do_not_leak(ring_build):
