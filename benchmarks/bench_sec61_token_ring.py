@@ -119,5 +119,5 @@ def test_sec61_os_noise_variant(ring_build, benchmark):
         timings=bench_timings(benchmark),
         metrics={"max_delay_by_noise": {str(r[0]): r[1] for r in rows}},
     )
-    for mean, measured, model in rows[1:]:
+    for _mean, measured, model in rows[1:]:
         assert measured == pytest.approx(model, rel=0.05)

@@ -52,7 +52,7 @@ def butterfly_allreduce(params: ButterflyParams = ButterflyParams()):
         if p & (p - 1):
             raise ValueError(f"butterfly_allreduce requires a power-of-two size, got {p}")
         stages = p.bit_length() - 1
-        for it in range(params.iterations):
+        for _it in range(params.iterations):
             yield Compute(params.compute_cycles)
             for k in range(stages):
                 partner = me.rank ^ (1 << k)

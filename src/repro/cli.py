@@ -1,6 +1,6 @@
 """Command-line tools.
 
-Five entry points mirroring the paper's workflow:
+Entry points mirroring the paper's workflow:
 
 ``repro-trace``
     Run a bundled application on a preset simulated machine, writing
@@ -19,11 +19,17 @@ Five entry points mirroring the paper's workflow:
 ``repro-replay``
     Dimemas-style deterministic replay under target machine parameters
     (the §1.1 baseline) — what-if for base network / CPU changes.
+``repro-lint``
+    Rule-based static analysis of traces and built graphs
+    (:mod:`repro.lint`): text, JSON, or SARIF 2.1.0 reports, no
+    perturbation engine involved.  ``repro-analyze``/``repro-sweep``
+    run the same pass as a pre-flight via ``--lint {off,warn,strict}``.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import logging
 import sys
 from pathlib import Path
@@ -60,6 +66,7 @@ __all__ = [
     "main_sweep",
     "main_microbench",
     "main_replay",
+    "main_lint",
 ]
 
 # Two output channels, never mixed: results go to stdout (bare lines,
@@ -184,7 +191,9 @@ def _parse_jobs(value: str) -> int | None:
     try:
         jobs = int(value)
     except ValueError:
-        raise argparse.ArgumentTypeError(f"--jobs expects an integer or 'auto', got {value!r}")
+        raise argparse.ArgumentTypeError(
+            f"--jobs expects an integer or 'auto', got {value!r}"
+        ) from None
     return None if jobs < 0 else jobs
 
 
@@ -223,6 +232,48 @@ def _build_config(args) -> BuildConfig:
         collective_mode=args.collective_mode,
         eager_threshold=args.eager_threshold,
     )
+
+
+def _add_lint_arg(ap: argparse.ArgumentParser) -> None:
+    ap.add_argument(
+        "--lint",
+        choices=("off", "warn", "strict"),
+        default="warn",
+        help="pre-flight static analysis (repro.lint): 'warn' (default) runs the "
+        "trace-level rules and logs findings, 'strict' runs the full rule pack "
+        "and refuses to analyze on ERROR findings, 'off' skips the pass",
+    )
+
+
+def _preflight_lint(args, traces, build_config: BuildConfig) -> None:
+    """Run the ``--lint`` pre-flight pass before any graph is built.
+
+    ``warn`` stays cheap (trace-level rules only) and routes findings
+    through the structured :func:`repro.core.diagnostics.warn` channel,
+    so they are logged AND counted as ``warnings.lint.<rule>`` metrics;
+    ``strict`` runs the whole pack (including a guarded graph build)
+    and aborts on ERROR findings.
+    """
+    from repro import lint
+    from repro.core.diagnostics import warn as _warn
+
+    mode = getattr(args, "lint", "off")
+    if mode == "off":
+        return
+    with obs.span("preflight_lint", mode=mode):
+        if mode == "strict":
+            report = lint.lint_run(traces, build_config=build_config)
+        else:
+            report = lint.lint_traces(traces)
+    for f in report.findings:
+        _LOG.warning(str(_warn(f"lint {f.rule_id}: {f.message}", f"lint.{f.rule_id}", f.rank, f.seq)))
+    if mode == "strict" and not report.ok:
+        raise SystemExit(
+            f"repro-lint found {len(report.errors)} ERROR finding(s) "
+            f"({', '.join(sorted({f.rule_id for f in report.errors}))}); refusing to "
+            f"analyze — run repro-lint for the full report or pass --lint warn/off"
+        )
+    _LOG.info(f"lint ({mode}): {report.summary()}")
 
 
 def _add_analysis_args(ap: argparse.ArgumentParser) -> None:
@@ -311,6 +362,7 @@ def main_analyze(argv: list[str] | None = None) -> int:
     _add_jobs_arg(ap)
     _add_logging_args(ap)
     _add_obs_args(ap)
+    _add_lint_arg(ap)
     ap.add_argument(
         "--engine",
         choices=("auto", "incore", "graph", "streaming", "compiled"),
@@ -343,6 +395,8 @@ def main_analyze(argv: list[str] | None = None) -> int:
     session = _start_observability(args, "repro-analyze")
     with obs.span("analyze", engine=engine, mode=args.mode):
         traces = TraceSet.open(args.traces, args.stem)
+        config = _build_config(args)
+        _preflight_lint(args, traces, config)
         with obs.span("validate_traces"):
             report = validate_traces(traces)
         if not report.ok:
@@ -351,7 +405,6 @@ def main_analyze(argv: list[str] | None = None) -> int:
             _LOG.warning(str(issue))
         sig = _load_signature(args)
         spec = PerturbationSpec(sig, seed=args.seed, scale=args.scale)
-        config = _build_config(args)
 
         with obs.span("trace_stats"):
             stats = trace_stats(traces)
@@ -418,6 +471,7 @@ def main_sweep(argv: list[str] | None = None) -> int:
     _add_jobs_arg(ap)
     _add_logging_args(ap)
     _add_obs_args(ap)
+    _add_lint_arg(ap)
     ap.add_argument("--scales", default="0,0.25,0.5,1,2,4", help="comma-separated scale factors")
     ap.add_argument(
         "--engine",
@@ -430,6 +484,7 @@ def main_sweep(argv: list[str] | None = None) -> int:
 
     session = _start_observability(args, "repro-sweep")
     traces = TraceSet.open(args.traces, args.stem)
+    _preflight_lint(args, traces, _build_config(args))
     sig = _load_signature(args)
     spec = PerturbationSpec(sig, seed=args.seed, scale=args.scale)
     scales = [float(s) for s in args.scales.split(",") if s.strip()]
@@ -443,10 +498,8 @@ def main_sweep(argv: list[str] | None = None) -> int:
         jobs=args.jobs,
     )
     _say(result.table())
-    try:
+    with contextlib.suppress(ValueError):  # slope undefined for a single scale
         _say(f"slope (max delay per unit scale): {result.slope():.1f} cy")
-    except ValueError:
-        pass
     _finish_observability(args, session)
     return 0
 
@@ -483,6 +536,108 @@ def main_dot(argv: list[str] | None = None) -> int:
         _LOG.info(f"wrote {args.out} ({len(dot.splitlines())} lines)")
     else:
         _say(dot)
+    return 0
+
+
+def main_lint(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Rule-based static analysis of traces and message-passing graphs.",
+    )
+    ap.add_argument("--traces", help="directory containing trace files")
+    ap.add_argument("--stem", help="trace file stem")
+    ap.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format (sarif = SARIF 2.1.0 for GitHub code scanning)",
+    )
+    ap.add_argument("--out", help="write the report to this file instead of stdout")
+    ap.add_argument(
+        "--trace-only",
+        action="store_true",
+        help="run only the trace-level rules (never builds a graph)",
+    )
+    ap.add_argument(
+        "--disable",
+        action="append",
+        default=[],
+        metavar="RULE[,RULE...]",
+        help="rule ids to skip (repeatable or comma-separated)",
+    )
+    ap.add_argument(
+        "--severity",
+        action="append",
+        default=[],
+        metavar="RULE=LEVEL",
+        help="override a rule's severity, e.g. MPG007=error (repeatable)",
+    )
+    ap.add_argument("--skew-tolerance", type=float, default=0.5, help="MPG007 threshold")
+    ap.add_argument(
+        "--max-findings", type=int, default=100, help="per-rule finding cap in the report"
+    )
+    ap.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "never"),
+        default="error",
+        help="exit nonzero when findings at/above this severity exist (default: error)",
+    )
+    ap.add_argument("--list-rules", action="store_true", help="print the rule catalog and exit")
+    ap.add_argument("--collective-mode", choices=("hub", "butterfly"), default="hub")
+    ap.add_argument("--eager-threshold", type=int, default=None)
+    _add_logging_args(ap)
+    _add_obs_args(ap)
+    args = ap.parse_args(argv)
+    _configure_logging(args)
+
+    from repro import lint
+
+    if args.list_rules:
+        for r in lint.all_rules():
+            _say(f"{r.id}  {r.severity.name.lower():<7} {r.category:<5} [{r.code}] {r.summary}")
+        return 0
+    if not args.traces or not args.stem:
+        ap.error("--traces and --stem are required (unless --list-rules)")
+
+    overrides = {}
+    for pair in args.severity:
+        if "=" not in pair:
+            raise SystemExit(f"--severity expects RULE=LEVEL, got {pair!r}")
+        rule_id, level = pair.split("=", 1)
+        overrides[rule_id.strip().upper()] = lint.Severity.parse(level)
+    disabled = [r.strip().upper() for spec in args.disable for r in spec.split(",") if r.strip()]
+    config = lint.LintConfig(
+        disabled=tuple(disabled),
+        severity_overrides=overrides,
+        skew_tolerance=args.skew_tolerance,
+        max_findings_per_rule=args.max_findings,
+    )
+
+    session = _start_observability(args, "repro-lint")
+    with obs.span("repro_lint"):
+        traces = TraceSet.open(args.traces, args.stem)
+        if args.trace_only:
+            report = lint.lint_traces(traces, config)
+        else:
+            report = lint.lint_run(traces, config, build_config=_build_config(args))
+    _finish_observability(args, session)
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            lint.write_report(report, args.format, fh)
+        _LOG.info(f"lint report ({args.format}) written to {args.out}")
+        _say(report.summary())
+    else:
+        import io
+
+        buf = io.StringIO()
+        lint.write_report(report, args.format, buf)
+        _say(buf.getvalue().rstrip("\n"))
+
+    if args.fail_on == "never":
+        return 0
+    if report.errors or (args.fail_on == "warning" and report.warnings):
+        return 1
     return 0
 
 

@@ -14,7 +14,7 @@ from repro.core.analysis import (
 from repro.core.builder import BuildResult, build_graph
 from repro.core.compiled import CompiledBatch, CompiledPlan, compiled_plan
 from repro.core.correctness import CorrectnessReport, check_correctness
-from repro.core.diagnostics import AnalysisWarning
+from repro.core.diagnostics import AnalysisWarning, DiagnosticError
 from repro.core.dot import to_dot
 from repro.core.graph import (
     DeltaKind,
@@ -54,6 +54,7 @@ from repro.core.window import WindowedGraph, extract_window
 __all__ = [
     "AbsorptionMap",
     "AnalysisWarning",
+    "DiagnosticError",
     "CriticalPath",
     "RuntimeImpact",
     "absorption_map",

@@ -73,7 +73,7 @@ class RuntimeImpact:
 def runtime_impact(build: BuildResult, result: TraversalResult) -> RuntimeImpact:
     """Summarize how the perturbation changed each rank's runtime."""
     runtimes = []
-    for rank, events in enumerate(build.events):
+    for events in build.events:
         if events:
             runtimes.append(events[-1].t_end - events[0].t_start)
         else:

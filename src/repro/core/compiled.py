@@ -54,6 +54,7 @@ Observability: the compiled path emits ``compiled.compile``,
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -268,7 +269,7 @@ def _build_tables() -> dict:
     )
 
     # 3. Exponential ziggurat: idx = (u >> 3) & 0xFF, payload = u >> 11.
-    try:
+    with contextlib.suppress(RuntimeError):  # layer harvest gives up on odd builds
         exp_tables = _harvest_layers(
             lambda idx, pay: prober.probe(((pay << 8) | idx) << 3, prober.gen.standard_exponential),
             payload_bits=53,
@@ -281,11 +282,9 @@ def _build_tables() -> dict:
         acc = pay < ke[lidx]
         if _check_family(prober, keys, u0, x, acc, lambda g: g.standard_exponential()):
             out["exp"] = exp_tables
-    except RuntimeError:
-        pass
 
     # 4. Normal ziggurat: idx = u & 0xFF, sign = bit 8, rabs = 52 bits above.
-    try:
+    with contextlib.suppress(RuntimeError):
         norm_tables = _harvest_layers(
             lambda idx, rabs: prober.probe((rabs << 9) | idx, prober.gen.standard_normal),
             payload_bits=52,
@@ -300,8 +299,6 @@ def _build_tables() -> dict:
         acc = rabs < ki[nidx]
         if _check_family(prober, keys, u0, z, acc, lambda g: g.standard_normal()):
             out["norm"] = norm_tables
-    except RuntimeError:
-        pass
     return out
 
 

@@ -1,4 +1,4 @@
-"""Structured analysis warnings.
+"""Structured analysis warnings and errors.
 
 Pipeline stages used to report anomalies (unmatched nonblocking
 requests, streaming-window doublings, clamped deltas) as ad-hoc
@@ -13,13 +13,77 @@ Construct warnings through :func:`warn` so each one is also counted
 into the active observability session as a ``warnings.<code>`` metric
 (:mod:`repro.obs`); a ``--metrics-out`` report then shows exactly how
 many of each anomaly a run hit.
+
+Hard failures use the same vocabulary: :class:`DiagnosticError` is a
+:class:`ValueError` carrying a stable ``code`` (the strings in
+:data:`CODES`) plus an optional ``rank``/``seq`` location, so the
+builder, the matcher, and the static analyzer (:mod:`repro.lint`)
+all report defects through one set of codes — ``repro-lint`` maps each
+code to its ``MPGxxx`` rule id, and a runtime crash names the same
+defect the pre-flight lint pass would have flagged.
 """
 
 from __future__ import annotations
 
 from repro import obs
 
-__all__ = ["AnalysisWarning", "warn"]
+__all__ = ["AnalysisWarning", "DiagnosticError", "CODES", "warn"]
+
+# Stable diagnostic codes shared by runtime errors, warnings, and the
+# lint rule pack (repro/lint).  Keep in sync with docs/LINTING.md.
+CODES = frozenset(
+    {
+        "overlapping-events",  # local time went backwards / events overlap
+        "negative-timestamp",
+        "truncated-trace",  # non-dense per-rank sequence numbers
+        "missing-framing",  # no INIT first / FINALIZE last
+        "wait-without-request",  # completion references unknown/retired request
+        "uncompleted-request",  # nonblocking request never completed (§4.3)
+        "clock-skew-outlier",
+        "graph-cycle",
+        "unmatched-endpoint",  # send/recv counts differ on a channel
+        "collective-mismatch",
+        "invalid-edge-weight",
+        "orphan-node",
+        "invalid-edge",  # malformed endpoints / self-loop
+        "duplicate-subevent",
+        "invalid-gap",  # gap edge over non-consecutive events
+        "generic",
+    }
+)
+
+
+class DiagnosticError(ValueError):
+    """A pipeline failure with a stable diagnostic code and location.
+
+    Subclasses :class:`ValueError` so every existing ``except
+    ValueError`` / ``pytest.raises(ValueError)`` consumer keeps
+    working; the structure rides along as attributes.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        code: str = "generic",
+        rank: int | None = None,
+        seq: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.rank = rank
+        self.seq = seq
+
+    @property
+    def message(self) -> str:
+        return str(self)
+
+    def as_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "message": str(self),
+            "rank": self.rank,
+            "seq": self.seq,
+        }
 
 
 class AnalysisWarning(str):

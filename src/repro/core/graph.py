@@ -23,6 +23,7 @@ import enum
 from dataclasses import dataclass
 from typing import Iterator
 
+from repro.core.diagnostics import DiagnosticError
 from repro.trace.events import EventKind
 
 __all__ = [
@@ -170,7 +171,9 @@ class MessagePassingGraph:
         if phase != Phase.VIRTUAL:
             key = (rank, seq, phase)
             if key in self._by_key:
-                raise ValueError(f"duplicate subevent {key}")
+                raise DiagnosticError(
+                    f"duplicate subevent {key}", code="duplicate-subevent", rank=rank, seq=seq
+                )
             self._by_key[key] = node_id
         self.nodes.append(Node(node_id, rank, seq, phase, kind, t_local, label))
         self._out.append([])
@@ -187,11 +190,18 @@ class MessagePassingGraph:
         label: str = "",
     ) -> int:
         if not (0 <= src < len(self.nodes) and 0 <= dst < len(self.nodes)):
-            raise ValueError(f"edge endpoints out of range: {src}->{dst}")
+            raise DiagnosticError(
+                f"edge endpoints out of range: {src}->{dst}", code="invalid-edge"
+            )
         if src == dst:
-            raise ValueError(f"self-loop on node {src}")
+            raise DiagnosticError(f"self-loop on node {src}", code="invalid-edge")
         if kind == EdgeKind.LOCAL and weight < 0:
-            raise ValueError(f"negative local edge weight {weight} ({src}->{dst})")
+            raise DiagnosticError(
+                f"negative local edge weight {weight} ({src}->{dst})",
+                code="invalid-edge-weight",
+                rank=self.nodes[src].rank,
+                seq=self.nodes[src].seq,
+            )
         edge_id = len(self.edges)
         self.edges.append(Edge(src, dst, kind, weight, delta, label))
         self._out[src].append(edge_id)
@@ -245,9 +255,10 @@ class MessagePassingGraph:
                 if indeg[dst] == 0:
                     stack.append(dst)
         if len(order) != len(self.nodes):
-            raise ValueError(
+            raise DiagnosticError(
                 f"message-passing graph has a cycle "
-                f"({len(self.nodes) - len(order)} nodes unreached)"
+                f"({len(self.nodes) - len(order)} nodes unreached)",
+                code="graph-cycle",
             )
         return order
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro import obs
+from repro.core.diagnostics import DiagnosticError
 from repro.trace.events import (
     COLLECTIVE_KINDS,
     EventKind,
@@ -31,8 +32,14 @@ __all__ = ["MatchResult", "MatchError", "CollectiveGroup", "match_events"]
 Key = tuple  # (rank, seq)
 
 
-class MatchError(ValueError):
-    """Traces cannot be paired into a consistent message graph."""
+class MatchError(DiagnosticError):
+    """Traces cannot be paired into a consistent message graph.
+
+    Carries the structured ``code``/``rank``/``seq`` fields of
+    :class:`~repro.core.diagnostics.DiagnosticError`, so matching
+    failures name the same defect the ``repro-lint`` pre-flight pass
+    reports (e.g. ``unmatched-endpoint``, ``collective-mismatch``).
+    """
 
 
 @dataclass(frozen=True)
@@ -156,7 +163,10 @@ def _match_events_impl(per_rank: Sequence[Sequence[EventRecord]]) -> MatchResult
                     if src_key is None:
                         raise MatchError(
                             f"rank {rank} event #{ev.seq} completes unknown/duplicate "
-                            f"request {rid}"
+                            f"request {rid}",
+                            code="wait-without-request",
+                            rank=rank,
+                            seq=ev.seq,
                         )
                     result.completion_of[src_key] = key
             elif ev.kind in COLLECTIVE_KINDS:
@@ -169,15 +179,26 @@ def _match_events_impl(per_rank: Sequence[Sequence[EventRecord]]) -> MatchResult
                 if inst["kind"] != ev.kind:
                     raise MatchError(
                         f"collective #{ordinal}: rank {rank} called {ev.kind.name}, "
-                        f"others called {inst['kind'].name}"
+                        f"others called {inst['kind'].name}",
+                        code="collective-mismatch",
+                        rank=rank,
+                        seq=ev.seq,
                     )
                 if ev.kind in ROOTED_COLLECTIVES and inst["root"] != ev.root:
                     raise MatchError(
                         f"collective #{ordinal} ({ev.kind.name}): root mismatch "
-                        f"({ev.root} vs {inst['root']})"
+                        f"({ev.root} vs {inst['root']})",
+                        code="collective-mismatch",
+                        rank=rank,
+                        seq=ev.seq,
                     )
                 if rank in inst["members"]:
-                    raise MatchError(f"rank {rank} appears twice in collective #{ordinal}")
+                    raise MatchError(
+                        f"rank {rank} appears twice in collective #{ordinal}",
+                        code="collective-mismatch",
+                        rank=rank,
+                        seq=ev.seq,
+                    )
                 inst["members"][rank] = key
                 inst["nbytes"] = max(inst["nbytes"], ev.nbytes)
         result.uncompleted.extend(open_reqs.values())
@@ -191,7 +212,10 @@ def _match_events_impl(per_rank: Sequence[Sequence[EventRecord]]) -> MatchResult
         leftovers += [f"recv {k} on channel {channel}" for k in q]
     if leftovers:
         shown = "; ".join(leftovers[:8])
-        raise MatchError(f"{len(leftovers)} unpaired pairwise event(s): {shown}")
+        raise MatchError(
+            f"{len(leftovers)} unpaired pairwise event(s): {shown}",
+            code="unmatched-endpoint",
+        )
 
     nprocs = len(per_rank)
     for ordinal in sorted(collectives):
@@ -199,7 +223,8 @@ def _match_events_impl(per_rank: Sequence[Sequence[EventRecord]]) -> MatchResult
         if len(inst["members"]) != nprocs:
             missing = sorted(set(range(nprocs)) - set(inst["members"]))
             raise MatchError(
-                f"collective #{ordinal} ({inst['kind'].name}) missing ranks {missing}"
+                f"collective #{ordinal} ({inst['kind'].name}) missing ranks {missing}",
+                code="collective-mismatch",
             )
         result.collectives.append(
             CollectiveGroup(

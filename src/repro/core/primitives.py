@@ -43,6 +43,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro._util import ilog2_ceil
+from repro.core.diagnostics import DiagnosticError
 from repro.core.graph import DeltaKind, DeltaSpec, EdgeKind, NO_DELTA, Phase
 from repro.core.matching import CollectiveGroup
 from repro.trace.events import EventKind, EventRecord, ROOTED_COLLECTIVES
@@ -177,10 +178,20 @@ def intra_event_edge(ev: EventRecord) -> EdgeT:
 def gap_edge(prev: EventRecord, ev: EventRecord) -> EdgeT:
     """E(prev)→S(ev): the compute phase between two events (Fig. 1)."""
     if ev.rank != prev.rank or ev.seq != prev.seq + 1:
-        raise ValueError(f"gap edge needs consecutive events, got {prev.key} -> {ev.key}")
+        raise DiagnosticError(
+            f"gap edge needs consecutive events, got {prev.key} -> {ev.key}",
+            code="invalid-gap",
+            rank=ev.rank,
+            seq=ev.seq,
+        )
     gap = ev.t_start - prev.t_end
     if gap < 0:
-        raise ValueError(f"negative compute gap at r{ev.rank}#{ev.seq}: {gap}")
+        raise DiagnosticError(
+            f"events overlap: negative compute gap at r{ev.rank}#{ev.seq}: {gap}",
+            code="overlapping-events",
+            rank=ev.rank,
+            seq=ev.seq,
+        )
     return EdgeT(
         sub(prev.rank, prev.seq, Phase.END),
         sub(ev.rank, ev.seq, Phase.START),

@@ -1,0 +1,283 @@
+"""Lint engine: run the rule pack over traces and built graphs.
+
+The analyzer is a *pre-flight* pass: it inspects raw per-rank event
+streams and (when they are coherent enough to build) the resulting
+message-passing graph, **without executing the perturbation engine**.
+Entry points:
+
+:func:`lint_run`
+    The full pass — trace rules, then a guarded graph build, then
+    graph rules.  A build failure is converted into the finding of the
+    rule owning the error's diagnostic code instead of crashing, so a
+    malformed trace produces a report, never a stack trace.
+:func:`lint_traces`
+    Trace-level rules only (no graph is ever built).
+:func:`lint_build`
+    Graph-level rules over an existing
+    :class:`~repro.core.builder.BuildResult` (or a hand-built
+    :class:`~repro.core.graph.MessagePassingGraph`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Iterable
+
+from repro import obs
+from repro.core.builder import BuildResult, build_graph
+from repro.core.diagnostics import DiagnosticError
+from repro.core.graph import MessagePassingGraph
+from repro.core.primitives import BuildConfig
+from repro.lint.model import Finding, LintConfig, Severity
+from repro.lint.registry import all_rules, rule_for_code, run_rule
+from repro.trace.events import EventRecord, TraceMeta
+from repro.trace.reader import TraceSource
+
+__all__ = ["LintContext", "LintReport", "lint_run", "lint_traces", "lint_build"]
+
+
+class LintContext:
+    """Everything a rule may inspect, loaded lazily.
+
+    ``per_rank`` materializes the event lists on first use (rules share
+    the one copy); ``graph`` is the built message-passing graph or
+    ``None`` when no build was possible — graph rules that need it must
+    tolerate its absence.
+    """
+
+    def __init__(
+        self,
+        trace_set: TraceSource | None = None,
+        per_rank: list[list[EventRecord]] | None = None,
+        build: BuildResult | None = None,
+        graph: MessagePassingGraph | None = None,
+        build_config: BuildConfig | None = None,
+    ) -> None:
+        if trace_set is None and per_rank is None and build is None and graph is None:
+            raise ValueError("LintContext needs a trace_set, events, a build, or a graph")
+        self.trace_set = trace_set
+        self._per_rank = per_rank
+        self.build = build
+        self._graph = graph
+        self.build_config = build_config
+        self.build_error: DiagnosticError | None = None
+
+    @classmethod
+    def from_build(cls, build: BuildResult) -> "LintContext":
+        return cls(per_rank=build.events, build=build, build_config=build.config)
+
+    @cached_property
+    def per_rank(self) -> list[list[EventRecord]]:
+        """Per-rank event lists (empty when only a graph was supplied)."""
+        if self._per_rank is not None:
+            return self._per_rank
+        if self.build is not None:
+            return self.build.events
+        if self.trace_set is not None:
+            return self.trace_set.load_all()
+        return []
+
+    @cached_property
+    def metas(self) -> list[TraceMeta | None]:
+        if self.trace_set is not None and hasattr(self.trace_set, "meta"):
+            return [self.trace_set.meta(r) for r in range(len(self.per_rank))]
+        return [None] * len(self.per_rank)
+
+    @cached_property
+    def paths(self) -> list[str | None]:
+        """Per-rank trace file paths (None for in-memory traces)."""
+        readers = getattr(self.trace_set, "readers", None)
+        if readers:
+            return [str(r.path) for r in readers]
+        return [None] * len(self.per_rank)
+
+    @property
+    def graph(self) -> MessagePassingGraph | None:
+        if self._graph is not None:
+            return self._graph
+        if self.build is not None:
+            return self.build.graph
+        return None
+
+    def path_of(self, rank: int | None) -> str | None:
+        if rank is None or not 0 <= rank < len(self.paths):
+            return None
+        return self.paths[rank]
+
+    def try_build(self) -> None:
+        """Attempt the graph build, capturing structured failures.
+
+        Only called by the engine after trace rules ran; any
+        :class:`DiagnosticError` (including ``MatchError``) is recorded
+        on ``build_error`` for conversion into a finding.
+        """
+        if self.build is not None or self._graph is not None:
+            return
+        source = self.trace_set
+        if source is None:
+            from repro.trace.reader import MemoryTrace
+
+            source = MemoryTrace(self.per_rank) if self.per_rank else None
+        if source is None:
+            return
+        try:
+            self.build = build_graph(source, self.build_config)
+        except DiagnosticError as exc:
+            self.build_error = exc
+
+
+@dataclass
+class LintReport:
+    """All findings of one lint pass, plus enough context to render."""
+
+    findings: list[Finding] = field(default_factory=list)
+    nprocs: int = 0
+    event_count: int = 0
+    rules_run: tuple[str, ...] = ()
+    graph_checked: bool = False
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == Severity.WARNING]
+
+    @property
+    def notes(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == Severity.INFO]
+
+    @property
+    def ok(self) -> bool:
+        """True when no ERROR-severity findings were reported."""
+        return not self.errors
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for f in self.findings:
+            out[f.rule_id] = out.get(f.rule_id, 0) + 1
+        return out
+
+    def summary(self) -> str:
+        scope = f"{self.nprocs} ranks, {self.event_count} events"
+        if self.graph_checked:
+            scope += ", graph checked"
+        return (
+            f"{scope}: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s), {len(self.notes)} note(s)"
+        )
+
+
+def _finalize(
+    ctx: LintContext, findings: Iterable[Finding], rules_run: Iterable[str]
+) -> LintReport:
+    ordered = sorted(
+        (f.with_path(ctx.path_of(f.rank)) for f in findings),
+        key=lambda f: (
+            -int(f.severity),
+            f.rule_id,
+            f.rank if f.rank is not None else -1,
+            f.seq if f.seq is not None else -1,
+            f.node if f.node is not None else -1,
+        ),
+    )
+    for f in ordered:
+        obs.add(f"lint.findings.{f.severity.name.lower()}")
+    return LintReport(
+        findings=ordered,
+        nprocs=len(ctx.per_rank),
+        event_count=sum(len(evs) for evs in ctx.per_rank),
+        rules_run=tuple(rules_run),
+        graph_checked=ctx.graph is not None,
+    )
+
+
+def _run_rules(ctx: LintContext, config: LintConfig, category: str | None) -> LintReport:
+    findings: list[Finding] = []
+    rules_run: list[str] = []
+    for r in all_rules(category):
+        if not config.enabled(r):
+            continue
+        rules_run.append(r.id)
+        findings.extend(run_rule(r, ctx, config))
+    return _finalize(ctx, findings, rules_run)
+
+
+def lint_traces(trace_set: TraceSource, config: LintConfig | None = None) -> LintReport:
+    """Run the trace-level rules only (MPG0xx); no graph is built."""
+    config = config or LintConfig()
+    with obs.span("lint", layer="trace"):
+        return _run_rules(LintContext(trace_set=trace_set), config, "trace")
+
+
+def lint_build(
+    build: BuildResult | MessagePassingGraph, config: LintConfig | None = None
+) -> LintReport:
+    """Run the graph-level rules (MPG1xx) over an existing build.
+
+    Accepts a :class:`BuildResult` or a bare
+    :class:`MessagePassingGraph` (hand-built graphs in tests have no
+    trace events; event-based graph rules then report nothing).
+    """
+    config = config or LintConfig()
+    if isinstance(build, MessagePassingGraph):
+        ctx = LintContext(graph=build, per_rank=[])
+    else:
+        ctx = LintContext.from_build(build)
+    with obs.span("lint", layer="graph"):
+        return _run_rules(ctx, config, "graph")
+
+
+def lint_run(
+    trace_set: TraceSource,
+    config: LintConfig | None = None,
+    build_config: BuildConfig | None = None,
+) -> LintReport:
+    """The full pre-flight pass: trace rules, guarded build, graph rules."""
+    config = config or LintConfig()
+    with obs.span("lint", layer="all"):
+        ctx = LintContext(trace_set=trace_set, build_config=build_config)
+        findings: list[Finding] = []
+        rules_run: list[str] = []
+        for r in all_rules("trace"):
+            if not config.enabled(r):
+                continue
+            rules_run.append(r.id)
+            findings.extend(run_rule(r, ctx, config))
+
+        ctx.try_build()
+        for r in all_rules("graph"):
+            if not config.enabled(r):
+                continue
+            rules_run.append(r.id)
+            findings.extend(run_rule(r, ctx, config))
+
+        # A build failure whose code no rule finding already covers
+        # becomes a finding itself — the report never hides the reason
+        # the graph could not be checked.
+        if ctx.build_error is not None:
+            err = ctx.build_error
+            owner = rule_for_code(err.code)
+            covered = {f.code for f in findings}
+            if owner is not None and config.enabled(owner):
+                if err.code not in covered:
+                    severity = config.severity_for(owner.id, owner.severity)
+                    findings.append(
+                        owner.finding(
+                            f"graph build failed: {err}", rank=err.rank, seq=err.seq
+                        ).with_severity(severity)
+                    )
+            elif err.code not in covered:
+                findings.append(
+                    Finding(
+                        rule_id="MPG000",
+                        code=err.code,
+                        severity=Severity.ERROR,
+                        message=f"graph build failed: {err}",
+                        rank=err.rank,
+                        seq=err.seq,
+                    )
+                )
+        return _finalize(ctx, findings, rules_run)

@@ -58,9 +58,8 @@ def binomial_children(v: int, p: int) -> list[int]:
         if v & bit:
             break
         child = v | bit
-        if child < p:
-            if child != v:
-                children.append(child)
+        if child < p and child != v:
+            children.append(child)
         bit <<= 1
         if bit >= p:
             break

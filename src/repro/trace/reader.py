@@ -17,13 +17,41 @@ from __future__ import annotations
 import glob
 import re
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Protocol, Sequence, runtime_checkable
 
 from repro import obs
 from repro.trace import format as fmt
 from repro.trace.events import EventRecord, TraceMeta
 
-__all__ = ["TraceReader", "RankStream", "TraceSet", "MemoryTrace", "find_trace_files"]
+__all__ = [
+    "TraceReader",
+    "RankStream",
+    "TraceSet",
+    "MemoryTrace",
+    "TraceSource",
+    "find_trace_files",
+]
+
+
+@runtime_checkable
+class TraceSource(Protocol):
+    """Anything that can hand per-rank event streams to the analyzer.
+
+    Satisfied by the file-backed :class:`TraceSet` and the in-memory
+    :class:`MemoryTrace`; consumers (builder, validators, lint engine)
+    accept this protocol instead of a concrete reader.
+    """
+
+    nprocs: int
+
+    def meta(self, rank: int) -> TraceMeta: ...
+
+    def streams(self) -> "list[RankStream]": ...
+
+    def events_of(self, rank: int) -> Iterator[EventRecord]: ...
+
+    def load_all(self) -> list[list[EventRecord]]: ...
+
 
 _RANK_RE = re.compile(r"\.rank(\d+)\.trace\.(jsonl|bin)$")
 
@@ -69,12 +97,11 @@ class TraceReader:
             not self.path.name.endswith(fmt.TEXT_SUFFIX) and self._sniff_binary()
         )
         if self.binary:
-            fh = open(self.path, "rb")
-            self.meta = fmt.read_header_binary(fh)
+            with open(self.path, "rb") as fh:
+                self.meta = fmt.read_header_binary(fh)
         else:
-            fh = open(self.path, "r")
-            self.meta = fmt.read_header_text(fh)
-        fh.close()
+            with open(self.path, "r") as fh:
+                self.meta = fmt.read_header_text(fh)
 
     def _sniff_binary(self) -> bool:
         with open(self.path, "rb") as fh:

@@ -53,11 +53,13 @@ class TraceWriter:
         self.flush_count = 0
         self.event_count = 0
         self._closed = False
+        # The handle outlives __init__ by design (buffered writes land on
+        # flush/close), so a context manager cannot own it.
         if binary:
-            self._fh: io.IOBase = open(self.path, "wb")
+            self._fh: io.IOBase = open(self.path, "wb")  # noqa: SIM115
             fmt.write_header_binary(self._fh, meta)
         else:
-            self._fh = open(self.path, "w")
+            self._fh = open(self.path, "w")  # noqa: SIM115
             fmt.write_header_text(self._fh, meta)
 
     # -- recording ----------------------------------------------------------------

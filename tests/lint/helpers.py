@@ -1,0 +1,37 @@
+"""Fixture helpers for the static-analyzer tests.
+
+``ev``/``wrap`` mirror the trace-validator test helpers; the
+``corrupt_*`` builders each seed exactly one defect class so the
+per-rule tests can assert a fixture trips its rule and nothing else.
+"""
+
+from __future__ import annotations
+
+from repro.trace.events import EventKind, EventRecord
+from repro.trace.reader import MemoryTrace
+
+
+def ev(rank, seq, kind, t0, t1, **kw):
+    return EventRecord(rank=rank, seq=seq, kind=kind, t_start=t0, t_end=t1, **kw)
+
+
+def wrap(rank, inner, t0=0.0):
+    """INIT ... FINALIZE around a list of (kind, t0, t1, kwargs)."""
+    events = [ev(rank, 0, EventKind.INIT, t0, t0 + 1)]
+    for i, (kind, a, b, kw) in enumerate(inner, start=1):
+        events.append(ev(rank, i, kind, a, b, **kw))
+    last = events[-1]
+    events.append(ev(rank, len(events), EventKind.FINALIZE, last.t_end, last.t_end + 1))
+    return events
+
+
+def compute_only(rank, span=100.0):
+    """A rank that computes between INIT and FINALIZE (no messaging)."""
+    return [
+        ev(rank, 0, EventKind.INIT, 0.0, 1.0),
+        ev(rank, 1, EventKind.FINALIZE, span - 1.0, span),
+    ]
+
+
+def memory_trace(*per_rank):
+    return MemoryTrace(list(per_rank))

@@ -1,0 +1,32 @@
+"""Regenerate the golden report snapshots in tests/lint/golden/.
+
+Run from the repository root after an intentional format change:
+
+    PYTHONPATH=src python tests/lint/regen_golden.py
+
+then review the diff before committing.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1].parent))
+
+from repro.lint import render_json, render_sarif  # noqa: E402
+
+from tests.lint.test_report import GOLDEN, fixture_report, normalize_sarif  # noqa: E402
+
+
+def main() -> None:
+    GOLDEN.mkdir(exist_ok=True)
+    report = fixture_report()
+    (GOLDEN / "report.json").write_text(render_json(report) + "\n")
+    (GOLDEN / "report.sarif").write_text(normalize_sarif(render_sarif(report)) + "\n")
+    print(f"wrote {GOLDEN / 'report.json'}")
+    print(f"wrote {GOLDEN / 'report.sarif'}")
+
+
+if __name__ == "__main__":
+    main()

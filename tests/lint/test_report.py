@@ -1,0 +1,140 @@
+"""Reporter tests: text rendering, golden JSON / SARIF snapshots, and
+SARIF 2.1.0 schema conformance.
+
+The golden files live in ``tests/lint/golden/``; regenerate them with
+
+    PYTHONPATH=src python tests/lint/regen_golden.py
+
+after an intentional report-format change, and review the diff.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    lint_traces,
+    render_json,
+    render_sarif,
+    render_text,
+    report_to_sarif,
+    severity_histogram,
+    write_report,
+)
+from repro.trace.events import EventKind
+from tests.lint.helpers import ev, memory_trace
+
+GOLDEN = Path(__file__).parent / "golden"
+
+
+def fixture_report():
+    """A deterministic report: one error (MPG001) + one warning (MPG004)."""
+    events = [
+        ev(0, 0, EventKind.INIT, 0.0, 10.0),
+        ev(0, 1, EventKind.SEND, 1.0, 2.0, peer=0, tag=0, nbytes=8),
+    ]
+    return lint_traces(memory_trace(events))
+
+
+def normalize_sarif(text: str) -> str:
+    """Pin the tool version so snapshots survive version bumps."""
+    doc = json.loads(text)
+    for run in doc["runs"]:
+        run["tool"]["driver"]["version"] = "TEST"
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+class TestText:
+    def test_gcc_style_lines(self):
+        out = render_text(fixture_report())
+        lines = out.splitlines()
+        assert lines[0].startswith("rank 0, event #1: error MPG001 [overlapping-events]:")
+        assert "warning MPG004 [missing-framing]" in lines[1]
+        assert "1 error(s), 1 warning(s), 0 note(s)" in lines[-1]
+
+    def test_verbose_lists_rules(self):
+        out = render_text(fixture_report(), verbose=True)
+        assert "rules run: MPG001" in out
+
+    def test_path_prefix(self, tmp_path):
+        from repro.trace.reader import TraceSet
+        from repro.trace.writer import TraceSetWriter
+
+        with TraceSetWriter(tmp_path, "bad", nprocs=1) as w:
+            w.record(ev(0, 0, EventKind.INIT, 0.0, 10.0))
+            w.record(ev(0, 1, EventKind.FINALIZE, 1.0, 2.0))
+        out = render_text(lint_traces(TraceSet.open(tmp_path, "bad")))
+        assert out.splitlines()[0].startswith(str(tmp_path / "bad.rank0000.trace.jsonl"))
+
+
+class TestGoldenSnapshots:
+    def test_json_matches_golden(self):
+        expected = (GOLDEN / "report.json").read_text()
+        assert render_json(fixture_report()) + "\n" == expected
+
+    def test_sarif_matches_golden(self):
+        expected = (GOLDEN / "report.sarif").read_text()
+        assert normalize_sarif(render_sarif(fixture_report())) + "\n" == expected
+
+
+class TestSarif:
+    def test_version_and_schema_uri(self):
+        doc = report_to_sarif(fixture_report())
+        assert doc["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in doc["$schema"]
+
+    def test_rule_catalog_and_indices(self):
+        doc = report_to_sarif(fixture_report())
+        driver = doc["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        rules = driver["rules"]
+        assert [r["id"] for r in rules] == sorted(r["id"] for r in rules)
+        assert len(rules) == 12
+        for result in doc["runs"][0]["results"]:
+            assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+    def test_logical_locations(self):
+        doc = report_to_sarif(fixture_report())
+        (err, warn) = doc["runs"][0]["results"]
+        assert err["level"] == "error"
+        names = [loc["name"] for loc in err["locations"][0]["logicalLocations"]]
+        assert names == ["rank 0", "event #1"]
+        assert warn["level"] == "warning"
+
+    def test_physical_location_line_numbers(self, tmp_path):
+        from repro.trace.reader import TraceSet
+        from repro.trace.writer import TraceSetWriter
+
+        with TraceSetWriter(tmp_path, "bad", nprocs=1) as w:
+            w.record(ev(0, 0, EventKind.INIT, 0.0, 10.0))
+            w.record(ev(0, 1, EventKind.FINALIZE, 1.0, 2.0))
+        doc = report_to_sarif(lint_traces(TraceSet.open(tmp_path, "bad")))
+        result = doc["runs"][0]["results"][0]
+        physical = result["locations"][0]["physicalLocation"]
+        assert physical["artifactLocation"]["uri"].endswith("bad.rank0000.trace.jsonl")
+        # header is line 1, so event seq 1 sits on line 3
+        assert physical["region"]["startLine"] == 3
+
+    def test_validates_against_sarif_subset_schema(self):
+        jsonschema = pytest.importorskip("jsonschema")
+        schema = json.loads((Path(__file__).parent / "sarif-2.1.0-subset.schema.json").read_text())
+        jsonschema.validate(report_to_sarif(fixture_report()), schema)
+
+
+class TestWriteReport:
+    @pytest.mark.parametrize("fmt", ["text", "json", "sarif"])
+    def test_formats(self, fmt):
+        buf = io.StringIO()
+        write_report(fixture_report(), fmt, buf)
+        assert buf.getvalue().endswith("\n")
+
+    def test_unknown_format(self):
+        with pytest.raises(ValueError, match="unknown lint report format"):
+            write_report(fixture_report(), "xml", io.StringIO())
+
+    def test_histogram(self):
+        assert severity_histogram(fixture_report()) == {"error": 1, "warning": 1, "info": 0}

@@ -1,14 +1,15 @@
 """Span nesting, timing monotonicity, and the drain/absorb transfer."""
 
+import contextlib
+
 from repro.obs import Session
 
 
 def test_span_nesting_depth_and_parents():
     s = Session("t")
     with s.span("outer") as outer:
-        with s.span("mid"):
-            with s.span("inner"):
-                pass
+        with s.span("mid"), s.span("inner"):
+            pass
         with s.span("mid2"):
             pass
     assert outer.record.t_end is not None
@@ -22,9 +23,8 @@ def test_span_nesting_depth_and_parents():
 
 def test_span_timing_monotonic():
     s = Session("t")
-    with s.span("outer"):
-        with s.span("inner"):
-            sum(range(1000))
+    with s.span("outer"), s.span("inner"):
+        sum(range(1000))
     outer, inner = s.spans[0], s.spans[1]
     for r in (outer, inner):
         assert r.t_end >= r.t_start
@@ -43,11 +43,8 @@ def test_span_counters_and_error_flag():
     assert s.spans[0].counters == {"items": 5}
     assert s.spans[0].attrs == {"mode": "additive"}
 
-    try:
-        with s.span("failing"):
-            raise RuntimeError("boom")
-    except RuntimeError:
-        pass
+    with contextlib.suppress(RuntimeError), s.span("failing"):
+        raise RuntimeError("boom")
     assert s.spans[1].attrs.get("error") is True
     assert s.spans[1].t_end is not None
 
@@ -85,9 +82,8 @@ def test_absorb_rebases_parents_and_tags_workers():
 
     worker = Session("worker")
     worker.pid = parent.pid + 1  # simulate a separate process
-    with worker.span("chunk"):
-        with worker.span("replicate"):
-            pass
+    with worker.span("chunk"), worker.span("replicate"):
+        pass
     worker.metrics.counter("mc.replicates").inc(4)
     for rec in worker.spans:
         rec.pid = worker.pid
