@@ -14,6 +14,8 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro._util import atomic_write_text
+
 RESULTS_DIR = Path(__file__).parent / "results"
 
 RESULT_SCHEMA = "repro-bench-result/1"
@@ -46,7 +48,7 @@ def emit(
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
-    path.write_text(text if text.endswith("\n") else text + "\n")
+    atomic_write_text(path, text if text.endswith("\n") else text + "\n")
     record = {
         "schema": RESULT_SCHEMA,
         "name": name,
@@ -54,8 +56,9 @@ def emit(
         "timings": timings or {},
         "metrics": metrics or {},
     }
-    (RESULTS_DIR / f"{name}.json").write_text(
-        json.dumps(record, indent=2, sort_keys=True, default=_jsonable) + "\n"
+    atomic_write_text(
+        RESULTS_DIR / f"{name}.json",
+        json.dumps(record, indent=2, sort_keys=True, default=_jsonable) + "\n",
     )
     print(f"\n===== {name} =====\n{text}")
     return path

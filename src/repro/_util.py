@@ -7,8 +7,11 @@ needs so that they behave identically everywhere.
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 import math
+import os
+from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
@@ -16,6 +19,7 @@ import numpy as np
 __all__ = [
     "as_rng",
     "spawn_rng",
+    "atomic_write_text",
     "check_nonnegative",
     "check_positive",
     "check_rank",
@@ -24,6 +28,27 @@ __all__ = [
     "chunked",
     "format_cycles",
 ]
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    Readers never observe a truncated file: a crash mid-write leaves
+    either the previous version (or nothing, for a new file) plus a
+    stray ``*.tmp.<pid>`` — never a half-written artifact.  Every
+    artifact writer in the package (obs exporters, benchmark results,
+    checkpoint shards, signatures) goes through this.
+    """
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            tmp.unlink()
+        raise
+    return path
 
 
 def as_rng(seed: int | np.random.Generator | None) -> np.random.Generator:

@@ -39,6 +39,7 @@ from repro.apps import ALL_APPS
 from repro.core import (
     BuildConfig,
     ExperimentHistory,
+    FaultPolicy,
     PerturbationSpec,
     StreamingTraversal,
     absorption_map,
@@ -209,6 +210,65 @@ def _add_jobs_arg(ap: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_fault_args(ap: argparse.ArgumentParser) -> None:
+    """Fault-tolerance / resumability flags shared by analyze and sweep."""
+    ap.add_argument(
+        "--checkpoint",
+        metavar="DIR",
+        help="persist one shard per replicate/point into DIR as results are "
+        "computed (see repro.core.checkpoint)",
+    )
+    ap.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --checkpoint: read existing shards first and compute only "
+        "the missing rows — bit-identical to an uninterrupted run",
+    )
+    ap.add_argument(
+        "--chunk-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-chunk deadline for pooled execution; past-deadline chunks are "
+        "speculatively resubmitted (default: no timeout)",
+    )
+    ap.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="re-submissions per failed chunk before the failure policy applies "
+        "(default: 2)",
+    )
+    ap.add_argument(
+        "--on-failure",
+        choices=("fail", "degrade", "skip"),
+        default=None,
+        help="what to do with a chunk that exhausts its retries: fail the run "
+        "(default), degrade to in-process serial execution, or skip it "
+        "(its rows become NaN)",
+    )
+
+
+def _fault_policy(args) -> FaultPolicy | None:
+    """A FaultPolicy when any fault flag was given, else None (defaults)."""
+    if args.chunk_timeout is None and args.retries is None and args.on_failure is None:
+        return None
+    defaults = FaultPolicy()
+    return FaultPolicy(
+        timeout=args.chunk_timeout,
+        retries=defaults.retries if args.retries is None else args.retries,
+        on_failure=args.on_failure or defaults.on_failure,
+    )
+
+
+def _checkpoint_args(args) -> dict:
+    """The checkpoint/resume kwargs for analysis entry points."""
+    if args.resume and not args.checkpoint:
+        raise SystemExit("--resume requires --checkpoint DIR")
+    return {"checkpoint": args.checkpoint, "resume": args.resume}
+
+
 def _machine(name: str, nprocs: int, seed: int):
     if name not in PRESETS:
         raise SystemExit(f"unknown machine preset {name!r}; choose from {sorted(PRESETS)}")
@@ -360,6 +420,7 @@ def main_analyze(argv: list[str] | None = None) -> int:
     )
     _add_analysis_args(ap)
     _add_jobs_arg(ap)
+    _add_fault_args(ap)
     _add_logging_args(ap)
     _add_obs_args(ap)
     _add_lint_arg(ap)
@@ -450,6 +511,8 @@ def main_analyze(argv: list[str] | None = None) -> int:
                     mode=args.mode,
                     jobs=args.jobs,
                     engine="compiled" if engine == "compiled" else "graph",
+                    policy=_fault_policy(args),
+                    **_checkpoint_args(args),
                 )
                 _say(f"monte carlo: {dist.summary()}")
                 _say(
@@ -469,6 +532,7 @@ def main_sweep(argv: list[str] | None = None) -> int:
     )
     _add_analysis_args(ap)
     _add_jobs_arg(ap)
+    _add_fault_args(ap)
     _add_logging_args(ap)
     _add_obs_args(ap)
     _add_lint_arg(ap)
@@ -496,6 +560,8 @@ def main_sweep(argv: list[str] | None = None) -> int:
         engine=args.engine,
         config=_build_config(args),
         jobs=args.jobs,
+        policy=_fault_policy(args),
+        **_checkpoint_args(args),
     )
     _say(result.table())
     with contextlib.suppress(ValueError):  # slope undefined for a single scale

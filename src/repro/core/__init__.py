@@ -12,6 +12,14 @@ from repro.core.analysis import (
     runtime_impact,
 )
 from repro.core.builder import BuildResult, build_graph
+from repro.core.checkpoint import (
+    CheckpointStore,
+    ShardKey,
+    build_digest,
+    resolve_rows,
+    signature_digest,
+    trace_digest,
+)
 from repro.core.compiled import CompiledBatch, CompiledPlan, compiled_plan
 from repro.core.correctness import CorrectnessReport, check_correctness
 from repro.core.diagnostics import AnalysisWarning, DiagnosticError
@@ -30,9 +38,12 @@ from repro.core.influence import InfluenceMatrix, rank_influence
 from repro.core.matching import CollectiveGroup, MatchError, MatchResult, match_events
 from repro.core.montecarlo import DelayDistribution, monte_carlo
 from repro.core.parallel import (
+    ChunkTimeoutError,
     ExecutionBackend,
+    FaultPolicy,
     ProcessPoolBackend,
     SerialBackend,
+    available_cpus,
     map_replicate_batches,
     map_replicates,
     replicate_items,
@@ -91,10 +102,19 @@ __all__ = [
     "ExecutionBackend",
     "SerialBackend",
     "ProcessPoolBackend",
+    "FaultPolicy",
+    "ChunkTimeoutError",
+    "available_cpus",
     "resolve_backend",
     "map_replicate_batches",
     "map_replicates",
     "replicate_items",
+    "CheckpointStore",
+    "ShardKey",
+    "build_digest",
+    "signature_digest",
+    "trace_digest",
+    "resolve_rows",
     "BuildConfig",
     "SweepPoint",
     "SweepResult",

@@ -17,7 +17,14 @@ import numpy as np
 
 from repro import obs
 from repro.core.builder import BuildResult
-from repro.core.parallel import map_replicates, resolve_backend
+from repro.core.checkpoint import (
+    CheckpointStore,
+    ShardKey,
+    build_digest,
+    resolve_rows,
+    signature_digest,
+)
+from repro.core.parallel import FaultPolicy, map_replicates, resolve_backend
 from repro.core.perturb import PerturbationSpec
 from repro.noise.distributions import RandomVariable
 from repro.noise.signature import MachineSignature
@@ -82,6 +89,9 @@ def rank_influence(
     mode: str = "additive",
     jobs: int | None = 0,
     engine: str = "auto",
+    policy: FaultPolicy | None = None,
+    checkpoint: CheckpointStore | str | None = None,
+    resume: bool = False,
 ) -> InfluenceMatrix:
     """Compute the influence matrix: one propagation per source rank,
     with ``noise`` as that rank's (only) δ_os distribution.
@@ -93,21 +103,50 @@ def rank_influence(
     :class:`~repro.core.compiled.CompiledPlan` across all source rows
     (topology is signature-independent), ``"graph"`` is the reference
     per-propagation path; the matrices are bit-identical.
+
+    ``policy`` is the pool's :class:`~repro.core.parallel.FaultPolicy`
+    (a skipped row comes back NaN).  ``checkpoint``/``resume`` shard the
+    matrix one row per source rank, keyed by that row's single-noisy-
+    rank signature digest — a killed matrix computation resumes at the
+    first missing row.
     """
     if engine not in ("auto", "compiled", "graph"):
         raise ValueError(f"engine must be 'auto', 'compiled', or 'graph', got {engine!r}")
+    resolved = "graph" if engine == "graph" else "compiled"
+    store = CheckpointStore.coerce(checkpoint)
     p = build.graph.nprocs
     items = []
     for src in range(p):
         sig = MachineSignature(os_noise_by_rank={src: noise}, name=f"only-rank-{src}")
         items.append((seed, PerturbationSpec(sig, seed=seed)))
-    if engine == "graph":
-        rows = map_replicates(build, items, mode=mode, jobs=jobs)
-    else:
+
+    def compute(indices) -> list:
+        sub = [items[i] for i in indices]
+        if resolved == "graph":
+            return map_replicates(build, sub, mode=mode, jobs=jobs, policy=policy)
         from repro.core.compiled import compiled_plan
 
         plan = compiled_plan(build)
-        backend = resolve_backend(jobs)
-        rows = backend.map(_compiled_influence_row, items, payload=(plan, mode))
+        backend = resolve_backend(jobs, policy=policy)
+        return backend.map(_compiled_influence_row, sub, payload=(plan, mode))
+
+    if store is None:
+        rows = compute(range(p))
+    else:
+        context = build_digest(build)
+        keys = [
+            ShardKey(
+                "influence",
+                seed,
+                signature_digest(items[src][1].signature),
+                1.0,
+                mode,
+                resolved,
+                context,
+            )
+            for src in range(p)
+        ]
+        rows = resolve_rows(store, keys, compute, resume=resume)
+    rows = [row if row is not None else [np.nan] * p for row in rows]
     matrix = np.array(rows, dtype=float).reshape(p, p)
     return InfluenceMatrix(matrix=matrix, noise_mean=noise.mean())

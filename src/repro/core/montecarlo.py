@@ -20,7 +20,19 @@ import numpy as np
 
 from repro import obs
 from repro.core.builder import BuildResult
-from repro.core.parallel import map_replicate_batches, map_replicates, replicate_items
+from repro.core.checkpoint import (
+    CheckpointStore,
+    ShardKey,
+    build_digest,
+    resolve_rows,
+    signature_digest,
+)
+from repro.core.parallel import (
+    FaultPolicy,
+    map_replicate_batches,
+    map_replicates,
+    replicate_items,
+)
 from repro.core.perturb import PerturbationSpec
 
 __all__ = ["DelayDistribution", "monte_carlo"]
@@ -101,6 +113,9 @@ def monte_carlo(
     jobs: int | None = 0,
     chunk_size: int | None = None,
     engine: str = "auto",
+    policy: FaultPolicy | None = None,
+    checkpoint: CheckpointStore | str | None = None,
+    resume: bool = False,
 ) -> DelayDistribution:
     """Propagate ``replicates`` independent perturbation samples.
 
@@ -119,25 +134,59 @@ def monte_carlo(
     ``(replicates, nprocs)`` sample matrix directly; ``"graph"`` is the
     per-replicate object-graph reference engine.  Both produce
     bit-identical samples.
+
+    ``policy`` governs chunk-level timeouts/retries/failure handling in
+    the pool backend (:class:`~repro.core.parallel.FaultPolicy`).  Under
+    ``on_failure="skip"`` an abandoned chunk's rows come back as NaN.
+
+    ``checkpoint`` (a directory or :class:`~repro.core.checkpoint.
+    CheckpointStore`) persists one shard per replicate, keyed by
+    ``(seed, signature digest, scale, mode, engine, build digest)``;
+    ``resume=True`` reads existing shards first and computes only the
+    missing replicates — bit-identical to an uninterrupted run, because
+    every replicate is a pure function of its key.
     """
     if engine not in ENGINES:
         raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+    resolved = "graph" if engine == "graph" else "compiled"
+    store = CheckpointStore.coerce(checkpoint)
     with obs.span("monte_carlo", replicates=replicates, mode=mode, jobs=jobs, engine=engine):
         items = replicate_items(spec, replicates)
         seeds = tuple(seed for seed, _ in items)
-        if engine == "graph":
-            rows = map_replicates(build, items, mode=mode, jobs=jobs, chunk_size=chunk_size)
-            samples = np.array(rows, dtype=float)
-        else:
+
+        def compute(indices) -> list:
+            sub = [items[i] for i in indices]
+            if resolved == "graph":
+                return map_replicates(
+                    build, sub, mode=mode, jobs=jobs, chunk_size=chunk_size, policy=policy
+                )
             from repro.core.compiled import compiled_plan
 
-            samples = map_replicate_batches(
-                compiled_plan(build),
-                spec.signature,
-                list(seeds),
-                scale=spec.scale,
-                mode=mode,
-                jobs=jobs,
-                chunk_size=chunk_size,
+            return list(
+                map_replicate_batches(
+                    compiled_plan(build),
+                    spec.signature,
+                    [seed for seed, _ in sub],
+                    scale=spec.scale,
+                    mode=mode,
+                    jobs=jobs,
+                    chunk_size=chunk_size,
+                    policy=policy,
+                )
             )
+
+        if store is None:
+            rows = compute(range(replicates))
+        else:
+            sig_digest = signature_digest(spec.signature)
+            context = build_digest(build)
+            keys = [
+                ShardKey("mc", seed, sig_digest, spec.scale, mode, resolved, context)
+                for seed in seeds
+            ]
+            rows = resolve_rows(store, keys, compute, resume=resume)
+        nprocs = build.graph.nprocs
+        samples = np.array(
+            [row if row is not None else [np.nan] * nprocs for row in rows], dtype=float
+        )
     return DelayDistribution(samples=samples, seeds=seeds)

@@ -18,7 +18,15 @@ import numpy as np
 
 from repro import obs
 from repro.core.builder import BuildResult, build_graph
-from repro.core.parallel import resolve_backend
+from repro.core.checkpoint import (
+    CheckpointStore,
+    ShardKey,
+    build_digest,
+    resolve_rows,
+    signature_digest,
+    trace_digest,
+)
+from repro.core.parallel import FaultPolicy, resolve_backend
 from repro.core.perturb import PerturbationSpec
 from repro.core.primitives import BuildConfig
 from repro.core.traversal import (
@@ -153,8 +161,9 @@ def _map_points(
     engine: str,
     config: BuildConfig,
     jobs: int | None,
+    policy: FaultPolicy | None = None,
 ) -> list[list[float]]:
-    backend = resolve_backend(jobs)
+    backend = resolve_backend(jobs, policy=policy)
     if engine == "incore":
         carrier = build
     elif engine == "compiled":
@@ -166,6 +175,69 @@ def _map_points(
     return backend.map(_sweep_worker, specs, payload=(engine, carrier, mode, config))
 
 
+def _context_digest(build: BuildResult | None, trace_set) -> str:
+    return build_digest(build) if build is not None else trace_digest(trace_set)
+
+
+def _point(label: str, x: float, row, mode: str, nprocs: int) -> SweepPoint:
+    """A sweep point from a delay row; None (a skipped chunk) → NaNs."""
+    delays = tuple(row) if row is not None else (float("nan"),) * nprocs
+    return SweepPoint(label=label, x=x, delays=delays, mode=mode)
+
+
+def _scale_rows(
+    trace_set,
+    build: BuildResult | None,
+    spec: PerturbationSpec,
+    scales: Sequence[float],
+    mode: str,
+    engine: str,
+    config: BuildConfig,
+    jobs: int | None,
+    policy: FaultPolicy | None,
+):
+    """Yield one per-rank delay row per scale, in ladder order.
+
+    A generator on purpose: checkpointed sweeps persist each row as it
+    arrives, so a run killed mid-ladder keeps every completed point.
+    """
+    if not scales:
+        return
+    if engine == "compiled":
+        from repro.core.compiled import compiled_plan
+
+        plan = compiled_plan(build)
+        raw = plan.sample_raw_batch(spec.signature, [spec.seed], 1.0)[0]
+        batch = plan.propagate_presampled_batch(raw, [spec.scale * s for s in scales], mode=mode)
+        obs.add("sweep.points", len(scales))
+        for row in batch.delays:
+            yield tuple(row)
+        return
+    backend = resolve_backend(jobs, policy=policy)
+    if backend.jobs >= 2:
+        # One full propagation per point — identical results to the
+        # presampled fast path (deterministic sampling), run anywhere.
+        specs = [
+            PerturbationSpec(spec.signature, spec.seed, spec.scale * s)
+            if engine == "incore"
+            else spec.scaled(s)
+            for s in scales
+        ]
+        for row in _map_points(specs, trace_set, build, mode, engine, config, jobs, policy):
+            yield tuple(row) if row is not None else None
+        return
+    raw = sample_edge_deltas(build, spec) if engine == "incore" else None
+    for s in scales:
+        if engine == "incore":
+            # Sample once, re-propagate per scale (identical results to a
+            # fresh propagate — deterministic sampling — but much faster).
+            tr = propagate_presampled(build, raw, scale=spec.scale * s, mode=mode)
+        else:
+            tr = _run_one(trace_set, build, spec.scaled(s), mode, engine, config)
+        obs.add("sweep.points")
+        yield tuple(tr.final_delay)
+
+
 def sweep_scales(
     trace_set,
     spec: PerturbationSpec,
@@ -174,6 +246,9 @@ def sweep_scales(
     engine: str = "incore",
     config: BuildConfig | None = None,
     jobs: int | None = 0,
+    policy: FaultPolicy | None = None,
+    checkpoint: CheckpointStore | str | None = None,
+    resume: bool = False,
 ) -> SweepResult:
     """Run the traversal once per global scale factor.
 
@@ -182,63 +257,89 @@ def sweep_scales(
 
     ``jobs >= 2`` (or None = auto) fans the points out across worker
     processes (:mod:`repro.core.parallel`); deterministic sampling makes
-    the results bit-identical to the serial sweep.
+    the results bit-identical to the serial sweep.  ``policy`` is the
+    pool's :class:`~repro.core.parallel.FaultPolicy` (chunk timeouts,
+    retries, ``on_failure``); a skipped point's delays come back NaN.
 
     The ``"compiled"`` engine (or ``"auto"``) samples the edge deltas
     once and pushes the whole scale ladder through one replicate-batched
     kernel pass — every point in a single numpy invocation, so ``jobs``
     is moot there.  Results stay bit-identical to the other engines.
+
+    ``checkpoint`` persists one shard per ladder point as it completes,
+    keyed by ``(seed, signature digest, effective scale, mode, engine,
+    build digest)``; ``resume=True`` reads existing shards and computes
+    only the missing points, bit-identical to an uninterrupted run.
     """
     engine = _resolve_engine(engine)
     config = config or BuildConfig()
+    store = CheckpointStore.coerce(checkpoint)
+    scales = [float(s) for s in scales]
     with obs.span("sweep_scales", engine=engine, points=len(scales)):
         build = build_graph(trace_set, config) if engine != "streaming" else None
-        result = SweepResult()
-        if engine == "compiled":
-            from repro.core.compiled import compiled_plan
 
-            plan = compiled_plan(build)
-            raw = plan.sample_raw_batch(spec.signature, [spec.seed], 1.0)[0]
-            batch = plan.propagate_presampled_batch(
-                raw, [spec.scale * s for s in scales], mode=mode
+        def compute(indices):
+            return _scale_rows(
+                trace_set,
+                build,
+                spec,
+                [scales[i] for i in indices],
+                mode,
+                engine,
+                config,
+                jobs,
+                policy,
             )
-            obs.add("sweep.points", len(scales))
-            for s, row in zip(scales, batch.delays):
-                result.points.append(
-                    SweepPoint(label=f"scale={s:g}", x=float(s), delays=tuple(row), mode=mode)
+
+        if store is None:
+            rows = list(compute(range(len(scales))))
+        else:
+            context = _context_digest(build, trace_set)
+            sig_digest = signature_digest(spec.signature)
+            # Streaming sweeps scale the spec directly (scaled(s)); the
+            # graph engines multiply into spec.scale — key on whichever
+            # effective scale actually drives the sampling.
+            keys = [
+                ShardKey(
+                    "sweep_scales",
+                    spec.seed,
+                    sig_digest,
+                    s if engine == "streaming" else spec.scale * s,
+                    mode,
+                    engine,
+                    context,
                 )
-            return result
-        backend = resolve_backend(jobs)
-        if backend.jobs >= 2:
-            # One full propagation per point — identical results to the
-            # presampled fast path (deterministic sampling), run anywhere.
-            specs = [
-                PerturbationSpec(spec.signature, spec.seed, spec.scale * s)
-                if engine == "incore"
-                else spec.scaled(s)
                 for s in scales
             ]
-            rows = _map_points(specs, trace_set, build, mode, engine, config, jobs)
-            for s, delays in zip(scales, rows):
-                result.points.append(
-                    SweepPoint(label=f"scale={s:g}", x=float(s), delays=tuple(delays), mode=mode)
-                )
-            return result
-        raw = sample_edge_deltas(build, spec) if engine == "incore" else None
-        for s in scales:
-            if engine == "incore":
-                # Sample once, re-propagate per scale (identical results to a
-                # fresh propagate — deterministic sampling — but much faster).
-                tr = propagate_presampled(build, raw, scale=spec.scale * s, mode=mode)
-            else:
-                tr = _run_one(trace_set, build, spec.scaled(s), mode, engine, config)
-            obs.add("sweep.points")
-            result.points.append(
-                SweepPoint(
-                    label=f"scale={s:g}", x=float(s), delays=tuple(tr.final_delay), mode=mode
-                )
-            )
+            rows = resolve_rows(store, keys, compute, resume=resume)
+        nprocs = build.graph.nprocs if build is not None else trace_set.nprocs
+        result = SweepResult()
+        for s, row in zip(scales, rows):
+            result.points.append(_point(f"scale={s:g}", float(s), row, mode, nprocs))
         return result
+
+
+def _signature_rows(
+    trace_set,
+    build: BuildResult | None,
+    specs: Sequence[PerturbationSpec],
+    mode: str,
+    engine: str,
+    config: BuildConfig,
+    jobs: int | None,
+    policy: FaultPolicy | None,
+):
+    """Yield one per-rank delay row per signature spec (generator, like
+    :func:`_scale_rows`, so checkpointed ladders persist incrementally)."""
+    backend = resolve_backend(jobs, policy=policy)
+    if backend.jobs >= 2:
+        for row in _map_points(specs, trace_set, build, mode, engine, config, jobs, policy):
+            yield tuple(row) if row is not None else None
+        return
+    for spec in specs:
+        row = tuple(_run_one(trace_set, build, spec, mode, engine, config).final_delay)
+        obs.add("sweep.points")
+        yield row
 
 
 def sweep_signatures(
@@ -250,34 +351,46 @@ def sweep_signatures(
     engine: str = "incore",
     config: BuildConfig | None = None,
     jobs: int | None = 0,
+    policy: FaultPolicy | None = None,
+    checkpoint: CheckpointStore | str | None = None,
+    resume: bool = False,
 ) -> SweepResult:
     """Run the traversal once per machine signature (platform ladder).
 
     ``xs`` supplies the numeric sweep coordinate per signature (e.g.
-    mean noise in cycles); defaults to the signature index.  ``jobs``
-    parallelizes the ladder exactly as in :func:`sweep_scales`.
+    mean noise in cycles); defaults to the signature index.  ``jobs``,
+    ``policy``, ``checkpoint`` and ``resume`` behave exactly as in
+    :func:`sweep_scales`; checkpoint shards key on each *signature's*
+    content digest, so every ladder rung is independently resumable.
     """
     engine = _resolve_engine(engine)
     config = config or BuildConfig()
     if xs is not None and len(xs) != len(signatures):
         raise ValueError("xs must align with signatures")
+    store = CheckpointStore.coerce(checkpoint)
     with obs.span("sweep_signatures", engine=engine, points=len(signatures)):
         build = build_graph(trace_set, config) if engine != "streaming" else None
-        result = SweepResult()
         specs = [PerturbationSpec(sig, seed=seed) for sig in signatures]
-        backend = resolve_backend(jobs)
-        if backend.jobs >= 2:
-            rows = [
-                tuple(r) for r in _map_points(specs, trace_set, build, mode, engine, config, jobs)
-            ]
+
+        def compute(indices):
+            return _signature_rows(
+                trace_set, build, [specs[i] for i in indices], mode, engine, config, jobs, policy
+            )
+
+        if store is None:
+            rows = list(compute(range(len(specs))))
         else:
-            rows = []
-            for spec in specs:
-                rows.append(
-                    tuple(_run_one(trace_set, build, spec, mode, engine, config).final_delay)
+            context = _context_digest(build, trace_set)
+            keys = [
+                ShardKey(
+                    "sweep_signatures", seed, signature_digest(sig), 1.0, mode, engine, context
                 )
-                obs.add("sweep.points")
-        for i, (sig, delays) in enumerate(zip(signatures, rows)):
+                for sig in signatures
+            ]
+            rows = resolve_rows(store, keys, compute, resume=resume)
+        nprocs = build.graph.nprocs if build is not None else trace_set.nprocs
+        result = SweepResult()
+        for i, (sig, row) in enumerate(zip(signatures, rows)):
             x = float(xs[i]) if xs is not None else float(i)
-            result.points.append(SweepPoint(label=sig.name, x=x, delays=delays, mode=mode))
+            result.points.append(_point(sig.name, x, row, mode, nprocs))
         return result

@@ -28,6 +28,7 @@ from typing import Mapping
 
 import numpy as np
 
+from repro._util import atomic_write_text
 from repro.noise.distributions import RandomVariable, ZERO
 from repro.noise.serialize import from_jsonable, to_jsonable
 
@@ -168,7 +169,7 @@ class MachineSignature:
         )
 
     def save(self, path: str | Path) -> None:
-        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+        atomic_write_text(path, json.dumps(self.to_dict(), indent=2))
 
     @classmethod
     def load(cls, path: str | Path) -> "MachineSignature":

@@ -20,6 +20,7 @@ import os
 from pathlib import Path
 from typing import Iterator
 
+from repro._util import atomic_write_text
 from repro.obs.session import Session, SpanRecord
 
 __all__ = [
@@ -90,9 +91,7 @@ def to_chrome_trace(session: Session) -> dict:
 
 
 def write_chrome_trace(session: Session, path: str | Path) -> Path:
-    path = Path(path)
-    path.write_text(json.dumps(to_chrome_trace(session)) + "\n")
-    return path
+    return atomic_write_text(path, json.dumps(to_chrome_trace(session)) + "\n")
 
 
 def jsonl_records(session: Session) -> Iterator[dict]:
@@ -112,16 +111,12 @@ def jsonl_records(session: Session) -> Iterator[dict]:
 
 
 def write_jsonl(session: Session, path: str | Path) -> Path:
-    path = Path(path)
-    with open(path, "w") as fh:
-        for rec in jsonl_records(session):
-            fh.write(json.dumps(rec) + "\n")
-    return path
+    text = "".join(json.dumps(rec) + "\n" for rec in jsonl_records(session))
+    return atomic_write_text(path, text)
 
 
 def write_metrics(session: Session, path: str | Path) -> Path:
     """Metrics-only JSON report (the ``--metrics-out`` artifact)."""
-    path = Path(path)
     payload = {
         "label": session.label,
         "pid": session.pid,
@@ -129,5 +124,4 @@ def write_metrics(session: Session, path: str | Path) -> Path:
         "host_cores": os.cpu_count(),
         "metrics": session.metrics.as_dict(),
     }
-    path.write_text(json.dumps(payload, indent=2) + "\n")
-    return path
+    return atomic_write_text(path, json.dumps(payload, indent=2) + "\n")

@@ -1,0 +1,26 @@
+"""Deterministic test harnesses for the analyzer itself.
+
+Currently: :mod:`repro.testing.faults`, the fault-injection harness
+that proves the execution backends' retry / timeout / restart / resume
+paths (used by ``tests/`` and the CI chaos job).
+"""
+
+from repro.testing.faults import (
+    FAULT_EXIT_CODE,
+    FailItem,
+    FaultyFn,
+    KillWorker,
+    SlowItem,
+    corrupt_checkpoints,
+    item_key,
+)
+
+__all__ = [
+    "FAULT_EXIT_CODE",
+    "FailItem",
+    "FaultyFn",
+    "KillWorker",
+    "SlowItem",
+    "corrupt_checkpoints",
+    "item_key",
+]

@@ -23,7 +23,7 @@ from repro.core import (
     sweep_scales,
 )
 from repro.core.montecarlo import DelayDistribution
-from repro.core.parallel import chunked, default_chunk_size
+from repro.core.parallel import available_cpus, chunked, default_chunk_size
 from repro.noise import Exponential, MachineSignature
 
 
@@ -49,15 +49,23 @@ class TestBackendSelection:
         assert isinstance(resolve_backend(1), SerialBackend)
 
     def test_jobs_none_is_auto(self):
-        import os
-
         backend = resolve_backend(None)
-        cores = os.cpu_count() or 1
+        cores = available_cpus()
         if cores >= 2:
             assert isinstance(backend, ProcessPoolBackend)
             assert backend.jobs == cores
         else:
             assert isinstance(backend, SerialBackend)
+
+    def test_available_cpus_respects_affinity(self):
+        # Containers/cgroups often pin fewer cpus than os.cpu_count()
+        # reports; auto sizing must follow the schedulable set.
+        import os
+
+        if hasattr(os, "sched_getaffinity"):
+            assert available_cpus() == len(os.sched_getaffinity(0))
+        else:  # pragma: no cover - non-Linux
+            assert available_cpus() == (os.cpu_count() or 1)
 
     def test_jobs_n_is_pool(self):
         backend = resolve_backend(3)
