@@ -1,0 +1,82 @@
+"""PERF — diagnosis pipeline cost and engine-agreement smoke.
+
+Times one full ``diagnose_build`` pass (critical-path extraction,
+attribution, anomaly detection, MPG2xx rules) on a token-ring build,
+compares the three longest-path engines on the same build, and records
+the per-stage split.  The diagnosis is meant to ride along with every
+analysis — this bench keeps its cost visibly small relative to the
+Monte-Carlo propagation it accompanies.
+
+``REPRO_BENCH_DIAG_TRAVERSALS`` scales the trace (default 8).
+"""
+
+import os
+import time
+
+from benchmarks._common import emit, table
+from repro.apps import TokenRingParams, token_ring
+from repro.core import build_graph
+from repro.diagnose import DiagnoseConfig, diagnose_build, extract_critical_path
+from repro.mpisim import run
+
+TRAVERSALS = int(os.environ.get("REPRO_BENCH_DIAG_TRAVERSALS", "8"))
+
+
+def diag_build():
+    trace = run(token_ring(TokenRingParams(traversals=TRAVERSALS)), nprocs=8, seed=0).trace
+    return build_graph(trace)
+
+
+def test_diagnose_pipeline(benchmark):
+    build = diag_build()
+    extract_critical_path(build)  # lower the compiled plan once (cached)
+
+    report = benchmark(lambda: diagnose_build(build))
+
+    t0 = time.perf_counter()
+    per_engine = {}
+    for engine in ("compiled", "incore", "graph"):
+        s = time.perf_counter()
+        cp = extract_critical_path(build, engine=engine)
+        per_engine[engine] = time.perf_counter() - s
+        assert cp.total_cost == report.critical_path.total_cost
+        assert cp.edges == report.critical_path.edges
+    t_engines = time.perf_counter() - t0
+
+    rows = [
+        (engine, f"{dt * 1e3:.2f} ms", f"{len(report.critical_path)} edges")
+        for engine, dt in per_engine.items()
+    ]
+    body = table(["engine", "extract time", "path"], rows)
+    summary = (
+        f"diagnosis of p={build.graph.nprocs} "
+        f"n={len(build.graph.nodes)} graph: "
+        f"{len(report.findings)} finding(s), makespan "
+        f"{report.critical_path.total_cost:,.0f} cy "
+        f"(engines agree bit-for-bit)"
+    )
+    emit(
+        "perf_diagnose",
+        body + "\n" + summary,
+        params={"traversals": TRAVERSALS, "nprocs": build.graph.nprocs},
+        timings={f"extract_{k}_s": v for k, v in per_engine.items()}
+        | {"engine_sweep_s": t_engines},
+        metrics={
+            "findings": len(report.findings),
+            "path_edges": len(report.critical_path),
+            "makespan_cy": report.critical_path.total_cost,
+        },
+    )
+
+
+def test_diagnose_with_replicates(benchmark):
+    """Replicate-delay metric via the compiled batch kernel."""
+    from repro.noise import Exponential, MachineSignature
+
+    build = diag_build()
+    signature = MachineSignature(os_noise=Exponential(120.0), latency=Exponential(50.0))
+    config = DiagnoseConfig(replicates=32, seed=17)
+    diagnose_build(build, config, signature=signature)  # warm-up
+
+    report = benchmark(lambda: diagnose_build(build, config, signature=signature))
+    assert "replicate-delay" in report.anomalies.metrics

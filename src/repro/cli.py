@@ -24,6 +24,12 @@ Entry points mirroring the paper's workflow:
     (:mod:`repro.lint`): text, JSON, or SARIF 2.1.0 reports, no
     perturbation engine involved.  ``repro-analyze``/``repro-sweep``
     run the same pass as a pre-flight via ``--lint {off,warn,strict}``.
+``repro-diagnose``
+    Automated bottleneck & faulty-rank diagnosis (:mod:`repro.diagnose`):
+    critical-path extraction, makespan attribution, and anomalous-rank
+    detection, reported through the lint reporters (text / JSON / SARIF)
+    with the same ``--fail-on`` CI gate.  ``repro-analyze --diagnose``
+    appends the same report to an analysis run.
 """
 
 from __future__ import annotations
@@ -68,6 +74,7 @@ __all__ = [
     "main_microbench",
     "main_replay",
     "main_lint",
+    "main_diagnose",
 ]
 
 # Two output channels, never mixed: results go to stdout (bare lines,
@@ -447,11 +454,30 @@ def main_analyze(argv: list[str] | None = None) -> int:
         help="Monte-Carlo replicates for the runtime-delay distribution "
         "(0 = single propagation only; in-core engine)",
     )
+    ap.add_argument(
+        "--diagnose",
+        action="store_true",
+        help="run the repro.diagnose pass (critical path, attribution, anomalous "
+        "ranks) on the built graph and report MPG2xx findings",
+    )
+    ap.add_argument(
+        "--diagnose-format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="format for the --diagnose report",
+    )
+    ap.add_argument(
+        "--diagnose-out",
+        metavar="FILE",
+        help="write the --diagnose report to this file instead of stdout",
+    )
     args = ap.parse_args(argv)
     _configure_logging(args)
     engine = {"auto": "compiled", "graph": "incore"}.get(args.engine, args.engine)
     if args.replicates and engine == "streaming":
         raise SystemExit("--replicates requires a graph engine (incore or compiled)")
+    if args.diagnose and engine == "streaming":
+        raise SystemExit("--diagnose requires a graph engine (incore or compiled)")
 
     session = _start_observability(args, "repro-analyze")
     with obs.span("analyze", engine=engine, mode=args.mode):
@@ -519,6 +545,31 @@ def main_analyze(argv: list[str] | None = None) -> int:
                     f"  P(makespan delay > 2x mean) = "
                     f"{dist.exceedance_probability(2 * dist.mean()):.2%}"
                 )
+            if args.diagnose:
+                from repro.diagnose import DiagnoseConfig, diagnose_build
+
+                dconfig = DiagnoseConfig(
+                    engine=engine,
+                    replicates=args.replicates,
+                    seed=args.seed,
+                    scale=args.scale,
+                    mode=args.mode,
+                )
+                diag = diagnose_build(build, dconfig, signature=sig, trace_set=traces)
+                if args.diagnose_out:
+                    with open(args.diagnose_out, "w") as fh:
+                        _write_diagnosis(diag, args.diagnose_format, fh, args.verbose >= 1)
+                    _LOG.info(
+                        f"diagnosis report ({args.diagnose_format}) "
+                        f"written to {args.diagnose_out}"
+                    )
+                    _say(f"diagnosis: {diag.summary()}")
+                else:
+                    import io
+
+                    buf = io.StringIO()
+                    _write_diagnosis(diag, args.diagnose_format, buf, args.verbose >= 1)
+                    _say(buf.getvalue().rstrip("\n"))
         if args.history:
             rec = ExperimentHistory(args.history).record(args.name, spec, result, config)
             _say(f"recorded experiment {rec.name!r} in {args.history}")
@@ -698,6 +749,214 @@ def main_lint(argv: list[str] | None = None) -> int:
 
         buf = io.StringIO()
         lint.write_report(report, args.format, buf)
+        _say(buf.getvalue().rstrip("\n"))
+
+    if args.fail_on == "never":
+        return 0
+    if report.errors or (args.fail_on == "warning" and report.warnings):
+        return 1
+    return 0
+
+
+def _lint_flag_config(args) -> "object":
+    """Shared --disable/--severity/--max-findings parsing (lint & diagnose)."""
+    from repro import lint
+
+    overrides = {}
+    for pair in args.severity:
+        if "=" not in pair:
+            raise SystemExit(f"--severity expects RULE=LEVEL, got {pair!r}")
+        rule_id, level = pair.split("=", 1)
+        overrides[rule_id.strip().upper()] = lint.Severity.parse(level)
+    disabled = [r.strip().upper() for spec in args.disable for r in spec.split(",") if r.strip()]
+    return lint.LintConfig(
+        disabled=tuple(disabled),
+        severity_overrides=overrides,
+        max_findings_per_rule=args.max_findings,
+    )
+
+
+def _write_diagnosis(report, fmt: str, stream, verbose: bool) -> None:
+    """Render a DiagnosisReport: text adds the attribution tables, json the
+    diagnosis block; sarif is the unmodified lint reporter."""
+    import json as _json
+
+    from repro import lint
+    from repro.diagnose import diagnosis_to_dict, render_diagnosis_text
+
+    if fmt == "text":
+        stream.write(render_diagnosis_text(report, verbose=verbose))
+        stream.write("\n")
+    elif fmt == "json":
+        stream.write(_json.dumps(diagnosis_to_dict(report), indent=2, sort_keys=True))
+        stream.write("\n")
+    else:
+        lint.write_report(report, fmt, stream)
+
+
+def _add_diagnose_threshold_args(ap: argparse.ArgumentParser) -> None:
+    ap.add_argument("--z-threshold", type=float, default=3.5, help="MPG210/212 robust-z floor")
+    ap.add_argument(
+        "--rel-excess",
+        type=float,
+        default=1.2,
+        help="MPG210/212 minimum value/peer-median ratio",
+    )
+    ap.add_argument(
+        "--min-peers", type=int, default=2, help="peers a rank needs before it can be judged"
+    )
+    ap.add_argument(
+        "--bottleneck-rank-share",
+        type=float,
+        default=0.95,
+        help="MPG201: critical-path share one rank must carry",
+    )
+    ap.add_argument(
+        "--serialization-margin",
+        type=float,
+        default=0.8,
+        help="MPG201: runner-up rank's path must be below this fraction of the makespan",
+    )
+    ap.add_argument(
+        "--bottleneck-primitive-share",
+        type=float,
+        default=0.6,
+        help="MPG202: share of non-compute path time one primitive must carry",
+    )
+    ap.add_argument(
+        "--imbalance-ratio",
+        type=float,
+        default=2.0,
+        help="MPG211: peak/mean compute ratio",
+    )
+    ap.add_argument(
+        "--top-edges", type=int, default=10, help="costliest path edges kept in the report"
+    )
+
+
+def _diagnose_config(args, engine: str):
+    from repro.diagnose import DiagnoseConfig
+
+    return DiagnoseConfig(
+        engine=engine,
+        replicates=args.replicates,
+        seed=args.seed,
+        scale=args.scale,
+        mode=args.mode,
+        z_threshold=args.z_threshold,
+        rel_excess=args.rel_excess,
+        min_peers=args.min_peers,
+        bottleneck_rank_share=args.bottleneck_rank_share,
+        serialization_margin=args.serialization_margin,
+        bottleneck_primitive_share=args.bottleneck_primitive_share,
+        imbalance_ratio=args.imbalance_ratio,
+        top_edges=args.top_edges,
+        lint=_lint_flag_config(args),
+    )
+
+
+def main_diagnose(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro-diagnose",
+        description="Automated bottleneck & faulty-rank diagnosis over one trace set.",
+    )
+    ap.add_argument("--traces", help="directory containing trace files")
+    ap.add_argument("--stem", help="trace file stem")
+    ap.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format (sarif = SARIF 2.1.0 for GitHub code scanning)",
+    )
+    ap.add_argument("--out", help="write the report to this file instead of stdout")
+    ap.add_argument(
+        "--engine",
+        choices=("auto", "compiled", "incore", "graph"),
+        default="auto",
+        help="longest-path kernel (auto = compiled); the extracted path is "
+        "bit-identical whichever runs",
+    )
+    ap.add_argument(
+        "--replicates",
+        type=int,
+        default=0,
+        help="Monte-Carlo replicates for the replicate-delay anomaly metric "
+        "(0 = off; needs --signature or --measure)",
+    )
+    ap.add_argument("--signature", help="machine signature JSON (for --replicates)")
+    ap.add_argument("--measure", help="measure a preset machine instead of loading a signature")
+    ap.add_argument("--measure-nprocs", type=int, default=2)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--scale", type=float, default=1.0)
+    ap.add_argument("--mode", choices=("additive", "threshold"), default="additive")
+    ap.add_argument("--collective-mode", choices=("hub", "butterfly"), default="hub")
+    ap.add_argument("--eager-threshold", type=int, default=None)
+    _add_diagnose_threshold_args(ap)
+    ap.add_argument(
+        "--disable",
+        action="append",
+        default=[],
+        metavar="RULE[,RULE...]",
+        help="rule ids to skip (repeatable or comma-separated)",
+    )
+    ap.add_argument(
+        "--severity",
+        action="append",
+        default=[],
+        metavar="RULE=LEVEL",
+        help="override a rule's severity, e.g. MPG211=warning (repeatable)",
+    )
+    ap.add_argument(
+        "--max-findings", type=int, default=100, help="per-rule finding cap in the report"
+    )
+    ap.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "never"),
+        default="error",
+        help="exit nonzero when findings at/above this severity exist (default: error)",
+    )
+    ap.add_argument(
+        "--list-rules", action="store_true", help="print the diagnosis rule catalog and exit"
+    )
+    _add_logging_args(ap)
+    _add_obs_args(ap)
+    args = ap.parse_args(argv)
+    _configure_logging(args)
+
+    from repro import lint
+    from repro.diagnose import diagnose_run
+
+    if args.list_rules:
+        for r in lint.all_rules("diagnosis"):
+            _say(f"{r.id}  {r.severity.name.lower():<7} [{r.code}] {r.summary}")
+        return 0
+    if not args.traces or not args.stem:
+        ap.error("--traces and --stem are required (unless --list-rules)")
+
+    config = _diagnose_config(args, args.engine)
+    signature = None
+    if args.replicates > 0:
+        signature = _load_signature(args)
+
+    session = _start_observability(args, "repro-diagnose")
+    with obs.span("repro_diagnose"):
+        traces = TraceSet.open(args.traces, args.stem)
+        report = diagnose_run(
+            traces, config, build_config=_build_config(args), signature=signature
+        )
+    _finish_observability(args, session)
+
+    verbose = getattr(args, "verbose", 0) >= 1
+    if args.out:
+        with open(args.out, "w") as fh:
+            _write_diagnosis(report, args.format, fh, verbose)
+        _LOG.info(f"diagnosis report ({args.format}) written to {args.out}")
+        _say(report.summary())
+    else:
+        import io
+
+        buf = io.StringIO()
+        _write_diagnosis(report, args.format, buf, verbose)
         _say(buf.getvalue().rstrip("\n"))
 
     if args.fail_on == "never":

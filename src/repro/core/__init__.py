@@ -55,6 +55,7 @@ from repro.core.sweep import SweepPoint, SweepResult, fit_slope, sweep_scales, s
 from repro.core.traversal import (
     StreamingTraversal,
     TraversalResult,
+    longest_weighted_path,
     propagate,
     propagate_absolute,
     propagate_presampled,
@@ -125,6 +126,7 @@ __all__ = [
     "extract_window",
     "StreamingTraversal",
     "TraversalResult",
+    "longest_weighted_path",
     "propagate",
     "propagate_absolute",
     "propagate_presampled",

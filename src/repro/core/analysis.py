@@ -160,10 +160,7 @@ def critical_path(
     deltas = result.edge_delta
     if rank is None:
         rank = max(range(g.nprocs), key=lambda r: result.final_delay[r])
-    node = g.final_nodes[rank]
-    if node is None:
-        chain = g.rank_chain(rank)
-        node = chain[-1]
+    node = g.final_node_of(rank)
 
     path: list[int] = []
     ranks_seen: list[int] = []

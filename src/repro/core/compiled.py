@@ -604,14 +604,24 @@ class _Level:
     """One rank of the level schedule: nodes whose in-edges all come from
     earlier levels, so the whole rank is a single vectorized gather+max."""
 
-    __slots__ = ("nodes", "src", "eid", "segs", "single")
+    __slots__ = ("nodes", "src", "eid", "segs", "sizes", "single")
 
     def __init__(self, nodes, src, eid, segs, single):
         self.nodes = nodes
         self.src = src
         self.eid = eid
         self.segs = segs
+        # In-edges per node in this level (for expanding segment maxima
+        # back to the edge axis in the predecessor-tracking kernel).
+        self.sizes = np.diff(np.append(segs, len(eid)))
         self.single = single
+
+    def __getstate__(self):
+        return {s: getattr(self, s) for s in self.__slots__}
+
+    def __setstate__(self, state):
+        for s, v in state.items():
+            setattr(self, s, v)
 
 
 @dataclass(frozen=True)
@@ -697,10 +707,7 @@ class CompiledPlan:
             self.final_node = np.full(self.nprocs, -1, dtype=np.int64)
             self.final_t_local = np.zeros(self.nprocs, dtype=np.float64)
             for rank in range(self.nprocs):
-                nid = g.final_nodes[rank]
-                if nid is None:
-                    chain = g.rank_chain(rank)
-                    nid = chain[-1] if chain else None
+                nid = g.final_node_of(rank)
                 if nid is not None:
                     self.final_node[rank] = nid
                     self.final_t_local[rank] = g.nodes[nid].t_local
@@ -766,6 +773,43 @@ class CompiledPlan:
             else:
                 D[:, lv.nodes] = np.maximum.reduceat(contrib, lv.segs, axis=1)
         return D
+
+    def longest_path(self, eff: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Longest weighted path with predecessor tracking, all replicates.
+
+        ``eff`` is an (R, n_edges) per-edge cost matrix; returns
+        ``(L, pred)`` of shapes (R, n_nodes): ``L[r, v]`` is the longest
+        path cost into ``v`` under row r's costs and ``pred[r, v]`` the
+        binding in-edge id (-1 for sources).  Ties break toward the
+        *first* in-edge in ``graph.in_edge_ids`` order — the CSR arrays
+        are built in exactly that order, so first-position-of-max here
+        matches the scalar :func:`~repro.core.traversal.longest_weighted_path`
+        bit-for-bit (both compare the same computed float values).
+        """
+        R = eff.shape[0]
+        L = np.zeros((R, self.n_nodes), dtype=np.float64)
+        pred = np.full((R, self.n_nodes), -1, dtype=np.int64)
+        with obs.span("longest_path", engine="compiled", replicates=R):
+            for lv in self.levels:
+                contrib = L[:, lv.src] + eff[:, lv.eid]
+                if lv.single:
+                    L[:, lv.nodes] = contrib
+                    pred[:, lv.nodes] = lv.eid[None, :]
+                else:
+                    M = np.maximum.reduceat(contrib, lv.segs, axis=1)
+                    L[:, lv.nodes] = M
+                    # First max per segment: mask non-max positions to a
+                    # sentinel past the end, then min-reduce positions.
+                    ncols = contrib.shape[1]
+                    expanded = np.repeat(M, lv.sizes, axis=1)
+                    pos = np.where(
+                        contrib == expanded,
+                        np.arange(ncols, dtype=np.int64)[None, :],
+                        ncols,
+                    )
+                    first = np.minimum.reduceat(pos, lv.segs, axis=1)
+                    pred[:, lv.nodes] = lv.eid[first]
+        return L, pred
 
     def finals(self, D: np.ndarray) -> np.ndarray:
         """(R, nprocs) per-rank final delays from a node-delay matrix."""

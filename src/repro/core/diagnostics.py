@@ -48,6 +48,13 @@ CODES = frozenset(
         "invalid-edge",  # malformed endpoints / self-loop
         "duplicate-subevent",
         "invalid-gap",  # gap edge over non-consecutive events
+        # diagnosis codes (repro.diagnose, MPG2xx rules)
+        "critical-path-summary",  # where the makespan went (always reported)
+        "bottleneck-rank",  # one rank dominates the critical path
+        "bottleneck-primitive",  # one primitive dominates non-compute path time
+        "anomalous-rank",  # a rank is a statistical outlier vs its peers
+        "load-imbalance",  # compute totals spread far beyond the mean
+        "noise-sensitive-rank",  # replicate delays concentrate on one rank
         "generic",
     }
 )

@@ -262,6 +262,21 @@ class MessagePassingGraph:
             )
         return order
 
+    def final_node_of(self, rank: int) -> int | None:
+        """The rank's FINALIZE END node, falling back to the last real
+        subevent of its chain; ``None`` when the rank has no nodes.
+
+        Every consumer that needs "where does rank r end" (final-delay
+        extraction, critical-path backtracking, the compiled plan's
+        final-node table, diagnosis sinks) goes through this accessor so
+        the fallback semantics cannot drift between engines.
+        """
+        nid = self.final_nodes[rank]
+        if nid is not None:
+            return nid
+        chain = self.rank_chain(rank)
+        return chain[-1] if chain else None
+
     def rank_chain(self, rank: int) -> list[int]:
         """Real subevent nodes of one rank in trace order."""
         chain = [n.node_id for n in self.nodes if n.rank == rank and not n.is_virtual]

@@ -52,6 +52,7 @@ __all__ = [
     "propagate_absolute",
     "propagate_presampled",
     "sample_edge_deltas",
+    "longest_weighted_path",
     "StreamingTraversal",
     "MODES",
 ]
@@ -226,10 +227,7 @@ def propagate_absolute(
         (t_new[n.node_id] - n.t_local) if not n.is_virtual else 0.0 for n in g.nodes
     ]
     for rank in range(g.nprocs):
-        nid = g.final_nodes[rank]
-        if nid is None:
-            chain = g.rank_chain(rank)
-            nid = chain[-1] if chain else None
+        nid = g.final_node_of(rank)
         if nid is None:
             final_delay.append(0.0)
             final_times.append(0.0)
@@ -311,17 +309,52 @@ def _finals_from_graph(g: MessagePassingGraph, D: Sequence[float]) -> tuple[list
     final_delay: list[float] = []
     final_times: list[float] = []
     for rank in range(g.nprocs):
-        nid = g.final_nodes[rank]
+        nid = g.final_node_of(rank)
         if nid is None:
-            chain = g.rank_chain(rank)
-            if not chain:
-                final_delay.append(0.0)
-                final_times.append(0.0)
-                continue
-            nid = chain[-1]
+            final_delay.append(0.0)
+            final_times.append(0.0)
+            continue
         final_delay.append(D[nid])
         final_times.append(g.nodes[nid].t_local + D[nid])
     return final_delay, final_times
+
+
+def longest_weighted_path(
+    build: BuildResult, costs: Sequence[float]
+) -> tuple[list, list]:
+    """Longest weighted path to every node, with predecessor tracking.
+
+    ``costs[ei]`` is edge ``ei``'s effective cost (for diagnosis: the
+    observed weight, optionally plus a sampled delta).  Returns
+    ``(L, pred)``: ``L[v]`` is the cost of the heaviest path from any
+    source to ``v`` (0.0 for sources) and ``pred[v]`` the in-edge id
+    binding that maximum (-1 for sources) — so the path itself is
+    recoverable by backtracking, not just its length.
+
+    Ties break toward the *first* in-edge in ``g.in_edge_ids`` order,
+    which is exactly the tie-break of the compiled level-schedule kernel
+    (:meth:`repro.core.compiled.CompiledPlan.longest_path`); the two
+    engines therefore recover bit-identical paths.
+    """
+    g = build.graph
+    if len(costs) != len(g.edges):
+        raise ValueError("costs length does not match edge count")
+    edges = g.edges
+    L = [0.0] * len(g.nodes)
+    pred = [-1] * len(g.nodes)
+    with obs.span("longest_path", engine="incore"):
+        for v in g.topological_order():
+            best = -math.inf
+            binding = -1
+            for ei in g.in_edge_ids(v):
+                c = L[edges[ei].src] + costs[ei]
+                if c > best:
+                    best = c
+                    binding = ei
+            if binding >= 0:
+                L[v] = best
+                pred[v] = binding
+    return L, pred
 
 
 # ---------------------------------------------------------------------------

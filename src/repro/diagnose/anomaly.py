@@ -1,0 +1,247 @@
+"""Anomalous-rank detection: compare each rank against its role peers.
+
+Okita et al. (arXiv:cs/0310015) localize faulty processes by comparing
+message-passing behaviour across processes; the same idea applies to
+performance: a rank whose compute totals sit far
+outside its peers' is where to look first.  Two subtleties make the
+naive "z-score over all ranks" useless here:
+
+* **Roles differ structurally.**  A master rank legitimately spends its
+  time differently from its workers; comparing them flags the master
+  every run.  Ranks are therefore grouped by *role signature* — the
+  multiset of event kinds in their trace, with the root of a rooted
+  collective marked distinctly — and only compared within a group (a
+  rank with no peers is never flagged).
+* **Small n breaks the classic z-score.**  With ``p`` peers the plain
+  z-score is bounded by ``(p-1)/sqrt(p)`` (≈1.5 at p=4), so no
+  threshold both fires on real outliers and stays quiet on clean runs.
+  The detector instead uses a leave-one-out robust score: each rank is
+  compared against the median of the *others*, scaled by their MAD
+  (floored at 5% of the median so identical-by-construction simulated
+  peers do not divide by zero).
+
+A rank is flagged only when its score exceeds the threshold **and**
+its total exceeds the peer median by a relative margin — both a
+statistical and a practical excess.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro import obs
+from repro.core.builder import BuildResult
+from repro.trace.events import LOCAL_KINDS, ROOTED_COLLECTIVES
+
+__all__ = [
+    "RankProfile",
+    "RankAnomaly",
+    "AnomalyReport",
+    "profile_ranks",
+    "detect_anomalies",
+    "robust_z",
+]
+
+_Z_CAP = 1e3
+
+
+@dataclass(frozen=True)
+class RankProfile:
+    """Per-rank timing totals and the role signature used for grouping.
+
+    ``compute`` sums the gaps between consecutive events (the implicit
+    compute phases of Fig. 1); ``comm`` sums the time spent inside
+    message-passing calls (INIT/FINALIZE excluded); ``signature`` is
+    the sorted ``(kind, count)`` multiset identifying the rank's role.
+    """
+
+    rank: int
+    compute: float
+    comm: float
+    signature: tuple
+
+    def metric(self, name: str) -> float:
+        if name == "compute":
+            return self.compute
+        if name == "comm":
+            return self.comm
+        raise KeyError(name)
+
+
+@dataclass(frozen=True)
+class RankAnomaly:
+    """One flagged rank: which metric, how far out, against whom."""
+
+    rank: int
+    metric: str  # "compute" | "replicate-delay"
+    value: float
+    peer_median: float
+    z: float
+    peers: int
+
+    @property
+    def excess(self) -> float:
+        """Relative excess over the peer median (1.0 = at the median)."""
+        if self.peer_median <= 0:
+            return float("inf") if self.value > 0 else 1.0
+        return self.value / self.peer_median
+
+    def describe(self) -> str:
+        return (
+            f"rank {self.rank} {self.metric} total {self.value:,.0f} cy is "
+            f"{self.excess:.2f}x its {self.peers} peers' median "
+            f"{self.peer_median:,.0f} cy (robust z = {min(self.z, _Z_CAP):.1f})"
+        )
+
+
+@dataclass(frozen=True)
+class AnomalyReport:
+    """All rank profiles plus the flagged anomalies, worst first."""
+
+    profiles: tuple
+    anomalies: tuple  # RankAnomaly, z-descending
+    metrics: tuple  # metric names examined
+
+    def top(self) -> RankAnomaly | None:
+        return self.anomalies[0] if self.anomalies else None
+
+    def for_rank(self, rank: int) -> tuple:
+        return tuple(a for a in self.anomalies if a.rank == rank)
+
+    def as_dict(self) -> dict:
+        return {
+            "metrics": list(self.metrics),
+            "profiles": [
+                {"rank": p.rank, "compute": p.compute, "comm": p.comm}
+                for p in self.profiles
+            ],
+            "anomalies": [
+                {
+                    "rank": a.rank,
+                    "metric": a.metric,
+                    "value": a.value,
+                    "peer_median": a.peer_median,
+                    "z": min(a.z, _Z_CAP),
+                    "peers": a.peers,
+                }
+                for a in self.anomalies
+            ],
+        }
+
+
+def _median(values: Sequence[float]) -> float:
+    s = sorted(values)
+    n = len(s)
+    mid = n // 2
+    return s[mid] if n % 2 else 0.5 * (s[mid - 1] + s[mid])
+
+
+def robust_z(value: float, others: Sequence[float]) -> float:
+    """Leave-one-out robust z: deviation from the peers' median scaled
+    by their MAD, floored at 5% of the median's magnitude (capped so an
+    all-identical peer group yields huge-but-finite scores)."""
+    med = _median(others)
+    mad = _median([abs(o - med) for o in others])
+    scale = max(1.4826 * mad, 0.05 * abs(med), 1e-12)
+    z = (value - med) / scale
+    return max(min(z, _Z_CAP), -_Z_CAP)
+
+
+def profile_ranks(build: BuildResult) -> tuple:
+    """Per-rank :class:`RankProfile` extracted from the traced events."""
+    profiles = []
+    for rank, events in enumerate(build.events):
+        compute = 0.0
+        comm = 0.0
+        counts: Counter = Counter()
+        prev_end: float | None = None
+        for ev in events:
+            # The root of a rooted collective plays a structurally
+            # different role (its interval absorbs the fan-in wait), so
+            # it must not be compared against the non-root ranks.
+            if ev.kind in ROOTED_COLLECTIVES and ev.root == rank:
+                counts[f"{ev.kind.name}:root"] += 1
+            else:
+                counts[ev.kind.name] += 1
+            if prev_end is not None:
+                compute += max(0.0, ev.t_start - prev_end)
+            prev_end = ev.t_end
+            if ev.kind not in LOCAL_KINDS:
+                comm += ev.duration
+        profiles.append(
+            RankProfile(
+                rank=rank,
+                compute=compute,
+                comm=comm,
+                signature=tuple(sorted(counts.items())),
+            )
+        )
+    return tuple(profiles)
+
+
+def detect_anomalies(
+    build: BuildResult,
+    z_threshold: float = 3.5,
+    rel_excess: float = 1.2,
+    min_peers: int = 2,
+    replicate_delays: Sequence[float] | None = None,
+) -> AnomalyReport:
+    """Flag ranks whose totals are outliers within their role group.
+
+    ``replicate_delays`` (per-rank mean final delays of a Monte-Carlo
+    replicate batch) adds a third metric, ``replicate-delay``: a rank
+    that concentrates sampled-noise delay is sensitive in a way the
+    unperturbed totals cannot show.
+    """
+    profiles = profile_ranks(build)
+    # Only compute (and replicate-delay) are *flagged*: a blocking
+    # call's interval includes wait time, which is caused by peers and
+    # varies legitimately with a rank's position in the dependency
+    # chain — flagging comm totals blames the victims.  Comm still
+    # appears in the profiles; wait-side diagnosis belongs to the
+    # critical-path attribution.
+    metrics = ["compute"]
+    values: dict[str, list[float]] = {
+        "compute": [p.compute for p in profiles],
+    }
+    if replicate_delays is not None:
+        if len(replicate_delays) != len(profiles):
+            raise ValueError("replicate_delays length does not match nprocs")
+        metrics.append("replicate-delay")
+        values["replicate-delay"] = [float(d) for d in replicate_delays]
+
+    groups: dict[tuple, list[int]] = {}
+    for p in profiles:
+        groups.setdefault(p.signature, []).append(p.rank)
+
+    anomalies = []
+    with obs.span("diagnose.anomaly", nprocs=len(profiles)):
+        for members in groups.values():
+            if len(members) < min_peers + 1:
+                continue  # not enough peers to judge against
+            for metric in metrics:
+                vals = values[metric]
+                for rank in members:
+                    others = [vals[r] for r in members if r != rank]
+                    x = vals[rank]
+                    med = _median(others)
+                    z = robust_z(x, others)
+                    if z >= z_threshold and x >= rel_excess * med and x > 0:
+                        anomalies.append(
+                            RankAnomaly(
+                                rank=rank,
+                                metric=metric,
+                                value=x,
+                                peer_median=med,
+                                z=z,
+                                peers=len(others),
+                            )
+                        )
+        anomalies.sort(key=lambda a: (-a.z, a.rank, a.metric))
+        if anomalies:
+            obs.span_add("diagnose.anomalous_ranks", len({a.rank for a in anomalies}))
+    return AnomalyReport(
+        profiles=profiles, anomalies=tuple(anomalies), metrics=tuple(metrics)
+    )

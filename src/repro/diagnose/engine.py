@@ -1,0 +1,267 @@
+"""Diagnosis engine: path + attribution + anomalies → a lint-shaped report.
+
+:func:`diagnose_build` runs the three analysis stages over an existing
+:class:`~repro.core.builder.BuildResult`, hands the results to the
+MPG2xx rule pack, and finalizes a :class:`DiagnosisReport` — a
+:class:`~repro.lint.engine.LintReport` subclass the existing text /
+JSON / SARIF reporters render unchanged, with the structured analysis
+artifacts riding along for programmatic consumers.
+:func:`diagnose_run` is the traces-in convenience wrapper.
+
+The report is deterministic: the critical path is bit-identical across
+engines, the anomaly detector is pure arithmetic over the traces, and
+replicate delays reuse the exact Monte-Carlo seed schedule
+(``seed + i``) through the compiled batch kernel — so CI can gate on
+the SARIF output without flakes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro import obs
+from repro.core.builder import BuildResult, build_graph
+from repro.core.compiled import compiled_plan
+from repro.core.perturb import PerturbationSpec
+from repro.core.primitives import BuildConfig
+from repro.core.traversal import MODES
+from repro.diagnose.anomaly import AnomalyReport, detect_anomalies
+from repro.diagnose.attribution import Attribution, attribute_path
+from repro.diagnose.path import ENGINES, CriticalPathExtract, extract_critical_path
+from repro.lint.engine import LintReport
+from repro.lint.model import Finding, LintConfig
+from repro.lint.registry import all_rules, run_rule
+from repro.lint.report import render_text, report_to_dict
+from repro.noise.signature import MachineSignature
+from repro.trace.reader import TraceSource
+
+__all__ = [
+    "DiagnoseConfig",
+    "DiagnoseContext",
+    "DiagnosisReport",
+    "diagnose_build",
+    "diagnose_run",
+    "diagnosis_to_dict",
+    "render_diagnosis_text",
+]
+
+
+@dataclass(frozen=True)
+class DiagnoseConfig:
+    """Tuning knobs of one diagnosis pass.
+
+    ``engine`` picks the longest-path kernel (result-identical;
+    ``auto`` = compiled).  ``replicates`` > 0 adds the Monte-Carlo
+    replicate-delay metric, which needs a machine signature and reuses
+    the standard ``seed + i`` replicate schedule.  The rule thresholds
+    are deliberately conservative — see :mod:`repro.diagnose.rules`.
+    ``lint`` carries the shared rule mechanics (disables, severity
+    overrides, emission caps) for the MPG2xx pack.
+    """
+
+    engine: str = "auto"
+    replicates: int = 0
+    seed: int = 0
+    scale: float = 1.0
+    mode: str = "additive"
+    z_threshold: float = 3.5
+    rel_excess: float = 1.2
+    min_peers: int = 2
+    bottleneck_rank_share: float = 0.95
+    serialization_margin: float = 0.8
+    bottleneck_primitive_share: float = 0.6
+    imbalance_ratio: float = 2.0
+    top_edges: int = 10
+    lint: LintConfig = field(default_factory=LintConfig)
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {self.engine!r}")
+        if self.mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
+        if self.replicates < 0:
+            raise ValueError("replicates must be >= 0")
+        if self.z_threshold <= 0 or self.rel_excess < 1.0:
+            raise ValueError("z_threshold must be > 0 and rel_excess >= 1.0")
+        if not 0.0 < self.bottleneck_rank_share <= 1.0:
+            raise ValueError("bottleneck_rank_share must be in (0, 1]")
+        if not 0.0 < self.serialization_margin <= 1.0:
+            raise ValueError("serialization_margin must be in (0, 1]")
+        if not 0.0 < self.bottleneck_primitive_share <= 1.0:
+            raise ValueError("bottleneck_primitive_share must be in (0, 1]")
+        if self.imbalance_ratio < 1.0:
+            raise ValueError("imbalance_ratio must be >= 1.0")
+
+
+class DiagnoseContext:
+    """What an MPG2xx rule may inspect: the build plus the three
+    analysis artifacts, and the active :class:`DiagnoseConfig`."""
+
+    def __init__(
+        self,
+        build: BuildResult,
+        cp: CriticalPathExtract,
+        attribution: Attribution,
+        anomalies: AnomalyReport,
+        config: DiagnoseConfig,
+        trace_set: TraceSource | None = None,
+    ) -> None:
+        self.build = build
+        self.cp = cp
+        self.attribution = attribution
+        self.anomalies = anomalies
+        self.config = config
+        self.trace_set = trace_set
+
+    @cached_property
+    def paths(self) -> list:
+        """Per-rank trace file paths (None for in-memory traces)."""
+        readers = getattr(self.trace_set, "readers", None)
+        if readers:
+            return [str(r.path) for r in readers]
+        return [None] * self.build.graph.nprocs
+
+    def path_of(self, rank: int | None) -> str | None:
+        if rank is None or not 0 <= rank < len(self.paths):
+            return None
+        return self.paths[rank]
+
+
+@dataclass
+class DiagnosisReport(LintReport):
+    """A lint report plus the structured diagnosis artifacts."""
+
+    critical_path: CriticalPathExtract | None = None
+    attribution: Attribution | None = None
+    anomalies: AnomalyReport | None = None
+    replicates: int = 0
+
+
+def _replicate_delays(
+    build: BuildResult, config: DiagnoseConfig, signature: MachineSignature
+):
+    """Per-rank mean final delay over the Monte-Carlo replicate batch,
+    using the exact ``seed + i`` schedule of ``replicate_items``."""
+    spec = PerturbationSpec(signature, seed=config.seed, scale=config.scale)
+    plan = compiled_plan(build)
+    seeds = [config.seed + i for i in range(config.replicates)]
+    with obs.span("diagnose.replicates", replicates=config.replicates):
+        batch = plan.propagate_batch(spec, seeds=seeds, mode=config.mode)
+    return batch.delays.mean(axis=0)
+
+
+def diagnose_build(
+    build: BuildResult,
+    config: DiagnoseConfig | None = None,
+    signature: MachineSignature | None = None,
+    trace_set: TraceSource | None = None,
+) -> DiagnosisReport:
+    """Diagnose an existing build: critical path, attribution, anomaly
+    detection, then the MPG2xx rule pack.
+
+    ``signature`` is only needed when ``config.replicates`` > 0 (the
+    replicate-delay metric samples perturbations from it).
+    """
+    config = config or DiagnoseConfig()
+    with obs.span("diagnose", engine=config.engine):
+        cp = extract_critical_path(build, engine=config.engine)
+        attribution = attribute_path(build, cp, top_edges=config.top_edges)
+        replicate_delays = None
+        if config.replicates > 0:
+            if signature is None:
+                raise ValueError(
+                    "replicate-delay metric needs a machine signature "
+                    "(replicates > 0 without one)"
+                )
+            replicate_delays = _replicate_delays(build, config, signature)
+        anomalies = detect_anomalies(
+            build,
+            z_threshold=config.z_threshold,
+            rel_excess=config.rel_excess,
+            min_peers=config.min_peers,
+            replicate_delays=replicate_delays,
+        )
+        ctx = DiagnoseContext(build, cp, attribution, anomalies, config, trace_set)
+
+        findings: list[Finding] = []
+        rules_run: list[str] = []
+        for r in all_rules("diagnosis"):
+            if not config.lint.enabled(r):
+                continue
+            rules_run.append(r.id)
+            findings.extend(run_rule(r, ctx, config.lint))
+
+        ordered = sorted(
+            (f.with_path(ctx.path_of(f.rank)) for f in findings),
+            key=lambda f: (
+                -int(f.severity),
+                f.rule_id,
+                f.rank if f.rank is not None else -1,
+                f.seq if f.seq is not None else -1,
+                f.node if f.node is not None else -1,
+            ),
+        )
+        for f in ordered:
+            obs.add(f"diagnose.findings.{f.severity.name.lower()}")
+        return DiagnosisReport(
+            findings=ordered,
+            nprocs=build.graph.nprocs,
+            event_count=sum(len(evs) for evs in build.events),
+            rules_run=tuple(rules_run),
+            graph_checked=True,
+            critical_path=cp,
+            attribution=attribution,
+            anomalies=anomalies,
+            replicates=config.replicates,
+        )
+
+
+def diagnose_run(
+    trace_set: TraceSource,
+    config: DiagnoseConfig | None = None,
+    build_config: BuildConfig | None = None,
+    signature: MachineSignature | None = None,
+) -> DiagnosisReport:
+    """Traces in, diagnosis report out.
+
+    Unlike :func:`repro.lint.lint_run` this does *not* guard the graph
+    build: diagnosis interprets a well-formed run, so a build failure
+    propagates as its :class:`~repro.core.diagnostics.DiagnosticError`
+    (run ``repro-lint`` first for malformed-trace triage).
+    """
+    build = build_graph(trace_set, build_config)
+    return diagnose_build(build, config, signature=signature, trace_set=trace_set)
+
+
+def render_diagnosis_text(report: DiagnosisReport, verbose: bool = False) -> str:
+    """Attribution tables + the standard findings rendering."""
+    lines = []
+    cp, attr = report.critical_path, report.attribution
+    if cp is not None and attr is not None:
+        lines.append(
+            f"critical path: {cp.total_cost:,.0f} cy over {len(cp.edges)} edges "
+            f"into rank {cp.sink_rank} [engine={cp.engine}]"
+        )
+        lines.append(attr.table())
+        if verbose and attr.top_edges:
+            lines.append("top path edges:")
+            for ei, cost, primitive, rank in attr.top_edges:
+                lines.append(f"  {cost:>14,.1f} cy  {primitive:<12} r{rank}  edge {ei}")
+    if report.replicates:
+        lines.append(f"replicate-delay metric over {report.replicates} replicates")
+    lines.append(render_text(report, verbose=verbose))
+    return "\n".join(lines)
+
+
+def diagnosis_to_dict(report: DiagnosisReport) -> dict:
+    """The lint JSON document plus a ``diagnosis`` block."""
+    out = report_to_dict(report)
+    out["schema"] = "repro-diagnosis-report/1"
+    out["diagnosis"] = {
+        "critical_path": report.critical_path.as_dict() if report.critical_path else None,
+        "attribution": report.attribution.as_dict() if report.attribution else None,
+        "anomalies": report.anomalies.as_dict() if report.anomalies else None,
+        "replicates": report.replicates,
+    }
+    return out

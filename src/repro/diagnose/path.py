@@ -1,0 +1,207 @@
+"""Critical-path extraction: the longest weighted path into a finalize.
+
+Where :func:`repro.core.analysis.critical_path` backtracks the binding
+chain of a *perturbed* traversal (which edges carried the sampled
+delay), this module answers the unperturbed question: which chain of
+observed intervals determined the run's end-to-end makespan?  The path
+is the longest weighted path from any source to the latest finalize,
+computed over the per-edge base weights (optionally plus sampled
+deltas) with full predecessor tracking so the chain itself — not just
+its length — is recoverable.
+
+Three engines compute the same path bit-for-bit:
+
+``compiled``
+    :meth:`~repro.core.compiled.CompiledPlan.longest_path` — the
+    vectorized level-schedule kernel (replicate-batched).
+``incore``
+    :func:`~repro.core.traversal.longest_weighted_path` — the scalar
+    reference over the Kahn topological order.
+``graph``
+    A memoized depth-first walk over the graph object itself, with no
+    precomputed order at all.
+
+All three break ties toward the *first* in-edge in
+``graph.in_edge_ids`` order and compare identical float values, so the
+extracted edge sequence is exactly equal across engines — the property
+the test suite pins down.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.core.builder import BuildResult
+from repro.core.compiled import compiled_plan
+from repro.core.traversal import longest_weighted_path
+
+__all__ = ["ENGINES", "CriticalPathExtract", "extract_critical_path", "path_costs"]
+
+ENGINES = ("auto", "compiled", "incore", "graph")
+
+
+@dataclass(frozen=True)
+class CriticalPathExtract:
+    """The longest weighted source-to-finalize chain of one build.
+
+    ``edges`` are edge ids in source-to-sink order; ``nodes`` the
+    visited node ids (``len(edges) + 1`` entries); ``costs`` the
+    per-edge cost actually used (aligned with ``edges``).
+    """
+
+    sink_rank: int
+    total_cost: float
+    edges: tuple[int, ...]
+    nodes: tuple[int, ...]
+    costs: tuple[float, ...]
+    final_costs: tuple[float, ...]  # per-rank path cost into each finalize
+    engine: str
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    def runner_up_ratio(self) -> float:
+        """Second-longest per-rank path cost relative to the makespan.
+
+        Near 1.0 the run is balanced (other ranks' paths are just as
+        long, the sink was a tie-break); near 0.0 every other rank
+        finishes far earlier — the serialization signature.
+        """
+        others = [
+            c for r, c in enumerate(self.final_costs) if r != self.sink_rank
+        ]
+        if not others or self.total_cost <= 0:
+            return 1.0
+        return max(others) / self.total_cost
+
+    def as_dict(self) -> dict:
+        return {
+            "sink_rank": self.sink_rank,
+            "total_cost": self.total_cost,
+            "edges": list(self.edges),
+            "nodes": list(self.nodes),
+            "costs": list(self.costs),
+            "final_costs": list(self.final_costs),
+            "engine": self.engine,
+        }
+
+
+def path_costs(build: BuildResult, deltas: Sequence[float] | None = None) -> np.ndarray:
+    """Per-edge path costs: observed weights, plus sampled deltas if given."""
+    w = np.array([e.weight for e in build.graph.edges], dtype=np.float64)
+    if deltas is not None:
+        d = np.asarray(deltas, dtype=np.float64)
+        if d.shape != w.shape:
+            raise ValueError(f"deltas shape {d.shape} does not match {w.shape} edges")
+        w = w + d
+    return w
+
+
+def _graph_engine(build: BuildResult, costs: np.ndarray) -> tuple[list, list]:
+    """Memoized iterative DFS — no precomputed order, same tie-break."""
+    g = build.graph
+    edges = g.edges
+    n = len(g.nodes)
+    L = [0.0] * n
+    pred = [-1] * n
+    done = [False] * n
+    with obs.span("longest_path", engine="graph"):
+        for start in range(n):
+            if done[start]:
+                continue
+            stack = [start]
+            while stack:
+                v = stack[-1]
+                if done[v]:
+                    stack.pop()
+                    continue
+                missing = [
+                    edges[ei].src for ei in g.in_edge_ids(v) if not done[edges[ei].src]
+                ]
+                if missing:
+                    stack.extend(missing)
+                    continue
+                best = -math.inf
+                binding = -1
+                for ei in g.in_edge_ids(v):
+                    c = L[edges[ei].src] + costs[ei]
+                    if c > best:
+                        best = c
+                        binding = ei
+                if binding >= 0:
+                    L[v] = best
+                    pred[v] = binding
+                done[v] = True
+                stack.pop()
+    return L, pred
+
+
+def extract_critical_path(
+    build: BuildResult,
+    deltas: Sequence[float] | None = None,
+    engine: str = "auto",
+) -> CriticalPathExtract:
+    """Extract the critical path ending at the latest finalize.
+
+    ``engine`` selects the longest-path kernel (``auto`` = compiled);
+    the result is identical whichever runs.  The sink is the finalize
+    node with the largest path cost, ties broken toward the lowest
+    rank.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+    g = build.graph
+    costs = path_costs(build, deltas)
+    resolved = "compiled" if engine == "auto" else engine
+
+    with obs.span("diagnose.path", engine=resolved):
+        if resolved == "compiled":
+            Lm, predm = compiled_plan(build).longest_path(costs[None, :])
+            L, pred = Lm[0], predm[0]
+        elif resolved == "incore":
+            L, pred = longest_weighted_path(build, costs.tolist())
+        else:
+            L, pred = _graph_engine(build, costs)
+
+        sink = None
+        sink_rank = -1
+        best = -math.inf
+        final_costs = [0.0] * g.nprocs
+        for rank in range(g.nprocs):
+            nid = g.final_node_of(rank)
+            if nid is None:
+                continue
+            final_costs[rank] = float(L[nid])
+            if final_costs[rank] > best:
+                best = final_costs[rank]
+                sink = nid
+                sink_rank = rank
+        if sink is None:
+            raise ValueError("graph has no finalize nodes: nothing to diagnose")
+
+        path: list[int] = []
+        node = sink
+        while True:
+            ei = int(pred[node])
+            if ei < 0:
+                break
+            path.append(ei)
+            node = g.edges[ei].src
+        path.reverse()
+        nodes = [node] + [g.edges[ei].dst for ei in path]
+        obs.span_add("diagnose.path_edges", len(path))
+
+    return CriticalPathExtract(
+        sink_rank=sink_rank,
+        total_cost=best,
+        edges=tuple(path),
+        nodes=tuple(nodes),
+        costs=tuple(float(costs[ei]) for ei in path),
+        final_costs=tuple(final_costs),
+        engine=resolved,
+    )

@@ -1,0 +1,194 @@
+"""MPG2xx — the diagnosis rule pack.
+
+Unlike the trace/graph rules (defect detection on inputs), diagnosis
+rules interpret *analysis results*: they receive a
+:class:`~repro.diagnose.engine.DiagnoseContext` carrying the extracted
+critical path, the makespan attribution, and the anomaly report, and
+re-express the interesting ones as findings so the existing lint
+reporters (text / JSON / SARIF) and CI gates apply unchanged.
+
+Severity policy: structural summaries are INFO (always emitted, so a
+report is never empty); judgements that a specific rank is *wrong* —
+a statistical outlier against its peers, or a serialized path through
+one rank of a many-rank run — are WARNING, which the CI ``diagnose``
+job gates on (``--fail-on warning``).  Thresholds live on
+:class:`~repro.diagnose.engine.DiagnoseConfig` and are deliberately
+conservative: a clean, structurally asymmetric app (master/worker,
+boundary ranks) must produce zero warnings.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lint.model import Finding, LintConfig, Severity
+from repro.lint.registry import rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.diagnose.engine import DiagnoseContext
+
+__all__ = [
+    "critical_path_summary",
+    "bottleneck_rank",
+    "bottleneck_primitive",
+    "anomalous_rank",
+    "load_imbalance",
+    "noise_sensitive_rank",
+]
+
+
+@rule(
+    "MPG200",
+    "critical-path-summary",
+    Severity.INFO,
+    "diagnosis",
+    "Critical path summary",
+    "Where the end-to-end makespan went: the longest weighted chain of "
+    "observed intervals, its sink rank, and the dominant contributors. "
+    "Always emitted so every diagnosis report states its baseline.",
+)
+def critical_path_summary(ctx: "DiagnoseContext", config: LintConfig) -> Iterator[Finding]:
+    cp, attr = ctx.cp, ctx.attribution
+    rank, rshare = attr.dominant_rank()
+    prim, pshare = attr.dominant_primitive(exclude=())
+    r = critical_path_summary
+    yield r.finding(
+        f"critical path: {cp.total_cost:,.0f} cy over {len(cp.edges)} edges into "
+        f"rank {cp.sink_rank}; rank {rank} carries {rshare:.0%}, "
+        f"largest bucket '{prim}' {pshare:.0%}",
+        rank=cp.sink_rank,
+    )
+
+
+@rule(
+    "MPG201",
+    "bottleneck-rank",
+    Severity.WARNING,
+    "diagnosis",
+    "One rank dominates the critical path",
+    "Nearly the whole critical path runs through a single rank of a "
+    "multi-rank run while every other rank's own path is much shorter: "
+    "the program is serialized on that rank, and speeding up any other "
+    "rank cannot improve the makespan.  A symmetric app whose equally-"
+    "long path merely *stays* on one rank does not fire — the runner-up "
+    "rank's path cost must trail the makespan by the serialization "
+    "margin.",
+)
+def bottleneck_rank(ctx: "DiagnoseContext", config: LintConfig) -> Iterator[Finding]:
+    attr, cp = ctx.attribution, ctx.cp
+    if ctx.build.graph.nprocs < 2 or attr.makespan <= 0:
+        return
+    rank, share = attr.dominant_rank()
+    runner_up = cp.runner_up_ratio()
+    if (
+        rank >= 0
+        and share >= ctx.config.bottleneck_rank_share
+        and runner_up < ctx.config.serialization_margin
+    ):
+        r = bottleneck_rank
+        yield r.finding(
+            f"rank {rank} carries {share:.1%} of the {attr.makespan:,.0f} cy "
+            f"critical path and the runner-up rank's path is only "
+            f"{runner_up:.0%} as long: the run is serialized on rank {rank}",
+            rank=rank,
+        )
+
+
+@rule(
+    "MPG202",
+    "bottleneck-primitive",
+    Severity.INFO,
+    "diagnosis",
+    "One primitive dominates non-compute path time",
+    "A single message-passing primitive accounts for most of the "
+    "non-compute time on the critical path — the first place to look "
+    "for an algorithmic or configuration fix.",
+)
+def bottleneck_primitive(ctx: "DiagnoseContext", config: LintConfig) -> Iterator[Finding]:
+    attr = ctx.attribution
+    non_compute = attr.makespan - attr.by_primitive.get("compute", 0.0)
+    if non_compute <= 0:
+        return
+    prim, share = attr.dominant_primitive()
+    if not prim:
+        return
+    frac = attr.by_primitive[prim] / non_compute
+    if frac >= ctx.config.bottleneck_primitive_share:
+        r = bottleneck_primitive
+        yield r.finding(
+            f"'{prim}' is {frac:.1%} of the non-compute critical-path time "
+            f"({attr.by_primitive[prim]:,.0f} of {non_compute:,.0f} cy)",
+            rank=ctx.cp.sink_rank,
+        )
+
+
+@rule(
+    "MPG210",
+    "anomalous-rank",
+    Severity.WARNING,
+    "diagnosis",
+    "Rank is a statistical outlier against its role peers",
+    "A rank's compute total sits far outside the distribution of "
+    "structurally identical peer ranks — the faulty-"
+    "process signature of Okita et al. (arXiv:cs/0310015).  Flagged "
+    "only with enough peers and both a statistical and a relative "
+    "excess, so structural asymmetry alone never fires.",
+)
+def anomalous_rank(ctx: "DiagnoseContext", config: LintConfig) -> Iterator[Finding]:
+    r = anomalous_rank
+    for a in ctx.anomalies.anomalies:
+        if a.metric == "replicate-delay":
+            continue  # MPG212's jurisdiction
+        yield r.finding(a.describe(), rank=a.rank)
+
+
+@rule(
+    "MPG211",
+    "load-imbalance",
+    Severity.INFO,
+    "diagnosis",
+    "Compute totals are spread far beyond the mean",
+    "The busiest rank computes much more than the average rank.  Not "
+    "necessarily a defect (pipelines and masters are legitimately "
+    "imbalanced), but the quantity an optimizer would attack first.",
+)
+def load_imbalance(ctx: "DiagnoseContext", config: LintConfig) -> Iterator[Finding]:
+    computes = [p.compute for p in ctx.anomalies.profiles]
+    if len(computes) < 2:
+        return
+    mean = sum(computes) / len(computes)
+    if mean <= 0:
+        return
+    peak = max(computes)
+    ratio = peak / mean
+    if ratio >= ctx.config.imbalance_ratio:
+        r = load_imbalance
+        rank = computes.index(peak)
+        yield r.finding(
+            f"rank {rank} computes {peak:,.0f} cy, {ratio:.2f}x the "
+            f"{mean:,.0f} cy mean (threshold {ctx.config.imbalance_ratio:.1f}x)",
+            rank=rank,
+        )
+
+
+@rule(
+    "MPG212",
+    "noise-sensitive-rank",
+    Severity.INFO,
+    "diagnosis",
+    "Replicate delays concentrate on one rank",
+    "Across Monte-Carlo replicates, sampled perturbations accumulate "
+    "disproportionately on one rank relative to its peers: its region "
+    "of the graph propagates noise instead of absorbing it (§4.2).",
+)
+def noise_sensitive_rank(ctx: "DiagnoseContext", config: LintConfig) -> Iterator[Finding]:
+    r = noise_sensitive_rank
+    for a in ctx.anomalies.anomalies:
+        if a.metric != "replicate-delay":
+            continue
+        yield r.finding(
+            f"rank {a.rank} mean replicate delay {a.value:,.0f} cy is "
+            f"{a.excess:.2f}x its {a.peers} peers' median {a.peer_median:,.0f} cy "
+            f"(robust z = {a.z:.1f})",
+            rank=a.rank,
+        )

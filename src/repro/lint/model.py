@@ -61,10 +61,13 @@ class Rule:
     id: str  # "MPG001"
     code: str  # diagnostics code, e.g. "overlapping-events"
     severity: Severity
-    category: str  # "trace" | "graph"
+    category: str  # "trace" | "graph" | "diagnosis"
     summary: str  # one-line description (SARIF shortDescription)
     rationale: str  # why this defect matters (SARIF fullDescription)
-    check: Callable[["LintContext", "LintConfig"], Iterator["Finding"]]
+    # Diagnosis rules receive a DiagnoseContext instead of a LintContext,
+    # so the callable is typed loosely; both context types share the
+    # finding-coordinate surface the reporters need.
+    check: Callable[..., Iterator["Finding"]]
 
     def finding(
         self,

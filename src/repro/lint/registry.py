@@ -34,8 +34,10 @@ def rule(
         raise ValueError(f"duplicate rule id {id!r}")
     if code not in CODES:
         raise ValueError(f"rule {id}: code {code!r} not in repro.core.diagnostics.CODES")
-    if category not in ("trace", "graph"):
-        raise ValueError(f"rule {id}: category must be 'trace' or 'graph', got {category!r}")
+    if category not in ("trace", "graph", "diagnosis"):
+        raise ValueError(
+            f"rule {id}: category must be 'trace', 'graph' or 'diagnosis', got {category!r}"
+        )
 
     def register(fn: Callable) -> Rule:
         r = Rule(
@@ -81,11 +83,17 @@ def rule_for_code(code: str) -> Rule | None:
 
 def _ensure_loaded() -> None:
     """Import the rule packs (idempotent; resolves circular imports)."""
+    from repro.diagnose import rules as diagnose_rules  # noqa: F401
     from repro.lint import graph_rules, trace_rules  # noqa: F401
 
 
-def run_rule(r: Rule, ctx: LintContext, config: LintConfig) -> Iterator[Finding]:
-    """Run one rule, applying severity overrides and the emission cap."""
+def run_rule(r: Rule, ctx: object, config: LintConfig) -> Iterator[Finding]:
+    """Run one rule, applying severity overrides and the emission cap.
+
+    ``ctx`` is a :class:`~repro.lint.engine.LintContext` for trace/graph
+    rules or a :class:`~repro.diagnose.engine.DiagnoseContext` for
+    diagnosis rules; the cap and override mechanics are identical.
+    """
     severity = config.severity_for(r.id, r.severity)
     emitted = 0
     for f in r.check(ctx, config):

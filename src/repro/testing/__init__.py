@@ -1,9 +1,13 @@
 """Deterministic test harnesses for the analyzer itself.
 
-Currently: :mod:`repro.testing.faults`, the fault-injection harness
-that proves the execution backends' retry / timeout / restart / resume
-paths (used by ``tests/`` and the CI chaos job).
+:mod:`repro.testing.faults` is the fault-injection harness that proves
+the execution backends' retry / timeout / restart / resume paths (used
+by ``tests/`` and the CI chaos job); :mod:`repro.testing.slowrank`
+manufactures known-culprit traces for the diagnosis layer (used by
+``tests/diagnose`` and the CI diagnose job).
 """
+
+from typing import Any
 
 from repro.testing.faults import (
     FAULT_EXIT_CODE,
@@ -15,6 +19,19 @@ from repro.testing.faults import (
     item_key,
 )
 
+_SLOWRANK_EXPORTS = frozenset({"slow_rank", "slow_rank_memory", "stretch_events"})
+
+
+def __getattr__(name: str) -> Any:
+    # Lazy so `python -m repro.testing.slowrank` does not pre-import the
+    # module it is about to execute (runpy warns on that).
+    if name in _SLOWRANK_EXPORTS:
+        from repro.testing import slowrank
+
+        return getattr(slowrank, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "FAULT_EXIT_CODE",
     "FailItem",
@@ -23,4 +40,7 @@ __all__ = [
     "SlowItem",
     "corrupt_checkpoints",
     "item_key",
+    "slow_rank",
+    "slow_rank_memory",
+    "stretch_events",
 ]

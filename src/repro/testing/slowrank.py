@@ -1,0 +1,109 @@
+"""Synthetic slow-rank injection for diagnosis tests and CI.
+
+The diagnosis acceptance scenario needs a trace where one rank is
+*known* to be the culprit: :func:`slow_rank` stretches every compute
+gap on one rank's timeline by a constant factor, shifting all later
+timestamps on that rank accordingly.  Because trace timestamps are
+rank-local (§4.1) and graph construction matches events by metadata,
+never by cross-rank time, the perturbed trace set still builds the
+exact same graph topology — only the slowed rank's local edge weights
+grow.  The rank's event-kind multiset is untouched, so the anomaly
+detector's role grouping still compares it against the same peers.
+
+``python -m repro.testing.slowrank`` applies the perturbation to an
+on-disk trace set (the CI ``diagnose`` job uses it to manufacture the
+faulty-rank scenario that must make ``repro-diagnose`` exit nonzero).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.trace.events import EventRecord
+from repro.trace.reader import MemoryTrace, TraceSet, TraceSource
+from repro.trace.writer import TraceSetWriter
+
+__all__ = ["stretch_events", "slow_rank", "slow_rank_memory", "main"]
+
+
+def stretch_events(events: Sequence[EventRecord], factor: float) -> list[EventRecord]:
+    """One rank's events with every compute gap scaled by ``factor``.
+
+    Event durations (time inside message-passing calls) are preserved;
+    only the gaps between consecutive events — the implicit compute
+    phases — stretch, so the injected slowness is pure compute.
+    """
+    if factor < 0:
+        raise ValueError(f"factor must be >= 0, got {factor}")
+    out: list[EventRecord] = []
+    prev_end: float | None = None
+    cursor = 0.0
+    for ev in events:
+        if prev_end is None:
+            start = ev.t_start
+        else:
+            start = cursor + max(0.0, ev.t_start - prev_end) * factor
+        out.append(ev.with_times(start, start + ev.duration))
+        prev_end = ev.t_end
+        cursor = out[-1].t_end
+    return out
+
+
+def slow_rank(
+    per_rank: Sequence[Sequence[EventRecord]], rank: int, factor: float
+) -> list[list[EventRecord]]:
+    """Per-rank event lists with ``rank``'s compute stretched by ``factor``."""
+    if not 0 <= rank < len(per_rank):
+        raise ValueError(f"rank {rank} out of range for {len(per_rank)} ranks")
+    return [
+        stretch_events(events, factor) if r == rank else list(events)
+        for r, events in enumerate(per_rank)
+    ]
+
+
+def slow_rank_memory(trace_set: TraceSource, rank: int, factor: float) -> MemoryTrace:
+    """An in-memory copy of ``trace_set`` with one rank slowed."""
+    return MemoryTrace(slow_rank(trace_set.load_all(), rank, factor))
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testing.slowrank",
+        description="Copy a trace set with one rank's compute gaps stretched.",
+    )
+    parser.add_argument("--traces", required=True, help="input trace directory")
+    parser.add_argument("--stem", default="trace", help="input trace stem")
+    parser.add_argument("--rank", type=int, required=True, help="rank to slow down")
+    parser.add_argument(
+        "--factor", type=float, default=10.0, help="compute-gap stretch factor"
+    )
+    parser.add_argument("--out", required=True, help="output trace directory")
+    parser.add_argument("--out-stem", default=None, help="output stem (default: input)")
+    args = parser.parse_args(argv)
+
+    traces = TraceSet.open(args.traces, args.stem)
+    per_rank = slow_rank(traces.load_all(), args.rank, args.factor)
+    metas = [traces.meta(r) for r in range(len(per_rank))]
+    with TraceSetWriter(
+        args.out,
+        args.out_stem or args.stem,
+        nprocs=len(per_rank),
+        program=metas[0].program,
+        clock_params={m.rank: (m.clock_offset, m.clock_drift) for m in metas},
+    ) as writer:
+        for events in per_rank:
+            for ev in events:
+                writer.record(ev)
+    total = sum(len(evs) for evs in per_rank)
+    print(
+        f"slowed rank {args.rank} by {args.factor:g}x: "
+        f"{total} events -> {args.out}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    raise SystemExit(main())

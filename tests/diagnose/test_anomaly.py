@@ -1,0 +1,141 @@
+"""Anomalous-rank detection: the acceptance fixture (an injected slow
+rank must be ranked #1), peer-group discipline, and the robust score."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_graph
+from repro.diagnose import detect_anomalies, profile_ranks
+from repro.diagnose.anomaly import robust_z
+from repro.testing import slow_rank_memory, stretch_events
+from tests.lint.helpers import ev, memory_trace
+from repro.trace.events import EventKind
+
+SLOW_FACTOR = 25.0
+
+
+class TestRobustZ:
+    def test_at_median_is_zero(self):
+        assert robust_z(10.0, [8.0, 10.0, 12.0]) == 0.0
+
+    def test_outlier_scores_high(self):
+        assert robust_z(100.0, [9.0, 10.0, 11.0]) > 3.5
+
+    def test_identical_peers_capped_not_inf(self):
+        z = robust_z(1000.0, [10.0, 10.0, 10.0])
+        assert z == 1000.0  # floored scale keeps it finite, cap bounds it
+
+    def test_symmetric_below(self):
+        assert robust_z(-100.0, [9.0, 10.0, 11.0]) < -3.5
+
+
+class TestProfiles:
+    def test_signatures_group_identical_roles(self, ring_trace):
+        profiles = profile_ranks(build_graph(ring_trace))
+        sigs = {p.signature for p in profiles}
+        assert len(sigs) == 1  # every ring rank runs the same op multiset
+
+    def test_compute_is_gap_sum(self):
+        build = build_graph(
+            memory_trace(
+                [
+                    ev(0, 0, EventKind.INIT, 0.0, 1.0),
+                    ev(0, 1, EventKind.SEND, 5.0, 6.0, peer=1, tag=0, nbytes=8),
+                    ev(0, 2, EventKind.FINALIZE, 10.0, 11.0),
+                ],
+                [
+                    ev(1, 0, EventKind.INIT, 0.0, 1.0),
+                    ev(1, 1, EventKind.RECV, 2.0, 8.0, peer=0, tag=0, nbytes=8),
+                    ev(1, 2, EventKind.FINALIZE, 9.0, 10.0),
+                ],
+            )
+        )
+        p = profile_ranks(build)[0]
+        assert p.compute == pytest.approx((5.0 - 1.0) + (10.0 - 6.0))
+        assert p.comm == pytest.approx(1.0)  # only the SEND interval counts
+
+    def test_metric_accessor(self, ring_trace):
+        p = profile_ranks(build_graph(ring_trace))[0]
+        assert p.metric("compute") == p.compute
+        assert p.metric("comm") == p.comm
+        with pytest.raises(KeyError):
+            p.metric("walltime")
+
+
+class TestSlowRankDetection:
+    def test_clean_run_has_no_anomalies(self, ring_trace):
+        report = detect_anomalies(build_graph(ring_trace))
+        assert report.anomalies == ()
+
+    @pytest.mark.parametrize("culprit", [0, 1, 3])
+    def test_slow_rank_ranked_first(self, ring_trace, culprit):
+        """The acceptance fixture: stretch one rank's compute gaps and
+        the detector must rank exactly that rank #1."""
+        slowed = slow_rank_memory(ring_trace, culprit, SLOW_FACTOR)
+        report = detect_anomalies(build_graph(slowed))
+        top = report.top()
+        assert top is not None, "slow rank not detected"
+        assert top.rank == culprit
+        assert top.metric == "compute"
+        assert top.excess > 1.2
+        assert {a.rank for a in report.for_rank(culprit)} == {culprit}
+
+    def test_slowing_preserves_signature(self, ring_trace):
+        """The injection must not change the role grouping."""
+        before = profile_ranks(build_graph(ring_trace))
+        after = profile_ranks(build_graph(slow_rank_memory(ring_trace, 1, SLOW_FACTOR)))
+        assert [p.signature for p in before] == [p.signature for p in after]
+
+    def test_min_peers_floor_suppresses_small_groups(self, ring_trace):
+        slowed = slow_rank_memory(ring_trace, 1, SLOW_FACTOR)
+        report = detect_anomalies(build_graph(slowed), min_peers=5)
+        assert report.anomalies == ()  # 4 ranks < 5 peers + 1
+
+    def test_thresholds_gate_detection(self, ring_trace):
+        slowed = slow_rank_memory(ring_trace, 1, 1.05)  # barely slower
+        report = detect_anomalies(build_graph(slowed))
+        assert all(a.rank != 1 or a.z >= 3.5 for a in report.anomalies)
+
+    def test_replicate_delay_metric(self, ring_trace):
+        build = build_graph(ring_trace)
+        delays = [0.0] * build.graph.nprocs
+        delays[2] = 1e6
+        report = detect_anomalies(build, replicate_delays=delays)
+        assert "replicate-delay" in report.metrics
+        hits = [a for a in report.anomalies if a.metric == "replicate-delay"]
+        assert [a.rank for a in hits] == [2]
+
+    def test_replicate_delay_length_checked(self, ring_trace):
+        with pytest.raises(ValueError, match="replicate_delays length"):
+            detect_anomalies(build_graph(ring_trace), replicate_delays=[1.0])
+
+    def test_report_as_dict(self, ring_trace):
+        report = detect_anomalies(build_graph(slow_rank_memory(ring_trace, 1, SLOW_FACTOR)))
+        d = report.as_dict()
+        assert d["anomalies"][0]["rank"] == 1
+        assert len(d["profiles"]) == 4
+
+
+class TestStretchEvents:
+    def test_durations_preserved_gaps_scaled(self):
+        events = [
+            ev(0, 0, EventKind.INIT, 0.0, 1.0),
+            ev(0, 1, EventKind.SEND, 3.0, 4.0, peer=0, tag=0, nbytes=8),
+            ev(0, 2, EventKind.FINALIZE, 6.0, 7.0),
+        ]
+        out = stretch_events(events, 10.0)
+        assert [e.duration for e in out] == [e.duration for e in events]
+        assert out[1].t_start - out[0].t_end == pytest.approx(20.0)  # 2.0 * 10
+        assert out[2].t_start - out[1].t_end == pytest.approx(20.0)
+
+    def test_factor_one_is_identity(self, ring_trace):
+        events = list(ring_trace.events_of(0))
+        out = stretch_events(events, 1.0)
+        assert [(e.t_start, e.t_end) for e in out] == [
+            (e.t_start, e.t_end) for e in events
+        ]
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(ValueError, match="factor must be >= 0"):
+            stretch_events([], -1.0)

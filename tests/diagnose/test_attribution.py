@@ -1,0 +1,94 @@
+"""Attribution: the decomposition must be an exact audit of the
+makespan — every path edge lands in exactly one rank bucket and one
+primitive bucket, and both bucket families sum back to the total."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import build_graph
+from repro.core.graph import EdgeKind
+from repro.diagnose import attribute_path, classify_edge, extract_critical_path
+from repro.mpisim import run
+from tests.conftest import plan_program
+from tests.diagnose.test_path import _plans
+
+
+def attribution_of(trace, top_edges=10):
+    build = build_graph(trace)
+    cp = extract_critical_path(build)
+    return build, cp, attribute_path(build, cp, top_edges=top_edges)
+
+
+class TestExactness:
+    def test_buckets_sum_to_makespan(self, ring_trace):
+        _, cp, attr = attribution_of(ring_trace)
+        assert attr.makespan == cp.total_cost
+        assert sum(attr.by_rank.values()) == pytest.approx(attr.makespan)
+        assert sum(attr.by_primitive.values()) == pytest.approx(attr.makespan)
+
+    @given(plan=_plans, p=st.integers(2, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_any_run_sums_exactly(self, plan, p):
+        _, cp, attr = attribution_of(run(plan_program(plan), nprocs=p, seed=9).trace)
+        assert sum(attr.by_rank.values()) == pytest.approx(attr.makespan, rel=1e-12)
+        assert sum(attr.by_primitive.values()) == pytest.approx(attr.makespan, rel=1e-12)
+
+    def test_shares_partition_unity(self, stencil_trace):
+        _, _, attr = attribution_of(stencil_trace)
+        assert sum(attr.rank_share(r) for r in attr.by_rank) == pytest.approx(1.0)
+        assert sum(attr.primitive_share(p) for p in attr.by_primitive) == pytest.approx(1.0)
+
+
+class TestClassification:
+    def test_every_path_edge_classifies(self, stencil_trace):
+        build, cp, _ = attribution_of(stencil_trace)
+        g = build.graph
+        for ei in cp.edges:
+            primitive, rank = classify_edge(g, g.edges[ei])
+            assert primitive
+            assert -1 <= rank < g.nprocs
+
+    def test_operation_vs_compute_split(self, ring_trace):
+        """START→END of one event buckets as the op; inter-event local
+        edges bucket as compute."""
+        build, cp, attr = attribution_of(ring_trace)
+        assert "compute" in attr.by_primitive
+        op_buckets = set(attr.by_primitive) - {"compute"}
+        assert op_buckets  # a ring has send/recv/allreduce intervals on-path
+
+    def test_message_edges_bucket_by_delta_kind(self, ring_trace):
+        build = build_graph(ring_trace)
+        g = build.graph
+        msg = next(e for e in g.edges if e.kind == EdgeKind.MESSAGE)
+        primitive, _ = classify_edge(g, msg)
+        assert primitive in {"sync", "os-noise", "ack", "transfer", "rendezvous", "collective"}
+
+
+class TestDominantsAndRendering:
+    def test_dominant_rank_is_argmax(self, ring_trace):
+        _, _, attr = attribution_of(ring_trace)
+        rank, share = attr.dominant_rank()
+        assert attr.by_rank[rank] == max(attr.by_rank.values())
+        assert share == pytest.approx(attr.rank_share(rank))
+
+    def test_dominant_primitive_excludes_compute_by_default(self, ring_trace):
+        _, _, attr = attribution_of(ring_trace)
+        prim, _ = attr.dominant_primitive()
+        assert prim != "compute"
+
+    def test_top_edges_cost_descending_and_capped(self, stencil_trace):
+        _, _, attr = attribution_of(stencil_trace, top_edges=3)
+        assert len(attr.top_edges) <= 3
+        costs = [c for _, c, _, _ in attr.top_edges]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_table_and_dict_render(self, ring_trace):
+        _, _, attr = attribution_of(ring_trace)
+        table = attr.table()
+        assert "rank" in table and "primitive" in table
+        d = attr.as_dict()
+        assert d["makespan"] == attr.makespan
+        assert set(d["by_primitive"]) == set(attr.by_primitive)

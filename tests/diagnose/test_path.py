@@ -1,0 +1,157 @@
+"""Critical-path extraction: engine agreement, determinism, and the
+replicate-batch invariant.
+
+The acceptance-critical property: the extracted path — edges, nodes,
+per-edge costs, AND total — is *bit-identical* whichever engine
+computes it (``compiled`` / ``incore`` / ``graph``), for any
+simulator-producible run, and batching extra replicate rows through the
+compiled kernel never changes row 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import build_graph
+from repro.core.compiled import compiled_plan
+from repro.diagnose import extract_critical_path
+from repro.diagnose.path import ENGINES, path_costs
+from repro.mpisim import run
+from tests.conftest import plan_program
+
+REAL_ENGINES = [e for e in ENGINES if e != "auto"]
+
+_round = st.one_of(
+    st.tuples(st.just("compute"), st.integers(100, 3000)),
+    st.tuples(st.just("ring"), st.integers(0, 20_000)),
+    st.tuples(st.just("xchg"), st.integers(0, 2000)),
+    st.tuples(st.just("nb"), st.integers(0, 20_000)),
+    st.tuples(st.just("allreduce"), st.integers(0, 128)),
+    st.tuples(st.just("barrier")),
+    st.tuples(st.just("scan"), st.integers(0, 128)),
+    st.tuples(st.just("rscatter"), st.integers(0, 128)),
+)
+
+_plans = st.lists(_round, min_size=1, max_size=4)
+
+
+def extract_all_engines(build, deltas=None):
+    return [
+        extract_critical_path(build, deltas=deltas, engine=e) for e in REAL_ENGINES
+    ]
+
+
+def assert_identical(extracts):
+    ref = extracts[0]
+    for other in extracts[1:]:
+        assert other.edges == ref.edges, f"{other.engine} path != {ref.engine} path"
+        assert other.nodes == ref.nodes
+        assert other.costs == ref.costs
+        assert other.total_cost == ref.total_cost
+        assert other.final_costs == ref.final_costs
+        assert other.sink_rank == ref.sink_rank
+
+
+class TestEngineAgreement:
+    def test_ring_identical_across_engines(self, ring_trace):
+        build = build_graph(ring_trace)
+        assert_identical(extract_all_engines(build))
+
+    def test_stencil_identical_across_engines(self, stencil_trace):
+        build = build_graph(stencil_trace)
+        assert_identical(extract_all_engines(build))
+
+    def test_identical_with_random_deltas(self, ring_trace, rng):
+        build = build_graph(ring_trace)
+        deltas = rng.exponential(500.0, size=len(build.graph.edges))
+        assert_identical(extract_all_engines(build, deltas=deltas))
+
+    @given(plan=_plans, p=st.integers(2, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_any_run_identical_across_engines(self, plan, p):
+        """Property: path extraction is engine-independent for ANY valid run."""
+        build = build_graph(run(plan_program(plan), nprocs=p, seed=5).trace)
+        assert_identical(extract_all_engines(build))
+
+    def test_auto_is_compiled(self, ring_trace):
+        cp = extract_critical_path(build_graph(ring_trace))
+        assert cp.engine == "compiled"
+
+    def test_unknown_engine_rejected(self, ring_trace):
+        with pytest.raises(ValueError, match="engine must be one of"):
+            extract_critical_path(build_graph(ring_trace), engine="gpu")
+
+
+class TestReplicateBatchInvariance:
+    def test_row_zero_invariant_under_batching(self, ring_trace, rng):
+        """Stacking extra replicate rows never changes an existing row."""
+        build = build_graph(ring_trace)
+        plan = compiled_plan(build)
+        costs = path_costs(build)
+        L1, pred1 = plan.longest_path(costs[None, :])
+        stacked = np.vstack(
+            [costs, costs * 2.0, rng.exponential(1000.0, size=costs.shape)]
+        )
+        Lb, predb = plan.longest_path(stacked)
+        assert np.array_equal(L1[0], Lb[0])
+        assert np.array_equal(pred1[0], predb[0])
+
+    def test_each_batch_row_matches_solo_run(self, stencil_trace, rng):
+        build = build_graph(stencil_trace)
+        plan = compiled_plan(build)
+        rows = rng.exponential(800.0, size=(4, len(build.graph.edges)))
+        Lb, predb = plan.longest_path(rows)
+        for i in range(rows.shape[0]):
+            Li, predi = plan.longest_path(rows[i][None, :])
+            assert np.array_equal(Lb[i], Li[0])
+            assert np.array_equal(predb[i], predi[0])
+
+    def test_extraction_matches_batched_final_cost(self, ring_trace):
+        build = build_graph(ring_trace)
+        cp = extract_critical_path(build)
+        L, _ = compiled_plan(build).longest_path(path_costs(build)[None, :])
+        assert cp.total_cost == float(L[0].max())
+
+
+class TestExtractShape:
+    def test_path_is_a_connected_chain(self, ring_trace):
+        build = build_graph(ring_trace)
+        cp = extract_critical_path(build)
+        g = build.graph
+        assert len(cp.nodes) == len(cp.edges) + 1
+        for i, ei in enumerate(cp.edges):
+            assert g.edges[ei].src == cp.nodes[i]
+            assert g.edges[ei].dst == cp.nodes[i + 1]
+        assert cp.total_cost == pytest.approx(sum(cp.costs))
+        assert g.nodes[cp.nodes[-1]].rank == cp.sink_rank
+
+    def test_costs_align_with_edge_weights(self, ring_trace):
+        build = build_graph(ring_trace)
+        cp = extract_critical_path(build)
+        for ei, c in zip(cp.edges, cp.costs):
+            assert c == build.graph.edges[ei].weight
+
+    def test_final_costs_cover_all_ranks(self, stencil_trace):
+        build = build_graph(stencil_trace)
+        cp = extract_critical_path(build)
+        assert len(cp.final_costs) == build.graph.nprocs
+        assert max(cp.final_costs) == cp.total_cost
+
+    def test_runner_up_ratio_bounds(self, ring_trace):
+        cp = extract_critical_path(build_graph(ring_trace))
+        assert 0.0 <= cp.runner_up_ratio() <= 1.0
+
+    def test_as_dict_round_trips_key_fields(self, ring_trace):
+        cp = extract_critical_path(build_graph(ring_trace))
+        d = cp.as_dict()
+        assert d["sink_rank"] == cp.sink_rank
+        assert d["engine"] == "compiled"
+        assert tuple(d["edges"]) == cp.edges
+
+    def test_bad_deltas_shape_rejected(self, ring_trace):
+        build = build_graph(ring_trace)
+        with pytest.raises(ValueError, match="deltas shape"):
+            extract_critical_path(build, deltas=[1.0, 2.0])

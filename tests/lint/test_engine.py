@@ -40,15 +40,18 @@ def matched_trace():
 class TestRegistry:
     def test_catalog_shape(self):
         rules = all_rules()
-        assert len(rules) == 12
+        assert len(rules) == 18  # 12 trace/graph + 6 diagnosis
         assert [r.id for r in rules] == sorted({r.id for r in rules})
         assert all(r.code in CODES for r in rules)
-        assert all(r.category in ("trace", "graph") for r in rules)
+        assert all(r.category in ("trace", "graph", "diagnosis") for r in rules)
         assert all(r.summary and r.rationale for r in rules)
 
     def test_categories_split(self):
         assert [r.id for r in all_rules("trace")] == [f"MPG00{i}" for i in range(1, 8)]
         assert [r.id for r in all_rules("graph")] == [f"MPG10{i}" for i in range(1, 6)]
+        assert [r.id for r in all_rules("diagnosis")] == [
+            "MPG200", "MPG201", "MPG202", "MPG210", "MPG211", "MPG212",
+        ]
 
     def test_lookup(self):
         assert get_rule("MPG001").code == "overlapping-events"

@@ -93,7 +93,7 @@ class TestSarif:
         assert driver["name"] == "repro-lint"
         rules = driver["rules"]
         assert [r["id"] for r in rules] == sorted(r["id"] for r in rules)
-        assert len(rules) == 12
+        assert len(rules) == 18  # 12 trace/graph rules + 6 MPG2xx diagnosis rules
         for result in doc["runs"][0]["results"]:
             assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
 
