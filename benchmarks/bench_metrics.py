@@ -1,0 +1,92 @@
+"""PERF — columnar metrics layer cost: frame build vs vectorized math.
+
+Builds the event frame for a scaled-up token-ring trace (the single
+O(events) Python pass in the metrics layer) and times the analytics on
+top of it: whole-run POP metrics, the windowed efficiency timeline, and
+the frame-based trace statistics.  The point being guarded: everything
+downstream of ``trace_frame`` is vectorized numpy, so metric time per
+event must stay far below frame-build time per event — a Python loop
+creeping into the hot path shows up here as an immediate regression.
+
+``REPRO_BENCH_METRICS_TRAVERSALS`` scales the trace (default 96).
+"""
+
+import os
+import time
+
+from benchmarks._common import bench_timings, emit, table
+from repro.apps import TokenRingParams, token_ring
+from repro.metrics import pop_metrics, pop_timeline, trace_frame
+from repro.mpisim import run
+from repro.trace.stats import stats_from_frame
+
+TRAVERSALS = int(os.environ.get("REPRO_BENCH_METRICS_TRAVERSALS", "96"))
+NPROCS = 8
+WINDOWS = 16
+
+
+def metrics_trace():
+    return run(
+        token_ring(TokenRingParams(traversals=TRAVERSALS)), nprocs=NPROCS, seed=0
+    ).trace
+
+
+def test_pop_metrics_columnar(benchmark):
+    trace = metrics_trace()
+
+    t0 = time.perf_counter()
+    frame = trace_frame(trace)
+    frame_build_s = time.perf_counter() - t0
+    n_events = len(frame)
+
+    # the benchmarked unit: whole-run POP analytics on the prebuilt frame
+    pop = benchmark(lambda: pop_metrics(frame))
+
+    t0 = time.perf_counter()
+    pop_metrics(frame)
+    pop_manual_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    timeline = pop_timeline(frame, WINDOWS)
+    timeline_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    stats = stats_from_frame(frame)
+    stats_s = time.perf_counter() - t0
+
+    assert pop.parallel_efficiency > 0
+    assert timeline.n_windows == WINDOWS
+    assert stats.total_events == n_events
+
+    stats_dict = bench_timings(benchmark)
+    pop_s = stats_dict.get("mean_s", pop_manual_s)
+    rows = [
+        ("trace_frame (O(events) pass)", f"{frame_build_s * 1e3:.2f} ms"),
+        ("pop_metrics (vectorized)", f"{pop_s * 1e3:.2f} ms"),
+        (f"pop_timeline ({WINDOWS} windows)", f"{timeline_s * 1e3:.2f} ms"),
+        ("stats_from_frame", f"{stats_s * 1e3:.2f} ms"),
+    ]
+    body = table(["stage", "time"], rows, widths=[30, 14])
+    summary = (
+        f"{n_events:,} events, p={NPROCS}: PE {pop.parallel_efficiency:.3f}, "
+        f"{n_events / max(pop_s, 1e-9):,.0f} events/s through pop_metrics"
+    )
+    emit(
+        "perf_metrics",
+        body + "\n" + summary,
+        params={"traversals": TRAVERSALS, "nprocs": NPROCS, "windows": WINDOWS},
+        timings=stats_dict
+        | {
+            "frame_build_s": frame_build_s,
+            "pop_metrics_s": pop_manual_s,
+            "pop_timeline_s": timeline_s,
+            "stats_from_frame_s": stats_s,
+        },
+        metrics={
+            "events": n_events,
+            "events_per_s": n_events / max(pop_s, 1e-9),
+            "parallel_efficiency": pop.parallel_efficiency,
+            "load_balance": pop.load_balance,
+            "comm_efficiency": pop.comm_efficiency,
+        },
+    )

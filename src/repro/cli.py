@@ -30,17 +30,25 @@ Entry points mirroring the paper's workflow:
     detection, reported through the lint reporters (text / JSON / SARIF)
     with the same ``--fail-on`` CI gate.  ``repro-analyze --diagnose``
     appends the same report to an analysis run.
+``repro-metrics``
+    Time-resolved POP-style efficiency metrics (:mod:`repro.metrics`):
+    parallel efficiency, load balance, communication efficiency — whole
+    run and per time window — from an mpisim trace set or an imported
+    Chrome trace-event file, with ``--fail-below`` CI gating.
+    ``repro-analyze --pop-metrics`` appends the same report.
 """
 
 from __future__ import annotations
 
 import argparse
 import contextlib
+import json
 import logging
 import sys
 from pathlib import Path
 
 from repro import obs
+from repro._util import atomic_write_text
 from repro.apps import ALL_APPS
 from repro.core import (
     BuildConfig,
@@ -60,6 +68,17 @@ from repro.core import (
     to_dot,
 )
 from repro.machines import PRESETS
+from repro.metrics import (
+    build_report,
+    gate_report,
+    ideal_runtime,
+    import_chrome_trace,
+    pop_metrics,
+    pop_timeline,
+    publish_obs_metrics,
+    render_text,
+    trace_frame,
+)
 from repro.microbench import measure_machine
 from repro.mpisim import run_to_files
 from repro.noise import MachineSignature
@@ -75,6 +94,7 @@ __all__ = [
     "main_replay",
     "main_lint",
     "main_diagnose",
+    "main_metrics",
 ]
 
 # Two output channels, never mixed: results go to stdout (bare lines,
@@ -471,6 +491,20 @@ def main_analyze(argv: list[str] | None = None) -> int:
         metavar="FILE",
         help="write the --diagnose report to this file instead of stdout",
     )
+    ap.add_argument(
+        "--pop-metrics",
+        action="store_true",
+        help="append POP-style efficiency metrics (repro.metrics): parallel "
+        "efficiency, load balance, communication efficiency, whole-run and "
+        "per time window",
+    )
+    ap.add_argument(
+        "--pop-windows",
+        type=int,
+        default=12,
+        metavar="N",
+        help="time windows for the --pop-metrics timeline (default 12)",
+    )
     args = ap.parse_args(argv)
     _configure_logging(args)
     engine = {"auto": "compiled", "graph": "incore"}.get(args.engine, args.engine)
@@ -496,6 +530,17 @@ def main_analyze(argv: list[str] | None = None) -> int:
         with obs.span("trace_stats"):
             stats = trace_stats(traces)
         _say(f"trace: {stats.summary()}")
+        if args.pop_metrics:
+            with obs.span("pop_metrics", windows=args.pop_windows):
+                event_frame = trace_frame(traces)
+                pop_report = build_report(
+                    pop_metrics(event_frame),
+                    pop_timeline(event_frame, args.pop_windows),
+                    source=f"{args.traces}/{args.stem}",
+                    program=traces.meta(0).program,
+                )
+            publish_obs_metrics(pop_report)
+            _say(render_text(pop_report))
         if engine == "streaming":
             result = StreamingTraversal(
                 spec, config=config, mode=args.mode, window=args.window
@@ -964,6 +1009,132 @@ def main_diagnose(argv: list[str] | None = None) -> int:
     if report.errors or (args.fail_on == "warning" and report.warnings):
         return 1
     return 0
+
+
+def _parse_fail_below(specs: list[str]) -> dict[str, float]:
+    """``METRIC=VALUE`` strings -> thresholds dict for gate_report."""
+    out: dict[str, float] = {}
+    for spec in specs:
+        if "=" not in spec:
+            raise SystemExit(f"--fail-below expects METRIC=VALUE, got {spec!r}")
+        key, _, value = spec.partition("=")
+        try:
+            out[key.strip()] = float(value)
+        except ValueError:
+            raise SystemExit(f"--fail-below {spec!r}: {value!r} is not a number") from None
+    return out
+
+
+def main_metrics(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro-metrics",
+        description="Time-resolved POP-style efficiency metrics (parallel efficiency, "
+        "load balance, communication efficiency) over a trace set.",
+    )
+    ap.add_argument("--traces", help="directory containing mpisim trace files")
+    ap.add_argument("--stem", help="trace file stem (with --traces)")
+    ap.add_argument(
+        "--import",
+        dest="import_file",
+        metavar="FILE",
+        help="import an external Chrome trace-event JSON file instead of "
+        "--traces/--stem (see docs/METRICS.md for the mapping)",
+    )
+    ap.add_argument(
+        "--windows",
+        type=int,
+        default=16,
+        metavar="N",
+        help="time windows for the efficiency timeline (default 16)",
+    )
+    ap.add_argument(
+        "--ideal",
+        action="store_true",
+        help="also replay the trace on an ideal network (Dimemas, zero latency / "
+        "near-infinite bandwidth) and split CommE into serialization x transfer "
+        "efficiency; requires a complete mpisim trace set",
+    )
+    ap.add_argument("--format", choices=("text", "json"), default="text")
+    ap.add_argument("--out", metavar="FILE", help="write the report to FILE instead of stdout")
+    ap.add_argument(
+        "--fail-below",
+        action="append",
+        default=[],
+        metavar="METRIC=VALUE",
+        help="exit 1 if METRIC is below VALUE; metrics: pe, lb, comm_eff, ser_eff, "
+        "transfer_eff, window_pe, window_lb, window_comm_eff (window_* gate the "
+        "worst window). Repeatable.",
+    )
+    _add_logging_args(ap)
+    _add_obs_args(ap)
+    args = ap.parse_args(argv)
+    _configure_logging(args)
+    if bool(args.import_file) == bool(args.traces):
+        raise SystemExit("provide either --traces DIR --stem STEM or --import FILE")
+    if args.traces and not args.stem:
+        raise SystemExit("--traces requires --stem")
+    if args.import_file and args.ideal:
+        raise SystemExit("--ideal replays the message protocol and requires an mpisim "
+                         "trace set (--traces/--stem)")
+    thresholds = _parse_fail_below(args.fail_below)
+    from repro.metrics.report import GATEABLE
+
+    unknown = sorted(set(thresholds) - set(GATEABLE))
+    if unknown:
+        raise SystemExit(
+            f"--fail-below: unknown metric(s) {', '.join(unknown)}; "
+            f"choose from {', '.join(sorted(GATEABLE))}"
+        )
+
+    session = _start_observability(args, "repro-metrics")
+    with obs.span("repro_metrics", windows=args.windows):
+        if args.import_file:
+            with obs.span("import_chrome_trace"):
+                traces = import_chrome_trace(args.import_file)
+            source = args.import_file
+            _LOG.info(
+                f"imported {args.import_file}: {traces.nprocs} rank(s), "
+                f"{sum(len(evs) for evs in traces.load_all())} event(s)"
+            )
+        else:
+            traces = TraceSet.open(args.traces, args.stem)
+            source = f"{args.traces}/{args.stem}"
+        with obs.span("trace_frame"):
+            frame = trace_frame(traces)
+        ideal = None
+        if args.ideal:
+            with obs.span("ideal_replay"):
+                ideal = ideal_runtime(traces)
+        with obs.span("pop_metrics"):
+            pop = pop_metrics(frame, ideal=ideal)
+            timeline = pop_timeline(frame, args.windows)
+        report = build_report(
+            pop, timeline, source=source, program=traces.meta(0).program
+        )
+        publish_obs_metrics(report)
+    _finish_observability(args, session)
+
+    if args.format == "json":
+        rendered = json.dumps(report, indent=2)
+    else:
+        rendered = render_text(report)
+    if args.out:
+        atomic_write_text(args.out, rendered + "\n")
+        _LOG.info(f"POP metrics report ({args.format}) written to {args.out}")
+        _say(
+            f"pop: PE {report['parallel_efficiency']:.3f} "
+            f"LB {report['load_balance']:.3f} "
+            f"CommE {report['comm_efficiency']:.3f} "
+            f"({len(report['windows'])} windows, worst-window "
+            f"PE {report.get('window_pe_min', 0.0):.3f})"
+        )
+    else:
+        _say(rendered)
+
+    violations = gate_report(report, thresholds)
+    for v in violations:
+        _LOG.error(f"fail-below: {v}")
+    return 1 if violations else 0
 
 
 def main_replay(argv: list[str] | None = None) -> int:

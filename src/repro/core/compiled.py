@@ -61,7 +61,7 @@ import numpy as np
 
 from repro import obs
 from repro.core.builder import BuildResult
-from repro.core.graph import DeltaKind, DeltaSpec
+from repro.core.graph import DeltaKind, DeltaSpec, EdgeKind
 from repro.core.perturb import PerturbationSpec
 from repro.core.traversal import MODES, TraversalResult
 from repro.noise.distributions import Constant, Exponential, Normal, Scaled, Shifted, Uniform
@@ -657,6 +657,21 @@ class CompiledPlan:
             self.edge_kind = np.array([int(e.delta.kind) for e in edges], dtype=np.uint8)
             self.deltas = [e.delta for e in edges]
             self.sampled_ids = np.nonzero(self.edge_kind != int(DeltaKind.NONE))[0]
+
+            # Node/edge attribute columns — the structure-of-arrays substrate
+            # that repro.metrics.frames hands out as zero-copy views.
+            nodes = g.nodes
+            self.node_rank = np.array([n.rank for n in nodes], dtype=np.int64)
+            self.node_seq = np.array([n.seq for n in nodes], dtype=np.int64)
+            self.node_phase = np.array([int(n.phase) for n in nodes], dtype=np.uint8)
+            self.node_kind = np.array([int(n.kind) for n in nodes], dtype=np.uint8)
+            self.node_t_local = np.array([n.t_local for n in nodes], dtype=np.float64)
+            self.edge_src = np.array([e.src for e in edges], dtype=np.int64)
+            self.edge_dst = np.array([e.dst for e in edges], dtype=np.int64)
+            self.edge_is_local = np.array(
+                [e.kind == EdgeKind.LOCAL for e in edges], dtype=np.bool_
+            )
+            self.edge_nbytes = np.array([e.delta.nbytes for e in edges], dtype=np.int64)
 
             # uid columns, premasked to uint64 exactly like perturb._mix.
             max_len = max((len(self.deltas[i].uid) for i in self.sampled_ids), default=0)

@@ -1,0 +1,54 @@
+"""repro.metrics — time-resolved POP-style efficiency metrics over a
+columnar trace/graph analytics layer.
+
+Three pieces (see ``docs/METRICS.md``):
+
+* :mod:`repro.metrics.frames` — the trace set and the built event
+  graph as structure-of-arrays :class:`Frame` objects (zero-copy views
+  over :class:`~repro.core.compiled.CompiledPlan` arrays on the graph
+  side), scriptable Pipit-style.
+* :mod:`repro.metrics.pop` / :mod:`repro.metrics.timeline` — whole-run
+  and per-time-window POP metrics (parallel efficiency, load balance,
+  communication efficiency, serialization/transfer split), with the
+  multiplicative identity PE = LB × CommE holding by construction.
+* :mod:`repro.metrics.importers` — external trace files (Chrome
+  trace-event JSON) as :class:`~repro.trace.reader.TraceSource`
+  objects, so real-world traces become first-class workloads.
+
+CLI: ``repro-metrics`` (and ``repro-analyze --pop-metrics``).
+"""
+
+from repro.metrics.frames import Frame, FrameGroupBy, edge_frame, node_frame, trace_frame
+from repro.metrics.importers import import_chrome_trace
+from repro.metrics.pop import (
+    PopMetrics,
+    RankActivity,
+    ideal_params,
+    ideal_runtime,
+    pop_metrics,
+    rank_activity,
+)
+from repro.metrics.report import build_report, gate_report, publish_obs_metrics, render_text
+from repro.metrics.timeline import PopTimeline, pop_timeline, window_occupancy
+
+__all__ = [
+    "Frame",
+    "FrameGroupBy",
+    "PopMetrics",
+    "PopTimeline",
+    "RankActivity",
+    "build_report",
+    "edge_frame",
+    "gate_report",
+    "ideal_params",
+    "ideal_runtime",
+    "import_chrome_trace",
+    "node_frame",
+    "pop_metrics",
+    "pop_timeline",
+    "publish_obs_metrics",
+    "rank_activity",
+    "render_text",
+    "trace_frame",
+    "window_occupancy",
+]

@@ -1,0 +1,18 @@
+"""External-trace importers: real-world trace files as `TraceSource`s.
+
+Importers turn foreign trace formats into
+:class:`~repro.trace.reader.MemoryTrace` objects that satisfy the
+:class:`~repro.trace.reader.TraceSource` protocol, so every consumer
+in the pipeline — ``repro.metrics``, ``trace_stats``, the lint engine
+— works on them unchanged.
+
+Currently supported:
+
+* :func:`~repro.metrics.importers.chrome.import_chrome_trace` —
+  Chrome trace-event JSON (the format Perfetto, ``chrome://tracing``,
+  and many OTF2→JSON converters emit).
+"""
+
+from repro.metrics.importers.chrome import import_chrome_trace
+
+__all__ = ["import_chrome_trace"]

@@ -1,0 +1,186 @@
+"""Chrome trace-event JSON → :class:`~repro.trace.reader.MemoryTrace`.
+
+The Chrome trace-event format (Perfetto / ``chrome://tracing``) is the
+lingua franca of tracing tools; OTF2 and many profilers export to it.
+This importer reads the two common span encodings:
+
+* complete events (``"ph": "X"`` with ``ts``/``dur``), and
+* begin/end pairs (``"ph": "B"`` / ``"ph": "E"``), matched per track
+  with a stack;
+
+skips metadata (``"M"``) and everything else, and maps each
+``(pid, tid)`` track to one MPI rank (sorted track order; for traces
+written by :func:`repro.obs.export.write_events_chrome_trace`, where
+``tid`` *is* the rank, this is the identity).
+
+Field recovery prefers exact values from ``args`` (``t_start``,
+``t_end``, ``peer``, ``nbytes``, …) and falls back to ``ts``/``dur``
+— so our own exports round-trip bit-for-bit, while foreign traces
+still import with sensible defaults.  Event names are mapped to
+:class:`~repro.trace.events.EventKind` by stripping an ``MPI_`` prefix
+and matching case-insensitively; unknown names become ``default_kind``
+(an opaque non-compute span — :data:`EventKind.WAIT` by default),
+which is all the POP metrics need: time inside spans is non-useful,
+gaps between them are useful.
+
+Timestamps are used as-is (Chrome nominally uses µs; all POP metrics
+are ratios of durations, so the unit cancels).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.trace.events import EventKind, EventRecord
+from repro.trace.reader import MemoryTrace
+
+__all__ = ["import_chrome_trace"]
+
+_INT_ARGS = (
+    ("peer", -1),
+    ("tag", -1),
+    ("nbytes", 0),
+    ("req", -1),
+    ("root", -1),
+    ("coll_seq", -1),
+    ("recv_peer", -1),
+    ("recv_tag", -1),
+    ("recv_nbytes", 0),
+)
+
+
+def _kind_for(
+    name: str, kind_map: Mapping[str, EventKind] | None, default_kind: EventKind
+) -> EventKind:
+    if kind_map and name in kind_map:
+        return kind_map[name]
+    key = name.strip().upper()
+    if key.startswith("MPI_"):
+        key = key[4:]
+    try:
+        return EventKind[key]
+    except KeyError:
+        return default_kind
+
+
+def _load(source: str | Path | dict | list) -> tuple[list[dict], dict]:
+    """(trace events, otherData) from a path, trace object, or bare list."""
+    if isinstance(source, (str, Path)):
+        with open(source) as fh:
+            obj: Any = json.load(fh)
+    else:
+        obj = source
+    if isinstance(obj, list):  # the bare "JSON Array" flavour
+        return obj, {}
+    if isinstance(obj, dict):
+        events = obj.get("traceEvents")
+        if not isinstance(events, list):
+            raise ValueError("Chrome trace object has no 'traceEvents' list")
+        other = obj.get("otherData")
+        return events, other if isinstance(other, dict) else {}
+    raise ValueError(f"unsupported Chrome trace payload: {type(obj).__name__}")
+
+
+def _collect_spans(raw: list[dict]) -> dict[tuple[Any, Any], list[dict]]:
+    """Per-track lists of ``{name, ts, dur, args}`` spans (X + B/E)."""
+    spans: dict[tuple[Any, Any], list[dict]] = {}
+    open_stacks: dict[tuple[Any, Any], list[dict]] = {}
+    for ev in raw:
+        if not isinstance(ev, dict):
+            continue
+        ph = ev.get("ph")
+        track = (ev.get("pid", 0), ev.get("tid", 0))
+        if ph == "X":
+            spans.setdefault(track, []).append(
+                {
+                    "name": str(ev.get("name", "")),
+                    "ts": float(ev.get("ts", 0.0)),
+                    "dur": float(ev.get("dur", 0.0)),
+                    "args": ev.get("args") or {},
+                }
+            )
+        elif ph == "B":
+            open_stacks.setdefault(track, []).append(ev)
+        elif ph == "E":
+            stack = open_stacks.get(track)
+            if not stack:
+                raise ValueError(f"unmatched 'E' event on track {track}")
+            begin = stack.pop()
+            ts = float(begin.get("ts", 0.0))
+            args = dict(begin.get("args") or {})
+            args.update(ev.get("args") or {})
+            spans.setdefault(track, []).append(
+                {
+                    "name": str(begin.get("name", "")),
+                    "ts": ts,
+                    "dur": float(ev.get("ts", ts)) - ts,
+                    "args": args,
+                }
+            )
+        # metadata ("M"), counters, flow events, … are not spans: skip
+    unclosed = {t: len(s) for t, s in open_stacks.items() if s}
+    if unclosed:
+        raise ValueError(f"unclosed 'B' events: {unclosed}")
+    return spans
+
+
+def import_chrome_trace(
+    source: str | Path | dict | list,
+    *,
+    kind_map: Mapping[str, EventKind] | None = None,
+    default_kind: EventKind = EventKind.WAIT,
+    program: str | None = None,
+) -> MemoryTrace:
+    """Read a Chrome trace-event file (or parsed object) as a trace set.
+
+    ``kind_map`` overrides the name → :class:`EventKind` mapping for
+    specific raw span names; anything unmapped and unrecognized becomes
+    ``default_kind``.  Returns a :class:`MemoryTrace` usable anywhere a
+    ``TraceSource`` is.
+    """
+    raw, other = _load(source)
+    spans = _collect_spans(raw)
+    try:
+        tracks = sorted(spans)
+    except TypeError:  # mixed str/int pids or tids
+        tracks = sorted(spans, key=lambda t: (str(t[0]), str(t[1])))
+
+    nprocs_hint = other.get("nprocs")
+    nprocs = max(len(tracks), int(nprocs_hint) if isinstance(nprocs_hint, int) else 0)
+    if nprocs == 0:
+        raise ValueError("Chrome trace contains no spans")
+
+    per_rank: list[list[EventRecord]] = [[] for _ in range(nprocs)]
+    for rank, track in enumerate(tracks):
+        track_spans = sorted(spans[track], key=lambda s: (s["ts"], -s["dur"]))
+        records = []
+        for i, span in enumerate(track_spans):
+            args = span["args"]
+            t_start = float(args.get("t_start", span["ts"]))
+            t_end = float(args.get("t_end", span["ts"] + max(span["dur"], 0.0)))
+            fields: dict[str, Any] = {
+                name: int(args.get(name, default)) for name, default in _INT_ARGS
+            }
+            records.append(
+                EventRecord(
+                    rank=rank,
+                    seq=int(args.get("seq", i)),
+                    kind=_kind_for(span["name"], kind_map, default_kind),
+                    t_start=t_start,
+                    t_end=t_end,
+                    reqs=tuple(args.get("reqs", ())),
+                    completed=tuple(args.get("completed", ())),
+                    **fields,
+                )
+            )
+        records.sort(key=lambda ev: ev.seq)
+        per_rank[rank] = records
+
+    if program is None:
+        prog = other.get("program")
+        if not isinstance(prog, str) or not prog:
+            prog = Path(source).stem if isinstance(source, (str, Path)) else "chrome-import"
+        program = prog
+    return MemoryTrace(per_rank, program=program)

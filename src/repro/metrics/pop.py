@@ -1,0 +1,246 @@
+"""Whole-run POP-style efficiency metrics from columnar frames.
+
+The POP (Performance Optimisation and Productivity) hierarchy — as
+used time-resolved by Haldar (arXiv:2512.01764) — decomposes parallel
+efficiency multiplicatively.  With per-rank *useful* (compute) time
+``u_r``, per-rank runtime, and run length ``T = max_r runtime_r``:
+
+====================  =====================================  =========
+metric                definition                             identity
+====================  =====================================  =========
+parallel efficiency   PE    = mean(u) / T                    PE = LB × CommE
+load balance          LB    = mean(u) / max(u)
+communication eff.    CommE = max(u) / T                     CommE = SerE × TE
+serialization eff.    SerE  = max(u) / T_ideal
+transfer efficiency   TE    = T_ideal / T
+====================  =====================================  =========
+
+``T_ideal`` is the run length on an *ideal network* (zero latency,
+infinite bandwidth, zero call overheads) — obtained here by reusing
+the existing Dimemas replay (:func:`repro.baselines.dimemas.replay`)
+with :func:`ideal_params`.  Everything above ``T_ideal`` is blamed on
+data transfer; everything between ``T_ideal`` and ``max(u)`` is
+dependency serialization.
+
+Useful time is what the trace records *between* MPI events: the gaps
+``t_start[i] - t_end[i-1]`` on each rank's own clock.  Per §4.1 the
+trace's timestamps are local per rank and must never be compared
+across ranks — all quantities here are per-rank durations or ratios
+of such durations, which stay clock-safe.
+
+All computation is vectorized over :class:`~repro.metrics.frames.Frame`
+columns (``np.bincount`` / ``ufunc.at``); there is no per-event Python
+loop in this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.metrics.frames import Frame, trace_frame
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.trace.reader import TraceSource
+
+__all__ = [
+    "PopMetrics",
+    "RankActivity",
+    "ideal_params",
+    "ideal_runtime",
+    "pop_metrics",
+    "rank_activity",
+]
+
+
+@dataclass(frozen=True)
+class RankActivity:
+    """Per-rank activity totals, all on each rank's own clock.
+
+    ``runtime = last t_end - first t_start``; ``comm`` is time inside
+    MPI events; ``useful`` is the sum of inter-event gaps (clamped at
+    zero per gap, so overlapping events never produce negative useful
+    time).  Ranks with no events have all-zero rows.
+    """
+
+    nprocs: int
+    events: np.ndarray  # (nprocs,) int64 event counts
+    runtime: np.ndarray  # (nprocs,) float64
+    useful: np.ndarray  # (nprocs,) float64
+    comm: np.ndarray  # (nprocs,) float64
+    first_start: np.ndarray  # (nprocs,) float64 (0 for empty ranks)
+
+    @property
+    def run_length(self) -> float:
+        """T — the longest per-rank runtime."""
+        return float(self.runtime.max()) if self.nprocs else 0.0
+
+
+def _resolve_frame(trace: "TraceSource | Frame", nprocs: int | None = None) -> tuple[Frame, int]:
+    if not isinstance(trace, Frame):
+        trace = trace_frame(trace)
+    n = nprocs if nprocs is not None else trace.meta.get("nprocs")
+    if n is None:
+        rank = trace["rank"]
+        n = int(rank.max()) + 1 if len(rank) else 0
+    return trace, int(n)
+
+
+def rank_activity(trace: "TraceSource | Frame", nprocs: int | None = None) -> RankActivity:
+    """Vectorized per-rank activity totals for a trace (set or frame).
+
+    Rows must be grouped by rank in stream (time) order — the layout
+    :func:`~repro.metrics.frames.trace_frame` produces.  Frames with a
+    decreasing rank column are re-sorted defensively.
+    """
+    frame, nprocs = _resolve_frame(trace, nprocs)
+    rank = frame["rank"]
+    if len(rank) and np.any(np.diff(rank) < 0):
+        frame = frame.sort_by("rank", "seq")
+        rank = frame["rank"]
+    t_start, t_end = frame["t_start"], frame["t_end"]
+
+    events = np.bincount(rank, minlength=nprocs).astype(np.int64)
+    comm = np.bincount(rank, weights=frame["duration"], minlength=nprocs)
+
+    first = np.full(nprocs, np.inf)
+    np.minimum.at(first, rank, t_start)
+    last = np.full(nprocs, -np.inf)
+    np.maximum.at(last, rank, t_end)
+    empty = events == 0
+    first[empty] = 0.0
+    last[empty] = 0.0
+    runtime = last - first
+
+    # Same-rank inter-event gaps = useful (compute) time.
+    if len(rank) > 1:
+        same = rank[1:] == rank[:-1]
+        gaps = np.maximum(t_start[1:] - t_end[:-1], 0.0)[same]
+        useful = np.bincount(rank[1:][same], weights=gaps, minlength=nprocs)
+    else:
+        useful = np.zeros(nprocs)
+    return RankActivity(
+        nprocs=nprocs,
+        events=events,
+        runtime=runtime,
+        useful=useful,
+        comm=comm,
+        first_start=first,
+    )
+
+
+@dataclass(frozen=True)
+class PopMetrics:
+    """Whole-run POP metrics (see module docstring for definitions).
+
+    Degenerate runs keep the identities exact: with no useful time
+    anywhere, ``LB = 1`` and ``CommE = 0``; with ``T = 0`` every
+    efficiency is 0 (and LB is 1).
+    """
+
+    activity: RankActivity
+    runtime: float  # T
+    parallel_efficiency: float
+    load_balance: float
+    comm_efficiency: float
+    ideal_run_length: float | None = None  # T_ideal (when computed)
+    serialization_efficiency: float | None = None
+    transfer_efficiency: float | None = None
+
+    @property
+    def nprocs(self) -> int:
+        return self.activity.nprocs
+
+    def to_dict(self) -> dict[str, Any]:
+        d: dict[str, Any] = {
+            "nprocs": self.nprocs,
+            "runtime": self.runtime,
+            "parallel_efficiency": self.parallel_efficiency,
+            "load_balance": self.load_balance,
+            "comm_efficiency": self.comm_efficiency,
+            "rank_useful": [float(x) for x in self.activity.useful],
+            "rank_comm": [float(x) for x in self.activity.comm],
+            "rank_runtime": [float(x) for x in self.activity.runtime],
+            "rank_events": [int(x) for x in self.activity.events],
+        }
+        if self.ideal_run_length is not None:
+            d["ideal_runtime"] = self.ideal_run_length
+            d["serialization_efficiency"] = self.serialization_efficiency
+            d["transfer_efficiency"] = self.transfer_efficiency
+        return d
+
+
+def _efficiencies(useful: np.ndarray, length: float) -> tuple[float, float, float]:
+    """(PE, LB, CommE) for per-rank useful times over interval ``length``."""
+    if not len(useful):
+        return 0.0, 1.0, 0.0
+    mean_u = float(useful.mean())
+    max_u = float(useful.max())
+    lb = mean_u / max_u if max_u > 0 else 1.0
+    comm_e = max_u / length if length > 0 else 0.0
+    pe = mean_u / length if length > 0 else 0.0
+    return pe, lb, comm_e
+
+
+def pop_metrics(
+    trace: "TraceSource | Frame",
+    *,
+    nprocs: int | None = None,
+    ideal: float | None = None,
+) -> PopMetrics:
+    """Whole-run POP metrics for a trace set or pre-built event frame.
+
+    Pass ``ideal=`` an ideal-network run length (from
+    :func:`ideal_runtime`) to additionally split CommE into
+    serialization × transfer efficiency.
+    """
+    act = rank_activity(trace, nprocs)
+    T = act.run_length
+    pe, lb, comm_e = _efficiencies(act.useful, T)
+    ser_e = trans_e = None
+    if ideal is not None:
+        max_u = float(act.useful.max()) if act.nprocs else 0.0
+        ser_e = max_u / ideal if ideal > 0 else 0.0
+        trans_e = ideal / T if T > 0 else 0.0
+    return PopMetrics(
+        activity=act,
+        runtime=T,
+        parallel_efficiency=pe,
+        load_balance=lb,
+        comm_efficiency=comm_e,
+        ideal_run_length=ideal,
+        serialization_efficiency=ser_e,
+        transfer_efficiency=trans_e,
+    )
+
+
+def ideal_params():
+    """Dimemas parameters for the ideal network: zero latency,
+    effectively infinite bandwidth (the network model requires a finite
+    value; 1e18 B/cy makes payload time < 1e-9 cy for any real
+    message), zero MPI overheads, unchanged compute."""
+    from repro.baselines.dimemas import ReplayParams
+
+    return ReplayParams(
+        latency=0.0,
+        bandwidth=1e18,
+        send_overhead=0.0,
+        recv_overhead=0.0,
+        eager_threshold=1 << 62,
+        cpu_factor=1.0,
+        call_overhead=0.0,
+    )
+
+
+def ideal_runtime(trace_set: "TraceSource") -> float:
+    """T_ideal — the run length replayed on the ideal network.
+
+    Requires a complete, well-formed mpisim-style trace (the Dimemas
+    replay walks the message-matching protocol); imported external
+    traces generally cannot be replayed.
+    """
+    from repro.baselines.dimemas import replay
+
+    return float(replay(trace_set, ideal_params()).makespan)

@@ -1,0 +1,152 @@
+"""POP-metrics report assembly: JSON payload, text rendering, gating.
+
+The JSON report (schema ``repro-pop-metrics/1``) is the CLI artifact
+the ``metrics-smoke`` CI job validates and uploads; the text rendering
+follows the repo's reporter conventions (plain rows, no color).  When
+an observability session is active, :func:`publish_obs_metrics` mirrors
+the headline numbers into the :mod:`repro.obs` metrics registry so the
+existing ``--metrics-out`` / ``--profile`` exporters carry them.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro import obs
+from repro.metrics.pop import PopMetrics
+from repro.metrics.timeline import PopTimeline
+
+__all__ = [
+    "SCHEMA",
+    "build_report",
+    "gate_report",
+    "publish_obs_metrics",
+    "render_text",
+]
+
+SCHEMA = "repro-pop-metrics/1"
+
+#: metric keys accepted by ``--fail-below`` (report key they gate on)
+GATEABLE = {
+    "pe": "parallel_efficiency",
+    "lb": "load_balance",
+    "comm_eff": "comm_efficiency",
+    "ser_eff": "serialization_efficiency",
+    "transfer_eff": "transfer_efficiency",
+    "window_pe": "window_pe_min",
+    "window_lb": "window_lb_min",
+    "window_comm_eff": "window_comm_eff_min",
+}
+
+
+def build_report(
+    pop: PopMetrics,
+    timeline: PopTimeline | None = None,
+    *,
+    source: str = "",
+    program: str = "",
+) -> dict[str, Any]:
+    """The schema-``repro-pop-metrics/1`` JSON payload."""
+    report: dict[str, Any] = {"schema": SCHEMA, "source": source, "program": program}
+    report.update(pop.to_dict())
+    if timeline is not None:
+        wins = timeline.window_dicts()
+        report["windows"] = wins
+        if wins:
+            report["window_pe_min"] = min(w["parallel_efficiency"] for w in wins)
+            report["window_lb_min"] = min(w["load_balance"] for w in wins)
+            report["window_comm_eff_min"] = min(w["comm_efficiency"] for w in wins)
+            report["worst_window"] = timeline.worst_window()
+    else:
+        report["windows"] = []
+    return report
+
+
+def _bar(value: float, width: int = 24) -> str:
+    n = int(round(max(0.0, min(value, 1.0)) * width))
+    return "#" * n + "." * (width - n)
+
+
+def render_text(report: dict[str, Any]) -> str:
+    """Human-readable rendering of a report dict."""
+    lines = [
+        f"POP efficiency metrics — program={report.get('program') or '?'} "
+        f"nprocs={report['nprocs']} runtime={report['runtime']:,.0f} cy"
+    ]
+    rows = [
+        ("parallel efficiency (PE)", report["parallel_efficiency"]),
+        ("load balance        (LB)", report["load_balance"]),
+        ("communication eff (CommE)", report["comm_efficiency"]),
+    ]
+    if "serialization_efficiency" in report:
+        rows += [
+            ("serialization eff (SerE)", report["serialization_efficiency"]),
+            ("transfer eff        (TE)", report["transfer_efficiency"]),
+        ]
+    for label, val in rows:
+        lines.append(f"  {label:<26} {val:6.3f}  {_bar(val)}")
+    if "ideal_runtime" in report:
+        lines.append(f"  ideal-network runtime      {report['ideal_runtime']:,.0f} cy")
+
+    lines.append("per-rank (own-clock cycles):")
+    lines.append(f"  {'rank':>4} {'events':>7} {'useful':>14} {'comm':>14} {'useful%':>8}")
+    for r in range(report["nprocs"]):
+        runtime = report["rank_runtime"][r]
+        useful = report["rank_useful"][r]
+        pct = 100.0 * useful / runtime if runtime > 0 else 0.0
+        lines.append(
+            f"  {r:>4} {report['rank_events'][r]:>7} {useful:>14,.0f} "
+            f"{report['rank_comm'][r]:>14,.0f} {pct:>7.1f}%"
+        )
+
+    windows = report.get("windows", [])
+    if windows:
+        lines.append(f"timeline ({len(windows)} windows, PE per window):")
+        for w in windows:
+            marker = "  <- worst" if w["index"] == report.get("worst_window") else ""
+            lines.append(
+                f"  [{w['t_start']:>12,.0f}, {w['t_end']:>12,.0f}) "
+                f"PE {w['parallel_efficiency']:5.3f} LB {w['load_balance']:5.3f} "
+                f"CommE {w['comm_efficiency']:5.3f} {_bar(w['parallel_efficiency'])}{marker}"
+            )
+    return "\n".join(lines)
+
+
+def publish_obs_metrics(report: dict[str, Any]) -> None:
+    """Mirror headline metrics into the active obs session (no-op when
+    observability is disabled)."""
+    if not obs.enabled():
+        return
+    for key in (
+        "parallel_efficiency",
+        "load_balance",
+        "comm_efficiency",
+        "serialization_efficiency",
+        "transfer_efficiency",
+        "window_pe_min",
+    ):
+        if key in report and report[key] is not None:
+            obs.gauge(f"pop.{key}", float(report[key]))
+    obs.gauge("pop.windows", float(len(report.get("windows", []))))
+
+
+def gate_report(report: dict[str, Any], thresholds: dict[str, float]) -> list[str]:
+    """Check ``--fail-below`` thresholds; returns violation messages.
+
+    Keys are the short names in :data:`GATEABLE`.  A threshold on a
+    metric the report does not carry (e.g. ``ser_eff`` without
+    ``--ideal``) is itself a violation, so gates never silently pass.
+    """
+    violations = []
+    for short, value in thresholds.items():
+        key = GATEABLE.get(short)
+        if key is None:
+            raise ValueError(
+                f"unknown metric {short!r}; gateable metrics: {', '.join(sorted(GATEABLE))}"
+            )
+        actual = report.get(key)
+        if actual is None:
+            violations.append(f"{short}: metric {key!r} not present in this report")
+        elif actual < value:
+            violations.append(f"{short}: {actual:.4f} < required {value:.4f}")
+    return violations

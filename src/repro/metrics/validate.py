@@ -1,0 +1,112 @@
+"""Schema validation for ``repro-pop-metrics/1`` report files.
+
+Mirrors :mod:`repro.obs.validate`: a dependency-free structural
+validator plus a tiny CLI (``python -m repro.metrics.validate
+report.json [...]``) used by the ``metrics-smoke`` CI job to prove the
+artifacts are well-formed before uploading them.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from pathlib import Path
+
+from repro.metrics.report import SCHEMA
+
+__all__ = ["validate_pop_report", "validate_pop_report_file", "main"]
+
+_EFFICIENCY_KEYS = ("parallel_efficiency", "load_balance", "comm_efficiency")
+_TOL = 1e-6  # fp headroom on [0, 1] bounds
+
+
+def _num(x) -> bool:
+    return isinstance(x, (int, float)) and not isinstance(x, bool) and math.isfinite(x)
+
+
+def _check_efficiencies(obj: dict, errors: list[str], where: str) -> None:
+    for key in _EFFICIENCY_KEYS:
+        v = obj.get(key)
+        if not _num(v):
+            errors.append(f"{where}: {key} missing or not a finite number")
+        elif not -_TOL <= v <= 1.0 + _TOL:
+            errors.append(f"{where}: {key} = {v} outside [0, 1]")
+
+
+def validate_pop_report(obj: object) -> list[str]:
+    """Structural errors in a POP-metrics report dict ([] = valid)."""
+    errors: list[str] = []
+    if not isinstance(obj, dict):
+        return [f"report must be a JSON object, got {type(obj).__name__}"]
+    if obj.get("schema") != SCHEMA:
+        errors.append(f"schema must be {SCHEMA!r}, got {obj.get('schema')!r}")
+    nprocs = obj.get("nprocs")
+    if not isinstance(nprocs, int) or nprocs < 1:
+        errors.append(f"nprocs must be a positive int, got {nprocs!r}")
+        nprocs = 0
+    if not _num(obj.get("runtime")) or obj.get("runtime", -1) < 0:
+        errors.append("runtime missing or negative")
+    _check_efficiencies(obj, errors, "run")
+    for key in ("rank_useful", "rank_comm", "rank_runtime", "rank_events"):
+        arr = obj.get(key)
+        if not isinstance(arr, list) or (nprocs and len(arr) != nprocs):
+            errors.append(f"{key} must be a list of length nprocs={nprocs}")
+        elif not all(_num(v) and v >= 0 for v in arr):
+            errors.append(f"{key} has non-finite or negative entries")
+
+    windows = obj.get("windows")
+    if not isinstance(windows, list):
+        errors.append("windows must be a list (possibly empty)")
+        return errors
+    prev_end = 0.0
+    for i, w in enumerate(windows):
+        where = f"window[{i}]"
+        if not isinstance(w, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        if w.get("index") != i:
+            errors.append(f"{where}: index {w.get('index')!r} != position {i}")
+        t0, t1 = w.get("t_start"), w.get("t_end")
+        if not (_num(t0) and _num(t1)) or t1 < t0:
+            errors.append(f"{where}: bad bounds [{t0!r}, {t1!r})")
+        else:
+            if i and abs(t0 - prev_end) > _TOL * max(1.0, abs(prev_end)):
+                errors.append(f"{where}: t_start {t0} != previous t_end {prev_end}")
+            prev_end = t1
+        _check_efficiencies(w, errors, where)
+    if windows and _num(obj.get("runtime")):
+        runtime = obj["runtime"]
+        if abs(prev_end - runtime) > _TOL * max(1.0, runtime):
+            errors.append(f"windows end at {prev_end}, runtime is {runtime}")
+    return errors
+
+
+def validate_pop_report_file(path: str | Path) -> list[str]:
+    try:
+        with open(path) as fh:
+            obj = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"cannot read {path}: {exc}"]
+    return validate_pop_report(obj)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if not args:
+        print("usage: python -m repro.metrics.validate report.json [...]", file=sys.stderr)
+        return 2
+    status = 0
+    for path in args:
+        errors = validate_pop_report_file(path)
+        if errors:
+            status = 1
+            for err in errors:
+                print(f"{path}: {err}", file=sys.stderr)
+        else:
+            print(f"{path}: OK")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,6 +27,9 @@ __all__ = [
     "chrome_trace_events",
     "to_chrome_trace",
     "write_chrome_trace",
+    "events_chrome_trace",
+    "to_events_chrome_trace",
+    "write_events_chrome_trace",
     "jsonl_records",
     "write_jsonl",
     "write_metrics",
@@ -92,6 +95,89 @@ def to_chrome_trace(session: Session) -> dict:
 
 def write_chrome_trace(session: Session, path: str | Path) -> Path:
     return atomic_write_text(path, json.dumps(to_chrome_trace(session)) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# MPI trace → Chrome trace (the *subject* trace, not the analyzer's own spans)
+# ---------------------------------------------------------------------------
+
+
+def events_chrome_trace(trace_set) -> list[dict]:
+    """An MPI trace set as Chrome trace events — one track per rank.
+
+    Every :class:`~repro.trace.events.EventRecord` becomes one complete
+    (``"ph": "X"``) event named ``MPI_<kind>`` with timestamps in raw
+    trace cycles (rendered as µs by viewers) and *all* scalar record
+    fields mirrored exactly in ``args``, so
+    :func:`repro.metrics.importers.chrome.import_chrome_trace` round-trips
+    the trace bit-for-bit (JSON preserves doubles via ``repr``).
+    """
+    events: list[dict] = []
+    for rank in range(trace_set.nprocs):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": 0,
+                "tid": rank,
+                "args": {"name": f"rank {rank}"},
+            }
+        )
+    for rank in range(trace_set.nprocs):
+        for ev in trace_set.events_of(rank):
+            args = {
+                "seq": ev.seq,
+                "peer": ev.peer,
+                "tag": ev.tag,
+                "nbytes": ev.nbytes,
+                "req": ev.req,
+                "root": ev.root,
+                "coll_seq": ev.coll_seq,
+                "recv_peer": ev.recv_peer,
+                "recv_tag": ev.recv_tag,
+                "recv_nbytes": ev.recv_nbytes,
+                "t_start": ev.t_start,
+                "t_end": ev.t_end,
+            }
+            if ev.reqs:
+                args["reqs"] = list(ev.reqs)
+            if ev.completed:
+                args["completed"] = list(ev.completed)
+            events.append(
+                {
+                    "name": f"MPI_{ev.kind.name}",
+                    "cat": "mpi",
+                    "ph": "X",
+                    "ts": ev.t_start,
+                    "dur": ev.t_end - ev.t_start,
+                    "pid": 0,
+                    "tid": rank,
+                    "args": args,
+                }
+            )
+    return events
+
+
+def to_events_chrome_trace(trace_set) -> dict:
+    """The full Chrome trace object for an MPI trace set."""
+    try:
+        program = trace_set.meta(0).program
+    except (IndexError, KeyError):  # pragma: no cover - defensive
+        program = "unknown"
+    return {
+        "traceEvents": events_chrome_trace(trace_set),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "kind": "repro-trace-events/1",
+            "nprocs": trace_set.nprocs,
+            "program": program,
+        },
+    }
+
+
+def write_events_chrome_trace(trace_set, path: str | Path) -> Path:
+    return atomic_write_text(path, json.dumps(to_events_chrome_trace(trace_set)) + "\n")
 
 
 def jsonl_records(session: Session) -> Iterator[dict]:

@@ -12,7 +12,11 @@ itself:
     ``"min"``.
 :class:`Timer`
     Duration accumulator (total seconds, observation count, max single
-    observation).  Merging sums totals/counts and maxes the max.
+    observation, p50/p95 tails).  Merging sums totals/counts and maxes
+    the max; percentiles come from a bounded deterministic sample
+    reservoir (every k-th observation, k doubling once the reservoir
+    fills), so tails are exact for short timers and a uniform-stride
+    approximation for long ones — totals stay exact either way.
 
 A :class:`MetricsRegistry` owns one namespace of metrics and knows how
 to :meth:`~MetricsRegistry.snapshot` itself into plain dicts and
@@ -78,28 +82,77 @@ class Gauge:
 
 
 class Timer:
-    """Duration accumulator in seconds; merge sums."""
+    """Duration accumulator in seconds; merge sums.
+
+    Keeps a bounded reservoir of observations for tail percentiles:
+    every ``_stride``-th observation is sampled; when the reservoir
+    reaches ``_CAP`` it is thinned 2:1 and the stride doubles.  Fully
+    deterministic (no RNG), exact while ``count <= _CAP``.
+    """
 
     kind = "timer"
-    __slots__ = ("total", "count", "max")
+    __slots__ = ("total", "count", "max", "samples", "_stride", "_skip")
+    _CAP = 1024
 
     def __init__(self):
         self.total = 0.0
         self.count = 0
         self.max = 0.0
+        self.samples: list[float] = []
+        self._stride = 1
+        self._skip = 0
 
     def observe(self, dt: float) -> None:
         self.total += dt
         self.count += 1
         if dt > self.max:
             self.max = dt
+        if self._skip:
+            self._skip -= 1
+        else:
+            self.samples.append(dt)
+            self._skip = self._stride - 1
+            if len(self.samples) >= self._CAP:
+                self.samples = self.samples[::2]
+                self._stride *= 2
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated percentile of the sampled observations
+        (0.0 when nothing was observed)."""
+        if not self.samples:
+            return 0.0
+        s = sorted(self.samples)
+        pos = (q / 100.0) * (len(s) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(s) - 1)
+        return s[lo] + (s[hi] - s[lo]) * (pos - lo)
+
     def to_dict(self) -> dict:
-        return {"kind": self.kind, "total": self.total, "count": self.count, "max": self.max}
+        return {
+            "kind": self.kind,
+            "total": self.total,
+            "count": self.count,
+            "max": self.max,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+        }
+
+    def _absorb(self, entry: dict) -> None:
+        """Merge a snapshot entry (totals exactly; samples thinned)."""
+        self.total += entry["total"]
+        self.count += entry["count"]
+        self.max = max(self.max, entry["max"])
+        incoming = entry.get("samples")
+        if incoming:
+            self.samples.extend(incoming)
+            self._stride = max(self._stride, entry.get("stride", 1))
+            while len(self.samples) >= self._CAP:
+                self.samples = self.samples[::2]
+                self._stride *= 2
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Timer(total={self.total:.6f}, count={self.count})"
@@ -144,8 +197,17 @@ class MetricsRegistry:
     # -- serialization ------------------------------------------------------
     def snapshot(self) -> dict:
         """Kind-tagged dict form, suitable for pickling across processes
-        and for :meth:`merge` on the other side."""
-        return {name: m.to_dict() for name, m in sorted(self._metrics.items())}
+        and for :meth:`merge` on the other side.  Timer entries carry
+        their sample reservoirs (dropped from :meth:`as_dict`) so
+        percentiles survive the worker → parent merge."""
+        out = {}
+        for name, m in sorted(self._metrics.items()):
+            d = m.to_dict()
+            if isinstance(m, Timer):
+                d["samples"] = list(m.samples)
+                d["stride"] = m._stride
+            out[name] = d
+        return out
 
     def as_dict(self) -> dict:
         """Flat name -> value view for human-facing JSON reports (timers
@@ -170,10 +232,7 @@ class MetricsRegistry:
                 if entry["value"] is not None:
                     self.gauge(name, entry.get("mode", "last")).set(entry["value"])
             elif kind == "timer":
-                t = self.timer(name)
-                t.total += entry["total"]
-                t.count += entry["count"]
-                t.max = max(t.max, entry["max"])
+                self.timer(name)._absorb(entry)
             else:
                 raise ValueError(f"unknown metric kind {kind!r} for {name!r}")
 

@@ -5,6 +5,12 @@ much of each rank's time is computation vs messaging (the Fig. 1
 decomposition, aggregated), who talks to whom and how much, which
 primitives dominate.  These are also the numbers one sanity-checks a
 substitute workload against when standing in for a proprietary trace.
+
+Since the columnar layer landed, all aggregation goes through
+:mod:`repro.metrics.frames` — one vectorized code path shared with the
+POP metrics engine (the per-event Python loops this module used to
+carry are gone; :func:`repro.metrics.pop.rank_activity` supplies the
+time decomposition, numpy ``bincount``/``add.at`` the traffic).
 """
 
 from __future__ import annotations
@@ -14,9 +20,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.trace.events import EventKind, EventRecord
+from repro.metrics.frames import Frame, trace_frame
+from repro.metrics.pop import rank_activity
+from repro.trace.events import EventKind
 
-__all__ = ["RankStats", "TraceStats", "trace_stats"]
+__all__ = ["RankStats", "TraceStats", "stats_from_frame", "trace_stats"]
 
 
 @dataclass(frozen=True)
@@ -82,69 +90,63 @@ class TraceStats:
         )
 
 
-def _sent(ev: EventRecord) -> tuple[int, int] | None:
-    """(dst, nbytes) of the event's send half, if any."""
-    if ev.kind in (EventKind.SEND, EventKind.ISEND, EventKind.SENDRECV):
-        return ev.peer, ev.nbytes
-    return None
+# Events with a send half / a receive half (SENDRECV has both; its
+# receive side lives in the recv_* columns).
+_SEND_KINDS = (int(EventKind.SEND), int(EventKind.ISEND), int(EventKind.SENDRECV))
+_RECV_KINDS = (int(EventKind.RECV), int(EventKind.IRECV))
+_N_KINDS = max(int(k) for k in EventKind) + 1
 
 
-def _received(ev: EventRecord) -> tuple[int, int] | None:
-    """(src, nbytes) of the event's receive half, if any."""
-    if ev.kind in (EventKind.RECV, EventKind.IRECV):
-        return ev.peer, ev.nbytes
-    if ev.kind == EventKind.SENDRECV:
-        return ev.recv_peer, ev.recv_nbytes
-    return None
+def stats_from_frame(frame: Frame, nprocs: int | None = None) -> TraceStats:
+    """Per-rank and whole-run statistics from a columnar event frame."""
+    act = rank_activity(frame, nprocs)
+    nprocs = act.nprocs
+    rank = frame["rank"]
+    kind = frame["kind"]
+    peer = frame["peer"]
+    nbytes = frame["nbytes"]
+
+    by_kind = np.bincount(
+        rank * _N_KINDS + kind, minlength=nprocs * _N_KINDS
+    ).reshape(nprocs, _N_KINDS)
+    totals = by_kind.sum(axis=0)
+    kind_counts = Counter(
+        {EventKind(k).name: int(c) for k, c in enumerate(totals) if c}
+    )
+
+    send = np.isin(kind, _SEND_KINDS) & (peer >= 0) & (peer < nprocs)
+    comm = np.zeros((nprocs, nprocs), dtype=np.int64)
+    np.add.at(comm, (rank[send], peer[send]), nbytes[send])
+    sent_b = comm.sum(axis=1)
+    sent_n = np.bincount(rank[send], minlength=nprocs)
+
+    recv = np.isin(kind, _RECV_KINDS)
+    sendrecv = kind == int(EventKind.SENDRECV)
+    recv_b = np.zeros(nprocs, dtype=np.int64)
+    np.add.at(recv_b, rank[recv], nbytes[recv])
+    np.add.at(recv_b, rank[sendrecv], frame["recv_nbytes"][sendrecv])
+    recv_n = np.bincount(rank[recv | sendrecv], minlength=nprocs)
+
+    ranks = [
+        RankStats(
+            rank=r,
+            events=int(act.events[r]),
+            runtime=float(act.runtime[r]),
+            compute_time=float(act.useful[r]),
+            message_time=float(act.comm[r]),
+            bytes_sent=int(sent_b[r]),
+            bytes_received=int(recv_b[r]),
+            messages_sent=int(sent_n[r]),
+            messages_received=int(recv_n[r]),
+            by_kind={
+                EventKind(k).name: int(c) for k, c in enumerate(by_kind[r]) if c
+            },
+        )
+        for r in range(nprocs)
+    ]
+    return TraceStats(ranks=ranks, comm_matrix=comm, kind_counts=kind_counts)
 
 
 def trace_stats(trace_set) -> TraceStats:
-    """Compute per-rank and whole-run statistics (one streaming pass)."""
-    nprocs = trace_set.nprocs
-    comm = np.zeros((nprocs, nprocs), dtype=np.int64)
-    kind_counts: Counter = Counter()
-    ranks = []
-    for rank in range(nprocs):
-        events = 0
-        compute = 0.0
-        message = 0.0
-        first_start = None
-        last_end = 0.0
-        prev_end = None
-        sent_b = recv_b = sent_n = recv_n = 0
-        by_kind: Counter = Counter()
-        for ev in trace_set.events_of(rank):
-            events += 1
-            by_kind[ev.kind.name] += 1
-            kind_counts[ev.kind.name] += 1
-            if first_start is None:
-                first_start = ev.t_start
-            if prev_end is not None:
-                compute += ev.t_start - prev_end
-            message += ev.duration
-            prev_end = ev.t_end
-            last_end = ev.t_end
-            s = _sent(ev)
-            if s is not None and 0 <= s[0] < nprocs:
-                sent_b += s[1]
-                sent_n += 1
-                comm[rank, s[0]] += s[1]
-            r = _received(ev)
-            if r is not None:
-                recv_b += r[1]
-                recv_n += 1
-        ranks.append(
-            RankStats(
-                rank=rank,
-                events=events,
-                runtime=(last_end - first_start) if first_start is not None else 0.0,
-                compute_time=compute,
-                message_time=message,
-                bytes_sent=sent_b,
-                bytes_received=recv_b,
-                messages_sent=sent_n,
-                messages_received=recv_n,
-                by_kind=dict(by_kind),
-            )
-        )
-    return TraceStats(ranks=ranks, comm_matrix=comm, kind_counts=kind_counts)
+    """Compute per-rank and whole-run statistics (one columnar pass)."""
+    return stats_from_frame(trace_frame(trace_set), nprocs=trace_set.nprocs)

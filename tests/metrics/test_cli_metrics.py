@@ -1,0 +1,207 @@
+"""repro-metrics / repro-analyze --pop-metrics CLI behavior (in-process)
+plus the report validator module, gating, and report rendering."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main_analyze, main_metrics, main_trace
+from repro.metrics import pop_metrics, pop_timeline
+from repro.metrics.report import GATEABLE, build_report, gate_report, render_text
+from repro.metrics.validate import (
+    main as validate_main,
+    validate_pop_report,
+    validate_pop_report_file,
+)
+
+FIXTURE = Path(__file__).parent.parent / "data" / "external_chrome_trace.json"
+
+
+@pytest.fixture
+def traced(tmp_path):
+    rc = main_trace(
+        ["--app", "token_ring", "--nprocs", "4", "--machine", "quiet",
+         "--out", str(tmp_path), "--stem", "ring", "--param", "traversals=2",
+         "--seed", "1"]
+    )
+    assert rc == 0
+    return tmp_path
+
+
+class TestMainMetrics:
+    def test_text_report(self, traced, capsys):
+        rc = main_metrics(["--traces", str(traced), "--stem", "ring"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "POP efficiency metrics" in out
+        assert "parallel efficiency (PE)" in out
+        assert "timeline (16 windows" in out
+        assert "<- worst" in out
+
+    def test_json_out_validates(self, traced, tmp_path):
+        out = tmp_path / "pop.json"
+        rc = main_metrics(
+            ["--traces", str(traced), "--stem", "ring", "--format", "json",
+             "--out", str(out), "--windows", "6"]
+        )
+        assert rc == 0
+        assert validate_pop_report_file(out) == []
+        report = json.loads(out.read_text())
+        assert report["schema"] == "repro-pop-metrics/1"
+        assert report["nprocs"] == 4
+        assert len(report["windows"]) == 6
+        assert report["program"] == "token_ring"
+
+    def test_ideal_split_in_report(self, traced, tmp_path):
+        out = tmp_path / "pop.json"
+        rc = main_metrics(
+            ["--traces", str(traced), "--stem", "ring", "--ideal",
+             "--format", "json", "--out", str(out)]
+        )
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert 0.0 < report["ideal_runtime"] <= report["runtime"]
+        assert report["comm_efficiency"] == pytest.approx(
+            report["serialization_efficiency"] * report["transfer_efficiency"]
+        )
+
+    def test_fail_below_gates(self, traced, caplog):
+        rc = main_metrics(
+            ["--traces", str(traced), "--stem", "ring", "--fail-below", "pe=0.9999"]
+        )
+        assert rc == 1
+        assert any("fail-below" in r.message for r in caplog.records)
+        rc = main_metrics(
+            ["--traces", str(traced), "--stem", "ring",
+             "--fail-below", "pe=0.0", "--fail-below", "lb=0.0"]
+        )
+        assert rc == 0
+
+    def test_fail_below_missing_metric_is_violation(self, traced):
+        # ser_eff exists only with --ideal; gating on it without must fail
+        rc = main_metrics(
+            ["--traces", str(traced), "--stem", "ring", "--fail-below", "ser_eff=0.1"]
+        )
+        assert rc == 1
+
+    def test_rejects_unknown_gate_metric(self, traced):
+        with pytest.raises(SystemExit, match="unknown metric"):
+            main_metrics(
+                ["--traces", str(traced), "--stem", "ring", "--fail-below", "spam=1"]
+            )
+
+    def test_rejects_malformed_gate_spec(self, traced):
+        with pytest.raises(SystemExit, match="METRIC=VALUE"):
+            main_metrics(["--traces", str(traced), "--stem", "ring",
+                          "--fail-below", "pe"])
+
+    def test_requires_exactly_one_source(self, traced):
+        with pytest.raises(SystemExit, match="either"):
+            main_metrics([])
+        with pytest.raises(SystemExit, match="either"):
+            main_metrics(["--traces", str(traced), "--stem", "ring",
+                          "--import", str(FIXTURE)])
+        with pytest.raises(SystemExit, match="--stem"):
+            main_metrics(["--traces", str(traced)])
+
+    def test_import_external_trace(self, tmp_path, capsys):
+        out = tmp_path / "external.json"
+        rc = main_metrics(
+            ["--import", str(FIXTURE), "--format", "json", "--out", str(out)]
+        )
+        assert rc == 0
+        assert validate_pop_report_file(out) == []
+        report = json.loads(out.read_text())
+        assert report["nprocs"] == 3
+        assert report["source"] == str(FIXTURE)
+        assert "pop: PE" in capsys.readouterr().out
+
+    def test_import_rejects_ideal(self):
+        with pytest.raises(SystemExit, match="--ideal"):
+            main_metrics(["--import", str(FIXTURE), "--ideal"])
+
+
+class TestAnalyzePopMetrics:
+    def test_analyze_prints_pop_report(self, traced, tmp_path, capsys):
+        from repro.cli import main_microbench
+
+        sig = tmp_path / "sig.json"
+        assert main_microbench(["--machine", "quiet", "--out", str(sig),
+                                "--seed", "0"]) == 0
+        rc = main_analyze(
+            ["--traces", str(traced), "--stem", "ring", "--signature", str(sig),
+             "--pop-metrics", "--pop-windows", "4"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "POP efficiency metrics" in out
+        assert "timeline (4 windows" in out
+
+
+class TestReportHelpers:
+    def test_gate_report_messages(self):
+        report = {"parallel_efficiency": 0.5, "load_balance": 0.9}
+        assert gate_report(report, {"pe": 0.4}) == []
+        (v,) = gate_report(report, {"pe": 0.6})
+        assert "0.5000 < required 0.6000" in v
+        (v,) = gate_report(report, {"window_pe": 0.1})
+        assert "not present" in v
+        with pytest.raises(ValueError, match="unknown metric"):
+            gate_report(report, {"nope": 1.0})
+        # every gateable short name maps to a distinct report key
+        assert len(set(GATEABLE.values())) == len(GATEABLE)
+
+    def test_render_text_smoke(self, ring_trace):
+        report = build_report(
+            pop_metrics(ring_trace), pop_timeline(ring_trace, 3),
+            source="x", program="ring",
+        )
+        text = render_text(report)
+        assert "program=ring" in text
+        assert text.count("\n") > 8
+
+
+class TestValidatorCli:
+    def test_ok_and_failure_paths(self, tmp_path, capsys, ring_trace):
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(
+            build_report(pop_metrics(ring_trace), pop_timeline(ring_trace, 2))
+        ))
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "nope"}))
+
+        assert validate_main([str(good)]) == 0
+        assert "OK" in capsys.readouterr().out
+        assert validate_main([str(good), str(bad)]) == 1
+        assert "schema" in capsys.readouterr().err
+        assert validate_main([]) == 2
+        assert validate_main([str(tmp_path / "missing.json")]) == 1
+
+    def test_validator_catches_corruption(self, ring_trace):
+        report = build_report(pop_metrics(ring_trace), pop_timeline(ring_trace, 2))
+        assert validate_pop_report(report) == []
+        for mutation, fragment in [
+            ({"schema": "x"}, "schema"),
+            ({"nprocs": 0}, "nprocs"),
+            ({"parallel_efficiency": 1.5}, "outside"),
+            ({"runtime": -1.0}, "runtime"),
+            ({"rank_useful": [1.0]}, "rank_useful"),
+            ({"windows": "no"}, "windows"),
+        ]:
+            broken = dict(report)
+            broken.update(mutation)
+            errs = validate_pop_report(broken)
+            assert any(fragment in e for e in errs), mutation
+
+    def test_validator_checks_window_contiguity(self, ring_trace):
+        report = build_report(pop_metrics(ring_trace), pop_timeline(ring_trace, 3))
+        broken = json.loads(json.dumps(report))
+        broken["windows"][1]["t_start"] += broken["runtime"] * 0.1
+        assert any("t_start" in e for e in validate_pop_report(broken))
+        broken = json.loads(json.dumps(report))
+        broken["windows"][2]["t_end"] *= 0.5
+        assert any("windows end" in e for e in validate_pop_report(broken))
+        broken = json.loads(json.dumps(report))
+        broken["windows"][0]["index"] = 5
+        assert any("position" in e for e in validate_pop_report(broken))

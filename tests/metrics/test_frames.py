@@ -1,0 +1,224 @@
+"""Frame semantics, trace -> frame fidelity, and the zero-copy /
+bit-identity contract of the graph frames vs the in-core objects."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_graph, compiled_plan
+from repro.core.graph import EdgeKind
+from repro.metrics import Frame, edge_frame, node_frame, trace_frame
+from repro.trace.events import EventKind
+
+
+@pytest.fixture
+def small():
+    return Frame(
+        {
+            "rank": np.array([1, 0, 1, 0, 2], dtype=np.int64),
+            "v": np.array([10.0, 20.0, 30.0, 40.0, 50.0]),
+            "n": np.array([1, 2, 3, 4, 5], dtype=np.int64),
+        },
+        meta={"origin": "test"},
+    )
+
+
+class TestFrame:
+    def test_shape_and_introspection(self, small):
+        assert len(small) == 5
+        assert small.columns == ("rank", "v", "n")
+        assert "v" in small
+        assert "missing" not in small
+        assert small.meta == {"origin": "test"}
+        assert "5 rows" in repr(small)
+
+    def test_getitem_is_a_view(self, small):
+        col = small["v"]
+        assert np.shares_memory(col, small["v"])
+        with pytest.raises(KeyError, match="no column 'missing'"):
+            small["missing"]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            Frame({"a": np.zeros(3), "b": np.zeros(4)})
+        with pytest.raises(ValueError, match="1-D"):
+            Frame({"a": np.zeros((2, 2))})
+
+    def test_row(self, small):
+        assert small.row(1) == {"rank": 0, "v": 20.0, "n": 2}
+
+    def test_select_keeps_views(self, small):
+        sub = small.select("v", "rank")
+        assert sub.columns == ("v", "rank")
+        assert np.shares_memory(sub["v"], small["v"])
+        assert sub.meta == small.meta
+
+    def test_with_columns(self, small):
+        f = small.with_columns(double=small["v"] * 2)
+        assert "double" in f
+        assert np.array_equal(f["double"], small["v"] * 2)
+        assert len(small.columns) == 3  # original untouched
+
+    def test_filter_mask_and_callable(self, small):
+        by_mask = small.filter(np.asarray(small["rank"]) == 1)
+        by_call = small.filter(lambda f: f["rank"] == 1)
+        assert np.array_equal(by_mask["v"], [10.0, 30.0])
+        assert np.array_equal(by_call["v"], by_mask["v"])
+        with pytest.raises(ValueError, match="mask"):
+            small.filter(np.zeros(3, dtype=bool))
+        with pytest.raises(ValueError, match="mask"):
+            small.filter(small["v"])  # wrong dtype
+
+    def test_sort_by_is_stable_and_multi_key(self, small):
+        f = small.sort_by("rank", "n")
+        assert np.array_equal(f["rank"], [0, 0, 1, 1, 2])
+        assert np.array_equal(f["n"], [2, 4, 1, 3, 5])
+        with pytest.raises(ValueError):
+            small.sort_by()
+
+    def test_groupby_aggregations(self, small):
+        g = small.groupby("rank")
+        assert np.array_equal(g.keys, [0, 1, 2])
+        s = g.sum("v")
+        assert np.array_equal(s["v"], [60.0, 40.0, 50.0])
+        assert np.array_equal(g.max("v")["v"], [40.0, 30.0, 50.0])
+        assert np.array_equal(g.min("v")["v"], [20.0, 10.0, 50.0])
+        assert np.array_equal(g.count()["count"], [2, 2, 1])
+        assert np.array_equal(g.mean("v")["v"], [30.0, 20.0, 50.0])
+
+    def test_groupby_default_aggregates_all_other_columns(self, small):
+        s = small.groupby("rank").sum()
+        assert set(s.columns) == {"rank", "v", "n"}
+        assert np.array_equal(s["n"], [6, 4, 5])
+
+    def test_groupby_iteration(self, small):
+        groups = dict(iter(small.groupby("rank")))
+        assert set(groups) == {0, 1, 2}
+        assert np.array_equal(groups[1]["v"], [10.0, 30.0])
+        # sub-frame rows come back in original stream order
+        assert np.array_equal(groups[0]["n"], [2, 4])
+
+    def test_groupby_empty(self):
+        f = Frame({"k": np.zeros(0, dtype=np.int64), "v": np.zeros(0)})
+        g = f.groupby("k")
+        assert len(g.keys) == 0
+        assert len(g.sum("v")) == 0
+        assert list(iter(g)) == []
+
+    def test_to_dict(self, small):
+        d = small.to_dict()
+        assert set(d) == {"rank", "v", "n"}
+        assert np.shares_memory(d["v"], small["v"])
+
+    def test_to_pandas(self, small):
+        pd = pytest.importorskip("pandas")
+        df = small.to_pandas()
+        assert isinstance(df, pd.DataFrame)
+        assert list(df.columns) == ["rank", "v", "n"]
+        assert df["v"].tolist() == [10.0, 20.0, 30.0, 40.0, 50.0]
+
+
+class TestTraceFrame:
+    def test_matches_load_all(self, ring_trace):
+        frame = trace_frame(ring_trace)
+        flat = [ev for evs in ring_trace.load_all() for ev in evs]
+        assert len(frame) == len(flat)
+        assert frame.meta["nprocs"] == ring_trace.nprocs
+        assert frame.meta["program"] == ring_trace.meta(0).program
+        for i, ev in enumerate(flat):
+            row = frame.row(i)
+            assert row["rank"] == ev.rank
+            assert row["seq"] == ev.seq
+            assert row["kind"] == int(ev.kind)
+            assert row["t_start"] == ev.t_start
+            assert row["t_end"] == ev.t_end
+            assert row["peer"] == ev.peer
+            assert row["tag"] == ev.tag
+            assert row["nbytes"] == ev.nbytes
+            assert row["duration"] == ev.t_end - ev.t_start
+
+    def test_rank_major_ordering(self, stencil_trace):
+        frame = trace_frame(stencil_trace)
+        rank = frame["rank"]
+        assert np.all(np.diff(rank) >= 0)
+
+    def test_from_event_list(self, ring_trace):
+        flat = [ev for evs in ring_trace.load_all() for ev in evs]
+        frame = trace_frame(flat)
+        assert frame.meta["nprocs"] == ring_trace.nprocs
+        assert "program" not in frame.meta
+        ref = trace_frame(ring_trace)
+        for name in ref.columns:
+            assert np.array_equal(frame[name], ref[name]), name
+
+    def test_empty_list(self):
+        frame = trace_frame([])
+        assert len(frame) == 0
+        assert "duration" in frame
+
+    def test_scriptable_slicing(self, ring_trace):
+        frame = trace_frame(ring_trace)
+        sends = frame.filter(lambda f: f["kind"] == int(EventKind.SEND))
+        assert len(sends) > 0
+        per_rank = sends.groupby("rank").sum("nbytes")
+        assert np.all(per_rank["nbytes"] > 0)
+
+
+class TestGraphFrames:
+    """Zero-copy views over the CompiledPlan columns, bit-identical to
+    the in-core graph objects (the cross-engine identity)."""
+
+    @pytest.fixture
+    def build(self, ring_trace):
+        return build_graph(ring_trace)
+
+    def test_node_frame_zero_copy(self, build):
+        plan = compiled_plan(build)
+        nf = node_frame(build)
+        assert len(nf) == plan.n_nodes
+        for col, arr in (
+            ("rank", plan.node_rank),
+            ("seq", plan.node_seq),
+            ("phase", plan.node_phase),
+            ("kind", plan.node_kind),
+            ("t_local", plan.node_t_local),
+        ):
+            assert np.shares_memory(nf[col], arr), col
+
+    def test_edge_frame_zero_copy(self, build):
+        plan = compiled_plan(build)
+        ef = edge_frame(build)
+        assert len(ef) == plan.n_edges
+        for col, arr in (
+            ("src", plan.edge_src),
+            ("dst", plan.edge_dst),
+            ("weight", plan.edge_weight),
+            ("delta_kind", plan.edge_kind),
+            ("is_local", plan.edge_is_local),
+            ("nbytes", plan.edge_nbytes),
+        ):
+            assert np.shares_memory(ef[col], arr), col
+
+    def test_node_columns_match_incore_objects(self, build):
+        nf = node_frame(build)
+        nodes = build.graph.nodes
+        assert np.array_equal(nf["node_id"], np.arange(len(nodes)))
+        assert np.array_equal(nf["rank"], [n.rank for n in nodes])
+        assert np.array_equal(nf["seq"], [n.seq for n in nodes])
+        assert np.array_equal(nf["phase"], [int(n.phase) for n in nodes])
+        assert np.array_equal(nf["kind"], [int(n.kind) for n in nodes])
+        assert np.array_equal(
+            nf["t_local"], [n.t_local for n in nodes], equal_nan=True
+        )
+
+    def test_edge_columns_match_incore_objects(self, build):
+        ef = edge_frame(build)
+        edges = build.graph.edges
+        assert np.array_equal(ef["src"], [e.src for e in edges])
+        assert np.array_equal(ef["dst"], [e.dst for e in edges])
+        assert np.array_equal(ef["is_local"], [e.kind == EdgeKind.LOCAL for e in edges])
+        assert np.array_equal(ef["nbytes"], [e.delta.nbytes for e in edges])
+
+    def test_accepts_plan_directly(self, build):
+        plan = compiled_plan(build)
+        assert np.array_equal(node_frame(plan)["rank"], node_frame(build)["rank"])
+        assert node_frame(plan).meta["nprocs"] == plan.nprocs

@@ -1,0 +1,179 @@
+"""Chrome trace-event import: bit-exact round trip through the
+``repro.obs`` exporter, foreign-trace handling, and the committed
+external fixture end-to-end."""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.metrics import import_chrome_trace, pop_metrics, pop_timeline, trace_frame
+from repro.metrics.report import build_report
+from repro.metrics.validate import validate_pop_report
+from repro.obs.export import (
+    events_chrome_trace,
+    to_events_chrome_trace,
+    write_events_chrome_trace,
+)
+from repro.trace.events import EventKind
+
+FIXTURE = Path(__file__).parent.parent / "data" / "external_chrome_trace.json"
+
+
+class TestRoundTrip:
+    def test_export_import_identical_frames(self, ring_trace):
+        """obs.export -> json -> import reproduces the frame bit-for-bit."""
+        payload = json.loads(json.dumps(to_events_chrome_trace(ring_trace)))
+        imported = import_chrome_trace(payload)
+        assert imported.nprocs == ring_trace.nprocs
+        assert imported.meta(0).program == ring_trace.meta(0).program
+        original = trace_frame(ring_trace)
+        back = trace_frame(imported)
+        assert len(back) == len(original)
+        for name in original.columns:
+            assert np.array_equal(original[name], back[name]), name
+
+    def test_round_trip_nonblocking(self, stencil_trace):
+        payload = json.loads(json.dumps(to_events_chrome_trace(stencil_trace)))
+        back = trace_frame(import_chrome_trace(payload))
+        original = trace_frame(stencil_trace)
+        for name in original.columns:
+            assert np.array_equal(original[name], back[name]), name
+
+    def test_round_trip_through_file(self, ring_trace, tmp_path):
+        path = write_events_chrome_trace(ring_trace, tmp_path / "ring.json")
+        imported = import_chrome_trace(path)
+        original, back = trace_frame(ring_trace), trace_frame(imported)
+        for name in original.columns:
+            assert np.array_equal(original[name], back[name]), name
+
+    def test_metrics_survive_round_trip(self, ring_trace, tmp_path):
+        path = write_events_chrome_trace(ring_trace, tmp_path / "ring.json")
+        a = pop_metrics(ring_trace)
+        b = pop_metrics(import_chrome_trace(path))
+        assert b.parallel_efficiency == a.parallel_efficiency
+        assert b.load_balance == a.load_balance
+        assert np.array_equal(b.activity.useful, a.activity.useful)
+
+    def test_bare_event_list(self, ring_trace):
+        imported = import_chrome_trace(events_chrome_trace(ring_trace))
+        assert imported.nprocs == ring_trace.nprocs
+        assert imported.meta(0).program == "chrome-import"
+
+
+class TestForeignTraces:
+    def test_b_e_pairs_are_matched(self):
+        raw = [
+            {"ph": "B", "pid": 1, "tid": 1, "name": "MPI_Barrier", "ts": 5.0},
+            {"ph": "E", "pid": 1, "tid": 1, "ts": 9.0},
+        ]
+        trace = import_chrome_trace(raw)
+        (ev,) = trace.load_all()[0]
+        assert ev.kind == EventKind.BARRIER
+        assert (ev.t_start, ev.t_end) == (5.0, 9.0)
+
+    def test_nested_b_e_pairs(self):
+        raw = [
+            {"ph": "B", "pid": 0, "tid": 0, "name": "MPI_Allreduce", "ts": 0.0},
+            {"ph": "B", "pid": 0, "tid": 0, "name": "inner", "ts": 1.0},
+            {"ph": "E", "pid": 0, "tid": 0, "ts": 2.0},
+            {"ph": "E", "pid": 0, "tid": 0, "ts": 10.0},
+        ]
+        evs = import_chrome_trace(raw).load_all()[0]
+        spans = {(ev.t_start, ev.t_end, ev.kind) for ev in evs}
+        assert (0.0, 10.0, EventKind.ALLREDUCE) in spans
+        assert (1.0, 2.0, EventKind.WAIT) in spans  # unknown name -> default
+
+    def test_unmatched_end_raises(self):
+        with pytest.raises(ValueError, match="unmatched 'E'"):
+            import_chrome_trace([{"ph": "E", "pid": 0, "tid": 0, "ts": 1.0}])
+
+    def test_unclosed_begin_raises(self):
+        with pytest.raises(ValueError, match="unclosed 'B'"):
+            import_chrome_trace(
+                [{"ph": "B", "pid": 0, "tid": 0, "name": "MPI_Send", "ts": 1.0}]
+            )
+
+    def test_no_spans_raises(self):
+        with pytest.raises(ValueError, match="no spans"):
+            import_chrome_trace([{"ph": "M", "name": "process_name"}])
+        with pytest.raises(ValueError, match="traceEvents"):
+            import_chrome_trace({"foo": 1})
+
+    def test_kind_map_and_default_override(self):
+        raw = [
+            {"ph": "X", "pid": 0, "tid": 0, "name": "exchange", "ts": 0.0, "dur": 1.0},
+            {"ph": "X", "pid": 0, "tid": 0, "name": "mystery", "ts": 2.0, "dur": 1.0},
+        ]
+        trace = import_chrome_trace(
+            raw,
+            kind_map={"exchange": EventKind.SENDRECV},
+            default_kind=EventKind.BARRIER,
+        )
+        kinds = [ev.kind for ev in trace.load_all()[0]]
+        assert kinds == [EventKind.SENDRECV, EventKind.BARRIER]
+
+    def test_name_mapping_is_case_insensitive(self):
+        raw = [
+            {"ph": "X", "pid": 0, "tid": 0, "name": "mpi_allgather", "ts": 0.0, "dur": 1.0},
+            {"ph": "X", "pid": 0, "tid": 0, "name": " Barrier ", "ts": 2.0, "dur": 1.0},
+        ]
+        kinds = [ev.kind for ev in import_chrome_trace(raw).load_all()[0]]
+        assert kinds == [EventKind.ALLGATHER, EventKind.BARRIER]
+
+    def test_mixed_type_track_ids_sort(self):
+        raw = [
+            {"ph": "X", "pid": 0, "tid": "io", "name": "MPI_Send", "ts": 0.0, "dur": 1.0},
+            {"ph": "X", "pid": 0, "tid": 3, "name": "MPI_Recv", "ts": 0.0, "dur": 1.0},
+        ]
+        trace = import_chrome_trace(raw)
+        assert trace.nprocs == 2
+
+    def test_program_precedence(self, tmp_path):
+        raw = {"traceEvents": [
+            {"ph": "X", "pid": 0, "tid": 0, "name": "MPI_Send", "ts": 0.0, "dur": 1.0}
+        ]}
+        path = tmp_path / "mysolver.json"
+        path.write_text(json.dumps(raw))
+        assert import_chrome_trace(path).meta(0).program == "mysolver"
+        assert import_chrome_trace(path, program="x").meta(0).program == "x"
+        raw["otherData"] = {"program": "from-meta"}
+        path.write_text(json.dumps(raw))
+        assert import_chrome_trace(path).meta(0).program == "from-meta"
+
+
+class TestExternalFixture:
+    """The committed, non-mpisim trace must import and produce metrics
+    end-to-end (the acceptance criterion)."""
+
+    def test_import_shape(self):
+        trace = import_chrome_trace(FIXTURE)
+        assert trace.nprocs == 3
+        assert [len(evs) for evs in trace.load_all()] == [4, 5, 4]
+        assert trace.meta(0).program == "external_chrome_trace"
+
+    def test_kinds_and_fields(self):
+        per_rank = import_chrome_trace(FIXTURE).load_all()
+        # track order follows sorted tids: 101 -> rank 0, 205 -> 1, 309 -> 2
+        send = per_rank[0][1]
+        assert send.kind == EventKind.SEND
+        assert (send.peer, send.nbytes) == (1, 4096)
+        assert (send.t_start, send.t_end) == (1050.0, 1100.0)  # from B/E pair
+        assert per_rank[1][3].kind == EventKind.WAIT  # cudaStreamSynchronize
+        assert per_rank[2][1].kind == EventKind.BARRIER
+        assert all(ev.kind == EventKind.ALLREDUCE for ev in
+                   (per_rank[0][2], per_rank[1][2], per_rank[2][2]))
+
+    def test_metrics_end_to_end(self):
+        trace = import_chrome_trace(FIXTURE)
+        act = pop_metrics(trace).activity
+        assert np.array_equal(act.useful, [3000.0, 2500.0, 3000.0])
+        assert np.array_equal(act.comm, [510.0, 1090.0, 510.0])
+        pop = pop_metrics(trace)
+        assert pop.runtime == 3590.0
+        assert pop.parallel_efficiency == pytest.approx(8500.0 / (3 * 3590.0))
+        assert pop.load_balance == pytest.approx(8500.0 / 9000.0)
+        report = build_report(pop, pop_timeline(trace, 8), source=str(FIXTURE))
+        assert validate_pop_report(json.loads(json.dumps(report))) == []
+        assert len(report["windows"]) == 8

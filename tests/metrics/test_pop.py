@@ -1,0 +1,194 @@
+"""Whole-run POP metrics: hand-checked values, the PE = LB x CommE
+identity, degenerate cases, and the CommE = SerE x TE split."""
+
+import numpy as np
+import pytest
+
+from repro.apps import ALL_APPS
+from repro.metrics import (
+    ideal_params,
+    ideal_runtime,
+    pop_metrics,
+    rank_activity,
+    trace_frame,
+)
+from repro.mpisim import run
+from repro.trace.events import EventKind, EventRecord
+from repro.trace.reader import MemoryTrace
+
+
+def _ev(rank, seq, kind, t0, t1, **kw):
+    return EventRecord(rank=rank, seq=seq, kind=kind, t_start=t0, t_end=t1, **kw)
+
+
+# Small per-app parameter overrides keeping the all-apps sweep fast.
+_APP_PARAMS = {
+    "token_ring": {"traversals": 2},
+    "stencil1d": {"iterations": 3},
+    "stencil2d": {"iterations": 2},
+    "master_worker": {"tasks": 9},
+    "allreduce_iter": {"iterations": 4},
+    "fft_transpose": {"stages": 2},
+    "butterfly_allreduce": {"iterations": 2},
+    "pipeline": {"items": 5},
+    "random_sparse": {"iterations": 2},
+}
+
+
+@pytest.fixture
+def hand_trace():
+    """Two ranks with activity small enough to check by hand.
+
+    rank 0: INIT [0,10], gap 80, SEND [90,100], FINALIZE [100,110]
+    rank 1: INIT [0,10], gap 40, RECV [50,100], FINALIZE [100,110]
+    """
+    return MemoryTrace(
+        [
+            [
+                _ev(0, 0, EventKind.INIT, 0.0, 10.0),
+                _ev(0, 1, EventKind.SEND, 90.0, 100.0, peer=1, nbytes=8),
+                _ev(0, 2, EventKind.FINALIZE, 100.0, 110.0),
+            ],
+            [
+                _ev(1, 0, EventKind.INIT, 0.0, 10.0),
+                _ev(1, 1, EventKind.RECV, 50.0, 100.0, peer=0, nbytes=8),
+                _ev(1, 2, EventKind.FINALIZE, 100.0, 110.0),
+            ],
+        ],
+        program="hand",
+    )
+
+
+class TestRankActivity:
+    def test_hand_values(self, hand_trace):
+        act = rank_activity(hand_trace)
+        assert act.nprocs == 2
+        assert np.array_equal(act.events, [3, 3])
+        assert np.array_equal(act.runtime, [110.0, 110.0])
+        assert np.array_equal(act.useful, [80.0, 40.0])
+        assert np.array_equal(act.comm, [30.0, 70.0])
+        assert np.array_equal(act.first_start, [0.0, 0.0])
+        assert act.run_length == 110.0
+
+    def test_accepts_frame_or_trace(self, hand_trace):
+        from_trace = rank_activity(hand_trace)
+        from_frame = rank_activity(trace_frame(hand_trace))
+        assert np.array_equal(from_trace.useful, from_frame.useful)
+        assert np.array_equal(from_trace.comm, from_frame.comm)
+
+    def test_unsorted_frame_is_resorted(self, hand_trace):
+        flat = [ev for evs in hand_trace.load_all() for ev in evs]
+        interleaved = flat[::2] + flat[1::2]  # ranks out of order
+        act = rank_activity(trace_frame(interleaved), nprocs=2)
+        ref = rank_activity(hand_trace)
+        assert np.array_equal(act.useful, ref.useful)
+        assert np.array_equal(act.comm, ref.comm)
+        assert np.array_equal(act.runtime, ref.runtime)
+
+    def test_empty_rank_is_all_zero(self):
+        trace = MemoryTrace(
+            [[_ev(0, 0, EventKind.INIT, 5.0, 6.0)], []], program="gap"
+        )
+        act = rank_activity(trace)
+        assert np.array_equal(act.events, [1, 0])
+        assert act.runtime[1] == 0.0
+        assert act.useful[1] == 0.0
+        assert act.first_start[1] == 0.0
+
+    def test_overlapping_events_never_negative(self):
+        # t_start[i] < t_end[i-1]: the gap clamps to zero instead of
+        # subtracting from real compute elsewhere.
+        trace = MemoryTrace(
+            [
+                [
+                    _ev(0, 0, EventKind.ISEND, 0.0, 50.0, peer=0, req=1),
+                    _ev(0, 1, EventKind.WAIT, 10.0, 60.0, req=1),
+                    _ev(0, 2, EventKind.FINALIZE, 80.0, 90.0),
+                ]
+            ],
+            program="overlap",
+        )
+        act = rank_activity(trace)
+        assert act.useful[0] == 20.0  # only the 60 -> 80 gap
+
+
+class TestPopMetrics:
+    def test_hand_values(self, hand_trace):
+        pop = pop_metrics(hand_trace)
+        assert pop.nprocs == 2
+        assert pop.runtime == 110.0
+        assert pop.parallel_efficiency == pytest.approx(60.0 / 110.0, rel=1e-12)
+        assert pop.load_balance == pytest.approx(60.0 / 80.0, rel=1e-12)
+        assert pop.comm_efficiency == pytest.approx(80.0 / 110.0, rel=1e-12)
+
+    def test_identity_pe_equals_lb_times_comme(self, ring_trace, stencil_trace):
+        for trace in (ring_trace, stencil_trace):
+            pop = pop_metrics(trace)
+            assert pop.parallel_efficiency == pytest.approx(
+                pop.load_balance * pop.comm_efficiency, rel=1e-12
+            )
+            assert 0.0 < pop.parallel_efficiency <= 1.0
+            assert 0.0 < pop.load_balance <= 1.0
+            assert 0.0 < pop.comm_efficiency <= 1.0
+
+    @pytest.mark.parametrize("app", sorted(ALL_APPS))
+    def test_identity_holds_on_every_app(self, app):
+        factory, params_cls = ALL_APPS[app]
+        params = params_cls(**_APP_PARAMS.get(app, {}))
+        nprocs = 8 if app == "butterfly_allreduce" else 4
+        trace = run(factory(params), nprocs=nprocs, seed=2).trace
+        pop = pop_metrics(trace)
+        assert pop.parallel_efficiency == pytest.approx(
+            pop.load_balance * pop.comm_efficiency, rel=1e-12
+        )
+
+    def test_degenerate_no_events(self):
+        trace = MemoryTrace([[], []], program="empty")
+        pop = pop_metrics(trace)
+        assert pop.parallel_efficiency == 0.0
+        assert pop.load_balance == 1.0
+        assert pop.comm_efficiency == 0.0
+
+    def test_degenerate_single_event(self):
+        trace = MemoryTrace(
+            [[_ev(0, 0, EventKind.BARRIER, 0.0, 5.0)]], program="one"
+        )
+        pop = pop_metrics(trace)
+        assert pop.runtime == 5.0
+        assert pop.parallel_efficiency == 0.0  # no gaps -> no useful time
+        assert pop.load_balance == 1.0
+
+    def test_to_dict_round_trip(self, hand_trace):
+        d = pop_metrics(hand_trace).to_dict()
+        assert d["nprocs"] == 2
+        assert d["rank_useful"] == [80.0, 40.0]
+        assert d["rank_comm"] == [30.0, 70.0]
+        assert d["rank_events"] == [3, 3]
+        assert "ideal_runtime" not in d
+
+
+class TestIdealSplit:
+    def test_ideal_params_are_zero_cost(self):
+        p = ideal_params()
+        assert p.latency == 0.0
+        assert p.send_overhead == p.recv_overhead == p.call_overhead == 0.0
+        assert p.cpu_factor == 1.0
+        p.network()  # must construct (finite bandwidth)
+
+    def test_comme_splits_into_sere_times_te(self, ring_trace):
+        ideal = ideal_runtime(ring_trace)
+        pop = pop_metrics(ring_trace, ideal=ideal)
+        assert pop.ideal_run_length == ideal
+        assert 0.0 < ideal <= pop.runtime
+        assert pop.comm_efficiency == pytest.approx(
+            pop.serialization_efficiency * pop.transfer_efficiency, rel=1e-12
+        )
+        d = pop.to_dict()
+        assert d["ideal_runtime"] == ideal
+        assert d["serialization_efficiency"] == pop.serialization_efficiency
+
+    def test_without_ideal_split_is_absent(self, ring_trace):
+        pop = pop_metrics(ring_trace)
+        assert pop.ideal_run_length is None
+        assert pop.serialization_efficiency is None
+        assert pop.transfer_efficiency is None

@@ -1,0 +1,141 @@
+"""Time-resolved POP metrics: window occupancy math, the
+window-sum-equals-whole-run invariants, and worst-window detection."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import pop_metrics, pop_timeline, trace_frame, window_occupancy
+from repro.trace.events import EventKind, EventRecord
+from repro.trace.reader import MemoryTrace
+
+
+def _ev(rank, seq, kind, t0, t1, **kw):
+    return EventRecord(rank=rank, seq=seq, kind=kind, t_start=t0, t_end=t1, **kw)
+
+
+class TestWindowOccupancy:
+    def test_simple_intervals(self):
+        starts = np.array([0.0, 20.0])
+        lens = np.array([10.0, 10.0])
+        occ = window_occupancy(starts, lens, np.array([0.0, 15.0, 30.0]))
+        assert np.array_equal(occ, [10.0, 10.0])
+
+    def test_boundary_splits_an_interval(self):
+        occ = window_occupancy(
+            np.array([0.0]), np.array([10.0]), np.array([0.0, 4.0, 10.0])
+        )
+        assert np.array_equal(occ, [4.0, 6.0])
+
+    def test_windows_before_first_interval_are_empty(self):
+        occ = window_occupancy(
+            np.array([50.0]), np.array([10.0]), np.array([0.0, 25.0, 50.0, 75.0])
+        )
+        assert np.array_equal(occ, [0.0, 0.0, 10.0])
+
+    def test_no_intervals(self):
+        occ = window_occupancy(np.zeros(0), np.zeros(0), np.array([0.0, 1.0, 2.0]))
+        assert np.array_equal(occ, [0.0, 0.0])
+
+    def test_telescoping_sum(self):
+        rng = np.random.default_rng(7)
+        gaps = rng.uniform(0.0, 5.0, size=50)
+        lens = rng.uniform(0.0, 3.0, size=50)
+        starts = np.cumsum(gaps + lens) - lens
+        bounds = np.linspace(0.0, float(starts[-1] + lens[-1]), 17)
+        occ = window_occupancy(starts, lens, bounds)
+        assert occ.sum() == pytest.approx(lens.sum(), rel=1e-12)
+
+
+class TestPopTimeline:
+    @pytest.mark.parametrize("windows", [1, 7, 16])
+    def test_window_sums_reproduce_whole_run(self, ring_trace, windows):
+        tl = pop_timeline(ring_trace, windows)
+        assert tl.n_windows == windows
+        # per-rank telescoping: window occupancies sum to the totals
+        np.testing.assert_allclose(tl.useful.sum(axis=1), tl.activity.useful, rtol=1e-9)
+        np.testing.assert_allclose(tl.comm.sum(axis=1), tl.activity.comm, rtol=1e-9)
+        # and the boundaries span exactly [0, T]
+        assert tl.boundaries[0] == 0.0
+        assert tl.boundaries[-1] == pytest.approx(tl.activity.run_length)
+        assert np.all(np.diff(tl.boundaries) > 0)
+
+    def test_window_sums_on_nonblocking_trace(self, stencil_trace):
+        tl = pop_timeline(stencil_trace, 13)
+        np.testing.assert_allclose(tl.useful.sum(axis=1), tl.activity.useful, rtol=1e-9)
+        np.testing.assert_allclose(tl.comm.sum(axis=1), tl.activity.comm, rtol=1e-9)
+
+    def test_single_window_equals_whole_run(self, ring_trace):
+        pop = pop_metrics(ring_trace)
+        tl = pop_timeline(ring_trace, 1)
+        assert tl.parallel_efficiency[0] == pytest.approx(
+            pop.parallel_efficiency, rel=1e-9
+        )
+        assert tl.load_balance[0] == pytest.approx(pop.load_balance, rel=1e-9)
+        assert tl.comm_efficiency[0] == pytest.approx(pop.comm_efficiency, rel=1e-9)
+
+    def test_length_weighted_window_pe_equals_whole_pe(self, stencil_trace):
+        pop = pop_metrics(stencil_trace)
+        tl = pop_timeline(stencil_trace, 9)
+        lengths = np.diff(tl.boundaries)
+        weighted = float((tl.parallel_efficiency * lengths).sum() / lengths.sum())
+        assert weighted == pytest.approx(pop.parallel_efficiency, rel=1e-9)
+
+    def test_per_window_identity(self, ring_trace):
+        tl = pop_timeline(ring_trace, 8)
+        np.testing.assert_allclose(
+            tl.parallel_efficiency,
+            tl.load_balance * tl.comm_efficiency,
+            rtol=1e-12,
+        )
+
+    def test_accepts_prebuilt_frame(self, ring_trace):
+        frame = trace_frame(ring_trace)
+        a = pop_timeline(ring_trace, 4)
+        b = pop_timeline(frame, 4)
+        np.testing.assert_array_equal(a.useful, b.useful)
+
+    def test_invalid_window_count(self, ring_trace):
+        with pytest.raises(ValueError, match="windows"):
+            pop_timeline(ring_trace, 0)
+
+    def test_worst_window_finds_injected_serial_phase(self):
+        """First half: rank 0 computes while rank 1 sits in MPI (LB 0.5).
+        Second half: both compute (LB 1).  The timeline must point at
+        the first half; the whole-run numbers alone cannot."""
+        trace = MemoryTrace(
+            [
+                [
+                    _ev(0, 0, EventKind.INIT, 0.0, 10.0),
+                    _ev(0, 1, EventKind.BARRIER, 100.0, 110.0),
+                    _ev(0, 2, EventKind.FINALIZE, 200.0, 210.0),
+                ],
+                [
+                    _ev(1, 0, EventKind.INIT, 0.0, 10.0),
+                    _ev(1, 1, EventKind.RECV, 10.0, 110.0, peer=0),
+                    _ev(1, 2, EventKind.FINALIZE, 200.0, 210.0),
+                ],
+            ],
+            program="serial-phase",
+        )
+        tl = pop_timeline(trace, 2)
+        assert tl.worst_window() == 0
+        assert tl.load_balance[0] < tl.load_balance[1]
+        assert tl.load_balance[1] == pytest.approx(1.0)
+        wins = tl.window_dicts()
+        assert [w["index"] for w in wins] == [0, 1]
+        assert wins[0]["rank_useful"] == [90.0, 0.0]
+        assert wins[1]["rank_useful"][0] == pytest.approx(90.0)
+
+    def test_window_dicts_are_json_scalars(self, ring_trace):
+        wins = pop_timeline(ring_trace, 3).window_dicts()
+        assert len(wins) == 3
+        for w in wins:
+            assert isinstance(w["parallel_efficiency"], float)
+            assert isinstance(w["rank_useful"], list)
+
+    def test_empty_trace_timeline(self):
+        tl = pop_timeline(MemoryTrace([[], []], program="empty"), 4)
+        assert tl.n_windows == 4
+        assert np.all(tl.useful == 0.0)
+        assert np.all(tl.parallel_efficiency == 0.0)
+        assert np.all(tl.load_balance == 1.0)

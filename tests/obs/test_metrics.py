@@ -99,7 +99,61 @@ def test_as_dict_shapes():
     d = reg.as_dict()
     assert d["n"] == 3
     assert d["g"] == 1.5
-    assert d["t"] == {"kind": "timer", "total": 0.25, "count": 1, "max": 0.25}
+    assert d["t"] == {
+        "kind": "timer",
+        "total": 0.25,
+        "count": 1,
+        "max": 0.25,
+        "p50": 0.25,
+        "p95": 0.25,
+    }
+    # the sample reservoir rides snapshots (for merge), never as_dict
+    assert "samples" in reg.snapshot()["t"]
+    assert "samples" not in d["t"]
 
     reg.clear()
     assert len(reg) == 0
+
+
+def test_timer_percentiles_exact_when_unthinned():
+    t = Timer()
+    for ms in range(1, 101):  # 0.001 .. 0.100, well under the reservoir cap
+        t.observe(ms / 1000.0)
+    assert t.percentile(50) == pytest.approx(0.0505)
+    assert t.percentile(95) == pytest.approx(0.09505)
+    assert t.percentile(0) == pytest.approx(0.001)
+    assert t.percentile(100) == pytest.approx(0.100)
+    d = t.to_dict()
+    assert d["p50"] == pytest.approx(0.0505)
+    assert d["p95"] == pytest.approx(0.09505)
+
+
+def test_timer_reservoir_bounded_and_total_exact():
+    t = Timer()
+    n = 20_000
+    for i in range(n):
+        t.observe(float(i))
+    assert t.count == n
+    assert t.total == pytest.approx(sum(range(n)))
+    assert len(t.samples) < Timer._CAP
+    # thinned tails are approximate but must stay in the observed range
+    # and ordered sensibly
+    assert 0.0 <= t.percentile(50) <= t.percentile(95) <= t.max == n - 1
+
+
+def test_timer_merge_carries_samples():
+    parts = [MetricsRegistry() for _ in range(2)]
+    for i, part in enumerate(parts):
+        for j in range(10):
+            part.timer("phase").observe(float(10 * i + j))
+    merged = MetricsRegistry()
+    for part in parts:
+        merged.merge(part.snapshot())
+    t = merged.timer("phase")
+    assert t.count == 20
+    assert sorted(t.samples) == [float(x) for x in range(20)]
+    assert t.percentile(50) == pytest.approx(9.5)
+
+    # a legacy snapshot without samples still merges its totals
+    merged.merge({"phase": {"kind": "timer", "total": 1.0, "count": 1, "max": 1.0}})
+    assert merged.timer("phase").count == 21
