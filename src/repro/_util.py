@@ -19,6 +19,7 @@ import numpy as np
 __all__ = [
     "as_rng",
     "spawn_rng",
+    "atomic_write_bytes",
     "atomic_write_text",
     "check_nonnegative",
     "check_positive",
@@ -43,6 +44,24 @@ def atomic_write_text(path: str | Path, text: str) -> Path:
     tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
     try:
         tmp.write_text(text)
+        os.replace(tmp, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            tmp.unlink()
+        raise
+    return path
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Binary twin of :func:`atomic_write_text` (temp file + ``os.replace``).
+
+    Used for artifacts that are not text — pickled compiled plans in the
+    checkpoint store, most notably.
+    """
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        tmp.write_bytes(data)
         os.replace(tmp, path)
     except BaseException:
         with contextlib.suppress(OSError):

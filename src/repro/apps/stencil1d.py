@@ -14,7 +14,7 @@ from typing import Iterator
 
 from repro.mpisim.api import Compute, Irecv, Isend, Op, RankInfo, Waitall
 
-__all__ = ["StencilParams", "stencil1d"]
+__all__ = ["StencilParams", "stencil1d", "stress_params"]
 
 
 @dataclass(frozen=True)
@@ -48,6 +48,21 @@ class StencilParams:
 
 _LEFT_TAG = 11
 _RIGHT_TAG = 12
+
+
+def stress_params(iterations: int = 52_000) -> StencilParams:
+    """Iteration-scaled million-event stress configuration.
+
+    A periodic ring rank traces five events per step, so 4 ranks at the
+    default 52 000 iterations yield a 1 040 008-event trace that builds
+    into a ~2.1M-node, ~2.9M-edge graph with 520 003 flat levels — the
+    >= 1M-event iterative workload the coarsening benchmark
+    (``benchmarks/bench_perf_coarsen.py``) and the coarsen-scale CI job
+    exercise.  Deep and narrow on purpose: the flat engine's cost is
+    dominated by per-level dispatch overhead, which is exactly what
+    phase coarsening amortizes into one shared template.
+    """
+    return StencilParams(iterations=iterations)
 
 
 def stencil1d(params: StencilParams = StencilParams()):

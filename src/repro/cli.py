@@ -52,6 +52,7 @@ from repro._util import atomic_write_text
 from repro.apps import ALL_APPS
 from repro.core import (
     BuildConfig,
+    CheckpointStore,
     ExperimentHistory,
     FaultPolicy,
     PerturbationSpec,
@@ -234,6 +235,17 @@ def _add_jobs_arg(ap: argparse.ArgumentParser) -> None:
         help="worker processes for independent traversals: 0 = serial (default), "
         "N >= 2 = process pool, 'auto'/-1 = one per core; results are "
         "bit-identical regardless of N",
+    )
+
+
+def _add_coarsen_arg(ap: argparse.ArgumentParser) -> None:
+    ap.add_argument(
+        "--coarsen",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="phase coarsening in the compiled engine (repro.core.coarsen): "
+        "auto coarsens large iterative builds, on forces detection, off "
+        "disables it — results are bit-identical under every setting",
     )
 
 
@@ -451,6 +463,7 @@ def main_analyze(argv: list[str] | None = None) -> int:
     _add_logging_args(ap)
     _add_obs_args(ap)
     _add_lint_arg(ap)
+    _add_coarsen_arg(ap)
     ap.add_argument(
         "--engine",
         choices=("auto", "incore", "graph", "streaming", "compiled"),
@@ -554,7 +567,12 @@ def main_analyze(argv: list[str] | None = None) -> int:
         else:
             build = build_graph(traces, config)
             if engine == "compiled":
-                result = compiled_plan(build).propagate_one(spec, mode=args.mode)
+                plan = compiled_plan(
+                    build,
+                    coarsen=args.coarsen,
+                    checkpoint=CheckpointStore.coerce(args.checkpoint),
+                )
+                result = plan.propagate_one(spec, mode=args.mode)
             else:
                 result = propagate(build, spec, mode=args.mode)
             with obs.span("analysis"):
@@ -583,6 +601,7 @@ def main_analyze(argv: list[str] | None = None) -> int:
                     jobs=args.jobs,
                     engine="compiled" if engine == "compiled" else "graph",
                     policy=_fault_policy(args),
+                    coarsen=args.coarsen,
                     **_checkpoint_args(args),
                 )
                 _say(f"monte carlo: {dist.summary()}")
@@ -595,6 +614,7 @@ def main_analyze(argv: list[str] | None = None) -> int:
 
                 dconfig = DiagnoseConfig(
                     engine=engine,
+                    coarsen=args.coarsen,
                     replicates=args.replicates,
                     seed=args.seed,
                     scale=args.scale,
@@ -632,6 +652,7 @@ def main_sweep(argv: list[str] | None = None) -> int:
     _add_logging_args(ap)
     _add_obs_args(ap)
     _add_lint_arg(ap)
+    _add_coarsen_arg(ap)
     ap.add_argument("--scales", default="0,0.25,0.5,1,2,4", help="comma-separated scale factors")
     ap.add_argument(
         "--engine",
@@ -657,6 +678,7 @@ def main_sweep(argv: list[str] | None = None) -> int:
         config=_build_config(args),
         jobs=args.jobs,
         policy=_fault_policy(args),
+        coarsen=args.coarsen,
         **_checkpoint_args(args),
     )
     _say(result.table())
@@ -884,6 +906,7 @@ def _diagnose_config(args, engine: str):
 
     return DiagnoseConfig(
         engine=engine,
+        coarsen=args.coarsen,
         replicates=args.replicates,
         seed=args.seed,
         scale=args.scale,
@@ -921,6 +944,7 @@ def main_diagnose(argv: list[str] | None = None) -> int:
         help="longest-path kernel (auto = compiled); the extracted path is "
         "bit-identical whichever runs",
     )
+    _add_coarsen_arg(ap)
     ap.add_argument(
         "--replicates",
         type=int,

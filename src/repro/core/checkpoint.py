@@ -39,19 +39,23 @@ from pathlib import Path
 from typing import Callable, Sequence
 
 from repro import obs
-from repro._util import atomic_write_text
+from repro._util import atomic_write_bytes, atomic_write_text
 
 __all__ = [
     "CheckpointStore",
     "ShardKey",
     "build_digest",
     "digest_of",
+    "load_plan",
+    "plan_cache_path",
     "resolve_rows",
+    "save_plan",
     "signature_digest",
     "trace_digest",
 ]
 
 SHARD_SCHEMA = "repro-checkpoint-shard/1"
+PLAN_SCHEMA = "repro-plan-cache/1"
 
 #: Environment hook consumed by the fault-injection harness
 #: (:mod:`repro.testing.faults`): kill the process after N shard writes.
@@ -213,6 +217,67 @@ class CheckpointStore:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"CheckpointStore({str(self.root)!r})"
+
+
+def plan_cache_path(store: CheckpointStore, build, coarsen: str) -> Path:
+    """Location of the persisted compiled plan for ``(build, coarsen)``."""
+    return store.root / f"plan-{build_digest(build)}-{coarsen}.pkl"
+
+
+def load_plan(store: CheckpointStore, build, coarsen: str):
+    """The cached :class:`~repro.core.compiled.CompiledPlan`, or None.
+
+    Validation mirrors shard reads: a stale or corrupt blob — wrong
+    schema, digest, numpy version (the sampler tables mirror numpy's
+    private ziggurat layout), or graph shape — counts as
+    ``checkpoint.plan_corrupt`` and reads as missing, so the plan is
+    recompiled and the cache rewritten.
+    """
+    import pickle
+
+    import numpy as np
+
+    path = plan_cache_path(store, build, coarsen)
+    if not path.exists():
+        obs.add("checkpoint.plan_misses")
+        return None
+    try:
+        blob = pickle.loads(path.read_bytes())
+        plan = blob["plan"]
+        g = build.graph
+        ok = (
+            blob.get("schema") == PLAN_SCHEMA
+            and blob.get("digest") == build_digest(build)
+            and blob.get("numpy") == np.__version__
+            and blob.get("coarsen") == coarsen
+            and plan.n_nodes == len(g.nodes)
+            and plan.n_edges == len(g.edges)
+        )
+    except Exception:
+        ok = False
+    if not ok:
+        obs.add("checkpoint.plan_corrupt")
+        return None
+    obs.add("checkpoint.plan_hits")
+    return plan
+
+
+def save_plan(store: CheckpointStore, build, coarsen: str, plan) -> Path:
+    """Persist a compiled plan under the build digest (atomic write)."""
+    import pickle
+
+    import numpy as np
+
+    blob = {
+        "schema": PLAN_SCHEMA,
+        "digest": build_digest(build),
+        "numpy": np.__version__,
+        "coarsen": coarsen,
+        "plan": plan,
+    }
+    path = atomic_write_bytes(plan_cache_path(store, build, coarsen), pickle.dumps(blob))
+    obs.add("checkpoint.plan_writes")
+    return path
 
 
 def _storable(row) -> bool:

@@ -55,12 +55,17 @@ Observability: the compiled path emits ``compiled.compile``,
 from __future__ import annotations
 
 import contextlib
+import json
+import os
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
 from repro import obs
+from repro._util import atomic_write_text
 from repro.core.builder import BuildResult
+from repro.core.coarsen import AUTO_MIN_NODES, COARSEN_CHOICES, detect_phases
 from repro.core.graph import DeltaKind, DeltaSpec, EdgeKind
 from repro.core.perturb import PerturbationSpec
 from repro.core.traversal import MODES, TraversalResult
@@ -88,12 +93,26 @@ _PCG_INV_MULT = pow(_PCG_MULT, -1, 1 << 128)  # LCG step inverse (harvesting)
 # ---------------------------------------------------------------------------
 
 
+def _splitmix64_into(x: np.ndarray, t: np.ndarray) -> np.ndarray:
+    """In-place splitmix64 finalizer: mutates uint64 ``x`` (returning it),
+    with ``t`` as same-shape scratch.  The hot key-derivation loops call
+    this to avoid reallocating multi-MB temporaries per round."""
+    x += _U64(0x9E3779B97F4A7C15)
+    np.right_shift(x, _U64(30), out=t)
+    x ^= t
+    x *= _U64(0xBF58476D1CE4E5B9)
+    np.right_shift(x, _U64(27), out=t)
+    x ^= t
+    x *= _U64(0x94D049BB133111EB)
+    np.right_shift(x, _U64(31), out=t)
+    x ^= t
+    return x
+
+
 def _splitmix64_vec(x: np.ndarray) -> np.ndarray:
     """Vectorized :func:`repro.core.perturb._splitmix64` over uint64 arrays."""
-    x = (x + _U64(0x9E3779B97F4A7C15)).astype(_U64, copy=False)
-    x = (x ^ (x >> _U64(30))) * _U64(0xBF58476D1CE4E5B9)
-    x = (x ^ (x >> _U64(27))) * _U64(0x94D049BB133111EB)
-    return x ^ (x >> _U64(31))
+    x = x.astype(_U64, copy=True)
+    return _splitmix64_into(x, np.empty_like(x))
 
 
 def _mix_vec(columns: np.ndarray, lengths: np.ndarray | None = None) -> np.ndarray:
@@ -127,15 +146,45 @@ def _mulhi64(a: np.ndarray, b) -> np.ndarray:
     return ah * bh + (t >> s32) + (w1 >> s32)
 
 
+_PCG_ML_HI = _U64(int(_PCG_MULT_LO) >> 32)
+_PCG_ML_LO = _U64(int(_PCG_MULT_LO) & 0xFFFFFFFF)
+
+
 def _pcg_next64(hi, lo, inc_hi, inc_lo):
-    """One LCG step + XSL-RR output.  Returns ``(hi', lo', out)``."""
-    nhi = hi * _PCG_MULT_LO + lo * _PCG_MULT_HI + _mulhi64(lo, _PCG_MULT_LO)
+    """One LCG step + XSL-RR output.  Returns ``(hi', lo', out)``.
+
+    The 128-bit LCG step is accumulated with in-place uint64 ops —
+    unsigned addition is commutative and wrap-exact, so the reordering
+    relative to the textbook :func:`_mulhi64` formulation is
+    bit-identical while allocating far fewer (R, n_lane) temporaries.
+    """
+    m32 = _U64(0xFFFFFFFF)
+    s32 = _U64(32)
+    al = lo & m32
+    ah = lo >> s32
+    t = al * _PCG_ML_LO
+    t >>= s32
+    t += ah * _PCG_ML_LO
+    w1 = t & m32
+    w1 += al * _PCG_ML_HI
+    t >>= s32
+    w1 >>= s32
+    t += w1
+    t += ah * _PCG_ML_HI
+    t += hi * _PCG_MULT_LO
+    t += lo * _PCG_MULT_HI
     nlo = lo * _PCG_MULT_LO
     lo2 = nlo + inc_lo
-    hi2 = nhi + inc_hi + (lo2 < nlo).astype(_U64)
+    t += inc_hi
+    np.add(t, lo2 < nlo, out=t, casting="unsafe")
+    hi2 = t
     rot = hi2 >> _U64(58)
     x = hi2 ^ lo2
-    out = (x >> rot) | (x << ((_U64(64) - rot) & _U64(63)))
+    out = x >> rot
+    np.subtract(_U64(64), rot, out=rot)
+    rot &= _U64(63)
+    x <<= rot
+    out |= x
     return hi2, lo2, out
 
 
@@ -238,12 +287,18 @@ def _check_family(prober: _Prober, keys, u0, vec_values, accept, scalar_draw) ->
     return True
 
 
-def _build_tables() -> dict:
+def _build_tables(candidates: dict | None = None) -> dict:
     """Harvest + verify the vectorized sampling backend (once per process).
 
     Returns ``{"pcg": bool, "uniform": bool, "exp": (we, ke) | None,
     "norm": (wi, ki) | None}``.  Any check that fails simply disables
     its family — affected lanes take the exact scalar fallback.
+
+    ``candidates`` optionally supplies previously-harvested ziggurat
+    tables (e.g. from the on-disk cache).  Candidates run through the
+    *same* scalar-draw verification as a fresh harvest, so a stale or
+    corrupted cache can never change results — it just falls through to
+    the runtime harvest.
     """
     out: dict = {"pcg": False, "uniform": False, "exp": None, "norm": None}
     prober = _Prober()
@@ -269,27 +324,31 @@ def _build_tables() -> dict:
     )
 
     # 3. Exponential ziggurat: idx = (u >> 3) & 0xFF, payload = u >> 11.
-    with contextlib.suppress(RuntimeError):  # layer harvest gives up on odd builds
-        exp_tables = _harvest_layers(
-            lambda idx, pay: prober.probe(((pay << 8) | idx) << 3, prober.gen.standard_exponential),
-            payload_bits=53,
-        )
-        we, ke = exp_tables
+    def check_exp(tables) -> bool:
+        we, ke = tables
         ri = u0 >> _U64(3)
         lidx = (ri & _U64(0xFF)).astype(np.intp)
         pay = ri >> _U64(8)
         x = pay.astype(np.float64) * we[lidx]
         acc = pay < ke[lidx]
-        if _check_family(prober, keys, u0, x, acc, lambda g: g.standard_exponential()):
-            out["exp"] = exp_tables
+        return _check_family(prober, keys, u0, x, acc, lambda g: g.standard_exponential())
+
+    cand = candidates.get("exp") if candidates else None
+    if cand is not None and check_exp(cand):
+        out["exp"] = cand
+        obs.add("compiled.tables_cache.hits")
+    else:
+        with contextlib.suppress(RuntimeError):  # layer harvest gives up on odd builds
+            exp_tables = _harvest_layers(
+                lambda idx, pay: prober.probe(((pay << 8) | idx) << 3, prober.gen.standard_exponential),
+                payload_bits=53,
+            )
+            if check_exp(exp_tables):
+                out["exp"] = exp_tables
 
     # 4. Normal ziggurat: idx = u & 0xFF, sign = bit 8, rabs = 52 bits above.
-    with contextlib.suppress(RuntimeError):
-        norm_tables = _harvest_layers(
-            lambda idx, rabs: prober.probe((rabs << 9) | idx, prober.gen.standard_normal),
-            payload_bits=52,
-        )
-        wi, ki = norm_tables
+    def check_norm(tables) -> bool:
+        wi, ki = tables
         nidx = (u0 & _U64(0xFF)).astype(np.intp)
         r = u0 >> _U64(8)
         sign = (r & _U64(1)) != 0
@@ -297,16 +356,121 @@ def _build_tables() -> dict:
         z = rabs.astype(np.float64) * wi[nidx]
         z = np.where(sign, -z, z)
         acc = rabs < ki[nidx]
-        if _check_family(prober, keys, u0, z, acc, lambda g: g.standard_normal()):
-            out["norm"] = norm_tables
+        return _check_family(prober, keys, u0, z, acc, lambda g: g.standard_normal())
+
+    cand = candidates.get("norm") if candidates else None
+    if cand is not None and check_norm(cand):
+        out["norm"] = cand
+        obs.add("compiled.tables_cache.hits")
+    else:
+        with contextlib.suppress(RuntimeError):
+            norm_tables = _harvest_layers(
+                lambda idx, rabs: prober.probe((rabs << 9) | idx, prober.gen.standard_normal),
+                payload_bits=52,
+            )
+            if check_norm(norm_tables):
+                out["norm"] = norm_tables
     return out
+
+
+# -- per-user on-disk table cache (skips the harvest in pool workers and
+# repeated CLI runs; contents are re-verified on every load) -----------------
+
+TABLES_CACHE_ENV = "REPRO_TABLES_CACHE"
+_TABLES_CACHE_SCHEMA = "repro-ziggurat-tables/1"
+
+
+def _tables_cache_path() -> Path | None:
+    """Cache file for this numpy version, or None when disabled.
+
+    ``REPRO_TABLES_CACHE`` overrides the directory; ``0`` / ``off`` /
+    ``none`` disables the cache entirely.  The filename embeds the
+    numpy version because the tables mirror numpy's private ziggurat
+    layout — an upgraded numpy harvests (and caches) afresh.
+    """
+    val = os.environ.get(TABLES_CACHE_ENV, "").strip()
+    if val.lower() in ("0", "off", "none", "disabled"):
+        return None
+    if val:
+        root = Path(val)
+    else:
+        base = os.environ.get("XDG_CACHE_HOME") or str(Path.home() / ".cache")
+        root = Path(base) / "repro"
+    return root / f"ziggurat-np{np.__version__}.json"
+
+
+def _load_table_candidates(path: Path) -> dict | None:
+    """Parse cached tables; None on any structural problem (then the
+    normal harvest runs — verification guards against value problems)."""
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if not isinstance(doc, dict) or doc.get("schema") != _TABLES_CACHE_SCHEMA:
+        return None
+    out: dict = {}
+    for fam in ("exp", "norm"):
+        ent = doc.get(fam)
+        if ent is None:
+            out[fam] = None
+            continue
+        try:
+            w = np.asarray(ent["w"], dtype=np.float64)
+            kk = np.asarray(ent["k"], dtype=np.uint64)
+        except (KeyError, TypeError, ValueError, OverflowError):
+            return None
+        if w.shape != (256,) or kk.shape != (256,):
+            return None
+        out[fam] = (w, kk)
+    return out
+
+
+def _store_tables(path: Path, tables: dict) -> None:
+    doc: dict = {"schema": _TABLES_CACHE_SCHEMA, "numpy": np.__version__}
+    for fam in ("exp", "norm"):
+        ent = tables[fam]
+        doc[fam] = (
+            None
+            if ent is None
+            else {"w": ent[0].tolist(), "k": [int(x) for x in ent[1].tolist()]}
+        )
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(path, json.dumps(doc, sort_keys=True) + "\n")
+        obs.add("compiled.tables_cache.writes")
+    except OSError:  # unwritable cache dir: never fatal
+        pass
+
+
+def _tables_match_candidates(tables: dict, candidates: dict | None) -> bool:
+    if candidates is None:
+        return False
+    for fam in ("exp", "norm"):
+        t, c = tables[fam], candidates.get(fam)
+        if (t is None) != (c is None):
+            return False
+        if t is not None and not (
+            np.array_equal(t[0], c[0]) and np.array_equal(t[1], c[1])
+        ):
+            return False
+    return True
 
 
 def _get_tables() -> dict:
     global _TABLES
     if _TABLES is None:
-        with obs.span("compiled.harvest_tables"):
-            _TABLES = _build_tables()
+        path = _tables_cache_path()
+        candidates = None
+        if path is not None and path.exists():
+            candidates = _load_table_candidates(path)
+        with obs.span("compiled.harvest_tables", cached=candidates is not None):
+            _TABLES = _build_tables(candidates)
+        if (
+            path is not None
+            and (_TABLES["exp"] is not None or _TABLES["norm"] is not None)
+            and not _tables_match_candidates(_TABLES, candidates)
+        ):
+            _store_tables(path, _TABLES)
     return _TABLES
 
 
@@ -334,6 +498,51 @@ class _VecDist:
     p1: float
     p2: float = 0.0
     ops: tuple = ()
+
+
+_CLASSIFY_CACHE: dict = {}
+_CLASSIFY_CACHE_MAX = 4096
+
+
+def _dist_key(dist):
+    """Hashable identity of a distribution over the verified registry,
+    or None for families we cannot key (classified fresh each time)."""
+    if isinstance(dist, Constant):
+        return ("const", dist.value)
+    if isinstance(dist, Uniform):
+        return ("uniform", dist.low, dist.high)
+    if isinstance(dist, Exponential):
+        return ("exp", dist.mean_value)
+    if isinstance(dist, Normal):
+        return ("norm", dist.mu, dist.sigma)
+    if isinstance(dist, Shifted):
+        inner = _dist_key(dist.base)
+        return None if inner is None else ("shift", dist.offset, inner)
+    if isinstance(dist, Scaled):
+        inner = _dist_key(dist.base)
+        return None if inner is None else ("scale", dist.factor, inner)
+    return None
+
+
+def _classify_cached(dist, tables: dict):
+    """Module-level memoized :func:`_classify`, keyed by distribution
+    *value* plus which table families are enabled — so sweeps binding
+    many signatures classify each distinct distribution once per
+    process instead of once per bind."""
+    if not tables["pcg"]:
+        return None
+    key = _dist_key(dist)
+    if key is None:
+        return _classify(dist, tables)
+    full_key = (key, tables["uniform"], tables["exp"] is None, tables["norm"] is None)
+    try:
+        return _CLASSIFY_CACHE[full_key]
+    except KeyError:
+        if len(_CLASSIFY_CACHE) >= _CLASSIFY_CACHE_MAX:
+            _CLASSIFY_CACHE.clear()
+        val = _classify(dist, tables)
+        _CLASSIFY_CACHE[full_key] = val
+        return val
 
 
 def _classify(dist, tables: dict):
@@ -449,23 +658,64 @@ class _Group:
     """Edges sharing one program shape, sampled lane-parallel.
 
     ``lanes`` indexes the supported-lane axis (for stream keys);
-    ``edge_ids`` the global edge axis (for output columns).  Steps are
+    ``edge_ids`` the global edge axis (for uid/weight/fallback lookups);
+    ``out_cols`` the sampler's output column axis.  Steps are
     ``("const", contrib_row)`` — no stream consumption — or
     ``("draw", _VecDist, factor_row | None)``.
     """
 
-    __slots__ = ("lanes", "edge_ids", "steps")
+    __slots__ = ("lanes", "edge_ids", "out_cols", "steps")
 
-    def __init__(self, lanes, edge_ids, steps):
+    def __init__(self, lanes, edge_ids, out_cols, steps):
         self.lanes = lanes
         self.edge_ids = edge_ids
+        self.out_cols = out_cols
         self.steps = steps
 
 
-class _BoundSampler:
-    """A CompiledPlan's sampler bound to one machine signature."""
+def _stream_key_arrays(seeds_u64, kind_u64, uid_mat, uid_len):
+    """Per-(replicate, lane) PCG64 state arrays, shape (R, n_lanes).
 
-    def __init__(self, plan: "CompiledPlan", signature: MachineSignature):
+    Replays ``PerturbationSpec``'s ``(seed, kind, *uid)`` splitmix
+    chain for every lane of a uid-column block at once.
+    """
+    h0 = _splitmix64_vec(_U64(_FNV_SEED) ^ seeds_u64)
+    h = np.bitwise_xor(h0[:, None], kind_u64[None, :])
+    t = np.empty_like(h)
+    _splitmix64_into(h, t)
+    for j in range(uid_mat.shape[1]):
+        cols = uid_len > j
+        if not np.any(cols):
+            break
+        if cols.all():
+            h ^= uid_mat[None, :, j]
+            _splitmix64_into(h, t)
+        else:
+            h[:, cols] = _splitmix64_vec(h[:, cols] ^ uid_mat[cols, j][None, :])
+    k = h
+    s1 = _splitmix64_into(k.copy(), t)
+    s2 = _splitmix64_into(s1.copy(), t)
+    s3 = _splitmix64_into(s2.copy(), t)
+    inc_hi = (s2 << _U64(1)) | (s3 >> _U64(63))
+    inc_lo = (s3 << _U64(1)) | _U64(1)
+    return k, s1, inc_hi, inc_lo
+
+
+class _BoundSampler:
+    """A CompiledPlan's sampler bound to one machine signature.
+
+    With ``edge_ids=None`` it covers the full edge axis (output width
+    ``n_edges``); with an explicit edge-id subset its output columns
+    follow that subset's order (the coarse engine samples the static
+    region this way).
+    """
+
+    def __init__(
+        self,
+        plan: "CompiledPlan",
+        signature: MachineSignature,
+        edge_ids: np.ndarray | None = None,
+    ):
         self.plan = plan
         self.signature = signature
         self.tables = _get_tables()
@@ -474,27 +724,45 @@ class _BoundSampler:
         def classify(dist):
             key = id(dist)
             if key not in cache:
-                cache[key] = _classify(dist, self.tables) if self.tables["pcg"] else None
+                cache[key] = _classify_cached(dist, self.tables)
             return cache[key]
 
+        if edge_ids is None:
+            self.out_width = plan.n_edges
+            cand = plan.sampled_ids
+            cand_cols = plan.sampled_ids
+        else:
+            edge_ids = np.asarray(edge_ids, dtype=np.int64)
+            self.out_width = len(edge_ids)
+            mask = plan.edge_kind[edge_ids] != int(DeltaKind.NONE)
+            cand = edge_ids[mask]
+            cand_cols = np.nonzero(mask)[0]
+
         sup_lanes: list[int] = []  # edge ids with a vectorizable program
+        sup_cols: list[int] = []
         programs: list = []
         unsup: list[int] = []
-        for eid in plan.sampled_ids:
+        unsup_cols: list[int] = []
+        for eid, col in zip(cand.tolist(), cand_cols.tolist()):
             delta = plan.deltas[eid]
             if not delta.uid:
                 # scalar engine raises for uid-less sampled edges; defer
                 # to it so the error (and message) is identical.
                 unsup.append(eid)
+                unsup_cols.append(col)
                 continue
             prog = _edge_program(signature, delta, plan.edge_weight[eid], classify)
             if prog is None:
                 unsup.append(eid)
+                unsup_cols.append(col)
             else:
                 sup_lanes.append(eid)
+                sup_cols.append(col)
                 programs.append(prog)
         self.unsup_ids = np.array(unsup, dtype=np.int64)
+        self.unsup_cols = np.array(unsup_cols, dtype=np.int64)
         self.lane_edge_ids = np.array(sup_lanes, dtype=np.int64)
+        lane_cols = np.array(sup_cols, dtype=np.int64)
         n_sup = len(sup_lanes)
         self.kind_u64 = plan.uid_kind[self.lane_edge_ids] if n_sup else np.empty(0, _U64)
         self.uid_mat = plan.uid_mat[self.lane_edge_ids] if n_sup else np.empty((0, 0), _U64)
@@ -515,32 +783,27 @@ class _BoundSampler:
                 else:
                     fac = None if np.all(factors == 1.0) else factors
                     steps.append(("draw", dist, fac))
-            self.groups.append(_Group(lanes_arr, self.lane_edge_ids[lanes_arr], steps))
+            self.groups.append(
+                _Group(
+                    lanes_arr,
+                    self.lane_edge_ids[lanes_arr],
+                    lane_cols[lanes_arr],
+                    steps,
+                )
+            )
 
     # -- sampling ---------------------------------------------------------------
     def _stream_keys(self, seeds_u64: np.ndarray):
         """Per-(replicate, lane) PCG64 state arrays, shape (R, n_sup)."""
-        h = _splitmix64_vec(_U64(_FNV_SEED) ^ seeds_u64)[:, None]
-        h = _splitmix64_vec(h ^ self.kind_u64[None, :])
-        for j in range(self.uid_mat.shape[1]):
-            cols = self.uid_len > j
-            if not np.any(cols):
-                break
-            h[:, cols] = _splitmix64_vec(h[:, cols] ^ self.uid_mat[cols, j][None, :])
-        k = h
-        s1 = _splitmix64_vec(k)
-        s2 = _splitmix64_vec(s1)
-        s3 = _splitmix64_vec(s2)
-        inc_hi = (s2 << _U64(1)) | (s3 >> _U64(63))
-        inc_lo = (s3 << _U64(1)) | _U64(1)
-        return k, s1, inc_hi, inc_lo
+        return _stream_key_arrays(seeds_u64, self.kind_u64, self.uid_mat, self.uid_len)
 
     def sample_raw(self, seeds: list[int], scale: float) -> np.ndarray:
-        """(R, n_edges) matrix of per-edge deltas, row r drawn exactly as
-        ``PerturbationSpec(signature, seed=seeds[r], scale=scale)`` would."""
+        """(R, out_width) matrix of per-edge deltas, row r drawn exactly
+        as ``PerturbationSpec(signature, seed=seeds[r], scale=scale)``
+        would for each covered edge."""
         plan = self.plan
         R = len(seeds)
-        raw = np.zeros((R, plan.n_edges), dtype=np.float64)
+        raw = np.zeros((R, self.out_width), dtype=np.float64)
         fallback = 0
         if len(self.lane_edge_ids):
             seeds_u64 = np.array([s & _MASK64 for s in seeds], dtype=_U64)
@@ -566,7 +829,7 @@ class _BoundSampler:
                     V += v
                     if acc is not None:
                         ok &= acc
-                raw[:, g.edge_ids] = V * scale
+                raw[:, g.out_cols] = V * scale
                 bad_cols.append(~ok)
             # Exact per-lane fallback: any replicate/edge whose draw chain
             # left the verified fast path is resampled by the scalar spec.
@@ -582,14 +845,155 @@ class _BoundSampler:
                         spec = PerturbationSpec(self.signature, seed=seeds[r], scale=scale)
                         last_row = r
                     eid = int(g.edge_ids[c])
-                    raw[r, eid] = spec.sample(plan.deltas[eid], plan.edge_weight[eid])
+                    raw[r, int(g.out_cols[c])] = spec.sample(
+                        plan.deltas[eid], plan.edge_weight[eid]
+                    )
         if len(self.unsup_ids):
             fallback += R * len(self.unsup_ids)
             for r in range(R):
                 spec = PerturbationSpec(self.signature, seed=seeds[r], scale=scale)
-                for eid in self.unsup_ids:
-                    raw[r, eid] = spec.sample(plan.deltas[eid], plan.edge_weight[eid])
-        obs.span_add("compiled.lanes", R * plan.n_edges)
+                for eid, col in zip(self.unsup_ids.tolist(), self.unsup_cols.tolist()):
+                    raw[r, col] = spec.sample(plan.deltas[eid], plan.edge_weight[eid])
+        obs.span_add("compiled.lanes", R * self.out_width)
+        if fallback:
+            obs.span_add("compiled.fallback_lanes", fallback)
+        return raw
+
+
+class _TemplateSampler:
+    """Shared per-template draw programs, sampled per instance chunk.
+
+    Phase congruence guarantees every templated instance's edge at
+    template position ``q`` has the same delta kind / endpoints /
+    nbytes / rounds — hence the same draw program — while uids (and so
+    PCG streams) differ per repetition.  Programs therefore classify
+    **once** from the reference instance; sampling gathers each
+    instance chunk's per-edge uid rows and runs the shared program over
+    one ``(R, n_inst * n_lanes)`` lane block, reproducing the scalar
+    draws bit-for-bit via exactly the machinery of
+    :class:`_BoundSampler`.
+
+    Only valid when programs are weight-independent, i.e.
+    ``signature.os_quantum <= 0`` (the caller gates on this).
+    """
+
+    def __init__(self, plan: "CompiledPlan", signature: MachineSignature, ir):
+        self.plan = plan
+        self.signature = signature
+        self.ir = ir
+        self.tables = _get_tables()
+        cache: dict = {}
+
+        def classify(dist):
+            key = id(dist)
+            if key not in cache:
+                cache[key] = _classify_cached(dist, self.tables)
+            return cache[key]
+
+        ref = ir.run_edge_ids[-1]
+        kinds = plan.edge_kind[ref]
+        none_code = int(DeltaKind.NONE)
+        # Any uid-less sampled edge anywhere in the run: bail to the
+        # flat sampler wholesale so its error surface is identical.
+        sampled_cols = kinds != none_code
+        self.ok = not (
+            sampled_cols.any()
+            and np.any(plan.uid_len[ir.run_edge_ids[:, sampled_cols]] == 0)
+        )
+        sup: list[tuple[int, list]] = []
+        unsup_pos: list[int] = []
+        if self.ok:
+            for q in range(ir.n_te):
+                if kinds[q] == none_code:
+                    continue  # unsampled: raw stays 0 for every instance
+                eid = int(ref[q])
+                prog = _edge_program(
+                    signature, plan.deltas[eid], plan.edge_weight[eid], classify
+                )
+                if prog is None:
+                    unsup_pos.append(q)
+                else:
+                    sup.append((q, prog))
+        by_shape: dict[tuple, list[tuple[int, list]]] = {}
+        for q, prog in sup:
+            by_shape.setdefault(tuple(d for d, _ in prog), []).append((q, prog))
+        self.groups: list[tuple[np.ndarray, list]] = []
+        for shape, members in by_shape.items():
+            tpos = np.array([q for q, _ in members], dtype=np.int64)
+            steps: list = []
+            for j, dist in enumerate(shape):
+                factors = np.array([m[1][j][1] for m in members], dtype=np.float64)
+                if isinstance(dist, _ConstDist):
+                    steps.append(("const", max(dist.value, 0.0) * factors))
+                else:
+                    fac = None if np.all(factors == 1.0) else factors
+                    steps.append(("draw", dist, fac))
+            self.groups.append((tpos, steps))
+        self.unsup_pos = np.array(unsup_pos, dtype=np.int64)
+
+    def sample(self, seeds: list[int], scale: float, j0: int, j1: int) -> np.ndarray:
+        """(R, (j1-j0) * n_te) sampled deltas for templated instances
+        ``[j0, j1)``, instance-major, bit-identical per edge to the
+        scalar ``PerturbationSpec.sample``."""
+        plan, ir = self.plan, self.ir
+        rows = ir.run_edge_ids[j0:j1]
+        ni = j1 - j0
+        n_te = ir.n_te
+        R = len(seeds)
+        raw = np.zeros((R, ni * n_te), dtype=np.float64)
+        seeds_u64 = np.array([s & _MASK64 for s in seeds], dtype=_U64)
+        fallback = 0
+        for tpos, steps in self.groups:
+            gids = rows[:, tpos].reshape(-1)  # instance-major lane order
+            k, s1, inc_hi, inc_lo = _stream_key_arrays(
+                seeds_u64, plan.uid_kind[gids], plan.uid_mat[gids], plan.uid_len[gids]
+            )
+            hi, lo, ihi, ilo = k, s1, inc_hi, inc_lo
+            n_lane = ni * len(tpos)
+            V = np.zeros((R, n_lane), dtype=np.float64)
+            ok = np.ones((R, n_lane), dtype=bool)
+            for step in steps:
+                if step[0] == "const":
+                    V += np.tile(step[1], ni)
+                    continue
+                _, dist, fac = step
+                hi, lo, u = _pcg_next64(hi, lo, ihi, ilo)
+                v, acc = _eval_dist(dist, u, self.tables)
+                np.maximum(v, 0.0, out=v)
+                if fac is not None:
+                    v *= np.tile(fac, ni)
+                V += v
+                if acc is not None:
+                    ok &= acc
+            cols = (
+                np.arange(ni, dtype=np.int64)[:, None] * n_te + tpos[None, :]
+            ).reshape(-1)
+            raw[:, cols] = V * scale
+            if not ok.all():
+                bad_r, bad_l = np.nonzero(~ok)
+                fallback += len(bad_r)
+                spec = None
+                last_row = -1
+                for r, c in zip(bad_r.tolist(), bad_l.tolist()):
+                    if r != last_row:
+                        spec = PerturbationSpec(self.signature, seed=seeds[r], scale=scale)
+                        last_row = r
+                    eid = int(gids[c])
+                    raw[r, int(cols[c])] = spec.sample(
+                        plan.deltas[eid], plan.edge_weight[eid]
+                    )
+        if len(self.unsup_pos):
+            fallback += R * ni * len(self.unsup_pos)
+            unsup = self.unsup_pos.tolist()
+            for r in range(R):
+                spec = PerturbationSpec(self.signature, seed=seeds[r], scale=scale)
+                for j in range(ni):
+                    for q in unsup:
+                        eid = int(rows[j, q])
+                        raw[r, j * n_te + q] = spec.sample(
+                            plan.deltas[eid], plan.edge_weight[eid]
+                        )
+        obs.span_add("compiled.lanes", R * ni * n_te)
         if fallback:
             obs.span_add("compiled.fallback_lanes", fallback)
         return raw
@@ -624,6 +1028,21 @@ class _Level:
             setattr(self, s, v)
 
 
+def _apply_mode_w(raw: np.ndarray, w: np.ndarray, mode: str):
+    """δ_eff + additive clamp counts for explicit per-column weights.
+
+    Exactly the operations of :meth:`CompiledPlan.apply_mode` (which
+    delegates here with the full weight row) — the coarse engine calls
+    it with gathered static / per-instance weight slices so both paths
+    compute bit-identical effective deltas.
+    """
+    if mode == "threshold":
+        return np.maximum(0.0, raw - w), np.zeros(raw.shape[0], dtype=np.int64)
+    mask = raw < -w
+    eff = np.where(mask, -w, raw)
+    return eff, mask.sum(axis=1).astype(np.int64)
+
+
 @dataclass(frozen=True)
 class CompiledBatch:
     """Replicate-batched propagation output.
@@ -646,8 +1065,12 @@ class CompiledPlan:
     compact arrays to workers instead of the Python object graph.
     """
 
-    def __init__(self, build: BuildResult):
-        with obs.span("compiled.compile"):
+    def __init__(self, build: BuildResult, coarsen: str = "auto"):
+        if coarsen not in COARSEN_CHOICES:
+            raise ValueError(
+                f"coarsen must be one of {COARSEN_CHOICES}, got {coarsen!r}"
+            )
+        with obs.span("compiled.compile", coarsen=coarsen):
             g = build.graph
             self.nprocs = g.nprocs
             self.n_nodes = len(g.nodes)
@@ -686,8 +1109,9 @@ class CompiledPlan:
                     self.uid_mat[i, j] = v & _MASK64
 
             # Level schedule: level(v) = 1 + max level of predecessors.
+            topo = g.topological_order()
             level = [0] * self.n_nodes
-            for v in g.topological_order():
+            for v in topo:
                 ins = g.in_edge_ids(v)
                 if ins:
                     level[v] = 1 + max(level[edges[ei].src] for ei in ins)
@@ -726,14 +1150,33 @@ class CompiledPlan:
                 if nid is not None:
                     self.final_node[rank] = nid
                     self.final_t_local[rank] = g.nodes[nid].t_local
+            # Hierarchical IR: detect the repeated phase and lower it to
+            # the two-level coarse plan.  ``auto`` only attempts detection
+            # on graphs large enough for the coarse walk to pay off.
+            self.coarsen = coarsen
+            self.coarse = None
+            if coarsen == "on" or (coarsen == "auto" and self.n_nodes >= AUTO_MIN_NODES):
+                with obs.span("coarsen.detect", nodes=self.n_nodes):
+                    self.coarse = detect_phases(self, g, topo)
+                if self.coarse is not None:
+                    obs.add("coarsen.applied")
+                else:
+                    obs.add("coarsen.rejected")
+
             obs.span_add("compiled.plans")
             self._samplers: list[tuple[MachineSignature, _BoundSampler]] = []
+            self._coarse_binds: list = []
+            self._tmpl_abs: dict = {}
+            self._tap_groups: dict | None = None
             self._tables = _get_tables()  # harvested once; rides the pickle
 
     # -- pickling (ship arrays, not caches) -------------------------------------
     def __getstate__(self):
         state = self.__dict__.copy()
         state["_samplers"] = []
+        state["_coarse_binds"] = []
+        state["_tmpl_abs"] = {}
+        state["_tap_groups"] = None
         return state
 
     def __setstate__(self, state):
@@ -755,13 +1198,61 @@ class CompiledPlan:
             self._samplers.pop(0)
         return sampler
 
+    def _coarse_ready(self, signature: MachineSignature) -> bool:
+        """Whether the coarse sampling path may serve this signature.
+
+        Interval-scaled OS draws (``os_quantum > 0``) make draw programs
+        weight-dependent, which breaks template program sharing — those
+        signatures take the flat engine (still exact, just slower).
+        """
+        return self.coarse is not None and signature.os_quantum <= 0.0
+
+    def _coarse_bind(self, signature: MachineSignature):
+        """``(static_sampler, template_sampler)`` for one signature, or
+        None when the template cannot be sampled coarsely (flat path)."""
+        for sig, pair in self._coarse_binds:
+            if sig is signature or sig == signature:
+                return pair
+        ir = self.coarse
+        tmpl = _TemplateSampler(self, signature, ir)
+        pair = None
+        if tmpl.ok:
+            static = _BoundSampler(self, signature, edge_ids=ir.static_eids)
+            pair = (static, tmpl)
+        self._coarse_binds.append((signature, pair))
+        if len(self._coarse_binds) > 4:
+            self._coarse_binds.pop(0)
+        return pair
+
     def sample_raw_batch(
         self, signature: MachineSignature, seeds: list[int], scale: float = 1.0
     ) -> np.ndarray:
         """(R, n_edges) sampled deltas (already scaled), bit-identical to
         per-replicate ``PerturbationSpec.sample`` over every edge."""
         with obs.span("compiled.sample", replicates=len(seeds)):
+            if self._coarse_ready(signature):
+                pair = self._coarse_bind(signature)
+                if pair is not None:
+                    return self._coarse_sample_full(pair, list(seeds), scale)
             return self.bind(signature).sample_raw(list(seeds), scale)
+
+    def _coarse_sample_full(self, pair, seeds: list[int], scale: float) -> np.ndarray:
+        """Assemble the full (R, n_edges) raw matrix through the coarse
+        samplers — avoids the per-edge flat bind on huge graphs while
+        producing identical values column by column."""
+        ir = self.coarse
+        static_s, tmpl_s = pair
+        R = len(seeds)
+        raw = np.zeros((R, self.n_edges), dtype=np.float64)
+        if len(ir.static_eids):
+            raw[:, ir.static_eids] = static_s.sample_raw(seeds, scale)
+        step = max(1, int(12_000_000 // max(1, R * ir.n_te * 3)))
+        for j0 in range(0, ir.m_run, step):
+            j1 = min(ir.m_run, j0 + step)
+            raw[:, ir.run_edge_ids[j0:j1].reshape(-1)] = tmpl_s.sample(
+                seeds, scale, j0, j1
+            )
+        return raw
 
     # -- mode + kernel ----------------------------------------------------------
     def apply_mode(self, raw: np.ndarray, mode: str):
@@ -771,12 +1262,7 @@ class CompiledPlan:
         zero-floor clamps per replicate."""
         if mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
-        w = self.edge_weight
-        if mode == "threshold":
-            return np.maximum(0.0, raw - w), np.zeros(raw.shape[0], dtype=np.int64)
-        mask = raw < -w
-        eff = np.where(mask, -w, raw)
-        return eff, mask.sum(axis=1).astype(np.int64)
+        return _apply_mode_w(raw, self.edge_weight, mode)
 
     def kernel(self, eff: np.ndarray) -> np.ndarray:
         """One topological pass for all replicates: (R, n_nodes) delays."""
@@ -833,6 +1319,174 @@ class CompiledPlan:
         out[:, have] = D[:, self.final_node[have]]
         return out
 
+    # -- coarse (two-level) execution ---------------------------------------------
+    def _tmpl_levels_abs(self, phi: int):
+        """Template levels materialized for ring frame ``phi``: absolute
+        scratch positions for destinations and (lagged or static)
+        sources.  Cached per frame — there are only ``L`` variants."""
+        got = self._tmpl_abs.get(phi)
+        if got is None:
+            ir = self.coarse
+            got = []
+            for lv in ir.tmpl_levels:
+                lagged = lv.src_lag >= 0
+                slot = (phi - lv.src_lag) % ir.L
+                src = np.where(
+                    lagged, ir.ring_base + slot * ir.n_t + lv.src_ref, lv.src_ref
+                )
+                dst = ir.ring_base + phi * ir.n_t + lv.dst
+                got.append((dst, src, lv.ecol, lv.segs, lv.single))
+            self._tmpl_abs[phi] = got
+        return got
+
+    def _instance_taps(self) -> dict:
+        """Per-instance tap copies ``{instance: (slots, frame_offsets)}``."""
+        if self._tap_groups is None:
+            ir = self.coarse
+            groups: dict[int, tuple[list, list]] = {}
+            for j, (inst, off) in enumerate(
+                zip(ir.tap_inst.tolist(), ir.tap_off.tolist())
+            ):
+                slots, offs = groups.setdefault(int(inst), ([], []))
+                slots.append(ir.tap_base + j)
+                offs.append(int(off))
+            self._tap_groups = {
+                i: (np.array(a, dtype=np.int64), np.array(b, dtype=np.int64))
+                for i, (a, b) in groups.items()
+            }
+        return self._tap_groups
+
+    def _coarse_run(self, R: int, eff_static: np.ndarray, tmpl_eff, D_full=None):
+        """Walk the two-level plan for ``R`` replicate rows.
+
+        ``eff_static`` is the (R, n_static) effective-delta block in
+        ``static_eids`` order; ``tmpl_eff(j0, j1)`` returns the
+        ``(eff, clamped)`` block for templated instances ``[j0, j1)``.
+        Returns ``(final delays (R, nprocs), template clamp counts)``.
+        Any execution order yields the flat engine's exact floats: each
+        node's value is the max over the identical contrib operand
+        pairs, and float max is order-exact.
+        """
+        ir = self.coarse
+        S = np.zeros((R, ir.W), dtype=np.float64)
+        for lv in ir.pre_levels:
+            contrib = S[:, lv.src] + eff_static[:, lv.ecol]
+            if lv.single:
+                S[:, lv.dst] = contrib
+            else:
+                S[:, lv.dst] = np.maximum.reduceat(contrib, lv.segs, axis=1)
+        n_t, L, ring = ir.n_t, ir.L, ir.ring_base
+        for j in range(ir.fold):
+            frame = ring + (j % L) * n_t
+            S[:, frame : frame + n_t] = S[:, ir.fold_src_pos[j]]
+        if D_full is not None and ir.n_pre:
+            D_full[:, ir.pre_node_ids] = S[:, : ir.n_pre]
+        taps = self._instance_taps()
+        clamp = np.zeros(R, dtype=np.int64)
+        zero = ir.zero_offs
+        step = max(1, int(12_000_000 // max(1, R * ir.n_te * 3)))
+        for j0 in range(0, ir.m_run, step):
+            j1 = min(ir.m_run, j0 + step)
+            eff_c, nclamp_c = tmpl_eff(j0, j1)
+            clamp += nclamp_c
+            for j in range(j0, j1):
+                i = ir.fold + j
+                phi = i % L
+                frame = ring + phi * n_t
+                if len(zero):
+                    S[:, frame + zero] = 0.0
+                off = (j - j0) * ir.n_te
+                for dst, src, ecol, segs, single in self._tmpl_levels_abs(phi):
+                    contrib = S[:, src] + eff_c[:, off + ecol]
+                    if single:
+                        S[:, dst] = contrib
+                    else:
+                        S[:, dst] = np.maximum.reduceat(contrib, segs, axis=1)
+                tp = taps.get(i)
+                if tp is not None:
+                    S[:, tp[0]] = S[:, frame + tp[1]]
+                if D_full is not None:
+                    D_full[:, ir.run_node_ids[i]] = S[:, frame : frame + n_t]
+        for lv in ir.post_levels:
+            contrib = S[:, lv.src] + eff_static[:, lv.ecol]
+            if lv.single:
+                S[:, lv.dst] = contrib
+            else:
+                S[:, lv.dst] = np.maximum.reduceat(contrib, lv.segs, axis=1)
+        if D_full is not None and ir.n_post:
+            D_full[:, ir.post_node_ids] = S[:, ir.post_base : ir.post_base + ir.n_post]
+        delays = np.zeros((R, self.nprocs), dtype=np.float64)
+        have = ir.final_pos >= 0
+        if have.any():
+            delays[:, have] = S[:, ir.final_pos[have]]
+        return delays, clamp
+
+    def _coarse_batch(self, spec: PerturbationSpec, seeds: list[int], mode: str):
+        """Coarse-path ``propagate_batch`` (None → caller goes flat)."""
+        pair = self._coarse_bind(spec.signature)
+        if pair is None:
+            return None
+        static_s, tmpl_s = pair
+        ir = self.coarse
+        R = len(seeds)
+        delays = np.empty((R, self.nprocs), dtype=np.float64)
+        clamped = np.empty(R, dtype=np.int64)
+        w_static = self.edge_weight[ir.static_eids]
+        step = max(1, min(R, 12_000_000 // max(1, ir.W + 4 * ir.n_te)))
+        for lo in range(0, R, step):
+            chunk = seeds[lo : lo + step]
+            Rc = len(chunk)
+            with obs.span("compiled.sample", replicates=Rc):
+                raw_s = static_s.sample_raw(chunk, spec.scale)
+            eff_s, nclamp = _apply_mode_w(raw_s, w_static, mode)
+
+            def tmpl_eff(j0, j1, _chunk=chunk):
+                with obs.span("compiled.sample", replicates=Rc):
+                    raw_t = tmpl_s.sample(_chunk, spec.scale, j0, j1)
+                w = self.edge_weight[ir.run_edge_ids[j0:j1]].reshape(-1)
+                return _apply_mode_w(raw_t, w, mode)
+
+            with obs.span("compiled.propagate", replicates=Rc, mode=mode, coarse=True):
+                d, cl = self._coarse_run(Rc, eff_s, tmpl_eff)
+                nclamp = nclamp + cl
+                obs.span_add("traversal.propagations", Rc)
+                if nclamp.any():
+                    obs.span_add("traversal.clamped_edges", int(nclamp.sum()))
+            delays[lo : lo + step] = d
+            clamped[lo : lo + step] = nclamp
+        return CompiledBatch(delays=delays, clamped=clamped, mode=mode)
+
+    def _coarse_presampled(
+        self, raw_base: np.ndarray, scales: list[float], mode: str
+    ) -> CompiledBatch:
+        """Coarse-path ``propagate_presampled_batch``: effective deltas
+        are gathered per region from the single pre-sampled row, so no
+        (R, n_edges) scratch is ever allocated."""
+        ir = self.coarse
+        scales_arr = np.asarray(scales, dtype=np.float64)
+        R = len(scales_arr)
+        with obs.span("compiled.propagate", replicates=R, mode=mode, coarse=True):
+            eff_s, nclamp = _apply_mode_w(
+                raw_base[ir.static_eids][None, :] * scales_arr[:, None],
+                self.edge_weight[ir.static_eids],
+                mode,
+            )
+
+            def tmpl_eff(j0, j1):
+                cols = ir.run_edge_ids[j0:j1].reshape(-1)
+                return _apply_mode_w(
+                    raw_base[cols][None, :] * scales_arr[:, None],
+                    self.edge_weight[cols],
+                    mode,
+                )
+
+            delays, cl = self._coarse_run(R, eff_s, tmpl_eff)
+            nclamp = nclamp + cl
+            obs.span_add("traversal.propagations", R)
+            if nclamp.any():
+                obs.span_add("traversal.clamped_edges", int(nclamp.sum()))
+        return CompiledBatch(delays=delays, clamped=nclamp, mode=mode)
+
     # -- high-level entry points --------------------------------------------------
     def _batch_size(self, replicates: int) -> int:
         """Bound (R, n_nodes)+(R, n_edges) scratch to ~100 MB per batch."""
@@ -854,6 +1508,10 @@ class CompiledPlan:
         if mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
         seeds = [spec.seed] if seeds is None else list(seeds)
+        if self._coarse_ready(spec.signature):
+            out = self._coarse_batch(spec, seeds, mode)
+            if out is not None:
+                return out
         R = len(seeds)
         delays = np.empty((R, self.nprocs), dtype=np.float64)
         clamped = np.empty(R, dtype=np.int64)
@@ -875,6 +1533,8 @@ class CompiledPlan:
     ) -> CompiledBatch:
         """Propagate one pre-sampled raw row at many scales (sweep fast
         path): row i of the result uses ``raw_base * scales[i]``."""
+        if self.coarse is not None:
+            return self._coarse_presampled(raw_base, scales, mode)
         raw = raw_base[None, :] * np.asarray(scales, dtype=np.float64)[:, None]
         with obs.span("compiled.propagate", replicates=len(scales), mode=mode):
             eff, nclamp = self.apply_mode(raw, mode)
@@ -890,7 +1550,20 @@ class CompiledPlan:
         raw = self.sample_raw_batch(spec.signature, [spec.seed], spec.scale)
         with obs.span("compiled.propagate", replicates=1, mode=mode):
             eff, nclamp = self.apply_mode(raw, mode)
-            D = self.kernel(eff)
+            if self.coarse is not None:
+                ir = self.coarse
+                D = np.zeros((1, self.n_nodes), dtype=np.float64)
+                self._coarse_run(
+                    1,
+                    eff[:, ir.static_eids],
+                    lambda j0, j1: (
+                        eff[:, ir.run_edge_ids[j0:j1].reshape(-1)],
+                        np.zeros(1, dtype=np.int64),
+                    ),
+                    D_full=D,
+                )
+            else:
+                D = self.kernel(eff)
             delays = self.finals(D)[0]
             have = self.final_node >= 0
             times = np.where(have, self.final_t_local + delays, 0.0)
@@ -907,10 +1580,30 @@ class CompiledPlan:
         )
 
 
-def compiled_plan(build: BuildResult) -> CompiledPlan:
-    """The (cached) compiled plan for a build — compile once, reuse."""
-    plan = build.__dict__.get("_compiled_plan")
+def compiled_plan(
+    build: BuildResult, coarsen: str = "auto", checkpoint=None
+) -> CompiledPlan:
+    """The (cached) compiled plan for a build — compile once, reuse.
+
+    Plans are memoized on the build per ``coarsen`` policy.  When a
+    ``CheckpointStore`` is passed, compiled plans are additionally
+    persisted on disk keyed by the build digest, so repeated CLI runs
+    and pool workers skip recompilation entirely.
+    """
+    if coarsen not in COARSEN_CHOICES:
+        raise ValueError(f"coarsen must be one of {COARSEN_CHOICES}, got {coarsen!r}")
+    plans = build.__dict__.setdefault("_compiled_plans", {})
+    plan = plans.get(coarsen)
     if plan is None:
-        plan = CompiledPlan(build)
-        build.__dict__["_compiled_plan"] = plan
+        if checkpoint is not None:
+            from repro.core.checkpoint import load_plan
+
+            plan = load_plan(checkpoint, build, coarsen)
+        if plan is None:
+            plan = CompiledPlan(build, coarsen=coarsen)
+            if checkpoint is not None:
+                from repro.core.checkpoint import save_plan
+
+                save_plan(checkpoint, build, coarsen, plan)
+        plans[coarsen] = plan
     return plan

@@ -92,6 +92,7 @@ def rank_influence(
     policy: FaultPolicy | None = None,
     checkpoint: CheckpointStore | str | None = None,
     resume: bool = False,
+    coarsen: str = "auto",
 ) -> InfluenceMatrix:
     """Compute the influence matrix: one propagation per source rank,
     with ``noise`` as that rank's (only) δ_os distribution.
@@ -109,6 +110,10 @@ def rank_influence(
     matrix one row per source rank, keyed by that row's single-noisy-
     rank signature digest — a killed matrix computation resumes at the
     first missing row.
+
+    ``coarsen`` controls phase coarsening in the compiled engine
+    (``"auto"``/``"on"``/``"off"``); the influence matrix is identical
+    under every setting.
     """
     if engine not in ("auto", "compiled", "graph"):
         raise ValueError(f"engine must be 'auto', 'compiled', or 'graph', got {engine!r}")
@@ -126,7 +131,7 @@ def rank_influence(
             return map_replicates(build, sub, mode=mode, jobs=jobs, policy=policy)
         from repro.core.compiled import compiled_plan
 
-        plan = compiled_plan(build)
+        plan = compiled_plan(build, coarsen=coarsen, checkpoint=store)
         backend = resolve_backend(jobs, policy=policy)
         return backend.map(_compiled_influence_row, sub, payload=(plan, mode))
 

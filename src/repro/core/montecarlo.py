@@ -116,6 +116,7 @@ def monte_carlo(
     policy: FaultPolicy | None = None,
     checkpoint: CheckpointStore | str | None = None,
     resume: bool = False,
+    coarsen: str = "auto",
 ) -> DelayDistribution:
     """Propagate ``replicates`` independent perturbation samples.
 
@@ -145,6 +146,12 @@ def monte_carlo(
     ``resume=True`` reads existing shards first and computes only the
     missing replicates — bit-identical to an uninterrupted run, because
     every replicate is a pure function of its key.
+
+    ``coarsen`` controls phase coarsening in the compiled engine
+    (:mod:`repro.core.coarsen`): ``"auto"`` (default) coarsens large
+    iterative builds, ``"on"`` forces detection, ``"off"`` disables it.
+    All settings are bit-identical; when a checkpoint store is given the
+    compiled plan itself is persisted there keyed by the build digest.
     """
     if engine not in ENGINES:
         raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
@@ -164,7 +171,7 @@ def monte_carlo(
 
             return list(
                 map_replicate_batches(
-                    compiled_plan(build),
+                    compiled_plan(build, coarsen=coarsen, checkpoint=store),
                     spec.signature,
                     [seed for seed, _ in sub],
                     scale=spec.scale,

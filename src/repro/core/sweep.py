@@ -123,6 +123,8 @@ def _run_one(
     mode: str,
     engine: str,
     config: BuildConfig,
+    coarsen: str = "auto",
+    store: CheckpointStore | None = None,
 ) -> TraversalResult:
     if engine == "incore":
         assert build is not None
@@ -131,7 +133,8 @@ def _run_one(
         from repro.core.compiled import compiled_plan
 
         assert build is not None
-        return compiled_plan(build).propagate_one(spec, mode=mode)
+        plan = compiled_plan(build, coarsen=coarsen, checkpoint=store)
+        return plan.propagate_one(spec, mode=mode)
     if engine == "streaming":
         return StreamingTraversal(spec, config=config, mode=mode).run(trace_set)
     raise ValueError(f"engine must be 'incore', 'compiled', or 'streaming', got {engine!r}")
@@ -162,6 +165,8 @@ def _map_points(
     config: BuildConfig,
     jobs: int | None,
     policy: FaultPolicy | None = None,
+    coarsen: str = "auto",
+    store: CheckpointStore | None = None,
 ) -> list[list[float]]:
     backend = resolve_backend(jobs, policy=policy)
     if engine == "incore":
@@ -169,7 +174,7 @@ def _map_points(
     elif engine == "compiled":
         from repro.core.compiled import compiled_plan
 
-        carrier = compiled_plan(build)
+        carrier = compiled_plan(build, coarsen=coarsen, checkpoint=store)
     else:
         carrier = trace_set
     return backend.map(_sweep_worker, specs, payload=(engine, carrier, mode, config))
@@ -195,6 +200,8 @@ def _scale_rows(
     config: BuildConfig,
     jobs: int | None,
     policy: FaultPolicy | None,
+    coarsen: str = "auto",
+    store: CheckpointStore | None = None,
 ):
     """Yield one per-rank delay row per scale, in ladder order.
 
@@ -206,7 +213,7 @@ def _scale_rows(
     if engine == "compiled":
         from repro.core.compiled import compiled_plan
 
-        plan = compiled_plan(build)
+        plan = compiled_plan(build, coarsen=coarsen, checkpoint=store)
         raw = plan.sample_raw_batch(spec.signature, [spec.seed], 1.0)[0]
         batch = plan.propagate_presampled_batch(raw, [spec.scale * s for s in scales], mode=mode)
         obs.add("sweep.points", len(scales))
@@ -223,7 +230,9 @@ def _scale_rows(
             else spec.scaled(s)
             for s in scales
         ]
-        for row in _map_points(specs, trace_set, build, mode, engine, config, jobs, policy):
+        for row in _map_points(
+            specs, trace_set, build, mode, engine, config, jobs, policy, coarsen, store
+        ):
             yield tuple(row) if row is not None else None
         return
     raw = sample_edge_deltas(build, spec) if engine == "incore" else None
@@ -233,7 +242,7 @@ def _scale_rows(
             # fresh propagate — deterministic sampling — but much faster).
             tr = propagate_presampled(build, raw, scale=spec.scale * s, mode=mode)
         else:
-            tr = _run_one(trace_set, build, spec.scaled(s), mode, engine, config)
+            tr = _run_one(trace_set, build, spec.scaled(s), mode, engine, config, coarsen, store)
         obs.add("sweep.points")
         yield tuple(tr.final_delay)
 
@@ -249,6 +258,7 @@ def sweep_scales(
     policy: FaultPolicy | None = None,
     checkpoint: CheckpointStore | str | None = None,
     resume: bool = False,
+    coarsen: str = "auto",
 ) -> SweepResult:
     """Run the traversal once per global scale factor.
 
@@ -270,6 +280,10 @@ def sweep_scales(
     keyed by ``(seed, signature digest, effective scale, mode, engine,
     build digest)``; ``resume=True`` reads existing shards and computes
     only the missing points, bit-identical to an uninterrupted run.
+
+    ``coarsen`` controls phase coarsening in the compiled engine
+    (``"auto"``/``"on"``/``"off"``, see :mod:`repro.core.coarsen`);
+    with a checkpoint store the compiled plan is persisted too.
     """
     engine = _resolve_engine(engine)
     config = config or BuildConfig()
@@ -289,6 +303,8 @@ def sweep_scales(
                 config,
                 jobs,
                 policy,
+                coarsen,
+                store,
             )
 
         if store is None:
@@ -328,18 +344,22 @@ def _signature_rows(
     config: BuildConfig,
     jobs: int | None,
     policy: FaultPolicy | None,
+    coarsen: str = "auto",
+    store: CheckpointStore | None = None,
 ):
     """Yield one per-rank delay row per signature spec (generator, like
     :func:`_scale_rows`, so checkpointed ladders persist incrementally)."""
     backend = resolve_backend(jobs, policy=policy)
     if backend.jobs >= 2:
-        for row in _map_points(specs, trace_set, build, mode, engine, config, jobs, policy):
+        for row in _map_points(
+            specs, trace_set, build, mode, engine, config, jobs, policy, coarsen, store
+        ):
             yield tuple(row) if row is not None else None
         return
     for spec in specs:
-        row = tuple(_run_one(trace_set, build, spec, mode, engine, config).final_delay)
+        tr = _run_one(trace_set, build, spec, mode, engine, config, coarsen, store)
         obs.add("sweep.points")
-        yield row
+        yield tuple(tr.final_delay)
 
 
 def sweep_signatures(
@@ -354,6 +374,7 @@ def sweep_signatures(
     policy: FaultPolicy | None = None,
     checkpoint: CheckpointStore | str | None = None,
     resume: bool = False,
+    coarsen: str = "auto",
 ) -> SweepResult:
     """Run the traversal once per machine signature (platform ladder).
 
@@ -374,7 +395,16 @@ def sweep_signatures(
 
         def compute(indices):
             return _signature_rows(
-                trace_set, build, [specs[i] for i in indices], mode, engine, config, jobs, policy
+                trace_set,
+                build,
+                [specs[i] for i in indices],
+                mode,
+                engine,
+                config,
+                jobs,
+                policy,
+                coarsen,
+                store,
             )
 
         if store is None:

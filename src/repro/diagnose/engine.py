@@ -22,6 +22,7 @@ from functools import cached_property
 
 from repro import obs
 from repro.core.builder import BuildResult, build_graph
+from repro.core.coarsen import COARSEN_CHOICES
 from repro.core.compiled import compiled_plan
 from repro.core.perturb import PerturbationSpec
 from repro.core.primitives import BuildConfig
@@ -57,10 +58,14 @@ class DiagnoseConfig:
     the standard ``seed + i`` replicate schedule.  The rule thresholds
     are deliberately conservative — see :mod:`repro.diagnose.rules`.
     ``lint`` carries the shared rule mechanics (disables, severity
-    overrides, emission caps) for the MPG2xx pack.
+    overrides, emission caps) for the MPG2xx pack.  ``coarsen`` controls
+    phase coarsening in the compiled replicate kernel
+    (``"auto"``/``"on"``/``"off"``, see :mod:`repro.core.coarsen`) —
+    the replicate delays are identical under every setting.
     """
 
     engine: str = "auto"
+    coarsen: str = "auto"
     replicates: int = 0
     seed: int = 0
     scale: float = 1.0
@@ -78,6 +83,10 @@ class DiagnoseConfig:
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
             raise ValueError(f"engine must be one of {ENGINES}, got {self.engine!r}")
+        if self.coarsen not in COARSEN_CHOICES:
+            raise ValueError(
+                f"coarsen must be one of {COARSEN_CHOICES}, got {self.coarsen!r}"
+            )
         if self.mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
         if self.replicates < 0:
@@ -144,7 +153,7 @@ def _replicate_delays(
     """Per-rank mean final delay over the Monte-Carlo replicate batch,
     using the exact ``seed + i`` schedule of ``replicate_items``."""
     spec = PerturbationSpec(signature, seed=config.seed, scale=config.scale)
-    plan = compiled_plan(build)
+    plan = compiled_plan(build, coarsen=config.coarsen)
     seeds = [config.seed + i for i in range(config.replicates)]
     with obs.span("diagnose.replicates", replicates=config.replicates):
         batch = plan.propagate_batch(spec, seeds=seeds, mode=config.mode)

@@ -1,0 +1,347 @@
+"""Tests for phase coarsening: the hierarchical two-level plan IR.
+
+The contract under test is absolute: a coarse plan is a *schedule*
+optimization, never an arithmetic one, so every result — single
+propagations, replicate batches, presampled sweeps, Monte-Carlo through
+a process pool — must be bit-for-bit identical to the flat compiled
+engine (and therefore to the in-core reference).  Detection must also
+be safely conservative: traces without enough repeated structure
+coarsen to nothing and take the flat path untouched.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.apps import ALL_APPS
+from repro.core import (
+    CheckpointStore,
+    CompiledPlan,
+    PerturbationSpec,
+    build_graph,
+    compiled_plan,
+    monte_carlo,
+    propagate,
+    rank_influence,
+    sweep_scales,
+)
+from repro.core.checkpoint import load_plan, plan_cache_path, save_plan
+from repro.core.coarsen import COARSEN_CHOICES, MIN_REPEATS
+from repro.mpisim import run
+from repro.noise import Constant, Exponential, MachineSignature, Uniform
+from repro.noise.distributions import LogNormal
+from tests.conftest import plan_program
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - optional dependency
+    HAVE_HYPOTHESIS = False
+
+SIGNATURES = {
+    "const": MachineSignature(
+        os_noise=Constant(100.0), latency=Constant(50.0), per_byte=Constant(0.01)
+    ),
+    "expo": MachineSignature(
+        os_noise=Exponential(80.0), latency=Exponential(40.0), per_byte=Constant(0.005)
+    ),
+    "uniform": MachineSignature(
+        os_noise=Uniform(0.0, 240.0), latency=Uniform(5.0, 95.0), per_byte=Constant(0.005)
+    ),
+    # No vectorized fast path: every lane resamples through the scalar spec.
+    "fallback": MachineSignature(
+        os_noise=LogNormal(3.0, 0.5), latency=Exponential(40.0), per_byte=Constant(0.005)
+    ),
+    # os_quantum > 0 makes draw programs weight-dependent: the coarse
+    # template bind must refuse and the batch fall back to the flat path.
+    "quantum": MachineSignature(
+        os_noise=Exponential(80.0), latency=Exponential(40.0), os_quantum=500.0
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def app_builds():
+    builds = {}
+    for name, (factory, params_cls) in sorted(ALL_APPS.items()):
+        p = 8 if name == "butterfly_allreduce" else 4
+        trace = run(factory(params_cls()), nprocs=p, seed=1).trace
+        builds[name] = (trace, build_graph(trace))
+    return builds
+
+
+# ---------------------------------------------------------------------------
+# Cross-engine bit-identity matrix: coarse vs flat vs in-core
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("app", sorted(ALL_APPS))
+@pytest.mark.parametrize("mode", ["additive", "threshold"])
+def test_coarse_engine_matrix(app_builds, app, mode):
+    _, build = app_builds[app]
+    coarse = CompiledPlan(build, coarsen="on")
+    flat = CompiledPlan(build, coarsen="off")
+    assert flat.coarse is None
+    seeds = [0, 7, 123456789]
+    for sig_name, sig in SIGNATURES.items():
+        for seed in seeds:
+            spec = PerturbationSpec(sig, seed=seed, scale=1.5)
+            ref = propagate(build, spec, mode=mode)
+            got = coarse.propagate_one(spec, mode=mode)
+            ctx = f"{app}/{sig_name}/seed={seed}"
+            assert got.final_delay == ref.final_delay, ctx
+            assert got.node_delay == ref.node_delay, ctx
+            assert got.clamped_edges == ref.clamped_edges, ctx
+        spec = PerturbationSpec(sig, seed=seeds[0], scale=1.5)
+        bc = coarse.propagate_batch(spec, seeds=seeds, mode=mode)
+        bf = flat.propagate_batch(spec, seeds=seeds, mode=mode)
+        assert np.array_equal(bc.delays, bf.delays), f"{app}/{sig_name}"
+        assert np.array_equal(bc.clamped, bf.clamped), f"{app}/{sig_name}"
+
+
+def test_iterative_apps_actually_coarsen(app_builds):
+    # The matrix above would pass vacuously if detection never fired;
+    # pin the iterative apps where the two-level plan must exist.
+    for app in ("stencil1d", "allreduce_iter", "token_ring"):
+        _, build = app_builds[app]
+        assert CompiledPlan(build, coarsen="on").coarse is not None, app
+
+
+def test_presampled_batch_matches_flat(app_builds):
+    _, build = app_builds["stencil1d"]
+    coarse = CompiledPlan(build, coarsen="on")
+    flat = CompiledPlan(build, coarsen="off")
+    spec = PerturbationSpec(SIGNATURES["expo"], seed=11)
+    raw = flat.sample_raw_batch(spec.signature, [spec.seed], 1.0)[0]
+    scales = [0.0, 0.25, 1.0, 2.0, -1.0]
+    for mode in ("additive", "threshold"):
+        pc = coarse.propagate_presampled_batch(raw, scales, mode=mode)
+        pf = flat.propagate_presampled_batch(raw, scales, mode=mode)
+        assert np.array_equal(pc.delays, pf.delays), mode
+        assert np.array_equal(pc.clamped, pf.clamped), mode
+
+
+def test_quantum_signature_takes_flat_path_with_identical_results(app_builds):
+    _, build = app_builds["stencil1d"]
+    coarse = CompiledPlan(build, coarsen="on")
+    sig = SIGNATURES["quantum"]
+    assert not coarse._coarse_ready(sig)
+    spec = PerturbationSpec(sig, seed=3)
+    ref = propagate(build, spec)
+    assert coarse.propagate_one(spec).final_delay == ref.final_delay
+
+
+# ---------------------------------------------------------------------------
+# Two-level plans through pickle and the process pool
+# ---------------------------------------------------------------------------
+
+
+def test_coarse_plan_pickle_roundtrip_is_bit_identical(app_builds):
+    _, build = app_builds["stencil1d"]
+    plan = CompiledPlan(build, coarsen="on")
+    assert plan.coarse is not None
+    spec = PerturbationSpec(SIGNATURES["expo"], seed=9)
+    before = plan.propagate_batch(spec, seeds=[9, 10, 11])
+    clone: CompiledPlan = pickle.loads(pickle.dumps(plan))
+    assert clone.coarse is not None
+    after = clone.propagate_batch(spec, seeds=[9, 10, 11])
+    assert np.array_equal(before.delays, after.delays)
+
+
+def test_monte_carlo_coarsen_through_process_pool(app_builds):
+    # jobs=2 ships the two-level plan to ProcessPoolBackend workers —
+    # the full pickle + per-worker rebind path must stay exact.
+    _, build = app_builds["allreduce_iter"]
+    spec = PerturbationSpec(SIGNATURES["expo"], seed=17)
+    ref = monte_carlo(build, spec, replicates=12, coarsen="off")
+    for kwargs in ({"coarsen": "on"}, {"coarsen": "on", "jobs": 2}, {"coarsen": "auto"}):
+        got = monte_carlo(build, spec, replicates=12, **kwargs)
+        assert np.array_equal(ref.samples, got.samples), kwargs
+        assert ref.seeds == got.seeds
+
+
+def test_sweep_and_influence_coarsen_agree(app_builds):
+    trace, build = app_builds["stencil1d"]
+    spec = PerturbationSpec(SIGNATURES["uniform"], seed=5)
+    ref = sweep_scales(trace, spec, [0.0, 0.5, 2.0], coarsen="off")
+    got = sweep_scales(trace, spec, [0.0, 0.5, 2.0], coarsen="on")
+    for a, b in zip(ref.points, got.points):
+        assert a.delays == b.delays, a.x
+    mref = rank_influence(build, Exponential(120.0), coarsen="off")
+    mgot = rank_influence(build, Exponential(120.0), coarsen="on")
+    assert np.array_equal(mref.matrix, mgot.matrix)
+
+
+# ---------------------------------------------------------------------------
+# Conservative detection: no repeats -> no coarsening, identical results
+# ---------------------------------------------------------------------------
+
+_DISTINCT_ROUNDS = [
+    ("compute", 1_000),
+    ("compute", 2_500),
+    ("ring", 64),
+    ("xchg", 256),
+    ("nb", 128),
+    ("allreduce", 32),
+    ("barrier",),
+    ("bcast", 0, 64),
+    ("reduce", 1, 16),
+    ("scan", 8),
+]
+
+
+if HAVE_HYPOTHESIS:
+
+    @given(
+        rounds=st.lists(
+            st.sampled_from(range(len(_DISTINCT_ROUNDS))),
+            min_size=1,
+            max_size=6,
+            unique=True,
+        ),
+        nprocs=st.integers(min_value=2, max_value=5),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_no_repeat_trace_coarsens_to_nothing(rounds, nprocs, seed):
+        # Each round kind appears at most once — far below MIN_REPEATS —
+        # so detection must return None and the "on" plan must behave as
+        # the flat plan bit-for-bit.
+        plan_rounds = [_DISTINCT_ROUNDS[i] for i in rounds]
+        trace = run(plan_program(plan_rounds), nprocs=nprocs, seed=seed).trace
+        build = build_graph(trace)
+        coarse = CompiledPlan(build, coarsen="on")
+        assert coarse.coarse is None
+        spec = PerturbationSpec(SIGNATURES["expo"], seed=seed & 0xFFFF)
+        ref = propagate(build, spec)
+        assert coarse.propagate_one(spec).final_delay == ref.final_delay
+
+
+def test_min_repeats_boundary():
+    # MIN_REPEATS-1 repetitions must not coarsen; a few more must.
+    below = [("nb", 128)] * (MIN_REPEATS - 1)
+    trace = run(plan_program(below), nprocs=4, seed=2).trace
+    assert CompiledPlan(build_graph(trace), coarsen="on").coarse is None
+    above = [("nb", 128)] * (MIN_REPEATS * 3)
+    trace = run(plan_program(above), nprocs=4, seed=2).trace
+    plan = CompiledPlan(build_graph(trace), coarsen="on")
+    assert plan.coarse is not None
+    spec = PerturbationSpec(SIGNATURES["expo"], seed=6)
+    ref = propagate(build_graph(trace), spec)
+    assert plan.propagate_one(spec).final_delay == ref.final_delay
+
+
+def test_detect_phases_rejects_small_graphs_under_auto(app_builds):
+    # auto gates on AUTO_MIN_NODES; tiny builds stay flat without error.
+    _, build = app_builds["stencil1d"]
+    assert CompiledPlan(build, coarsen="auto").coarse is None
+    assert CompiledPlan(build, coarsen="off").coarse is None
+
+
+def test_detect_phases_is_deterministic(app_builds):
+    _, build = app_builds["stencil1d"]
+    a = CompiledPlan(build, coarsen="on")
+    b = CompiledPlan(build, coarsen="on")
+    assert a.coarse is not None and b.coarse is not None
+    assert np.array_equal(a.coarse.run_edge_ids, b.coarse.run_edge_ids)
+    assert np.array_equal(a.coarse.static_eids, b.coarse.static_eids)
+
+
+def test_coarsen_choices_validated(app_builds):
+    _, build = app_builds["token_ring"]
+    assert COARSEN_CHOICES == ("auto", "on", "off")
+    with pytest.raises(ValueError, match="coarsen"):
+        compiled_plan(build, coarsen="bogus")
+    with pytest.raises(ValueError, match="coarsen"):
+        CompiledPlan(build, coarsen="bogus")
+    spec = PerturbationSpec(SIGNATURES["const"], seed=0)
+    with pytest.raises(ValueError, match="coarsen"):
+        monte_carlo(build, spec, replicates=2, coarsen="bogus")
+    from repro.diagnose import DiagnoseConfig
+
+    with pytest.raises(ValueError, match="coarsen"):
+        DiagnoseConfig(coarsen="bogus")
+
+
+def test_detection_bails_on_irregular_structure(app_builds):
+    # master_worker's data-dependent task farm has no congruent phase
+    # run; detection must bail rather than force a wrong template —
+    # and the forced-"on" plan must still match the reference exactly.
+    _, build = app_builds["master_worker"]
+    plan = CompiledPlan(build, coarsen="on")
+    assert plan.coarse is None
+    spec = PerturbationSpec(SIGNATURES["expo"], seed=2)
+    assert plan.propagate_one(spec).final_delay == propagate(build, spec).final_delay
+
+
+# ---------------------------------------------------------------------------
+# Persistent plan cache (checkpoint store)
+# ---------------------------------------------------------------------------
+
+
+class TestPlanCache:
+    def _fresh_build(self, app_builds):
+        trace, _ = app_builds["stencil1d"]
+        return build_graph(trace)
+
+    def test_roundtrip_is_bit_identical(self, app_builds, tmp_path):
+        store = CheckpointStore(tmp_path)
+        build = self._fresh_build(app_builds)
+        plan = compiled_plan(build, coarsen="on", checkpoint=store)
+        path = plan_cache_path(store, build, "on")
+        assert path.exists(), "plan cache file not written"
+        spec = PerturbationSpec(SIGNATURES["expo"], seed=4)
+        ref = plan.propagate_batch(spec, seeds=[1, 2, 3])
+
+        rebuilt = self._fresh_build(app_builds)
+        loaded = load_plan(store, rebuilt, "on")
+        assert loaded is not None and loaded.coarse is not None
+        got = loaded.propagate_batch(spec, seeds=[1, 2, 3])
+        assert np.array_equal(ref.delays, got.delays)
+
+    def test_compiled_plan_uses_cache_on_fresh_build(self, app_builds, tmp_path):
+        store = CheckpointStore(tmp_path)
+        build = self._fresh_build(app_builds)
+        compiled_plan(build, coarsen="on", checkpoint=store)
+        rebuilt = self._fresh_build(app_builds)
+        again = compiled_plan(rebuilt, coarsen="on", checkpoint=store)
+        assert again.coarse is not None
+        # memoized on the new build object as well
+        assert compiled_plan(rebuilt, coarsen="on", checkpoint=store) is again
+
+    def test_cache_is_keyed_by_coarsen_policy(self, app_builds, tmp_path):
+        store = CheckpointStore(tmp_path)
+        build = self._fresh_build(app_builds)
+        compiled_plan(build, coarsen="on", checkpoint=store)
+        compiled_plan(build, coarsen="off", checkpoint=store)
+        assert plan_cache_path(store, build, "on").exists()
+        assert plan_cache_path(store, build, "off").exists()
+        assert plan_cache_path(store, build, "on") != plan_cache_path(store, build, "off")
+
+    def test_corrupt_cache_falls_back_to_recompile(self, app_builds, tmp_path):
+        store = CheckpointStore(tmp_path)
+        build = self._fresh_build(app_builds)
+        plan = compiled_plan(build, coarsen="on", checkpoint=store)
+        path = plan_cache_path(store, build, "on")
+        path.write_bytes(b"not a pickle")
+        rebuilt = self._fresh_build(app_builds)
+        assert load_plan(store, rebuilt, "on") is None
+        again = compiled_plan(rebuilt, coarsen="on", checkpoint=store)
+        spec = PerturbationSpec(SIGNATURES["expo"], seed=4)
+        assert np.array_equal(
+            plan.propagate_batch(spec, seeds=[5]).delays,
+            again.propagate_batch(spec, seeds=[5]).delays,
+        )
+
+    def test_wrong_digest_rejected(self, app_builds, tmp_path):
+        store = CheckpointStore(tmp_path)
+        trace, _ = app_builds["stencil1d"]
+        build = build_graph(trace)
+        plan = CompiledPlan(build, coarsen="on")
+        save_plan(store, build, "on", plan)
+        other_trace, _ = app_builds["token_ring"]
+        other = build_graph(other_trace)
+        assert load_plan(store, other, "on") is None

@@ -285,3 +285,75 @@ class TestAnalysisWiring:
         ref = propagate(build, spec)
         got = compiled_plan(build).propagate_one(spec)
         assert got.final_delay == ref.final_delay
+
+
+# ---------------------------------------------------------------------------
+# Sampler caches: on-disk ziggurat tables, module-level classify cache
+# ---------------------------------------------------------------------------
+
+
+class TestTablesDiskCache:
+    def test_store_and_reload_roundtrip(self, tmp_path, monkeypatch):
+        from repro.core import compiled as C
+
+        monkeypatch.setenv(C.TABLES_CACHE_ENV, str(tmp_path))
+        path = C._tables_cache_path()
+        assert path is not None and str(path).startswith(str(tmp_path))
+        tables = _build_tables()
+        C._store_tables(path, tables)
+        assert path.exists()
+        cand = C._load_table_candidates(path)
+        assert cand is not None
+        assert C._tables_match_candidates(tables, cand)
+        # A harvest seeded with valid candidates must verify and adopt them.
+        again = _build_tables(cand)
+        for fam in ("exp", "norm"):
+            assert np.array_equal(again[fam][0], tables[fam][0])
+            assert np.array_equal(again[fam][1], tables[fam][1])
+
+    def test_corrupt_or_stale_cache_never_changes_results(self, tmp_path):
+        from repro.core import compiled as C
+
+        path = tmp_path / "tables.json"
+        path.write_text("{broken json")
+        assert C._load_table_candidates(path) is None
+        # Structurally valid but wrong values: verification must reject
+        # the candidate and fall back to a fresh harvest.
+        good = _build_tables()
+        bad = {
+            "exp": (good["exp"][0] * 1.5, good["exp"][1]),
+            "norm": good["norm"],
+        }
+        harvested = _build_tables(bad)
+        assert np.array_equal(harvested["exp"][0], good["exp"][0])
+        assert np.array_equal(harvested["exp"][1], good["exp"][1])
+
+    def test_cache_env_disables(self, monkeypatch):
+        from repro.core import compiled as C
+
+        for off in ("0", "off", "none"):
+            monkeypatch.setenv(C.TABLES_CACHE_ENV, off)
+            assert C._tables_cache_path() is None
+
+
+class TestClassifyCache:
+    def test_equal_valued_distributions_share_entries(self):
+        from repro.core import compiled as C
+
+        tables = C._get_tables()
+        C._CLASSIFY_CACHE.clear()
+        a = C._classify_cached(Exponential(123.0), tables)
+        size = len(C._CLASSIFY_CACHE)
+        b = C._classify_cached(Exponential(123.0), tables)  # distinct object
+        assert len(C._CLASSIFY_CACHE) == size, "cache keyed by value, not id"
+        assert a == b
+        assert isinstance(a, C._VecDist) and a.family == "exp"
+
+    def test_cache_bounded(self):
+        from repro.core import compiled as C
+
+        tables = C._get_tables()
+        C._CLASSIFY_CACHE.clear()
+        for i in range(C._CLASSIFY_CACHE_MAX + 10):
+            C._classify_cached(Constant(float(i)), tables)
+        assert len(C._CLASSIFY_CACHE) <= C._CLASSIFY_CACHE_MAX
