@@ -36,6 +36,14 @@ Entry points mirroring the paper's workflow:
     run and per time window — from an mpisim trace set or an imported
     Chrome trace-event file, with ``--fail-below`` CI gating.
     ``repro-analyze --pop-metrics`` appends the same report.
+``repro-verify``
+    Static verification (:mod:`repro.verify`): certified makespan
+    bounds by interval abstract interpretation (no sampling) and
+    match-nondeterminism / deadlock-potential analysis of wildcard
+    receives, reported as MPG3xx findings through the lint reporters
+    (text / JSON / SARIF) with the same ``--fail-on`` CI gate.
+    ``repro-analyze --verify`` runs the same pass as a pre-flight and
+    arms the Monte-Carlo containment cross-check.
 """
 
 from __future__ import annotations
@@ -96,6 +104,7 @@ __all__ = [
     "main_lint",
     "main_diagnose",
     "main_metrics",
+    "main_verify",
 ]
 
 # Two output channels, never mixed: results go to stdout (bare lines,
@@ -518,6 +527,32 @@ def main_analyze(argv: list[str] | None = None) -> int:
         metavar="N",
         help="time windows for the --pop-metrics timeline (default 12)",
     )
+    ap.add_argument(
+        "--verify",
+        action="store_true",
+        help="run the repro.verify pass as a pre-flight: certified makespan "
+        "bounds + match-nondeterminism analysis (MPG3xx findings), and "
+        "cross-check every Monte-Carlo replicate against the static bounds",
+    )
+    ap.add_argument(
+        "--verify-format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="format for the --verify report",
+    )
+    ap.add_argument(
+        "--verify-out",
+        metavar="FILE",
+        help="write the --verify report to this file instead of stdout",
+    )
+    ap.add_argument(
+        "--verify-quantile",
+        type=float,
+        default=None,
+        metavar="Q",
+        help="finite-support cut for unbounded distribution families in the "
+        "--verify bounds (default 1 - 1e-12)",
+    )
     args = ap.parse_args(argv)
     _configure_logging(args)
     engine = {"auto": "compiled", "graph": "incore"}.get(args.engine, args.engine)
@@ -525,6 +560,8 @@ def main_analyze(argv: list[str] | None = None) -> int:
         raise SystemExit("--replicates requires a graph engine (incore or compiled)")
     if args.diagnose and engine == "streaming":
         raise SystemExit("--diagnose requires a graph engine (incore or compiled)")
+    if args.verify and engine == "streaming":
+        raise SystemExit("--verify requires a graph engine (incore or compiled)")
 
     session = _start_observability(args, "repro-analyze")
     with obs.span("analyze", engine=engine, mode=args.mode):
@@ -566,6 +603,43 @@ def main_analyze(argv: list[str] | None = None) -> int:
                 _LOG.warning(str(w))
         else:
             build = build_graph(traces, config)
+            vbounds = None
+            if args.verify:
+                from repro.verify import DEFAULT_QUANTILE, VerifyConfig, verify_build
+
+                vconfig = VerifyConfig(
+                    quantile=(
+                        DEFAULT_QUANTILE
+                        if args.verify_quantile is None
+                        else args.verify_quantile
+                    ),
+                    scale=args.scale,
+                    mode=args.mode,
+                    coarsen=args.coarsen,
+                    seed=args.seed,
+                )
+                vreport = verify_build(build, vconfig, signature=sig, trace_set=traces)
+                vbounds = vreport.bounds
+                if args.verify_out:
+                    with open(args.verify_out, "w") as fh:
+                        _write_verify(vreport, args.verify_format, fh, args.verbose >= 1)
+                    _LOG.info(
+                        f"verification report ({args.verify_format}) "
+                        f"written to {args.verify_out}"
+                    )
+                    _say(f"verify: {vreport.summary()}")
+                else:
+                    import io
+
+                    buf = io.StringIO()
+                    _write_verify(vreport, args.verify_format, buf, args.verbose >= 1)
+                    _say(buf.getvalue().rstrip("\n"))
+                if vreport.errors:
+                    raise SystemExit(
+                        f"repro-verify found {len(vreport.errors)} ERROR finding(s) "
+                        f"({', '.join(sorted({f.rule_id for f in vreport.errors}))}); "
+                        f"refusing to analyze — run repro-verify for the full report"
+                    )
             if engine == "compiled":
                 plan = compiled_plan(
                     build,
@@ -602,6 +676,7 @@ def main_analyze(argv: list[str] | None = None) -> int:
                     engine="compiled" if engine == "compiled" else "graph",
                     policy=_fault_policy(args),
                     coarsen=args.coarsen,
+                    bounds=vbounds,
                     **_checkpoint_args(args),
                 )
                 _say(f"monte carlo: {dist.summary()}")
@@ -723,6 +798,52 @@ def main_dot(argv: list[str] | None = None) -> int:
     return 0
 
 
+#: The one set of CI-gate severities every report-producing tool accepts.
+FAIL_ON_CHOICES = ("error", "warning", "never")
+
+
+def _add_fail_on_arg(ap: argparse.ArgumentParser) -> None:
+    ap.add_argument(
+        "--fail-on",
+        choices=FAIL_ON_CHOICES,
+        default="error",
+        help="exit nonzero when findings at/above this severity exist (default: error)",
+    )
+
+
+def _add_rule_flags(ap: argparse.ArgumentParser) -> None:
+    """The shared rule-mechanics flags (lint / diagnose / verify)."""
+    ap.add_argument(
+        "--disable",
+        action="append",
+        default=[],
+        metavar="RULE[,RULE...]",
+        help="rule ids to skip (repeatable or comma-separated)",
+    )
+    ap.add_argument(
+        "--severity",
+        action="append",
+        default=[],
+        metavar="RULE=LEVEL",
+        help="override a rule's severity, e.g. MPG007=error (repeatable)",
+    )
+    ap.add_argument(
+        "--max-findings", type=int, default=100, help="per-rule finding cap in the report"
+    )
+
+
+def _gate_exit(fail_on: str, errors: int, warnings: int = 0) -> int:
+    """The one CI-gate exit policy: 1 when findings at/above ``fail_on``
+    exist, 0 otherwise (``never`` always passes).  Every gating tool
+    (lint / diagnose / metrics / verify) funnels through here so exit
+    codes mean the same thing across the suite."""
+    if fail_on == "never":
+        return 0
+    if errors or (fail_on == "warning" and warnings):
+        return 1
+    return 0
+
+
 def main_lint(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(
         prog="repro-lint",
@@ -742,30 +863,9 @@ def main_lint(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run only the trace-level rules (never builds a graph)",
     )
-    ap.add_argument(
-        "--disable",
-        action="append",
-        default=[],
-        metavar="RULE[,RULE...]",
-        help="rule ids to skip (repeatable or comma-separated)",
-    )
-    ap.add_argument(
-        "--severity",
-        action="append",
-        default=[],
-        metavar="RULE=LEVEL",
-        help="override a rule's severity, e.g. MPG007=error (repeatable)",
-    )
+    _add_rule_flags(ap)
     ap.add_argument("--skew-tolerance", type=float, default=0.5, help="MPG007 threshold")
-    ap.add_argument(
-        "--max-findings", type=int, default=100, help="per-rule finding cap in the report"
-    )
-    ap.add_argument(
-        "--fail-on",
-        choices=("error", "warning", "never"),
-        default="error",
-        help="exit nonzero when findings at/above this severity exist (default: error)",
-    )
+    _add_fail_on_arg(ap)
     ap.add_argument("--list-rules", action="store_true", help="print the rule catalog and exit")
     ap.add_argument("--collective-mode", choices=("hub", "butterfly"), default="hub")
     ap.add_argument("--eager-threshold", type=int, default=None)
@@ -783,19 +883,7 @@ def main_lint(argv: list[str] | None = None) -> int:
     if not args.traces or not args.stem:
         ap.error("--traces and --stem are required (unless --list-rules)")
 
-    overrides = {}
-    for pair in args.severity:
-        if "=" not in pair:
-            raise SystemExit(f"--severity expects RULE=LEVEL, got {pair!r}")
-        rule_id, level = pair.split("=", 1)
-        overrides[rule_id.strip().upper()] = lint.Severity.parse(level)
-    disabled = [r.strip().upper() for spec in args.disable for r in spec.split(",") if r.strip()]
-    config = lint.LintConfig(
-        disabled=tuple(disabled),
-        severity_overrides=overrides,
-        skew_tolerance=args.skew_tolerance,
-        max_findings_per_rule=args.max_findings,
-    )
+    config = _lint_flag_config(args)
 
     session = _start_observability(args, "repro-lint")
     with obs.span("repro_lint"):
@@ -818,15 +906,12 @@ def main_lint(argv: list[str] | None = None) -> int:
         lint.write_report(report, args.format, buf)
         _say(buf.getvalue().rstrip("\n"))
 
-    if args.fail_on == "never":
-        return 0
-    if report.errors or (args.fail_on == "warning" and report.warnings):
-        return 1
-    return 0
+    return _gate_exit(args.fail_on, len(report.errors), len(report.warnings))
 
 
 def _lint_flag_config(args) -> "object":
-    """Shared --disable/--severity/--max-findings parsing (lint & diagnose)."""
+    """Shared --disable/--severity/--max-findings parsing (lint, diagnose,
+    verify); ``--skew-tolerance`` rides along where the tool defines it."""
     from repro import lint
 
     overrides = {}
@@ -836,10 +921,14 @@ def _lint_flag_config(args) -> "object":
         rule_id, level = pair.split("=", 1)
         overrides[rule_id.strip().upper()] = lint.Severity.parse(level)
     disabled = [r.strip().upper() for spec in args.disable for r in spec.split(",") if r.strip()]
+    kwargs = {}
+    if getattr(args, "skew_tolerance", None) is not None:
+        kwargs["skew_tolerance"] = args.skew_tolerance
     return lint.LintConfig(
         disabled=tuple(disabled),
         severity_overrides=overrides,
         max_findings_per_rule=args.max_findings,
+        **kwargs,
     )
 
 
@@ -961,29 +1050,8 @@ def main_diagnose(argv: list[str] | None = None) -> int:
     ap.add_argument("--collective-mode", choices=("hub", "butterfly"), default="hub")
     ap.add_argument("--eager-threshold", type=int, default=None)
     _add_diagnose_threshold_args(ap)
-    ap.add_argument(
-        "--disable",
-        action="append",
-        default=[],
-        metavar="RULE[,RULE...]",
-        help="rule ids to skip (repeatable or comma-separated)",
-    )
-    ap.add_argument(
-        "--severity",
-        action="append",
-        default=[],
-        metavar="RULE=LEVEL",
-        help="override a rule's severity, e.g. MPG211=warning (repeatable)",
-    )
-    ap.add_argument(
-        "--max-findings", type=int, default=100, help="per-rule finding cap in the report"
-    )
-    ap.add_argument(
-        "--fail-on",
-        choices=("error", "warning", "never"),
-        default="error",
-        help="exit nonzero when findings at/above this severity exist (default: error)",
-    )
+    _add_rule_flags(ap)
+    _add_fail_on_arg(ap)
     ap.add_argument(
         "--list-rules", action="store_true", help="print the diagnosis rule catalog and exit"
     )
@@ -1028,11 +1096,7 @@ def main_diagnose(argv: list[str] | None = None) -> int:
         _write_diagnosis(report, args.format, buf, verbose)
         _say(buf.getvalue().rstrip("\n"))
 
-    if args.fail_on == "never":
-        return 0
-    if report.errors or (args.fail_on == "warning" and report.warnings):
-        return 1
-    return 0
+    return _gate_exit(args.fail_on, len(report.errors), len(report.warnings))
 
 
 def _parse_fail_below(specs: list[str]) -> dict[str, float]:
@@ -1158,7 +1222,143 @@ def main_metrics(argv: list[str] | None = None) -> int:
     violations = gate_report(report, thresholds)
     for v in violations:
         _LOG.error(f"fail-below: {v}")
-    return 1 if violations else 0
+    return _gate_exit("error", len(violations))
+
+
+def _write_verify(report, fmt: str, stream, verbose: bool) -> None:
+    """Render a VerifyReport: text adds the certificate summary, json the
+    verification block; sarif is the unmodified lint reporter."""
+    import json as _json
+
+    from repro import lint
+    from repro.verify import render_verify_text, verify_to_dict
+
+    if fmt == "text":
+        stream.write(render_verify_text(report, verbose=verbose))
+        stream.write("\n")
+    elif fmt == "json":
+        stream.write(_json.dumps(verify_to_dict(report), indent=2, sort_keys=True))
+        stream.write("\n")
+    else:
+        lint.write_report(report, fmt, stream)
+
+
+def main_verify(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro-verify",
+        description="Static verification: certified makespan bounds (interval abstract "
+        "interpretation, no sampling) and match-nondeterminism / deadlock-potential "
+        "analysis of wildcard receives.",
+    )
+    ap.add_argument("--traces", help="directory containing trace files")
+    ap.add_argument("--stem", help="trace file stem")
+    ap.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format (sarif = SARIF 2.1.0 for GitHub code scanning)",
+    )
+    ap.add_argument("--out", help="write the report to this file instead of stdout")
+    ap.add_argument(
+        "--signature",
+        help="machine signature JSON — enables the certified-bounds analysis",
+    )
+    ap.add_argument("--measure", help="measure a preset machine instead of loading a signature")
+    ap.add_argument("--measure-nprocs", type=int, default=2)
+    ap.add_argument(
+        "--quantile",
+        type=float,
+        default=None,
+        metavar="Q",
+        help="finite-support cut for unbounded distribution families: intervals "
+        "are sound up to this per-draw quantile (default 1 - 1e-12; bounded "
+        "families are always exact)",
+    )
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--scale", type=float, default=1.0)
+    ap.add_argument("--mode", choices=("additive", "threshold"), default="additive")
+    _add_coarsen_arg(ap)
+    ap.add_argument(
+        "--engine",
+        choices=("auto", "compiled", "graph"),
+        default="auto",
+        help="Monte-Carlo engine for the --replicates containment cross-check "
+        "(auto = compiled; both bit-identical)",
+    )
+    ap.add_argument(
+        "--replicates",
+        type=int,
+        default=0,
+        help="also propagate N actual Monte-Carlo replicates and cross-check "
+        "every one against the certified bounds (0 = static only; needs "
+        "--signature or --measure)",
+    )
+    ap.add_argument(
+        "--no-matches",
+        action="store_true",
+        help="skip the match-nondeterminism / deadlock-potential analysis",
+    )
+    ap.add_argument("--collective-mode", choices=("hub", "butterfly"), default="hub")
+    ap.add_argument("--eager-threshold", type=int, default=None)
+    _add_rule_flags(ap)
+    _add_fail_on_arg(ap)
+    ap.add_argument(
+        "--list-rules", action="store_true", help="print the verification rule catalog and exit"
+    )
+    _add_logging_args(ap)
+    _add_obs_args(ap)
+    args = ap.parse_args(argv)
+    _configure_logging(args)
+
+    from repro import lint
+    from repro.verify import DEFAULT_QUANTILE, VerifyConfig, verify_run
+
+    if args.list_rules:
+        for r in lint.all_rules("verify"):
+            _say(f"{r.id}  {r.severity.name.lower():<7} [{r.code}] {r.summary}")
+        return 0
+    if not args.traces or not args.stem:
+        ap.error("--traces and --stem are required (unless --list-rules)")
+
+    config = VerifyConfig(
+        quantile=DEFAULT_QUANTILE if args.quantile is None else args.quantile,
+        scale=args.scale,
+        mode=args.mode,
+        coarsen=args.coarsen,
+        engine=args.engine,
+        replicates=args.replicates,
+        seed=args.seed,
+        matches=not args.no_matches,
+        lint=_lint_flag_config(args),
+    )
+    signature = None
+    if args.signature or args.measure:
+        signature = _load_signature(args)
+    elif args.replicates > 0:
+        raise SystemExit("--replicates needs --signature FILE or --measure PRESET")
+
+    session = _start_observability(args, "repro-verify")
+    with obs.span("repro_verify"):
+        traces = TraceSet.open(args.traces, args.stem)
+        report = verify_run(
+            traces, config, build_config=_build_config(args), signature=signature
+        )
+    _finish_observability(args, session)
+
+    verbose = getattr(args, "verbose", 0) >= 1
+    if args.out:
+        with open(args.out, "w") as fh:
+            _write_verify(report, args.format, fh, verbose)
+        _LOG.info(f"verification report ({args.format}) written to {args.out}")
+        _say(report.summary())
+    else:
+        import io
+
+        buf = io.StringIO()
+        _write_verify(report, args.format, buf, verbose)
+        _say(buf.getvalue().rstrip("\n"))
+
+    return _gate_exit(args.fail_on, len(report.errors), len(report.warnings))
 
 
 def main_replay(argv: list[str] | None = None) -> int:

@@ -55,6 +55,14 @@ CODES = frozenset(
         "anomalous-rank",  # a rank is a statistical outlier vs its peers
         "load-imbalance",  # compute totals spread far beyond the mean
         "noise-sensitive-rank",  # replicate delays concentrate on one rank
+        # static verification codes (repro.verify, MPG3xx rules)
+        "certified-bounds",  # the certified makespan enclosure (always reported)
+        "quantile-bounded-support",  # bounds are sound up to a tail quantile
+        "bounds-containment",  # MC replicates verified inside the static bounds
+        "containment-violation",  # a replicate escaped the certified bounds
+        "wildcard-nondeterminism",  # a wildcard receive has feasible alternatives
+        "match-order-race",  # an alternative matching is observably different
+        "deadlock-potential",  # a reordered matching would block a receive
         "generic",
     }
 )

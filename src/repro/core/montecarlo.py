@@ -15,6 +15,7 @@ reproducible from ``(base_seed, replicate_index)``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -33,7 +34,11 @@ from repro.core.parallel import (
     map_replicates,
     replicate_items,
 )
+from repro.core.diagnostics import DiagnosticError
 from repro.core.perturb import PerturbationSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.verify.bounds import MakespanBounds
 
 __all__ = ["DelayDistribution", "monte_carlo"]
 
@@ -117,6 +122,7 @@ def monte_carlo(
     checkpoint: CheckpointStore | str | None = None,
     resume: bool = False,
     coarsen: str = "auto",
+    bounds: "MakespanBounds | None" = None,
 ) -> DelayDistribution:
     """Propagate ``replicates`` independent perturbation samples.
 
@@ -152,6 +158,16 @@ def monte_carlo(
     iterative builds, ``"on"`` forces detection, ``"off"`` disables it.
     All settings are bit-identical; when a checkpoint store is given the
     compiled plan itself is persisted there keyed by the build digest.
+
+    ``bounds`` (a :class:`~repro.verify.bounds.MakespanBounds` from the
+    static verifier) arms the runtime cross-check: every replicate's
+    per-rank delay is asserted to fall inside the certified enclosure,
+    and a violation raises a :class:`~repro.core.diagnostics.
+    DiagnosticError` with code ``containment-violation`` — the bounds
+    are exact by construction, so an escape means the static model and
+    the sampler disagree and the run's statistics cannot be trusted.
+    The bounds must certify the same ``scale`` and ``mode`` as this
+    run (``repro-analyze --verify`` wires this up).
     """
     if engine not in ENGINES:
         raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
@@ -196,4 +212,15 @@ def monte_carlo(
         samples = np.array(
             [row if row is not None else [np.nan] * nprocs for row in rows], dtype=float
         )
+        if bounds is not None:
+            bad = bounds.violations(samples)
+            if bad:
+                raise DiagnosticError(
+                    f"replicate {bad[0]} (seed {seeds[bad[0]]}) escaped the "
+                    f"certified static bounds "
+                    f"[{bounds.makespan_lo:,.0f}, {bounds.makespan_hi:,.0f}] cy "
+                    f"({len(bad)} of {len(seeds)} replicates outside)",
+                    code="containment-violation",
+                )
+            obs.add("monte_carlo.bounds_checked", len(seeds))
     return DelayDistribution(samples=samples, seeds=seeds)

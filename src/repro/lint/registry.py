@@ -34,9 +34,10 @@ def rule(
         raise ValueError(f"duplicate rule id {id!r}")
     if code not in CODES:
         raise ValueError(f"rule {id}: code {code!r} not in repro.core.diagnostics.CODES")
-    if category not in ("trace", "graph", "diagnosis"):
+    if category not in ("trace", "graph", "diagnosis", "verify"):
         raise ValueError(
-            f"rule {id}: category must be 'trace', 'graph' or 'diagnosis', got {category!r}"
+            f"rule {id}: category must be 'trace', 'graph', 'diagnosis' or 'verify', "
+            f"got {category!r}"
         )
 
     def register(fn: Callable) -> Rule:
@@ -85,6 +86,7 @@ def _ensure_loaded() -> None:
     """Import the rule packs (idempotent; resolves circular imports)."""
     from repro.diagnose import rules as diagnose_rules  # noqa: F401
     from repro.lint import graph_rules, trace_rules  # noqa: F401
+    from repro.verify import rules as verify_rules  # noqa: F401
 
 
 def run_rule(r: Rule, ctx: object, config: LintConfig) -> Iterator[Finding]:

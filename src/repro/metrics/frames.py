@@ -56,7 +56,9 @@ class Frame:
 
     __slots__ = ("_cols", "_n", "meta")
 
-    def __init__(self, columns: Mapping[str, np.ndarray], meta: dict[str, Any] | None = None):
+    def __init__(
+        self, columns: Mapping[str, np.ndarray], meta: dict[str, Any] | None = None
+    ) -> None:
         cols: dict[str, np.ndarray] = {}
         n = -1
         for name, arr in columns.items():
@@ -139,7 +141,7 @@ class Frame:
     def to_dict(self) -> dict[str, np.ndarray]:
         return dict(self._cols)
 
-    def to_pandas(self):  # pragma: no cover - optional dependency
+    def to_pandas(self) -> Any:  # pragma: no cover - optional dependency
         """The frame as a ``pandas.DataFrame`` (optional import)."""
         try:
             import pandas as pd
@@ -158,7 +160,7 @@ class FrameGroupBy:
     iterating yields ``(key_value, sub_frame)`` pairs in key order.
     """
 
-    def __init__(self, frame: Frame, key: str):
+    def __init__(self, frame: Frame, key: str) -> None:
         self._frame = frame
         self._key = key
         self._order = np.argsort(frame[key], kind="stable")

@@ -216,7 +216,7 @@ def pop_metrics(
     )
 
 
-def ideal_params():
+def ideal_params() -> "ReplayParams":
     """Dimemas parameters for the ideal network: zero latency,
     effectively infinite bandwidth (the network model requires a finite
     value; 1e18 B/cy makes payload time < 1e-9 cy for any real

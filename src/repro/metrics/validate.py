@@ -21,7 +21,7 @@ _EFFICIENCY_KEYS = ("parallel_efficiency", "load_balance", "comm_efficiency")
 _TOL = 1e-6  # fp headroom on [0, 1] bounds
 
 
-def _num(x) -> bool:
+def _num(x: object) -> bool:
     return isinstance(x, (int, float)) and not isinstance(x, bool) and math.isfinite(x)
 
 

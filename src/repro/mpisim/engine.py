@@ -312,7 +312,15 @@ class Engine:
         def on_complete(recv_end: float, msg: SimMessage) -> None:
             status = Status(source=msg.src, tag=msg.tag, nbytes=msg.nbytes)
             self._emit(
-                rank, EventKind.RECV, t, recv_end, peer=msg.src, tag=msg.tag, nbytes=msg.nbytes
+                rank,
+                EventKind.RECV,
+                t,
+                recv_end,
+                peer=msg.src,
+                tag=msg.tag,
+                nbytes=msg.nbytes,
+                src_any=op.source == api.ANY_SOURCE,
+                tag_any=op.tag == api.ANY_TAG,
             )
             self._resume(rank, status, recv_end)
 
@@ -400,6 +408,8 @@ class Engine:
             peer=op.source,
             tag=op.tag,
             req=req.req_id,
+            src_any=op.source == api.ANY_SOURCE,
+            tag_any=op.tag == api.ANY_TAG,
             patchable=True,
         )
 
@@ -573,6 +583,8 @@ class Engine:
                 recv_peer=msg.src,
                 recv_tag=msg.tag,
                 recv_nbytes=msg.nbytes,
+                src_any=op.source == api.ANY_SOURCE,
+                tag_any=op.recv_tag == api.ANY_TAG,
             )
             self._resume(rank, Status(source=msg.src, tag=msg.tag, nbytes=msg.nbytes), end)
 

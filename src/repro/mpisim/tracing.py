@@ -63,6 +63,8 @@ class BaseCollector:
         recv_peer: int = -1,
         recv_tag: int = -1,
         recv_nbytes: int = 0,
+        src_any: bool = False,
+        tag_any: bool = False,
         patchable: bool = False,
     ) -> tuple:
         """Engine-facing callback (signature matches ``Engine._emit``).
@@ -89,6 +91,8 @@ class BaseCollector:
             recv_peer=recv_peer,
             recv_tag=recv_tag,
             recv_nbytes=recv_nbytes,
+            src_any=src_any,
+            tag_any=tag_any,
         )
         self._seq[rank] += 1
         self._held[rank][seq] = record

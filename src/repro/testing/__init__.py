@@ -4,7 +4,9 @@
 the execution backends' retry / timeout / restart / resume paths (used
 by ``tests/`` and the CI chaos job); :mod:`repro.testing.slowrank`
 manufactures known-culprit traces for the diagnosis layer (used by
-``tests/diagnose`` and the CI diagnose job).
+``tests/diagnose`` and the CI diagnose job); :mod:`repro.testing.
+racegen` manufactures known-verdict wildcard-matching scenarios for the
+static verifier (used by ``tests/verify`` and the CI verify job).
 """
 
 from typing import Any
@@ -20,15 +22,20 @@ from repro.testing.faults import (
 )
 
 _SLOWRANK_EXPORTS = frozenset({"slow_rank", "slow_rank_memory", "stretch_events"})
+_RACEGEN_EXPORTS = frozenset({"SCENARIOS", "write_scenario"})
 
 
 def __getattr__(name: str) -> Any:
-    # Lazy so `python -m repro.testing.slowrank` does not pre-import the
+    # Lazy so `python -m repro.testing.<module>` does not pre-import the
     # module it is about to execute (runpy warns on that).
     if name in _SLOWRANK_EXPORTS:
         from repro.testing import slowrank
 
         return getattr(slowrank, name)
+    if name in _RACEGEN_EXPORTS:
+        from repro.testing import racegen
+
+        return getattr(racegen, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -37,10 +44,12 @@ __all__ = [
     "FailItem",
     "FaultyFn",
     "KillWorker",
+    "SCENARIOS",
     "SlowItem",
     "corrupt_checkpoints",
     "item_key",
     "slow_rank",
     "slow_rank_memory",
     "stretch_events",
+    "write_scenario",
 ]

@@ -1,0 +1,133 @@
+"""Synthetic wildcard-matching scenarios for verification tests and CI.
+
+The static verifier's acceptance scenarios need traces whose match-
+nondeterminism verdict is *known by construction*.  Each generator here
+is a tiny :mod:`repro.mpisim` program built around one wildcard receive
+pattern on three ranks:
+
+``race``
+    Rank 0 posts two ``ANY_SOURCE`` receives; ranks 1 and 2 each send
+    one message with the same tag but **different payload sizes**.
+    Neither sender is ordered before the other, both receives accept
+    either, and the swap is observable — ``repro-verify`` must flag
+    MPG311 (match-order race) on the wildcard receives.
+
+``deadlock``
+    Rank 0 posts one ``ANY_SOURCE`` receive followed by a receive pinned
+    to ``source=2``; ranks 1 and 2 each send one identical message.  If
+    the wildcard stole rank 2's message, the pinned receive would have
+    no sender left — ``repro-verify`` must flag MPG312 (deadlock
+    potential).
+
+``clean``
+    Like ``race`` but the two payloads are identical: the
+    nondeterminism is benign, so the verifier must report only MPG310
+    (INFO) and the ``--fail-on warning`` gate must pass.
+
+``python -m repro.testing.racegen`` writes one scenario as an on-disk
+trace set (the CI ``verify`` job uses ``race`` to manufacture the
+ambiguous-receive scenario that must make ``repro-verify`` exit
+nonzero, and ``clean`` to prove the gate does not cry wolf).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Iterator, Sequence
+
+from repro.mpisim import ANY_SOURCE, Compute, Op, RankInfo, Recv, Send, run_to_files
+from repro.mpisim.runtime import RunResult
+
+__all__ = ["SCENARIOS", "clean_program", "deadlock_program", "race_program", "write_scenario", "main"]
+
+NPROCS = 3
+_TAG = 5
+
+
+def race_program(me: RankInfo) -> Iterator[Op]:
+    """Two observably different senders race for two wildcard receives."""
+    if me.rank == 0:
+        yield Recv(source=ANY_SOURCE, tag=_TAG)
+        yield Recv(source=ANY_SOURCE, tag=_TAG)
+    elif me.rank == 1:
+        yield Compute(1_000)
+        yield Send(dest=0, nbytes=64, tag=_TAG)
+    elif me.rank == 2:
+        yield Compute(1_000)
+        yield Send(dest=0, nbytes=4_096, tag=_TAG)
+
+
+def deadlock_program(me: RankInfo) -> Iterator[Op]:
+    """A wildcard receive can starve the pinned receive behind it."""
+    if me.rank == 0:
+        yield Recv(source=ANY_SOURCE, tag=_TAG)
+        yield Recv(source=2, tag=_TAG)
+    elif me.rank in (1, 2):
+        yield Compute(1_000)
+        yield Send(dest=0, nbytes=64, tag=_TAG)
+
+
+def clean_program(me: RankInfo) -> Iterator[Op]:
+    """Benign wildcard nondeterminism: every alternative is identical."""
+    if me.rank == 0:
+        yield Recv(source=ANY_SOURCE, tag=_TAG)
+        yield Recv(source=ANY_SOURCE, tag=_TAG)
+    elif me.rank in (1, 2):
+        yield Compute(1_000)
+        yield Send(dest=0, nbytes=64, tag=_TAG)
+
+
+SCENARIOS = {
+    "race": race_program,
+    "deadlock": deadlock_program,
+    "clean": clean_program,
+}
+
+
+def write_scenario(
+    scenario: str, directory: str, stem: str, seed: int = 1, binary: bool = False
+) -> RunResult:
+    """Run one scenario and write its per-rank trace files."""
+    try:
+        program = SCENARIOS[scenario]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {scenario!r}; choose from {sorted(SCENARIOS)}"
+        ) from None
+    return run_to_files(
+        program,
+        directory,
+        stem,
+        nprocs=NPROCS,
+        seed=seed,
+        program_name=f"racegen-{scenario}",
+        binary=binary,
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testing.racegen",
+        description="Write a wildcard-matching scenario as a trace set.",
+    )
+    parser.add_argument(
+        "--scenario", required=True, choices=sorted(SCENARIOS), help="which fixture to generate"
+    )
+    parser.add_argument("--out", required=True, help="output trace directory")
+    parser.add_argument("--stem", default="racegen", help="output trace stem")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--binary", action="store_true", help="write binary traces")
+    args = parser.parse_args(argv)
+
+    result = write_scenario(args.scenario, args.out, args.stem, seed=args.seed, binary=args.binary)
+    print(
+        f"{args.scenario} scenario: {NPROCS} ranks, "
+        f"{result.events_processed} engine events -> {args.out}/{args.stem}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    raise SystemExit(main())

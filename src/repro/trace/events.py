@@ -155,6 +155,11 @@ class EventRecord:
     recv_peer, recv_tag, recv_nbytes:
         For SENDRECV only: the receive half's metadata (``peer``/``tag``/
         ``nbytes`` describe the send half).  ``-1``/``0`` otherwise.
+    src_any, tag_any:
+        The receive (half) was *posted* with a wildcard source/tag
+        (``ANY_SOURCE``/``ANY_TAG``).  ``peer``/``tag`` still record the
+        resolved values; the flags preserve what the program asked for,
+        which is what match-nondeterminism analysis needs.
     """
 
     rank: int
@@ -173,6 +178,8 @@ class EventRecord:
     recv_peer: int = -1
     recv_tag: int = -1
     recv_nbytes: int = 0
+    src_any: bool = False
+    tag_any: bool = False
 
     def __post_init__(self) -> None:
         if self.t_end < self.t_start:
@@ -208,6 +215,11 @@ class EventRecord:
         ]
         if self.kind.is_pairwise:
             bits.append(f"peer={self.peer} tag={self.tag} {self.nbytes}B")
+            if self.src_any or self.tag_any:
+                wild = "+".join(
+                    n for n, f in (("ANY_SOURCE", self.src_any), ("ANY_TAG", self.tag_any)) if f
+                )
+                bits.append(f"posted={wild}")
         if self.kind in NONBLOCKING_KINDS:
             bits.append(f"req={self.req}")
         if self.kind.is_completion:

@@ -28,6 +28,7 @@ __all__ = [
     "TEXT_SUFFIX",
     "BINARY_SUFFIX",
     "BINARY_MAGIC",
+    "BINARY_MAGIC_V1",
     "encode_event_text",
     "decode_event_text",
     "encode_event_binary",
@@ -36,16 +37,22 @@ __all__ = [
     "read_header_text",
     "write_header_binary",
     "read_header_binary",
+    "read_header_binary_versioned",
 ]
 
 TEXT_SUFFIX = ".trace.jsonl"
 BINARY_SUFFIX = ".trace.bin"
-BINARY_MAGIC = b"MPGT0001"
+BINARY_MAGIC = b"MPGT0002"
+#: Previous on-disk version, still readable (no wildcard-flags byte).
+BINARY_MAGIC_V1 = b"MPGT0001"
 
 # Fixed part of a binary record:
 #   kind, rank, seq, t_start, t_end, peer, tag, nbytes, req, root,
-#   coll_seq, recv_peer, recv_tag, recv_nbytes, n_reqs, n_completed
-_FIXED = struct.Struct("<BiqddiiqqiqiiqHH")
+#   coll_seq, recv_peer, recv_tag, recv_nbytes, n_reqs, n_completed,
+#   flags (bit 0 = src_any, bit 1 = tag_any)
+_FIXED = struct.Struct("<BiqddiiqqiqiiqHHB")
+# V1 records lack the trailing flags byte.
+_FIXED_V1 = struct.Struct("<BiqddiiqqiqiiqHH")
 
 
 # ---------------------------------------------------------------------------
@@ -86,6 +93,7 @@ def encode_event_text(ev: EventRecord) -> str:
             ev.recv_peer,
             ev.recv_tag,
             ev.recv_nbytes,
+            (1 if ev.src_any else 0) | (2 if ev.tag_any else 0),
         ],
         separators=(",", ":"),
     )
@@ -93,8 +101,10 @@ def encode_event_text(ev: EventRecord) -> str:
 
 def decode_event_text(line: str) -> EventRecord:
     v = json.loads(line)
-    if not isinstance(v, list) or len(v) != 16:
+    # 16-element lines are the pre-wildcard-flags format; still accepted.
+    if not isinstance(v, list) or len(v) not in (16, 17):
         raise ValueError(f"malformed trace line: {line[:80]!r}")
+    flags = v[16] if len(v) == 17 else 0
     return EventRecord(
         kind=EventKind(v[0]),
         rank=v[1],
@@ -112,6 +122,8 @@ def decode_event_text(line: str) -> EventRecord:
         recv_peer=v[13],
         recv_tag=v[14],
         recv_nbytes=v[15],
+        src_any=bool(flags & 1),
+        tag_any=bool(flags & 2),
     )
 
 
@@ -127,14 +139,21 @@ def write_header_binary(fh: BinaryIO, meta: TraceMeta) -> None:
 
 
 def read_header_binary(fh: BinaryIO) -> TraceMeta:
+    meta, _ = read_header_binary_versioned(fh)
+    return meta
+
+
+def read_header_binary_versioned(fh: BinaryIO) -> tuple[TraceMeta, bool]:
+    """Header plus whether records carry the wildcard-flags byte
+    (``False`` for legacy ``MPGT0001`` files)."""
     magic = fh.read(len(BINARY_MAGIC))
-    if magic != BINARY_MAGIC:
+    if magic not in (BINARY_MAGIC, BINARY_MAGIC_V1):
         raise ValueError(f"bad magic {magic!r}; not a {BINARY_MAGIC.decode()} trace")
     (length,) = struct.unpack("<I", fh.read(4))
     blob = fh.read(length)
     if len(blob) != length:
         raise ValueError("truncated binary trace header")
-    return TraceMeta.from_dict(json.loads(blob.decode("utf-8")))
+    return TraceMeta.from_dict(json.loads(blob.decode("utf-8"))), magic == BINARY_MAGIC
 
 
 def encode_event_binary(ev: EventRecord) -> bytes:
@@ -155,19 +174,27 @@ def encode_event_binary(ev: EventRecord) -> bytes:
         ev.recv_nbytes,
         len(ev.reqs),
         len(ev.completed),
+        (1 if ev.src_any else 0) | (2 if ev.tag_any else 0),
     )
     tail = struct.pack(f"<{len(ev.reqs)}q{len(ev.completed)}q", *ev.reqs, *ev.completed)
     return head + tail
 
 
-def decode_events_binary(fh: BinaryIO) -> Iterator[EventRecord]:
-    """Stream records from ``fh`` positioned just past the header."""
+def decode_events_binary(fh: BinaryIO, with_flags: bool = True) -> Iterator[EventRecord]:
+    """Stream records from ``fh`` positioned just past the header.
+
+    ``with_flags=False`` reads the legacy ``MPGT0001`` record layout
+    (no wildcard-flags byte); see :func:`read_header_binary_versioned`.
+    """
+    rec = _FIXED if with_flags else _FIXED_V1
     while True:
-        head = fh.read(_FIXED.size)
+        head = fh.read(rec.size)
         if not head:
             return
-        if len(head) < _FIXED.size:
+        if len(head) < rec.size:
             raise ValueError("truncated binary trace record")
+        fields = rec.unpack(head)
+        flags = fields[16] if with_flags else 0
         (
             kind,
             rank,
@@ -185,7 +212,7 @@ def decode_events_binary(fh: BinaryIO) -> Iterator[EventRecord]:
             recv_nbytes,
             n_reqs,
             n_completed,
-        ) = _FIXED.unpack(head)
+        ) = fields[:16]
         total = n_reqs + n_completed
         ids: tuple = ()
         if total:
@@ -210,4 +237,6 @@ def decode_events_binary(fh: BinaryIO) -> Iterator[EventRecord]:
             recv_peer=recv_peer,
             recv_tag=recv_tag,
             recv_nbytes=recv_nbytes,
+            src_any=bool(flags & 1),
+            tag_any=bool(flags & 2),
         )

@@ -96,16 +96,17 @@ class TraceReader:
         self.binary = self.path.name.endswith(fmt.BINARY_SUFFIX) or (
             not self.path.name.endswith(fmt.TEXT_SUFFIX) and self._sniff_binary()
         )
+        self._bin_flags = True
         if self.binary:
             with open(self.path, "rb") as fh:
-                self.meta = fmt.read_header_binary(fh)
+                self.meta, self._bin_flags = fmt.read_header_binary_versioned(fh)
         else:
             with open(self.path, "r") as fh:
                 self.meta = fmt.read_header_text(fh)
 
     def _sniff_binary(self) -> bool:
         with open(self.path, "rb") as fh:
-            return fh.read(len(fmt.BINARY_MAGIC)) == fmt.BINARY_MAGIC
+            return fh.read(len(fmt.BINARY_MAGIC)) in (fmt.BINARY_MAGIC, fmt.BINARY_MAGIC_V1)
 
     def events(self) -> Iterator[EventRecord]:
         """Stream all events from disk, one at a time."""
@@ -119,7 +120,7 @@ class TraceReader:
         if self.binary:
             with open(self.path, "rb") as fh:
                 fmt.read_header_binary(fh)
-                yield from fmt.decode_events_binary(fh)
+                yield from fmt.decode_events_binary(fh, with_flags=self._bin_flags)
         else:
             with open(self.path, "r") as fh:
                 fmt.read_header_text(fh)

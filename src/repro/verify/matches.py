@@ -1,0 +1,344 @@
+"""Match-nondeterminism and deadlock-potential analysis.
+
+A trace records *one* completed run, including which sender each
+wildcard receive (``ANY_SOURCE``/``ANY_TAG``) actually matched.  The
+MPI standard permits other matchings; this module asks, statically,
+whether any alternative was genuinely feasible — and whether some
+alternative would have left a receive with no sender (a would-block
+chain, i.e. deadlock potential under reordered matches).
+
+The feasibility test is conservative in the sound direction.  It builds
+a happens-before (HB) order over all events via vector clocks:
+
+* per-rank program order;
+* matched send -> receive *completion point* (the RECV/SENDRECV event
+  itself, or the completion op that retired an IRECV's request);
+* collectives as synchronization points: everything before any member's
+  call happens-before everything after every member's call.
+
+``hb(a, b)`` is then an O(1) clock lookup.  HB derived this way
+under-approximates the true ordering (it only uses orderings every
+legal execution must respect), so "no HB edge" over-approximates
+concurrency: a reported race can at worst be infeasible for a subtler
+reason, but no feasible race is missed.
+
+A sender ``s`` is a *swap-closable alternative* for wildcard receive
+``r1`` (matched to ``m1``) when:
+
+* ``s`` is destined to ``r1``'s rank and compatible with ``r1``'s
+  posted (wildcard) signature;
+* ``s`` comes from a different rank than ``m1`` — same-source messages
+  to one destination cannot overtake each other under MPI's
+  non-overtaking rule, so they are never genuine alternatives;
+* ``r1``'s completion does not happen-before ``s`` (otherwise ``s``
+  was provably posted too late to race);
+* the receive ``r2`` that actually took ``s`` could accept ``m1``
+  instead (signature-compatible, and ``r2``'s completion does not
+  happen-before ``m1``) — the swapped matching must be closable.
+
+When instead ``r1`` could steal ``s`` but ``s``'s actual receive ``r2``
+cannot accept ``m1`` and has no other feasible sender, the swapped
+execution blocks ``r2`` forever: a deadlock-potential chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro import obs
+from repro.core.builder import BuildResult
+from repro.trace.events import EventKind, EventRecord
+
+__all__ = ["DeadlockChain", "MatchAnalysis", "MatchRace", "analyze_matches"]
+
+Key = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class MatchRace:
+    """One wildcard receive with at least one swap-closable alternative."""
+
+    recv: Key
+    matched: Key
+    alternatives: tuple[Key, ...]
+    divergent: tuple[Key, ...]
+    """Alternatives whose tag or payload size differs from the matched
+    send — swapping them is observable by the program."""
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "recv": list(self.recv),
+            "matched": list(self.matched),
+            "alternatives": [list(k) for k in self.alternatives],
+            "divergent": [list(k) for k in self.divergent],
+        }
+
+
+@dataclass(frozen=True)
+class DeadlockChain:
+    """A would-block chain: if ``recv`` stole ``stolen`` from ``starved``,
+    ``starved`` would have no remaining feasible sender."""
+
+    recv: Key
+    matched: Key
+    stolen: Key
+    starved: Key
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "recv": list(self.recv),
+            "matched": list(self.matched),
+            "stolen": list(self.stolen),
+            "starved": list(self.starved),
+        }
+
+
+@dataclass(frozen=True)
+class MatchAnalysis:
+    """Everything the MPG31x rules report on."""
+
+    events: int
+    wildcard_receives: int
+    races: tuple[MatchRace, ...]
+    deadlocks: tuple[DeadlockChain, ...]
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "events": self.events,
+            "wildcard_receives": self.wildcard_receives,
+            "races": [r.as_dict() for r in self.races],
+            "deadlocks": [d.as_dict() for d in self.deadlocks],
+        }
+
+
+_RECV_KINDS = frozenset({EventKind.RECV, EventKind.IRECV, EventKind.SENDRECV})
+
+
+def _recv_signature(ev: EventRecord) -> tuple[int | None, int | None]:
+    """The *posted* (source, tag) of a receive; None = wildcard."""
+    if ev.kind == EventKind.SENDRECV:
+        return (
+            None if ev.src_any else ev.recv_peer,
+            None if ev.tag_any else ev.recv_tag,
+        )
+    return (None if ev.src_any else ev.peer, None if ev.tag_any else ev.tag)
+
+
+def _send_meta(ev: EventRecord) -> tuple[int, int, int]:
+    """(dest, tag, nbytes) of a send-side event (send half of SENDRECV)."""
+    return ev.peer, ev.tag, ev.nbytes
+
+
+def _compat(recv_ev: EventRecord, send_ev: EventRecord) -> bool:
+    src, tag = _recv_signature(recv_ev)
+    _, s_tag, _ = _send_meta(send_ev)
+    return (src is None or src == send_ev.rank) and (tag is None or tag == s_tag)
+
+
+class _HappensBefore:
+    """Vector clocks over all events; ``hb(a, b)`` in O(1).
+
+    ``VC[e][k]`` is the number of rank-``k`` events in ``e``'s causal
+    past (including ``e`` itself for ``k == e.rank``), so
+    ``hb(a, b) == VC[b][a.rank] > a.seq`` for ``a != b``.
+    """
+
+    def __init__(
+        self, events: list[list[EventRecord]], preds: dict[Key, list[Key]]
+    ) -> None:
+        self.nprocs = len(events)
+        self._base = [0] * (self.nprocs + 1)
+        for r, evs in enumerate(events):
+            self._base[r + 1] = self._base[r] + len(evs)
+        n = self._base[-1]
+        self.vc = np.zeros((n, self.nprocs), dtype=np.int64)
+        # Kahn over program order + cross edges.
+        indeg = np.zeros(n, dtype=np.int64)
+        succs: dict[int, list[int]] = {}
+        for r, evs in enumerate(events):
+            for ev in evs:
+                i = self.index(ev.key)
+                if ev.seq > 0:
+                    indeg[i] += 1
+                    succs.setdefault(self.index((r, ev.seq - 1)), []).append(i)
+                for p in preds.get(ev.key, ()):
+                    indeg[i] += 1
+                    succs.setdefault(self.index(p), []).append(i)
+        ready = [i for i in range(n) if indeg[i] == 0]
+        done = 0
+        flat = [ev for evs in events for ev in evs]
+        while ready:
+            i = ready.pop()
+            done += 1
+            ev = flat[i]
+            vc = self.vc[i]
+            if ev.seq > 0:
+                np.maximum(vc, self.vc[self.index((ev.rank, ev.seq - 1))], out=vc)
+            for p in preds.get(ev.key, ()):
+                np.maximum(vc, self.vc[self.index(p)], out=vc)
+            vc[ev.rank] = ev.seq + 1
+            for j in succs.get(i, ()):
+                indeg[j] -= 1
+                if indeg[j] == 0:
+                    ready.append(j)
+        if done != n:
+            raise ValueError(
+                "happens-before graph has a cycle — trace and matching are inconsistent"
+            )
+
+    def index(self, key: Key) -> int:
+        return self._base[key[0]] + key[1]
+
+    def hb(self, a: Key, b: Key) -> bool:
+        """Strict happens-before: ``a`` precedes ``b`` in every legal
+        execution consistent with the recorded orderings."""
+        if a == b:
+            return False
+        return bool(self.vc[self.index(b)][a[0]] > a[1])
+
+
+def _completion_key(ev: EventRecord, completion_of: dict) -> Key:
+    """Where a receive's value becomes available on its rank."""
+    if ev.kind == EventKind.IRECV:
+        got = completion_of.get(ev.key)
+        return (got[0], got[1]) if got is not None else ev.key
+    return ev.key
+
+
+def _collective_preds(
+    build: BuildResult, preds: dict[Key, list[Key]]
+) -> None:
+    """Synchronization-point HB edges for every matched collective.
+
+    For members ``a != b``: (entry) ``a``'s predecessor -> ``b``'s
+    collective event, and (exit) ``a``'s collective event -> ``b``'s
+    successor.  Both edge families point strictly forward in per-rank
+    sequence, so they cannot create cycles.
+    """
+    events = build.events
+    for group in build.match.collectives:
+        members = [k for k in group.members if k is not None]
+        for a in members:
+            a_rank, a_seq = a
+            for b in members:
+                if b == a:
+                    continue
+                if a_seq > 0:
+                    preds.setdefault(b, []).append((a_rank, a_seq - 1))
+                nxt = (b[0], b[1] + 1)
+                if nxt[1] < len(events[nxt[0]]):
+                    preds.setdefault(nxt, []).append(a)
+
+
+def analyze_matches(build: BuildResult) -> MatchAnalysis:
+    """Run the full analysis over a build's trace + match results."""
+    events = build.events
+    match = build.match
+    with obs.span("verify.matches", events=sum(len(e) for e in events)):
+        preds: dict[Key, list[Key]] = {}
+        # Matched send -> receive completion point.  A SENDRECV event is
+        # both a send posting and a receive completion; treating it as
+        # atomic would turn two mutually exchanging SENDRECVs into a
+        # false HB cycle, so a SENDRECV sender's edge originates from
+        # its program predecessor (the posting happens on entry, after
+        # everything the rank did before — but not after the event's own
+        # receive half completes).
+        for skey, rkey in match.transfer_of.items():
+            rev = events[rkey[0]][rkey[1]]
+            sev = events[skey[0]][skey[1]]
+            if sev.kind == EventKind.SENDRECV:
+                if skey[1] == 0:
+                    continue
+                src = (skey[0], skey[1] - 1)
+            else:
+                src = skey
+            preds.setdefault(_completion_key(rev, match.completion_of), []).append(src)
+        _collective_preds(build, preds)
+        hb = _HappensBefore(events, preds)
+
+        # Send events grouped by destination rank.
+        sends_to: dict[int, list[Key]] = {}
+        for skey in match.transfer_of:
+            dest, _, _ = _send_meta(events[skey[0]][skey[1]])
+            sends_to.setdefault(dest, []).append(skey)
+
+        def recv_completion(key: Key) -> Key:
+            return _completion_key(events[key[0]][key[1]], match.completion_of)
+
+        def feasible_senders(rkey: Key) -> list[Key]:
+            """Senders ``r`` could legally have matched (HB-pruned)."""
+            rev = events[rkey[0]][rkey[1]]
+            r_c = recv_completion(rkey)
+            out = []
+            for skey in sends_to.get(rkey[0], ()):
+                sev = events[skey[0]][skey[1]]
+                if _compat(rev, sev) and not hb.hb(r_c, skey):
+                    out.append(skey)
+            return out
+
+        races: list[MatchRace] = []
+        deadlocks: list[DeadlockChain] = []
+        n_wild = 0
+        for rank_events in events:
+            for r1 in rank_events:
+                if r1.kind not in _RECV_KINDS or not (r1.src_any or r1.tag_any):
+                    continue
+                n_wild += 1
+                m1key = match.reverse_transfer_of.get(r1.key)
+                if m1key is None:
+                    continue  # never resolved; nothing to compare against
+                m1 = events[m1key[0]][m1key[1]]
+                r1_c = recv_completion(r1.key)
+                alternatives: list[Key] = []
+                divergent: list[Key] = []
+                for skey in sends_to.get(r1.rank, ()):
+                    if skey == m1key:
+                        continue
+                    sev = events[skey[0]][skey[1]]
+                    if sev.rank == m1.rank:
+                        continue  # non-overtaking: same-source order is fixed
+                    if not _compat(r1, sev) or hb.hb(r1_c, skey):
+                        continue
+                    r2key = match.transfer_of[skey]
+                    r2 = events[r2key[0]][r2key[1]]
+                    if _compat(r2, m1) and not hb.hb(recv_completion(r2key), m1key):
+                        # Swap-closable: r1 takes s, r2 takes m1.
+                        alternatives.append(skey)
+                        _, s_tag, s_nbytes = _send_meta(sev)
+                        _, m_tag, m_nbytes = _send_meta(m1)
+                        if s_tag != m_tag or s_nbytes != m_nbytes:
+                            divergent.append(skey)
+                    elif not _compat(r2, m1):
+                        # r1 could steal s, but s's receive cannot take m1:
+                        # does r2 have any other feasible sender left?
+                        others = [k for k in feasible_senders(r2key) if k != skey]
+                        if not others:
+                            deadlocks.append(
+                                DeadlockChain(
+                                    recv=r1.key, matched=m1key, stolen=skey, starved=r2key
+                                )
+                            )
+                if alternatives:
+                    races.append(
+                        MatchRace(
+                            recv=r1.key,
+                            matched=m1key,
+                            alternatives=tuple(alternatives),
+                            divergent=tuple(divergent),
+                        )
+                    )
+        analysis = MatchAnalysis(
+            events=sum(len(e) for e in events),
+            wildcard_receives=n_wild,
+            races=tuple(races),
+            deadlocks=tuple(deadlocks),
+        )
+        obs.span_add("verify.wildcards", n_wild)
+        if races:
+            obs.span_add("verify.races", len(races))
+        if deadlocks:
+            obs.span_add("verify.deadlocks", len(deadlocks))
+        return analysis

@@ -58,10 +58,11 @@ class TestReproLint:
     def test_list_rules(self, capsys):
         assert main_lint(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        assert out.count("MPG") == 18  # full catalog, incl. the MPG2xx diagnosis pack
+        assert out.count("MPG") == 25  # full catalog, incl. MPG2xx diagnosis + MPG3xx verify
         assert "[overlapping-events]" in out
         assert "[graph-cycle]" in out
         assert "[anomalous-rank]" in out
+        assert "[certified-bounds]" in out
 
     def test_clean_trace_exits_zero(self, clean_traces, capsys):
         rc = main_lint(["--traces", str(clean_traces), "--stem", "ring"])

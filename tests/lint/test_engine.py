@@ -40,10 +40,10 @@ def matched_trace():
 class TestRegistry:
     def test_catalog_shape(self):
         rules = all_rules()
-        assert len(rules) == 18  # 12 trace/graph + 6 diagnosis
+        assert len(rules) == 25  # 12 trace/graph + 6 diagnosis + 7 verify
         assert [r.id for r in rules] == sorted({r.id for r in rules})
         assert all(r.code in CODES for r in rules)
-        assert all(r.category in ("trace", "graph", "diagnosis") for r in rules)
+        assert all(r.category in ("trace", "graph", "diagnosis", "verify") for r in rules)
         assert all(r.summary and r.rationale for r in rules)
 
     def test_categories_split(self):
@@ -51,6 +51,9 @@ class TestRegistry:
         assert [r.id for r in all_rules("graph")] == [f"MPG10{i}" for i in range(1, 6)]
         assert [r.id for r in all_rules("diagnosis")] == [
             "MPG200", "MPG201", "MPG202", "MPG210", "MPG211", "MPG212",
+        ]
+        assert [r.id for r in all_rules("verify")] == [
+            "MPG300", "MPG301", "MPG302", "MPG303", "MPG310", "MPG311", "MPG312",
         ]
 
     def test_lookup(self):

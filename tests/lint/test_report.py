@@ -93,7 +93,7 @@ class TestSarif:
         assert driver["name"] == "repro-lint"
         rules = driver["rules"]
         assert [r["id"] for r in rules] == sorted(r["id"] for r in rules)
-        assert len(rules) == 18  # 12 trace/graph rules + 6 MPG2xx diagnosis rules
+        assert len(rules) == 25  # 12 trace/graph + 6 MPG2xx diagnosis + 7 MPG3xx verify
         for result in doc["runs"][0]["results"]:
             assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
 

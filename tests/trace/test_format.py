@@ -100,6 +100,61 @@ class TestBinaryCodec:
             list(fmt.decode_events_binary(io.BytesIO(blob[:10])))
 
 
+class TestWildcardFlags:
+    """The MPGT0002 wildcard-flags byte and MPGT0001 compatibility."""
+
+    def wildcard_event(self):
+        return EventRecord(
+            rank=0, seq=1, kind=EventKind.RECV, t_start=1.0, t_end=2.0,
+            peer=3, tag=7, nbytes=64, src_any=True, tag_any=True,
+        )
+
+    def test_text_round_trip(self):
+        e = self.wildcard_event()
+        decoded = fmt.decode_event_text(fmt.encode_event_text(e))
+        assert decoded == e
+        assert decoded.src_any and decoded.tag_any
+
+    def test_binary_round_trip(self):
+        e = self.wildcard_event()
+        buf = io.BytesIO(fmt.encode_event_binary(e))
+        (decoded,) = fmt.decode_events_binary(buf)
+        assert decoded == e
+
+    def test_legacy_text_line_defaults_to_no_wildcards(self):
+        # Pre-flags lines have 16 elements; they must still decode,
+        # with both wildcard flags False.
+        line = fmt.encode_event_text(self.wildcard_event())
+        legacy = line[: line.rindex(",")] + "]"
+        decoded = fmt.decode_event_text(legacy)
+        assert not decoded.src_any and not decoded.tag_any
+        assert decoded.peer == 3 and decoded.tag == 7
+
+    def test_legacy_binary_record_decodes_without_flags(self):
+        e = self.wildcard_event()
+        v1_head = fmt._FIXED_V1.pack(
+            int(e.kind), e.rank, e.seq, e.t_start, e.t_end, e.peer, e.tag,
+            e.nbytes, e.req, e.root, e.coll_seq, e.recv_peer, e.recv_tag,
+            e.recv_nbytes, 0, 0,
+        )
+        (decoded,) = fmt.decode_events_binary(io.BytesIO(v1_head), with_flags=False)
+        assert not decoded.src_any and not decoded.tag_any
+        assert decoded.peer == 3
+
+    def test_versioned_header_detects_v1(self):
+        meta = TraceMeta(rank=0, nprocs=2, program="abc")
+        buf = io.BytesIO()
+        fmt.write_header_binary(buf, meta)
+        buf.seek(0)
+        _, with_flags = fmt.read_header_binary_versioned(buf)
+        assert with_flags
+
+        blob = buf.getvalue()
+        v1 = fmt.BINARY_MAGIC_V1 + blob[len(fmt.BINARY_MAGIC):]
+        got, with_flags = fmt.read_header_binary_versioned(io.BytesIO(v1))
+        assert got == meta and not with_flags
+
+
 _events = st.builds(
     EventRecord,
     rank=st.integers(0, 1000),
@@ -118,6 +173,8 @@ _events = st.builds(
     recv_peer=st.integers(-1, 1000),
     recv_tag=st.integers(-1, 2**30),
     recv_nbytes=st.integers(0, 2**40),
+    src_any=st.booleans(),
+    tag_any=st.booleans(),
 )
 
 

@@ -1,0 +1,132 @@
+"""Certified makespan bounds: containment of real Monte-Carlo samples,
+bit-stability across the coarsening setting, and the certificate's
+self-description (absolute vs sound-up-to-q)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PerturbationSpec, build_graph, monte_carlo
+from repro.core.compiled import compiled_plan
+from repro.noise import Constant, Empirical, MachineSignature
+from repro.verify import edge_intervals, makespan_bounds
+
+REPLICATES = 40
+
+
+@pytest.fixture(params=["ring", "stencil"])
+def build(request, ring_trace, stencil_trace):
+    trace = ring_trace if request.param == "ring" else stencil_trace
+    return build_graph(trace)
+
+
+class TestContainment:
+    @pytest.mark.parametrize("mode", ["additive", "threshold"])
+    def test_monte_carlo_replicates_inside_bounds(self, build, mixed_signature, mode):
+        plan = compiled_plan(build)
+        bounds = makespan_bounds(plan, mixed_signature, mode=mode)
+        spec = PerturbationSpec(mixed_signature, seed=11)
+        dist = monte_carlo(build, spec, replicates=REPLICATES, mode=mode)
+        assert bounds.contains(dist.samples).all()
+        assert bounds.violations(dist.samples) == []
+
+    def test_scaled_bounds_cover_scaled_run(self, build, mixed_signature):
+        plan = compiled_plan(build)
+        bounds = makespan_bounds(plan, mixed_signature, scale=2.5)
+        spec = PerturbationSpec(mixed_signature, seed=11, scale=2.5)
+        dist = monte_carlo(build, spec, replicates=REPLICATES)
+        assert bounds.contains(dist.samples).all()
+
+    def test_constant_signature_pins_the_interval(self, build, const_signature, const_spec):
+        plan = compiled_plan(build)
+        bounds = makespan_bounds(plan, const_signature)
+        assert bounds.absolute
+        dist = monte_carlo(build, const_spec, replicates=3)
+        # Every replicate of a deterministic signature IS the bound.
+        expected = np.broadcast_to(bounds.rank_lo, dist.samples.shape)
+        np.testing.assert_allclose(dist.samples, expected, rtol=1e-9)
+        np.testing.assert_allclose(bounds.rank_lo, bounds.rank_hi, rtol=1e-9)
+
+    def test_narrowed_bound_is_caught(self, build, mixed_signature):
+        """Mutation check: shrink the certified ceiling and the
+        containment cross-check must start reporting violations."""
+        plan = compiled_plan(build)
+        bounds = makespan_bounds(plan, mixed_signature)
+        spec = PerturbationSpec(mixed_signature, seed=11)
+        dist = monte_carlo(build, spec, replicates=REPLICATES)
+        median = np.median(dist.samples, axis=0)
+        narrowed = type(bounds)(
+            rank_lo=bounds.rank_lo,
+            rank_hi=median,
+            quantile=bounds.quantile,
+            q_bounded_edges=bounds.q_bounded_edges,
+            sampled_edges=bounds.sampled_edges,
+            scale=bounds.scale,
+            mode=bounds.mode,
+            coarse=bounds.coarse,
+        )
+        assert narrowed.violations(dist.samples) != []
+
+    def test_nan_rows_count_as_contained(self, build, mixed_signature):
+        plan = compiled_plan(build)
+        bounds = makespan_bounds(plan, mixed_signature)
+        nprocs = len(bounds.rank_lo)
+        samples = np.full((2, nprocs), np.nan)
+        samples[1] = bounds.rank_hi * 100.0
+        assert bounds.contains(samples).tolist() == [True, False]
+        assert bounds.violations(samples) == [1]
+
+    def test_shape_mismatch_rejected(self, build, mixed_signature):
+        bounds = makespan_bounds(compiled_plan(build), mixed_signature)
+        with pytest.raises(ValueError, match="samples must be"):
+            bounds.contains(np.zeros((3, len(bounds.rank_lo) + 1)))
+
+
+class TestCoarsenStability:
+    def test_bounds_identical_across_coarsen_setting(self, build, mixed_signature):
+        on = makespan_bounds(compiled_plan(build, coarsen="on"), mixed_signature)
+        off = makespan_bounds(compiled_plan(build, coarsen="off"), mixed_signature)
+        # Bit-stable, not merely close: the coarse walk must reproduce
+        # the flat kernel's floats exactly.
+        assert on.rank_lo.tolist() == off.rank_lo.tolist()
+        assert on.rank_hi.tolist() == off.rank_hi.tolist()
+        assert on.sampled_edges == off.sampled_edges
+        assert on.q_bounded_edges == off.q_bounded_edges
+
+
+class TestCertificate:
+    def test_mixed_signature_is_quantile_bounded(self, build, mixed_signature):
+        bounds = makespan_bounds(compiled_plan(build), mixed_signature)
+        assert not bounds.absolute
+        assert bounds.q_bounded_edges > 0
+        assert bounds.makespan_hi >= bounds.makespan_lo >= 0.0
+
+    def test_empirical_signature_is_absolute(self, build):
+        sig = MachineSignature(
+            os_noise=Empirical([10.0, 20.0, 35.0]),
+            latency=Empirical([5.0, 8.0]),
+            per_byte=Constant(0.01),
+            name="measured",
+        )
+        bounds = makespan_bounds(compiled_plan(build), sig)
+        assert bounds.absolute
+        assert bounds.q_bounded_edges == 0
+
+    def test_edge_intervals_ordered(self, build, mixed_signature):
+        iv = edge_intervals(compiled_plan(build), mixed_signature)
+        assert (iv.lo <= iv.hi).all()
+        assert (iv.lo >= 0.0).all()  # samplers clamp at zero
+        assert iv.q_bounded_edges == int((iv.lo_q | iv.hi_q).sum())
+
+    def test_as_dict_round_trips_the_summary(self, build, mixed_signature):
+        bounds = makespan_bounds(compiled_plan(build), mixed_signature, scale=1.5)
+        d = bounds.as_dict()
+        assert d["makespan_hi"] == bounds.makespan_hi
+        assert d["scale"] == 1.5
+        assert d["absolute"] is False
+        assert len(d["rank_lo"]) == len(bounds.rank_lo)
+
+    def test_bad_mode_rejected(self, build, mixed_signature):
+        with pytest.raises(ValueError, match="mode"):
+            makespan_bounds(compiled_plan(build), mixed_signature, mode="bogus")

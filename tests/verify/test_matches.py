@@ -1,0 +1,132 @@
+"""Match-nondeterminism analysis: the known-verdict racegen scenarios,
+non-overtaking and happens-before pruning, and the SENDRECV exchange
+that must not read as a happens-before cycle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import ALL_APPS
+from repro.core import build_graph
+from repro.mpisim import (
+    ANY_SOURCE,
+    Compute,
+    Recv,
+    Send,
+    Sendrecv,
+    run,
+)
+from repro.testing.racegen import (
+    NPROCS,
+    clean_program,
+    deadlock_program,
+    race_program,
+)
+from repro.verify import MatchAnalysis, analyze_matches
+
+
+def analyze(program, nprocs=NPROCS, seed=1):
+    return analyze_matches(build_graph(run(program, nprocs=nprocs, seed=seed).trace))
+
+
+class TestScenarios:
+    def test_race_scenario_has_divergent_races(self):
+        analysis = analyze(race_program)
+        assert analysis.wildcard_receives == 2
+        assert len(analysis.races) == 2
+        for race in analysis.races:
+            assert race.recv[0] == 0  # both wildcard receives live on rank 0
+            assert race.divergent  # 64B vs 4096B payloads differ
+        assert analysis.deadlocks == ()
+
+    def test_deadlock_scenario_names_the_starved_receive(self):
+        analysis = analyze(deadlock_program)
+        assert analysis.deadlocks
+        chain = analysis.deadlocks[0]
+        assert chain.recv[0] == 0
+        assert chain.starved[0] == 0
+        assert chain.stolen[0] == 2  # rank 2's send is the only feasible one
+
+    def test_clean_scenario_is_benign(self):
+        analysis = analyze(clean_program)
+        assert analysis.wildcard_receives == 2
+        assert analysis.races  # nondeterministic, but...
+        assert all(not r.divergent for r in analysis.races)  # ...unobservable
+        assert analysis.deadlocks == ()
+
+
+class TestPruning:
+    def test_pinned_receives_have_no_races(self):
+        def program(me):
+            if me.rank == 0:
+                yield Recv(source=1, tag=0)
+                yield Recv(source=2, tag=0)
+            else:
+                yield Send(dest=0, nbytes=64, tag=0)
+
+        analysis = analyze(program)
+        assert analysis.wildcard_receives == 0
+        assert analysis.races == ()
+
+    def test_non_overtaking_prunes_same_source_sends(self):
+        # Two sends from ONE source to one wildcard pair: MPI ordering
+        # pins the match, so no swap is feasible.
+        def program(me):
+            if me.rank == 0:
+                yield Recv(source=ANY_SOURCE, tag=1)
+                yield Recv(source=ANY_SOURCE, tag=1)
+            elif me.rank == 1:
+                yield Send(dest=0, nbytes=64, tag=1)
+                yield Send(dest=0, nbytes=4096, tag=1)
+
+        analysis = analyze(program)
+        assert analysis.wildcard_receives == 2
+        assert analysis.races == ()
+
+    def test_happens_before_prunes_ordered_senders(self):
+        # Rank 2 only sends after hearing from rank 0, which happens
+        # after rank 1's message arrived: the alternatives are ordered,
+        # not racing.
+        def program(me):
+            if me.rank == 0:
+                yield Recv(source=ANY_SOURCE, tag=1)
+                yield Send(dest=2, nbytes=8, tag=2)
+                yield Recv(source=ANY_SOURCE, tag=1)
+            elif me.rank == 1:
+                yield Send(dest=0, nbytes=64, tag=1)
+            elif me.rank == 2:
+                yield Recv(source=0, tag=2)
+                yield Send(dest=0, nbytes=4096, tag=1)
+
+        analysis = analyze(program)
+        assert analysis.wildcard_receives == 2
+        assert analysis.races == ()
+
+
+class TestSendrecv:
+    def test_mutual_exchange_is_not_a_cycle(self):
+        # Two ranks swap via SENDRECV: the completion of each depends on
+        # the other's posting, which must NOT read as a happens-before
+        # cycle (the posting precedes the completion).
+        def program(me):
+            other = 1 - me.rank
+            yield Compute(100)
+            yield Sendrecv(dest=other, source=other, send_nbytes=64)
+
+        analysis = analyze(program, nprocs=2)
+        assert isinstance(analysis, MatchAnalysis)
+        assert analysis.races == ()
+        assert analysis.deadlocks == ()
+
+
+class TestBundledApps:
+    @pytest.mark.parametrize("name", ["master_worker", "butterfly_allreduce", "random_sparse"])
+    def test_wildcard_apps_have_no_divergent_races(self, name):
+        factory, params_cls = ALL_APPS[name]
+        params = params_cls()
+        nprocs = 8 if name == "butterfly_allreduce" else 4
+        analysis = analyze_matches(
+            build_graph(run(factory(params), nprocs=nprocs, seed=1).trace)
+        )
+        assert all(not r.divergent for r in analysis.races), name
+        assert analysis.deadlocks == (), name
