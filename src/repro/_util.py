@@ -31,17 +31,32 @@ __all__ = [
 ]
 
 
+# Temp-name uniquifier for the atomic writers.  The pid alone is not
+# enough once one process has concurrent writers (a multi-threaded
+# daemon): two threads sharing a temp name could interleave write →
+# replace and lose one write or raise on a vanished temp file.  next()
+# on an itertools.count is atomic under the GIL, so pid + sequence
+# gives every in-flight write its own temp file.
+_TMP_SEQ = itertools.count()
+
+
+def _tmp_name(path: Path) -> Path:
+    return path.with_name(f"{path.name}.tmp.{os.getpid()}.{next(_TMP_SEQ)}")
+
+
 def atomic_write_text(path: str | Path, text: str) -> Path:
     """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
 
     Readers never observe a truncated file: a crash mid-write leaves
     either the previous version (or nothing, for a new file) plus a
-    stray ``*.tmp.<pid>`` — never a half-written artifact.  Every
+    stray ``*.tmp.<pid>.<seq>`` — never a half-written artifact.  Every
     artifact writer in the package (obs exporters, benchmark results,
-    checkpoint shards, signatures) goes through this.
+    checkpoint shards, signatures) goes through this.  Concurrent
+    writers to the same path (threads or processes) are safe:
+    last-writer-wins, and a reader sees one complete version or none.
     """
     path = Path(path)
-    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    tmp = _tmp_name(path)
     try:
         tmp.write_text(text)
         os.replace(tmp, path)
@@ -59,7 +74,7 @@ def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
     checkpoint store, most notably.
     """
     path = Path(path)
-    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    tmp = _tmp_name(path)
     try:
         tmp.write_bytes(data)
         os.replace(tmp, path)

@@ -44,6 +44,15 @@ Entry points mirroring the paper's workflow:
     (text / JSON / SARIF) with the same ``--fail-on`` CI gate.
     ``repro-analyze --verify`` runs the same pass as a pre-flight and
     arms the Monte-Carlo containment cross-check.
+``repro-serve``
+    Long-running analysis daemon (:mod:`repro.serve`): the analyses
+    above as HTTP endpoints with a coalescing build cache — concurrent
+    requests sharing a trace set pay for one graph build and one plan
+    compile.  Responses are bit-identical to the CLI/library results.
+``repro-client``
+    Client for ``repro-serve``: submits jobs and renders responses in
+    the exact byte formats of the corresponding CLI tools (CI diffs
+    daemon output against CLI output with ``cmp``).
 """
 
 from __future__ import annotations
@@ -105,6 +114,8 @@ __all__ = [
     "main_diagnose",
     "main_metrics",
     "main_verify",
+    "main_serve",
+    "main_client",
 ]
 
 # Two output channels, never mixed: results go to stdout (bare lines,
@@ -1423,4 +1434,249 @@ def main_replay(argv: list[str] | None = None) -> int:
         f"makespan: {result.original_makespan:,.0f} -> {result.makespan:,.0f} cy "
         f"(speedup {result.speedup:.2f}x)"
     )
+    return 0
+
+
+def main_serve(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Long-running analysis daemon: analyze / sweep / diagnose / metrics / "
+        "verify as HTTP endpoints with a coalescing build cache (see docs/SERVING.md).",
+    )
+    ap.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    ap.add_argument(
+        "--port", type=int, default=8765, help="bind port (default 8765; 0 = ephemeral)"
+    )
+    ap.add_argument(
+        "--trace-root",
+        metavar="DIR",
+        help="confine request trace dirs under DIR (default: any server-side path)",
+    )
+    ap.add_argument(
+        "--cache-size",
+        type=int,
+        default=8,
+        metavar="N",
+        help="live builds kept in the LRU cache (default 8)",
+    )
+    ap.add_argument(
+        "--max-pending",
+        type=int,
+        default=32,
+        metavar="N",
+        help="jobs in flight before new requests get 429 (default 32)",
+    )
+    ap.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job deadline; past it the request gets a 504 (default: none)",
+    )
+    _add_jobs_arg(ap)
+    ap.add_argument(
+        "--checkpoint",
+        metavar="DIR",
+        help="durable result cache: shards and compiled plans persist in DIR, so "
+        "repeated identical requests are near-free (see repro.core.checkpoint)",
+    )
+    ap.add_argument(
+        "--chunk-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-chunk deadline for pooled execution inside jobs",
+    )
+    ap.add_argument(
+        "--retries", type=int, default=None, metavar="N", help="pool chunk retries (default 2)"
+    )
+    ap.add_argument(
+        "--on-failure",
+        choices=("fail", "degrade", "skip"),
+        default=None,
+        help="pool chunk failure policy (default fail)",
+    )
+    ap.add_argument(
+        "--allow-fault-injection",
+        action="store_true",
+        help="accept the 'inject' request field (testing only: lets a request crash "
+        "its handler or kill a pool worker to prove containment)",
+    )
+    ap.add_argument("--label", default="repro-serve", help="obs session label")
+    _add_logging_args(ap)
+    args = ap.parse_args(argv)
+    _configure_logging(args)
+
+    import asyncio
+
+    from repro.serve import ServeConfig
+    from repro.serve.daemon import serve as _serve
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        trace_root=args.trace_root,
+        cache_size=args.cache_size,
+        max_pending=args.max_pending,
+        job_timeout=args.job_timeout,
+        jobs=args.jobs,
+        policy=_fault_policy(args),
+        checkpoint=args.checkpoint,
+        allow_fault_injection=args.allow_fault_injection,
+        label=args.label,
+    )
+
+    def _ready(server) -> None:
+        _say(f"repro-serve listening on http://{config.host}:{server.port}")
+
+    try:
+        asyncio.run(_serve(config, ready=_ready))
+    except KeyboardInterrupt:
+        _LOG.info("repro-serve interrupted; shutting down")
+    return 0
+
+
+def _client_payload(args, kind: str) -> dict:
+    """Assemble the job kwargs for one repro-client invocation."""
+    from repro.trace.reader import find_trace_files
+
+    job: dict = {"stem": args.stem}
+    if getattr(args, "upload", False):
+        paths = find_trace_files(args.traces, args.stem)
+        if not paths:
+            raise SystemExit(f"no trace files for stem {args.stem!r} in {args.traces}")
+        job["upload"] = {p.name: p.read_text() for p in paths}
+    else:
+        job["traces"] = args.traces
+    if getattr(args, "signature", None):
+        job["signature"] = MachineSignature.load(args.signature).to_dict()
+    params: dict = {}
+    for key in ("seed", "scale", "mode", "engine", "coarsen", "replicates", "windows"):
+        value = getattr(args, key, None)
+        if value is not None:
+            params[key] = value
+    if getattr(args, "collective_mode", None) not in (None, "hub"):
+        params["collective_mode"] = args.collective_mode
+    if getattr(args, "eager_threshold", None) is not None:
+        params["eager_threshold"] = args.eager_threshold
+    if getattr(args, "quantile", None) is not None:
+        params["quantile"] = args.quantile
+    if getattr(args, "no_matches", False):
+        params["matches"] = False
+    if getattr(args, "scales", None):
+        params["scales"] = [float(s) for s in args.scales.split(",") if s.strip()]
+    if params:
+        job["params"] = params
+    if getattr(args, "inject", None):
+        job["inject"] = args.inject
+    return job
+
+
+def main_client(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro-client",
+        description="Submit jobs to a repro-serve daemon; output formats are byte-identical "
+        "to the corresponding CLI tools (repro-diagnose/-verify/-metrics --format json).",
+    )
+    ap.add_argument("--url", required=True, help="daemon base URL, e.g. http://127.0.0.1:8765")
+    ap.add_argument("--timeout", type=float, default=300.0, help="HTTP timeout in seconds")
+    _add_logging_args(ap)
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("healthz", help="liveness probe")
+    sub.add_parser("metricsz", help="aggregated daemon metrics and span histogram")
+
+    def add_job(name: str, needs_signature: bool) -> argparse.ArgumentParser:
+        p = sub.add_parser(name, help=f"POST /v1/{name}")
+        p.add_argument("--traces", required=True, help="trace directory")
+        p.add_argument("--stem", required=True, help="trace file stem")
+        p.add_argument(
+            "--upload",
+            action="store_true",
+            help="read the trace files locally and ship their contents inline "
+            "(default: the daemon reads --traces server-side)",
+        )
+        if needs_signature:
+            p.add_argument("--signature", help="machine signature JSON (sent inline)")
+        p.add_argument("--out", metavar="FILE", help="write the rendered result to FILE")
+        p.add_argument("--inject", choices=("error", "kill-worker"), help=argparse.SUPPRESS)
+        return p
+
+    def add_analysis_params(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--seed", type=int, default=None)
+        p.add_argument("--scale", type=float, default=None)
+        p.add_argument("--mode", choices=("additive", "threshold"), default=None)
+        p.add_argument(
+            "--engine",
+            choices=("auto", "incore", "graph", "streaming", "compiled"),
+            default=None,
+        )
+        p.add_argument("--coarsen", choices=("auto", "on", "off"), default=None)
+        p.add_argument("--collective-mode", choices=("hub", "butterfly"), default=None)
+        p.add_argument("--eager-threshold", type=int, default=None)
+
+    p = add_job("analyze", needs_signature=True)
+    add_analysis_params(p)
+    p.add_argument("--replicates", type=int, default=None)
+
+    p = add_job("sweep", needs_signature=True)
+    add_analysis_params(p)
+    p.add_argument("--scales", default=None, help="comma-separated scale factors")
+
+    p = add_job("diagnose", needs_signature=True)
+    add_analysis_params(p)
+    p.add_argument("--replicates", type=int, default=None)
+
+    p = add_job("metrics", needs_signature=False)
+    p.add_argument("--windows", type=int, default=None)
+    p.add_argument("--collective-mode", choices=("hub", "butterfly"), default=None)
+    p.add_argument("--eager-threshold", type=int, default=None)
+
+    p = add_job("verify", needs_signature=True)
+    add_analysis_params(p)
+    p.add_argument("--replicates", type=int, default=None)
+    p.add_argument("--quantile", type=float, default=None)
+    p.add_argument("--no-matches", action="store_true")
+
+    args = ap.parse_args(argv)
+    _configure_logging(args)
+
+    from repro.serve import ServeClient, ServeError
+    from repro.serve.client import (
+        render_analyze,
+        render_diagnose,
+        render_metrics,
+        render_sweep,
+        render_verify,
+    )
+
+    client = ServeClient(args.url, timeout=args.timeout)
+    try:
+        if args.command in ("healthz", "metricsz"):
+            probe = client.healthz() if args.command == "healthz" else client.metricsz()
+            _say(json.dumps(probe, indent=2, sort_keys=True))
+            return 0
+        envelope = client.job(args.command, **_client_payload(args, args.command))
+    except ServeError as exc:
+        _LOG.error(f"{exc.code}: {exc.message}")
+        return 1
+
+    render = {
+        "analyze": render_analyze,
+        "sweep": render_sweep,
+        "diagnose": render_diagnose,
+        "metrics": render_metrics,
+        "verify": render_verify,
+    }[args.command]
+    rendered = render(envelope["result"])
+    build = envelope.get("build", {})
+    _LOG.info(
+        f"{args.command}: build {build.get('digest', '?')} "
+        f"({'cache hit' if build.get('cached') else 'built'})"
+    )
+    if args.out:
+        atomic_write_text(args.out, rendered)
+        _LOG.info(f"result written to {args.out}")
+    else:
+        _say(rendered.rstrip("\n"))
     return 0

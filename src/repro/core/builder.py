@@ -48,6 +48,15 @@ class BuildResult:
     config: BuildConfig
     warnings: list = field(default_factory=list)
 
+    def __getstate__(self) -> dict:
+        # Derived caches ride __dict__ (checkpoint digest, compiled-plan
+        # memo); the per-build compile lock (repro.core.compiled) is not
+        # picklable and is process-local by nature — drop it so builds
+        # still cross the pool boundary.
+        state = dict(self.__dict__)
+        state.pop("_compiled_plans_lock", None)
+        return state
+
 
 def _match_warnings(match: MatchResult, per_rank: list) -> list[AnalysisWarning]:
     """Structured §4.3 warnings for unanchored nonblocking requests."""

@@ -34,6 +34,7 @@ import hashlib
 import json
 import math
 import os
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Sequence
@@ -147,12 +148,21 @@ class ShardKey:
 
 
 class CheckpointStore:
-    """Directory of checksummed, atomically-written result shards."""
+    """Directory of checksummed, atomically-written result shards.
+
+    Safe under concurrent access from one store *or* many: a shard's
+    content is a pure function of its key, writes are atomic renames of
+    uniquely-named temp files (concurrent :meth:`put` of the same key is
+    last-writer-wins of identical bytes — never a torn file), and
+    :meth:`get` tolerates a shard appearing or vanishing between the
+    lookup and the read (both count as a miss, never an error).
+    """
 
     def __init__(self, root: str | Path):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.writes = 0
+        self._writes_lock = threading.Lock()
         self._write_hook = None
         if os.environ.get(KILL_AFTER_SHARDS_ENV):
             # Deterministic chaos: the fault harness arms a hook that
@@ -177,13 +187,24 @@ class CheckpointStore:
         A corrupt shard — unparsable JSON, key mismatch, or content
         digest mismatch — counts as ``checkpoint.corrupt`` and reads as
         missing, so the row is recomputed and the shard rewritten.
+
+        The read is a single open (no exists() pre-check): a shard
+        written by a concurrent writer between lookup and read is
+        simply found, and one unlinked in that window is a plain miss
+        (``FileNotFoundError`` → ``checkpoint.misses``, not corrupt).
+        Atomic-rename writes mean whatever is opened is complete.
         """
         path = self.path_for(key)
-        if not path.exists():
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
             obs.add("checkpoint.misses")
             return None
+        except OSError:
+            obs.add("checkpoint.corrupt")
+            return None
         try:
-            record = json.loads(path.read_text())
+            record = json.loads(text)
             result = record["result"]
             ok = (
                 record.get("schema") == SHARD_SCHEMA
@@ -209,10 +230,12 @@ class CheckpointStore:
             "digest": digest_of(result),
         }
         path = atomic_write_text(self.path_for(key), json.dumps(record) + "\n")
-        self.writes += 1
+        with self._writes_lock:
+            self.writes += 1
+            writes = self.writes
         obs.add("checkpoint.writes")
         if self._write_hook is not None:
-            self._write_hook(self.writes)
+            self._write_hook(writes)
         return path
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -231,18 +254,27 @@ def load_plan(store: CheckpointStore, build, coarsen: str):
     schema, digest, numpy version (the sampler tables mirror numpy's
     private ziggurat layout), or graph shape — counts as
     ``checkpoint.plan_corrupt`` and reads as missing, so the plan is
-    recompiled and the cache rewritten.
+    recompiled and the cache rewritten.  Like :meth:`CheckpointStore.
+    get`, the read is a single open: a plan cached (or evicted) by a
+    concurrent writer between lookup and read is found (or a plain
+    miss), and the atomic-rename write in :func:`save_plan` means two
+    racing writers of one path leave a complete blob, never a torn one.
     """
     import pickle
 
     import numpy as np
 
     path = plan_cache_path(store, build, coarsen)
-    if not path.exists():
+    try:
+        data = path.read_bytes()
+    except FileNotFoundError:
         obs.add("checkpoint.plan_misses")
         return None
+    except OSError:
+        obs.add("checkpoint.plan_corrupt")
+        return None
     try:
-        blob = pickle.loads(path.read_bytes())
+        blob = pickle.loads(data)
         plan = blob["plan"]
         g = build.graph
         ok = (

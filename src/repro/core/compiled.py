@@ -1589,21 +1589,33 @@ def compiled_plan(
     ``CheckpointStore`` is passed, compiled plans are additionally
     persisted on disk keyed by the build digest, so repeated CLI runs
     and pool workers skip recompilation entirely.
+
+    Concurrent callers sharing one ``build`` (daemon requests that
+    coalesced on the same trace) are serialized on a per-build lock, so
+    exactly one thread compiles and the rest reuse its plan — the
+    memoized dict alone would let two threads race past the ``get`` and
+    both pay the compile.
     """
     if coarsen not in COARSEN_CHOICES:
         raise ValueError(f"coarsen must be one of {COARSEN_CHOICES}, got {coarsen!r}")
+    import threading
+
+    # dict.setdefault is atomic under the GIL, so all racers agree on
+    # one lock object (and one plans dict) for this build.
+    lock = build.__dict__.setdefault("_compiled_plans_lock", threading.Lock())
     plans = build.__dict__.setdefault("_compiled_plans", {})
-    plan = plans.get(coarsen)
-    if plan is None:
-        if checkpoint is not None:
-            from repro.core.checkpoint import load_plan
-
-            plan = load_plan(checkpoint, build, coarsen)
+    with lock:
+        plan = plans.get(coarsen)
         if plan is None:
-            plan = CompiledPlan(build, coarsen=coarsen)
             if checkpoint is not None:
-                from repro.core.checkpoint import save_plan
+                from repro.core.checkpoint import load_plan
 
-                save_plan(checkpoint, build, coarsen, plan)
-        plans[coarsen] = plan
-    return plan
+                plan = load_plan(checkpoint, build, coarsen)
+            if plan is None:
+                plan = CompiledPlan(build, coarsen=coarsen)
+                if checkpoint is not None:
+                    from repro.core.checkpoint import save_plan
+
+                    save_plan(checkpoint, build, coarsen, plan)
+            plans[coarsen] = plan
+        return plan

@@ -259,11 +259,17 @@ def sweep_scales(
     checkpoint: CheckpointStore | str | None = None,
     resume: bool = False,
     coarsen: str = "auto",
+    build: BuildResult | None = None,
 ) -> SweepResult:
     """Run the traversal once per global scale factor.
 
     The graph is built (or matched) once; only delta sampling changes
-    between points, so the sweep isolates the noise response.
+    between points, so the sweep isolates the noise response.  A caller
+    that already holds the built graph (the serving daemon's build
+    cache, a notebook that analyzed first) can pass it via ``build`` to
+    skip the rebuild — it must be the graph of ``trace_set`` under
+    ``config``, and results are bit-identical either way.  The
+    streaming engine traverses the traces directly and ignores it.
 
     ``jobs >= 2`` (or None = auto) fans the points out across worker
     processes (:mod:`repro.core.parallel`); deterministic sampling makes
@@ -290,7 +296,10 @@ def sweep_scales(
     store = CheckpointStore.coerce(checkpoint)
     scales = [float(s) for s in scales]
     with obs.span("sweep_scales", engine=engine, points=len(scales)):
-        build = build_graph(trace_set, config) if engine != "streaming" else None
+        if engine == "streaming":
+            build = None
+        elif build is None:
+            build = build_graph(trace_set, config)
 
         def compute(indices):
             return _scale_rows(

@@ -33,7 +33,9 @@ parallel runs report merged metrics equal to serial totals.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
+from contextvars import ContextVar
 
 from repro.obs.export import (
     chrome_trace_events,
@@ -62,6 +64,7 @@ __all__ = [
     "gauge_max",
     "jsonl_records",
     "observed",
+    "session_scope",
     "span",
     "span_add",
     "start",
@@ -75,7 +78,26 @@ __all__ = [
     "write_metrics",
 ]
 
+# The process-wide session, guarded by _LOCK against concurrent
+# installation (two threads racing start()/stop() must agree on one
+# winner).  Reads on the hot path stay lock-free: helpers load the
+# global once and test for None, same as before the daemon existed.
 _ACTIVE: Session | None = None
+_LOCK = threading.Lock()
+
+# Per-task override: a request handler (repro-serve) installs its own
+# session via session_scope() so concurrent requests in one process get
+# separate span trees instead of interleaving in the global session.
+# ContextVar.get is C-speed, so the disabled path stays near-zero-cost:
+# one contextvar load + one global load + None tests.
+_TASK: ContextVar[Session | None] = ContextVar("repro_obs_task_session", default=None)
+
+
+def _current() -> Session | None:
+    """The session instrumentation should record into: the per-task
+    session when one is installed, else the process-wide one."""
+    s = _TASK.get()
+    return s if s is not None else _ACTIVE
 
 
 class _NullSpan:
@@ -97,30 +119,37 @@ _NULL_SPAN = _NullSpan()
 
 
 def enabled() -> bool:
-    """True while a session is collecting."""
-    return _ACTIVE is not None
+    """True while a session (task-local or process-wide) is collecting."""
+    return _current() is not None
 
 
 def active() -> Session | None:
-    return _ACTIVE
+    """The session instrumentation currently records into (task-local
+    session first, then the process-wide one)."""
+    return _current()
 
 
 def start(label: str = "repro", session: Session | None = None) -> Session:
-    """Install (and return) the active session.
+    """Install (and return) the process-wide active session.
 
     Re-entrant starts return the already-active session — nested tools
     can call :func:`start` defensively without stealing ownership.
+    Installation is lock-guarded: two threads racing :func:`start` agree
+    on a single winner instead of clobbering each other's session.
     """
     global _ACTIVE
-    if _ACTIVE is None:
-        _ACTIVE = session if session is not None else Session(label)
-    return _ACTIVE
+    with _LOCK:
+        if _ACTIVE is None:
+            _ACTIVE = session if session is not None else Session(label)
+        return _ACTIVE
 
 
 def stop() -> Session | None:
-    """Deactivate and return the session (open spans force-closed)."""
+    """Deactivate and return the process-wide session (open spans
+    force-closed).  Lock-guarded like :func:`start`."""
     global _ACTIVE
-    session, _ACTIVE = _ACTIVE, None
+    with _LOCK:
+        session, _ACTIVE = _ACTIVE, None
     if session is not None:
         session.close_open_spans()
     return session
@@ -128,9 +157,22 @@ def stop() -> Session | None:
 
 @contextmanager
 def observed(label: str = "repro"):
-    """``with obs.observed() as session:`` — scoped enable/disable."""
-    owned = _ACTIVE is None
-    session = start(label)
+    """``with obs.observed() as session:`` — scoped enable/disable.
+
+    When a per-task session is already installed (:func:`session_scope`)
+    this yields it unchanged, so nested tools inside a request join that
+    request's span tree instead of stealing the process-wide slot.
+    """
+    task = _TASK.get()
+    if task is not None:
+        yield task
+        return
+    global _ACTIVE
+    with _LOCK:
+        owned = _ACTIVE is None
+        if owned:
+            _ACTIVE = Session(label)
+        session = _ACTIVE
     try:
         yield session
     finally:
@@ -138,9 +180,30 @@ def observed(label: str = "repro"):
             stop()
 
 
+@contextmanager
+def session_scope(label: str = "repro", session: Session | None = None):
+    """Install a **per-task** session for the duration of the block.
+
+    Unlike :func:`start`, this never touches the process-wide slot: the
+    session rides a :class:`~contextvars.ContextVar`, so concurrent
+    asyncio tasks (and the worker threads they spawn via
+    ``asyncio.to_thread``, which copies the context) each record into
+    their own span tree.  This is what keeps one daemon request's spans
+    from interleaving with another's.  Nesting restores the previous
+    task session on exit; open spans are force-closed.
+    """
+    s = session if session is not None else Session(label)
+    token = _TASK.set(s)
+    try:
+        yield s
+    finally:
+        _TASK.reset(token)
+        s.close_open_spans()
+
+
 def span(name: str, **attrs):
     """Context manager for one nested span (no-op while disabled)."""
-    s = _ACTIVE
+    s = _current()
     if s is None:
         return _NULL_SPAN
     return s.span(name, **attrs)
@@ -148,14 +211,14 @@ def span(name: str, **attrs):
 
 def add(name: str, n: int | float = 1) -> None:
     """Increment a session counter (no-op while disabled)."""
-    s = _ACTIVE
+    s = _current()
     if s is not None:
         s.metrics.counter(name).inc(n)
 
 
 def span_add(name: str, n: int | float = 1) -> None:
     """Increment a session counter AND attach it to the active span."""
-    s = _ACTIVE
+    s = _current()
     if s is not None:
         s.metrics.counter(name).inc(n)
         current = s.current_span()
@@ -165,14 +228,14 @@ def span_add(name: str, n: int | float = 1) -> None:
 
 def gauge(name: str, value: float, mode: str = "last") -> None:
     """Set a gauge (no-op while disabled)."""
-    s = _ACTIVE
+    s = _current()
     if s is not None:
         s.metrics.gauge(name, mode).set(value)
 
 
 def gauge_max(name: str, value: float) -> None:
     """Raise a high-water-mark gauge (no-op while disabled)."""
-    s = _ACTIVE
+    s = _current()
     if s is not None:
         s.metrics.gauge(name, "max").set(value)
 
@@ -181,7 +244,7 @@ def gauge_max(name: str, value: float) -> None:
 def time_phase(name: str):
     """Observe a duration into the timer metric ``name`` (and nothing
     else — lighter than a span for repeated small operations)."""
-    s = _ACTIVE
+    s = _current()
     if s is None:
         yield
         return

@@ -28,9 +28,22 @@ the serial totals, since merging counters is addition).
 
 from __future__ import annotations
 
+import threading
+
 __all__ = ["Counter", "Gauge", "Timer", "MetricsRegistry"]
 
 _GAUGE_MODES = ("last", "max", "min")
+
+# One process-wide lock for every metric mutation.  ``value += n`` is
+# NOT atomic in CPython (load / add / store can interleave between
+# threads), so a multi-threaded daemon would silently drop increments —
+# the merged totals would no longer equal a serial run's, breaking the
+# invariant the ProcessPool drain already guarantees across processes.
+# Instrumentation is phase-granular (never per-edge), so one shared
+# uncontended lock costs ~100ns per update and keeps merge/snapshot
+# consistent with in-flight increments.  Reentrant because merge()
+# takes it and then calls counter().inc() / timer()._absorb().
+_MUTATE = threading.RLock()
 
 
 class Counter:
@@ -43,7 +56,8 @@ class Counter:
         self.value = value
 
     def inc(self, n: int | float = 1) -> None:
-        self.value += n
+        with _MUTATE:
+            self.value += n
 
     def to_dict(self) -> dict:
         return {"kind": self.kind, "value": self.value}
@@ -65,14 +79,15 @@ class Gauge:
         self.value: float | None = None
 
     def set(self, v: float) -> None:
-        if self.value is None:
-            self.value = v
-        elif self.mode == "max":
-            self.value = max(self.value, v)
-        elif self.mode == "min":
-            self.value = min(self.value, v)
-        else:
-            self.value = v
+        with _MUTATE:
+            if self.value is None:
+                self.value = v
+            elif self.mode == "max":
+                self.value = max(self.value, v)
+            elif self.mode == "min":
+                self.value = min(self.value, v)
+            else:
+                self.value = v
 
     def to_dict(self) -> dict:
         return {"kind": self.kind, "mode": self.mode, "value": self.value}
@@ -103,18 +118,19 @@ class Timer:
         self._skip = 0
 
     def observe(self, dt: float) -> None:
-        self.total += dt
-        self.count += 1
-        if dt > self.max:
-            self.max = dt
-        if self._skip:
-            self._skip -= 1
-        else:
-            self.samples.append(dt)
-            self._skip = self._stride - 1
-            if len(self.samples) >= self._CAP:
-                self.samples = self.samples[::2]
-                self._stride *= 2
+        with _MUTATE:
+            self.total += dt
+            self.count += 1
+            if dt > self.max:
+                self.max = dt
+            if self._skip:
+                self._skip -= 1
+            else:
+                self.samples.append(dt)
+                self._skip = self._stride - 1
+                if len(self.samples) >= self._CAP:
+                    self.samples = self.samples[::2]
+                    self._stride *= 2
 
     @property
     def mean(self) -> float:
@@ -143,16 +159,17 @@ class Timer:
 
     def _absorb(self, entry: dict) -> None:
         """Merge a snapshot entry (totals exactly; samples thinned)."""
-        self.total += entry["total"]
-        self.count += entry["count"]
-        self.max = max(self.max, entry["max"])
-        incoming = entry.get("samples")
-        if incoming:
-            self.samples.extend(incoming)
-            self._stride = max(self._stride, entry.get("stride", 1))
-            while len(self.samples) >= self._CAP:
-                self.samples = self.samples[::2]
-                self._stride *= 2
+        with _MUTATE:
+            self.total += entry["total"]
+            self.count += entry["count"]
+            self.max = max(self.max, entry["max"])
+            incoming = entry.get("samples")
+            if incoming:
+                self.samples.extend(incoming)
+                self._stride = max(self._stride, entry.get("stride", 1))
+                while len(self.samples) >= self._CAP:
+                    self.samples = self.samples[::2]
+                    self._stride *= 2
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Timer(total={self.total:.6f}, count={self.count})"
@@ -174,11 +191,12 @@ class MetricsRegistry:
         return self._metrics.get(name)
 
     def _fetch(self, name: str, kind: type, factory):
-        m = self._metrics.get(name)
-        if m is None:
-            m = factory()
-            self._metrics[name] = m
-        elif not isinstance(m, kind):
+        with _MUTATE:
+            m = self._metrics.get(name)
+            if m is None:
+                m = factory()
+                self._metrics[name] = m
+        if not isinstance(m, kind):
             raise TypeError(f"metric {name!r} is a {m.kind}, not a {kind.kind}")
         return m
 
@@ -200,21 +218,23 @@ class MetricsRegistry:
         and for :meth:`merge` on the other side.  Timer entries carry
         their sample reservoirs (dropped from :meth:`as_dict`) so
         percentiles survive the worker → parent merge."""
-        out = {}
-        for name, m in sorted(self._metrics.items()):
-            d = m.to_dict()
-            if isinstance(m, Timer):
-                d["samples"] = list(m.samples)
-                d["stride"] = m._stride
-            out[name] = d
+        with _MUTATE:
+            out = {}
+            for name, m in sorted(self._metrics.items()):
+                d = m.to_dict()
+                if isinstance(m, Timer):
+                    d["samples"] = list(m.samples)
+                    d["stride"] = m._stride
+                out[name] = d
         return out
 
     def as_dict(self) -> dict:
         """Flat name -> value view for human-facing JSON reports (timers
         keep their structured form)."""
-        out = {}
-        for name, m in sorted(self._metrics.items()):
-            out[name] = m.to_dict() if isinstance(m, Timer) else m.value
+        with _MUTATE:
+            out = {}
+            for name, m in sorted(self._metrics.items()):
+                out[name] = m.to_dict() if isinstance(m, Timer) else m.value
         return out
 
     def merge(self, snapshot: dict) -> None:
@@ -224,6 +244,10 @@ class MetricsRegistry:
         merging N worker snapshots produces exactly the totals a serial
         run would have recorded.
         """
+        with _MUTATE:
+            self._merge_locked(snapshot)
+
+    def _merge_locked(self, snapshot: dict) -> None:
         for name, entry in snapshot.items():
             kind = entry["kind"]
             if kind == "counter":
@@ -237,4 +261,5 @@ class MetricsRegistry:
                 raise ValueError(f"unknown metric kind {kind!r} for {name!r}")
 
     def clear(self) -> None:
-        self._metrics.clear()
+        with _MUTATE:
+            self._metrics.clear()

@@ -113,6 +113,10 @@ class Session:
         self.workers: list[int] = []  # pids whose drained state was absorbed
         self._stack: list[int] = []  # indices of open spans
         self._drained = 0  # spans already shipped out by drain()
+        # Span recording is task-confined (one request/thread at a time),
+        # but drain/absorb cross task boundaries: a daemon folds many
+        # request sessions into one aggregate, so those two are guarded.
+        self._transfer_lock = threading.Lock()
 
     # -- spans --------------------------------------------------------------
     def span(self, name: str, **attrs) -> _SpanHandle:
@@ -159,12 +163,13 @@ class Session:
         Clears what it returns; open spans stay behind.  The result is a
         plain-dict blob that pickles cheaply across the pool boundary.
         """
-        completed = [
-            s.to_dict() for s in self.spans[self._drained :] if s.t_end is not None
-        ]
-        blob = {"pid": self.pid, "spans": completed, "metrics": self.metrics.snapshot()}
-        self._drained = len(self.spans)
-        self.metrics.clear()
+        with self._transfer_lock:
+            completed = [
+                s.to_dict() for s in self.spans[self._drained :] if s.t_end is not None
+            ]
+            blob = {"pid": self.pid, "spans": completed, "metrics": self.metrics.snapshot()}
+            self._drained = len(self.spans)
+            self.metrics.clear()
         return blob
 
     def absorb(self, blob: dict | None) -> None:
@@ -176,17 +181,18 @@ class Session:
         """
         if not blob:
             return
-        worker = blob.get("pid")
-        if worker is not None and worker != self.pid and worker not in self.workers:
-            self.workers.append(worker)
-        base = len(self.spans)
-        for d in blob.get("spans", ()):
-            rec = SpanRecord.from_dict(d)
-            # Re-base parent links into this session's span list.
-            if rec.parent is not None:
-                rec.parent += base
-            self.spans.append(rec)
-        self.metrics.merge(blob.get("metrics", {}))
+        with self._transfer_lock:
+            worker = blob.get("pid")
+            if worker is not None and worker != self.pid and worker not in self.workers:
+                self.workers.append(worker)
+            base = len(self.spans)
+            for d in blob.get("spans", ()):
+                rec = SpanRecord.from_dict(d)
+                # Re-base parent links into this session's span list.
+                if rec.parent is not None:
+                    rec.parent += base
+                self.spans.append(rec)
+            self.metrics.merge(blob.get("metrics", {}))
 
     # -- reporting ----------------------------------------------------------
     def completed_spans(self) -> list[SpanRecord]:

@@ -1,0 +1,65 @@
+"""repro.serve — analysis-as-a-service daemon.
+
+A long-running asyncio HTTP daemon (``repro-serve``) exposing the
+suite's analyses as POST endpoints, plus the matching client
+(``repro-client``).  Three ideas carry the design (see
+``docs/SERVING.md``):
+
+* **Coalescing** (:mod:`repro.serve.scheduler`): concurrent requests
+  sharing a build digest pay for one graph build and one plan compile;
+  live builds sit in a bounded LRU keyed by trace-content digests.
+* **Bit-identity** (:mod:`repro.serve.handlers`): every response is
+  byte-equal to the corresponding library/CLI result — the daemon adds
+  caching and transport, never a different answer.
+* **Containment** (:mod:`repro.serve.daemon`): handler failures become
+  structured error envelopes (``repro-serve-result/1``), worker-pool
+  deaths degrade through the existing :class:`~repro.core.parallel.
+  FaultPolicy`, and the event loop survives everything a request does.
+"""
+
+from repro.serve.client import (
+    ServeClient,
+    render_analyze,
+    render_diagnose,
+    render_metrics,
+    render_sweep,
+    render_verify,
+    request_json,
+)
+from repro.serve.daemon import ReproServer, ServeConfig, serve
+from repro.serve.scheduler import BuildCache, CacheEntry
+from repro.serve.wire import (
+    ENDPOINTS,
+    ERROR_CODES,
+    REQUEST_SCHEMA,
+    RESULT_SCHEMA,
+    ServeError,
+    error_envelope,
+    ok_envelope,
+    validate_request,
+    validate_result,
+)
+
+__all__ = [
+    "ENDPOINTS",
+    "ERROR_CODES",
+    "REQUEST_SCHEMA",
+    "RESULT_SCHEMA",
+    "BuildCache",
+    "CacheEntry",
+    "ReproServer",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "error_envelope",
+    "ok_envelope",
+    "render_analyze",
+    "render_diagnose",
+    "render_metrics",
+    "render_sweep",
+    "render_verify",
+    "request_json",
+    "serve",
+    "validate_request",
+    "validate_result",
+]

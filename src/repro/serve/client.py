@@ -1,0 +1,138 @@
+"""Client for the analysis daemon (``repro-client`` and library use).
+
+Stdlib-only (``urllib.request``).  :func:`request_json` posts one job
+and returns the validated result envelope; the ``render_*`` helpers
+turn result payloads into **exactly** the bytes the corresponding CLI
+tool writes, so ``repro-client diagnose --out a.json`` and
+``repro-diagnose --format json --out b.json`` can be diffed
+byte-for-byte in CI:
+
+* diagnose / verify: ``json.dumps(report, indent=2, sort_keys=True)``
+* metrics: ``json.dumps(report, indent=2)`` (insertion order is part of
+  the report format, preserved across the wire by JSON parsing)
+* analyze / sweep: sorted-key JSON of the result object (these have no
+  CLI JSON twin; tests compare them against direct library calls)
+
+JSON round-trips floats exactly (shortest repr), so "the same dict"
+really means "the same bytes".
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any
+
+from repro.serve.wire import REQUEST_SCHEMA, ServeError, validate_result
+
+__all__ = [
+    "ServeClient",
+    "render_analyze",
+    "render_diagnose",
+    "render_metrics",
+    "render_sweep",
+    "render_verify",
+    "request_json",
+]
+
+
+def request_json(
+    url: str, payload: dict[str, Any] | None = None, timeout: float = 300.0
+) -> dict[str, Any]:
+    """One HTTP exchange: POST ``payload`` as JSON (or GET when None),
+    parse the JSON response, tolerate error statuses (the body is still
+    a structured envelope)."""
+    data = None if payload is None else json.dumps(payload).encode()
+    req = urllib.request.Request(
+        url,
+        data=data,
+        method="GET" if payload is None else "POST",
+        headers={"Content-Type": "application/json"} if payload is not None else {},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            body = resp.read()
+    except urllib.error.HTTPError as exc:
+        body = exc.read()
+    except urllib.error.URLError as exc:
+        raise ServeError("internal", f"cannot reach {url}: {exc.reason}") from exc
+    try:
+        return json.loads(body.decode())
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ServeError("internal", f"non-JSON response from {url}: {exc}") from exc
+
+
+class ServeClient:
+    """Thin typed wrapper over one daemon base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 300.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def healthz(self) -> dict[str, Any]:
+        return request_json(f"{self.base_url}/healthz", timeout=self.timeout)
+
+    def metricsz(self) -> dict[str, Any]:
+        return request_json(f"{self.base_url}/metricsz", timeout=self.timeout)
+
+    def job(
+        self,
+        kind: str,
+        *,
+        traces: str | None = None,
+        upload: dict[str, str] | None = None,
+        stem: str,
+        signature: dict[str, Any] | str | None = None,
+        params: dict[str, Any] | None = None,
+        inject: str | None = None,
+    ) -> dict[str, Any]:
+        """Submit one job; returns the validated result envelope.
+
+        Raises :class:`ServeError` with the daemon's structured code on
+        an error envelope, so callers branch on exception codes rather
+        than envelope shapes.
+        """
+        body: dict[str, Any] = {"schema": REQUEST_SCHEMA, "stem": stem}
+        if traces is not None:
+            body["traces"] = traces
+        if upload is not None:
+            body["upload"] = upload
+        if signature is not None:
+            body["signature"] = signature
+        if params:
+            body["params"] = params
+        if inject is not None:
+            body["inject"] = inject
+        envelope = validate_result(
+            request_json(f"{self.base_url}/v1/{kind}", body, timeout=self.timeout)
+        )
+        if not envelope["ok"]:
+            err = envelope["error"]
+            raise ServeError(err["code"], err["message"])
+        return envelope
+
+
+def render_analyze(result: dict[str, Any]) -> str:
+    """Canonical JSON of an analyze result (library-identity tested)."""
+    return json.dumps(result, indent=2, sort_keys=True) + "\n"
+
+
+def render_sweep(result: dict[str, Any]) -> str:
+    """Canonical JSON of a sweep result (library-identity tested)."""
+    return json.dumps(result, indent=2, sort_keys=True) + "\n"
+
+
+def render_diagnose(result: dict[str, Any]) -> str:
+    """The exact bytes of ``repro-diagnose --format json`` output."""
+    return json.dumps(result["report"], indent=2, sort_keys=True) + "\n"
+
+
+def render_verify(result: dict[str, Any]) -> str:
+    """The exact bytes of ``repro-verify --format json`` output."""
+    return json.dumps(result["report"], indent=2, sort_keys=True) + "\n"
+
+
+def render_metrics(result: dict[str, Any]) -> str:
+    """The exact bytes of ``repro-metrics --format json --out`` output."""
+    return json.dumps(result["report"], indent=2) + "\n"

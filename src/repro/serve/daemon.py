@@ -1,0 +1,379 @@
+"""The analysis daemon: a long-running asyncio HTTP server.
+
+Transport is stdlib-only (``asyncio.start_server`` + hand-rolled
+HTTP/1.1 with ``Connection: close``) — the daemon adds no dependency
+the library does not already carry.  Endpoints:
+
+===========================  ==============================================
+``POST /v1/analyze``         Monte-Carlo replicate distribution
+``POST /v1/sweep``           noise-scale ladder
+``POST /v1/diagnose``        MPG2xx diagnosis report
+``POST /v1/metrics``         POP efficiency report
+``POST /v1/verify``          MPG3xx verification report
+``GET /healthz``             liveness + config echo
+``GET /metricsz``            aggregated obs metrics + span histogram
+===========================  ==============================================
+
+Request lifecycle: parse → validate (:mod:`repro.serve.wire`) → admit
+(bounded in-flight count, else 429) → resolve the build through the
+coalescing cache (:mod:`repro.serve.scheduler`) → run the endpoint body
+in a worker thread (:mod:`repro.serve.handlers`) under the per-job
+timeout → envelope.  Every job runs inside its own obs session
+(:func:`repro.obs.session_scope`), whose spans and metrics are absorbed
+into the daemon-wide session at completion — ``/metricsz`` is the
+aggregate, and the span histogram is how tests *prove* coalescing
+(two concurrent requests, one ``build_graph``, one
+``compiled.compile``).
+
+Failure containment: handler exceptions become structured error
+envelopes; a request that kills its pool workers gets ``worker-lost``
+and the daemon keeps serving; a poisoned connection is closed and
+logged, never propagated to the accept loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import time
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable
+
+from repro import obs
+from repro.core.parallel import FaultPolicy
+from repro.serve.handlers import HANDLERS, build_config_for, run_injection
+from repro.serve.scheduler import BuildCache
+from repro.serve.wire import (
+    ENDPOINTS,
+    ServeError,
+    error_envelope,
+    ok_envelope,
+    validate_request,
+)
+
+__all__ = ["ReproServer", "ServeConfig", "serve"]
+
+_LOG = logging.getLogger("repro.serve")
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    504: "Gateway Timeout",
+}
+
+#: Largest accepted request body (64 MiB) — uploads are whole trace
+#: sets, but unbounded reads would let one request exhaust memory.
+MAX_BODY = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Daemon configuration (one per server; see ``repro-serve``)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8765
+    trace_root: str | None = None
+    cache_size: int = 8
+    max_pending: int = 32
+    job_timeout: float | None = None
+    jobs: int | None = 0
+    policy: FaultPolicy | None = None
+    checkpoint: str | None = None
+    allow_fault_injection: bool = False
+    label: str = "repro-serve"
+
+    def __post_init__(self) -> None:
+        if self.cache_size < 1:
+            raise ValueError(f"cache_size must be >= 1, got {self.cache_size}")
+        if self.max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {self.max_pending}")
+        if self.job_timeout is not None and self.job_timeout <= 0:
+            raise ValueError(f"job_timeout must be > 0 or None, got {self.job_timeout}")
+
+
+@dataclass
+class _ServerStats:
+    started: float = field(default_factory=time.time)
+    requests: int = 0
+    errors: int = 0
+    rejected: int = 0
+    timeouts: int = 0
+    active: int = 0
+
+
+class ReproServer:
+    """One daemon instance: cache, obs aggregate, and the accept loop."""
+
+    def __init__(self, config: ServeConfig):
+        self.config = config
+        self.cache = BuildCache(config.cache_size, trace_root=config.trace_root)
+        self.session = obs.Session(config.label)
+        self.stats = _ServerStats()
+        self._server: asyncio.AbstractServer | None = None
+
+    # handler shims see these (duck-typed "server" argument)
+    @property
+    def jobs(self) -> int | None:
+        return self.config.jobs
+
+    @property
+    def policy(self) -> FaultPolicy | None:
+        return self.config.policy
+
+    @property
+    def checkpoint(self) -> str | None:
+        return self.config.checkpoint
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the ephemeral pick)."""
+        if self._server is None or not self._server.sockets:
+            return self.config.port
+        return int(self._server.sockets[0].getsockname()[1])
+
+    # -- lifecycle ----------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        _LOG.info(f"repro-serve listening on http://{self.config.host}:{self.port}")
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.cache.clear()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- HTTP plumbing ------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, payload = await self._handle_request(reader)
+        except asyncio.CancelledError:
+            raise
+        except Exception:
+            # A connection must never take the accept loop down with it.
+            _LOG.exception("unhandled connection error")
+            status, payload = 500, error_envelope("internal", "unhandled server error")
+        try:
+            body = (json.dumps(payload) + "\n").encode()
+            reason = _REASONS.get(status, "Unknown")
+            head = (
+                f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n"
+            ).encode()
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # client went away; nothing to salvage
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_request(self, reader: asyncio.StreamReader) -> tuple[int, dict]:
+        try:
+            request_line = (await reader.readline()).decode("latin-1").strip()
+            parts = request_line.split()
+            if len(parts) != 3:
+                message = f"malformed request line {request_line!r}"
+                return 400, error_envelope("bad-request", message)
+            method, target, _version = parts
+            headers: dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", "0") or "0")
+            if length > MAX_BODY:
+                return 400, error_envelope("bad-request", f"body exceeds {MAX_BODY} bytes")
+            raw = await reader.readexactly(length) if length else b""
+        except (asyncio.IncompleteReadError, UnicodeDecodeError, ValueError) as exc:
+            return 400, error_envelope("bad-request", f"malformed HTTP request: {exc}")
+        return await self._dispatch(method, target, raw)
+
+    async def _dispatch(self, method: str, target: str, raw: bytes) -> tuple[int, dict]:
+        target = target.split("?", 1)[0]
+        if target == "/healthz":
+            if method != "GET":
+                return 405, error_envelope("method-not-allowed", "/healthz is GET-only")
+            return 200, self._healthz()
+        if target == "/metricsz":
+            if method != "GET":
+                return 405, error_envelope("method-not-allowed", "/metricsz is GET-only")
+            return 200, self._metricsz()
+        if not target.startswith("/v1/"):
+            return 404, error_envelope("not-found", f"no route for {target!r}")
+        kind = target[len("/v1/") :]
+        if kind not in ENDPOINTS:
+            return 404, error_envelope(
+                "not-found", f"unknown endpoint {kind!r}; choose from {', '.join(ENDPOINTS)}"
+            )
+        if method != "POST":
+            return 405, error_envelope("method-not-allowed", f"/v1/{kind} is POST-only", kind)
+        try:
+            payload = json.loads(raw.decode())
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            return 400, error_envelope("bad-request", f"request body is not JSON: {exc}", kind)
+        return await self._run_job(kind, payload)
+
+    # -- job execution ------------------------------------------------------
+    async def _run_job(self, kind: str, payload: Any) -> tuple[int, dict]:
+        if self.stats.active >= self.config.max_pending:
+            self.stats.rejected += 1
+            self.session.metrics.counter("serve.rejected").inc()
+            return 429, error_envelope(
+                "overloaded",
+                f"{self.stats.active} job(s) in flight (max_pending={self.config.max_pending})",
+                kind,
+            )
+        self.stats.active += 1
+        self.stats.requests += 1
+        request_session = obs.Session(f"{self.config.label}.{kind}")
+        t0 = time.perf_counter()
+        try:
+            with obs.session_scope(session=request_session):
+                with obs.span("serve.request", kind=kind):
+                    status, envelope = await self._execute(kind, payload)
+        except asyncio.TimeoutError:
+            self.stats.timeouts += 1
+            status, envelope = 504, error_envelope(
+                "timeout", f"job exceeded {self.config.job_timeout}s", kind
+            )
+        except ServeError as exc:
+            status, envelope = exc.status, error_envelope(exc.code, exc.message, kind)
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:  # noqa: B036 - BrokenProcessPool et al.
+            status, envelope = self._map_failure(kind, exc)
+        finally:
+            self.stats.active -= 1
+            # Fold the request's spans/metrics into the daemon aggregate
+            # (lock-guarded absorb; /metricsz reads the same registry).
+            self.session.absorb(request_session.drain())
+            m = self.session.metrics
+            m.counter("serve.requests").inc()
+            m.counter(f"serve.requests.{kind}").inc()
+            m.timer("serve.request_seconds").observe(time.perf_counter() - t0)
+        if status != 200:
+            self.stats.errors += 1
+            self.session.metrics.counter("serve.errors").inc()
+        return status, envelope
+
+    async def _execute(self, kind: str, payload: Any) -> tuple[int, dict]:
+        request = validate_request(payload, kind)
+        if request["inject"] is not None and not self.config.allow_fault_injection:
+            raise ServeError(
+                "forbidden", "fault injection is disabled (start with --allow-fault-injection)"
+            )
+
+        async def job() -> tuple[int, dict]:
+            if request["inject"] is not None:
+                await asyncio.to_thread(run_injection, request["inject"])
+            config = build_config_for(request["params"])
+            entry, cached = await self.cache.entry_for(request, config)
+            self.session.metrics.counter(
+                "serve.cache_hits" if cached else "serve.cache_misses"
+            ).inc()
+            result = await asyncio.to_thread(HANDLERS[kind], entry, request, self)
+            build_info = {"key": entry.key, "digest": entry.digest, "cached": cached}
+            return 200, ok_envelope(kind, result, build_info)
+
+        if self.config.job_timeout is None:
+            return await job()
+        return await asyncio.wait_for(job(), self.config.job_timeout)
+
+    def _map_failure(self, kind: str, exc: BaseException) -> tuple[int, dict]:
+        """Structured error for an unplanned handler failure."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        if isinstance(exc, BrokenProcessPool):
+            _LOG.error(f"{kind}: worker pool died: {exc}")
+            return 500, error_envelope(
+                "worker-lost",
+                "a worker process died and the fault policy gave up; "
+                "the daemon is still serving",
+                kind,
+            )
+        if isinstance(exc, RuntimeError) and "inject=error" in str(exc):
+            return 500, error_envelope("fault-injected", str(exc), kind)
+        if isinstance(exc, (ValueError, KeyError, TypeError)):
+            _LOG.warning(f"{kind}: rejected input: {exc}")
+            return 400, error_envelope("input-error", f"{type(exc).__name__}: {exc}", kind)
+        _LOG.exception(f"{kind}: handler failed")
+        return 500, error_envelope("internal", f"{type(exc).__name__}: {exc}", kind)
+
+    # -- probes -------------------------------------------------------------
+    def _healthz(self) -> dict:
+        return {
+            "schema": "repro-serve-health/1",
+            "ok": True,
+            "label": self.config.label,
+            "uptime_seconds": time.time() - self.stats.started,
+            "requests": self.stats.requests,
+            "errors": self.stats.errors,
+            "active": self.stats.active,
+            "cache": self.cache.stats(),
+            "config": {
+                "cache_size": self.config.cache_size,
+                "max_pending": self.config.max_pending,
+                "job_timeout": self.config.job_timeout,
+                "jobs": self.config.jobs,
+                "allow_fault_injection": self.config.allow_fault_injection,
+            },
+        }
+
+    def _metricsz(self) -> dict:
+        spans: dict[str, int] = {}
+        for record in self.session.completed_spans():
+            spans[record.name] = spans.get(record.name, 0) + 1
+        return {
+            "schema": "repro-serve-metrics/1",
+            "label": self.config.label,
+            "requests": self.stats.requests,
+            "errors": self.stats.errors,
+            "rejected": self.stats.rejected,
+            "timeouts": self.stats.timeouts,
+            "cache": self.cache.stats(),
+            "metrics": self.session.metrics.as_dict(),
+            "spans": dict(sorted(spans.items())),
+        }
+
+
+async def serve(config: ServeConfig, ready: Callable[[ReproServer], Any] | None = None) -> None:
+    """Run one daemon until cancelled (the ``repro-serve`` body).
+
+    ``ready`` is called with the listening server (tests use it to grab
+    the ephemeral port); it may be a coroutine function.
+    """
+    server = ReproServer(config)
+    await server.start()
+    if ready is not None:
+        maybe: Any = ready(server)
+        if isinstance(maybe, Awaitable):
+            await maybe
+    try:
+        await server.serve_forever()
+    finally:
+        await server.stop()
